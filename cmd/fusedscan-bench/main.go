@@ -1,0 +1,107 @@
+// Command fusedscan-bench regenerates the tables behind every figure of
+// the paper's evaluation section (Figures 1, 2, 4, 5, 6 and 7) and the
+// ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	fusedscan-bench [-fig all|1|2|4|5|6|7|ablations] [-scale f] [-reps n] [-seed s]
+//
+// -scale multiplies the paper's table sizes: 1.0 runs the full sizes (the
+// largest configuration scans 132M rows per column and takes minutes);
+// the default 1/16 preserves every crossover in seconds per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fusedscan/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment to run: all, 1, 2, 4, 5, 6, 7, ablations, parallel")
+	scale := flag.Float64("scale", 1.0/16, "table-size scale factor (1.0 = paper sizes)")
+	reps := flag.Int("reps", 3, "repetitions per configuration (median reported)")
+	seed := flag.Int64("seed", 42, "base data seed")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Reps = *reps
+	cfg.Seed = *seed
+	cfg.Out = os.Stdout
+
+	fmt.Printf("fusedscan-bench: scale=%g reps=%d seed=%d (simulated Xeon Platinum 8180, %.1f GHz, %.0f GB/s)\n",
+		cfg.Scale, cfg.Reps, cfg.Seed, cfg.Params.ClockGHz, cfg.Params.StreamBandwidthGBs)
+
+	run := func(id string, f func()) {
+		start := time.Now()
+		f()
+		fmt.Printf("  [%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+
+	want := strings.Split(*fig, ",")
+	has := func(id string) bool {
+		for _, w := range want {
+			if w == "all" || w == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	any := false
+	if has("1") {
+		run("fig1", func() { bench.Fig1(cfg) })
+		any = true
+	}
+	if has("2") {
+		run("fig2", func() { bench.Fig2(cfg) })
+		any = true
+	}
+	if has("4") {
+		run("fig4", func() { bench.Fig4(cfg) })
+		any = true
+	}
+	// Figures 5 and 6 share one sweep; run it once when both are wanted.
+	switch {
+	case has("5") && has("6"):
+		run("fig5+6", func() {
+			r := bench.Fig56(cfg)
+			r.PrintRuntime(cfg)
+			r.PrintMispredicts(cfg)
+		})
+		any = true
+	case has("5"):
+		run("fig5", func() { bench.Fig5(cfg) })
+		any = true
+	case has("6"):
+		run("fig6", func() { bench.Fig6(cfg) })
+		any = true
+	}
+	if has("7") {
+		run("fig7", func() { bench.Fig7(cfg) })
+		any = true
+	}
+	if has("parallel") {
+		run("parallel", func() { bench.ExtensionParallel(cfg) })
+		any = true
+	}
+	if has("ablations") {
+		run("ablations", func() {
+			bench.AblationSurcharge(cfg)
+			bench.AblationPenalty(cfg)
+			bench.AblationMaterialization(cfg)
+			bench.AblationDictionary(cfg)
+		})
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "fusedscan-bench: unknown experiment %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

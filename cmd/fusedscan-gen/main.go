@@ -1,0 +1,89 @@
+// Command fusedscan-gen generates the paper's synthetic workloads and
+// writes them as binary table files for use with fusedscan-sql -load:
+//
+//	fusedscan-gen -rows 4000000 -cols 3 -sel 0.5,0.1,0.01 -o tbl.fscn
+//	fusedscan-gen -rows 1000000 -chain 4 -first 0.01 -rest 0.5 -o chain.fscn
+//
+// Columns are named by letter (a, b, c, ...) and match the value 5 on the
+// requested fraction of rows (exactly, per internal/workload). In chain
+// mode the first column matches -first of the rows and every following
+// column keeps -rest of the rows still surviving (the Figure 7 setup).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+	"fusedscan/internal/storage"
+	"fusedscan/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 1_000_000, "number of rows")
+	cols := flag.Int("cols", 2, "number of int32 predicate columns (uniform mode)")
+	selList := flag.String("sel", "0.1", "comma-separated per-column selectivities (uniform mode; a single value applies to all columns)")
+	chainK := flag.Int("chain", 0, "conditional-chain mode: number of predicates (overrides -cols/-sel)")
+	first := flag.Float64("first", 0.01, "chain mode: first predicate selectivity")
+	rest := flag.Float64("rest", 0.5, "chain mode: fraction of remaining rows each following predicate keeps")
+	seed := flag.Int64("seed", 42, "data seed")
+	name := flag.String("name", "tbl", "table name stored in the file")
+	out := flag.String("o", "tbl.fscn", "output path")
+	flag.Parse()
+
+	space := mach.NewAddrSpace()
+	var ch scan.Chain
+	if *chainK > 0 {
+		ch = workload.Conditional(space, *rows, *chainK, *first, *rest, *seed)
+	} else {
+		sels, err := parseSels(*selList, *cols)
+		if err != nil {
+			fatal(err)
+		}
+		ch = workload.Independent(space, *rows, sels, *seed)
+	}
+
+	tbl := workload.Table(space, *name, ch)
+	if err := storage.SaveFile(*out, tbl); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: table %q, %d rows, %d columns\n", *out, *name, tbl.Rows(), len(tbl.Columns()))
+	fmt.Printf("try: fusedscan-sql -nodemo -load %s \"SELECT COUNT(*) FROM %s WHERE a = 5 AND b = 5\"\n", *out, *name)
+}
+
+func parseSels(list string, cols int) ([]float64, error) {
+	parts := strings.Split(list, ",")
+	var sels []float64
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad selectivity %q: %v", p, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("selectivity %v out of [0, 1]", v)
+		}
+		sels = append(sels, v)
+	}
+	if len(sels) == 0 {
+		return nil, fmt.Errorf("no selectivities given")
+	}
+	// A single value applies to every column; otherwise counts must agree.
+	if len(sels) == 1 {
+		for len(sels) < cols {
+			sels = append(sels, sels[0])
+		}
+	}
+	if len(sels) != cols {
+		return nil, fmt.Errorf("%d selectivities for %d columns", len(sels), cols)
+	}
+	return sels, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fusedscan-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,231 @@
+// Command fusedscan-sql executes SQL statements against the engine and
+// reports both results and the simulated hardware counters, so the fused
+// scan's behaviour can be explored interactively:
+//
+//	fusedscan-sql -rows 2000000 "SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5"
+//	fusedscan-sql -config sisd "SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5"
+//	fusedscan-sql -csv orders=orders.csv "SELECT SUM(price) FROM orders WHERE qty < 3"
+//	fusedscan-sql -load table.fscn "SELECT COUNT(*) FROM mytable WHERE x > 0"
+//
+// Without a data flag a demo table is generated: four int32 columns, a
+// (50% match 5), b (10% match 5), c (1% match 5) and d (uniform 0..999).
+// In the REPL, prefix a statement with "explain" to see the plans and the
+// JIT-generated source, use \tables to list tables and \q to quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"fusedscan"
+)
+
+func buildDemo(eng *fusedscan.Engine, rows int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int32, rows)
+	b := make([]int32, rows)
+	c := make([]int32, rows)
+	d := make([]int32, rows)
+	for i := 0; i < rows; i++ {
+		a[i] = pick(rng, 0.5)
+		b[i] = pick(rng, 0.1)
+		c[i] = pick(rng, 0.01)
+		d[i] = rng.Int31n(1000)
+	}
+	tb := eng.CreateTable("demo")
+	tb.Int32("a", a)
+	tb.Int32("b", b)
+	tb.Int32("c", c)
+	tb.Int32("d", d)
+	return tb.Finish()
+}
+
+func pick(rng *rand.Rand, sel float64) int32 {
+	if rng.Float64() < sel {
+		return 5
+	}
+	return rng.Int31n(900) + 100
+}
+
+func main() {
+	rows := flag.Int("rows", 1_000_000, "rows in the generated demo table")
+	seed := flag.Int64("seed", 1, "data seed")
+	config := flag.String("config", "avx512-512", "execution config: avx512-512, avx512-256, avx512-128, avx2-128, sisd")
+	csvSpec := flag.String("csv", "", "import a CSV file as name=path (header fields are name:type)")
+	loadPath := flag.String("load", "", "load a binary table file (.fscn)")
+	savePath := flag.String("save", "", "after running, save a table as name=path")
+	noDemo := flag.Bool("nodemo", false, "skip generating the demo table")
+	flag.Parse()
+
+	eng := fusedscan.NewEngine()
+	if !*noDemo {
+		if err := buildDemo(eng, *rows, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvSpec != "" {
+		name, path, ok := strings.Cut(*csvSpec, "=")
+		if !ok {
+			fatal(fmt.Errorf("-csv wants name=path, got %q", *csvSpec))
+		}
+		if err := eng.LoadCSVFile(path, name); err != nil {
+			fatal(err)
+		}
+	}
+	if *loadPath != "" {
+		name, err := eng.LoadTable(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded table %q from %s\n", name, *loadPath)
+	}
+	cfg, err := parseConfig(*config)
+	if err != nil {
+		fatal(err)
+	}
+	if err := eng.SetConfig(cfg); err != nil {
+		fatal(err)
+	}
+
+	if flag.NArg() > 0 {
+		for _, sql := range flag.Args() {
+			handle(eng, sql)
+		}
+	} else {
+		repl(eng)
+	}
+
+	if *savePath != "" {
+		name, path, ok := strings.Cut(*savePath, "=")
+		if !ok {
+			fatal(fmt.Errorf("-save wants name=path, got %q", *savePath))
+		}
+		if err := eng.SaveTable(name, path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved table %q to %s\n", name, path)
+	}
+}
+
+func repl(eng *fusedscan.Engine) {
+	fmt.Printf("fusedscan-sql: tables %v. Enter SQL, \"explain SELECT ...\", \\tables, or \\q.\n", eng.TableNames())
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\tables`:
+			fmt.Println(strings.Join(eng.TableNames(), "\n"))
+		default:
+			handle(eng, line)
+		}
+		fmt.Print("> ")
+	}
+}
+
+// handle runs one statement; an "explain" prefix switches to plan output.
+func handle(eng *fusedscan.Engine, sql string) {
+	if rest, ok := cutPrefixFold(sql, "explain"); ok {
+		explainOne(eng, strings.TrimSpace(rest))
+		return
+	}
+	runOne(eng, sql)
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+func parseConfig(s string) (fusedscan.Config, error) {
+	switch s {
+	case "avx512-512":
+		return fusedscan.Config{UseFused: true, RegisterWidth: 512}, nil
+	case "avx512-256":
+		return fusedscan.Config{UseFused: true, RegisterWidth: 256}, nil
+	case "avx512-128":
+		return fusedscan.Config{UseFused: true, RegisterWidth: 128}, nil
+	case "avx2-128":
+		return fusedscan.Config{UseFused: true, RegisterWidth: 128, AVX2: true}, nil
+	case "sisd":
+		return fusedscan.Config{UseFused: false, RegisterWidth: 512}, nil
+	}
+	return fusedscan.Config{}, fmt.Errorf("unknown config %q", s)
+}
+
+func explainOne(eng *fusedscan.Engine, sql string) {
+	ex, err := eng.ExplainQuery(sql)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Println("logical plan:")
+	fmt.Print(indent(ex.LogicalPlan))
+	fmt.Println("optimized plan:")
+	fmt.Print(indent(ex.OptimizedPlan))
+	fmt.Printf("rules: %s\n", strings.Join(ex.AppliedRules, ", "))
+	fmt.Println("physical plan:")
+	fmt.Print(indent(ex.PhysicalPlan))
+	for i, key := range ex.JITKeys {
+		fmt.Printf("JIT operator %d: %s (%d lines of generated C++; see fusedscan-explain for the listing)\n",
+			i+1, key, strings.Count(ex.JITSources[i], "\n"))
+	}
+}
+
+func indent(s string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		sb.WriteString("  " + line + "\n")
+	}
+	return sb.String()
+}
+
+func runOne(eng *fusedscan.Engine, sql string) {
+	res, err := eng.Query(sql)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	switch {
+	case res.Aggregate:
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		fmt.Println(strings.Join(res.Rows[0], "\t"))
+		fmt.Printf("(over %d qualifying rows)\n", res.Count)
+	case res.Columns == nil:
+		fmt.Printf("%d qualifying rows\n", res.Count)
+	default:
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			fmt.Println(strings.Join(row, "\t"))
+		}
+		fmt.Printf("(%d of %d qualifying rows shown)\n", len(res.Rows), res.Count)
+	}
+	r := res.Report
+	fmt.Printf("-- %s scan: %.3f ms simulated, %.1f GB/s, %d mispredicts, %d useless prefetches, %d B DRAM\n",
+		scanKind(res.Fused), r.RuntimeMs, r.AchievedGBs, r.BranchMispredicts, r.UselessPrefetches, r.DRAMBytes)
+	if res.Fused {
+		fmt.Printf("-- JIT: %d operator(s), cache %d entries (%d hits so far)\n",
+			r.CompiledOperators, r.OperatorCacheSize, r.OperatorCacheHits)
+	}
+}
+
+func scanKind(fused bool) string {
+	if fused {
+		return "fused"
+	}
+	return "SISD"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fusedscan-sql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+package fusedscan_test
+
+import (
+	"fmt"
+	"log"
+
+	"fusedscan"
+)
+
+// ExampleEngine_Query runs the paper's example query end to end: SQL is
+// parsed, optimized (predicate reordering, fused-chain tagging), the fused
+// operator is JIT-generated, and the scan executes on the simulated Xeon.
+func ExampleEngine_Query() {
+	eng := fusedscan.NewEngine()
+	tb := eng.CreateTable("tbl")
+	tb.Int32("a", []int32{5, 1, 5, 2, 5, 5})
+	tb.Int32("b", []int32{2, 2, 3, 2, 2, 7})
+	if err := tb.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := eng.Query("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("count:", res.Count)
+	fmt.Println("fused:", res.Fused)
+	// Output:
+	// count: 2
+	// fused: true
+}
+
+// ExampleEngine_NewScan uses the direct scan API to retrieve qualifying
+// row ids without SQL.
+func ExampleEngine_NewScan() {
+	eng := fusedscan.NewEngine()
+	tb := eng.CreateTable("t")
+	tb.Int32("x", []int32{7, 3, 7, 7, 1})
+	tb.Int32("y", []int32{1, 1, 0, 1, 1})
+	if err := tb.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := eng.NewScan("t").Where("x", "=", "7").Where("y", ">", "0").Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Positions)
+	// Output:
+	// [0 3]
+}
+
+// ExampleEngine_ExplainQuery shows the optimizer pipeline: the consecutive
+// predicates are reordered by selectivity and fused into one operator.
+func ExampleEngine_ExplainQuery() {
+	eng := fusedscan.NewEngine()
+	tb := eng.CreateTable("t")
+	a := make([]int32, 1000)
+	b := make([]int32, 1000)
+	for i := range a {
+		a[i] = int32(i % 2)   // "a = 0" matches 50%
+		b[i] = int32(i % 100) // "b = 0" matches 1%
+	}
+	tb.Int32("a", a)
+	tb.Int32("b", b)
+	if err := tb.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	ex, err := eng.ExplainQuery("SELECT COUNT(*) FROM t WHERE a = 0 AND b = 0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ex.OptimizedPlan)
+	// Output:
+	// Aggregate[count(*)]
+	//   FusedTableScan[b = 0 AND a = 0]
+	//     StoredTable(t)
+}
+
+// ExampleEngine_Query_aggregates computes several aggregates in one pass.
+func ExampleEngine_Query_aggregates() {
+	eng := fusedscan.NewEngine()
+	tb := eng.CreateTable("orders")
+	tb.Int32("status", []int32{1, 1, 2, 1})
+	tb.Float64("total", []float64{10.5, 20.0, 99.0, 30.5})
+	if err := tb.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := eng.Query("SELECT COUNT(*), SUM(total), MAX(total) FROM orders WHERE status = 1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Columns)
+	fmt.Println(res.Rows[0])
+	// Output:
+	// [count(*) sum(total) max(total)]
+	// [3 61 30.5]
+}

@@ -1,0 +1,103 @@
+// MVCC visibility as a follow-up predicate. The paper motivates Figure 7
+// with multi-version concurrency control: "when the DBMS uses MVCC and the
+// validation of the visibility vectors is treated as a follow-up
+// predicate".
+//
+// This example stores per-row begin/end transaction timestamps as int64
+// columns next to the payload. A snapshot read at timestamp T sees a row
+// iff begin_ts <= T < end_ts, which is two more predicates appended to the
+// user's WHERE clause — so the visible-row scan is a four-predicate fused
+// chain mixing 4-byte payload columns with 8-byte timestamp columns (the
+// width-mismatch case the JIT's index-splitting handles).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fusedscan"
+)
+
+const (
+	rows       = 1_000_000
+	snapshotTS = 700_000
+	infinityTS = int64(1) << 62
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(12))
+
+	status := make([]int32, rows) // order status, 1% "open" (= 5)
+	amount := make([]int32, rows)
+	begin := make([]int64, rows)
+	end := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		if rng.Float64() < 0.01 {
+			status[i] = 5
+		} else {
+			status[i] = rng.Int31n(4)
+		}
+		amount[i] = rng.Int31n(10_000)
+		// Rows were inserted at increasing timestamps; ~25% have been
+		// deleted (end < infinity), some after the snapshot.
+		begin[i] = int64(rng.Intn(1_000_000))
+		if rng.Float64() < 0.25 {
+			end[i] = begin[i] + int64(rng.Intn(500_000))
+		} else {
+			end[i] = infinityTS
+		}
+	}
+
+	eng := fusedscan.NewEngine()
+	tb := eng.CreateTable("orders")
+	tb.Int32("o_status", status)
+	tb.Int32("o_amount", amount)
+	tb.Int64("begin_ts", begin)
+	tb.Int64("end_ts", end)
+	if err := tb.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user query plus the two MVCC visibility predicates.
+	query := fmt.Sprintf(
+		"SELECT COUNT(*) FROM orders WHERE o_status = 5 AND begin_ts <= %d AND end_ts > %d",
+		snapshotTS, snapshotTS)
+
+	fmt.Printf("snapshot read at ts=%d over %d row versions\n%s\n\n", snapshotTS, rows, query)
+
+	fused, err := eng.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.SetConfig(fusedscan.Config{UseFused: false, RegisterWidth: 512}); err != nil {
+		log.Fatal(err)
+	}
+	sisd, err := eng.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fused.Count != sisd.Count {
+		log.Fatalf("visibility mismatch: fused %d, sisd %d", fused.Count, sisd.Count)
+	}
+
+	fmt.Printf("visible open orders: %d\n\n", fused.Count)
+	fmt.Printf("%-26s %12s %16s\n", "execution", "sim runtime", "mispredictions")
+	fmt.Printf("%-26s %9.3f ms %16d\n", "SISD + visibility checks", sisd.Report.RuntimeMs, sisd.Report.BranchMispredicts)
+	fmt.Printf("%-26s %9.3f ms %16d\n", "Fused incl. visibility", fused.Report.RuntimeMs, fused.Report.BranchMispredicts)
+	fmt.Printf("\nspeedup with MVCC predicates fused into the scan: %.2fx\n",
+		sisd.Report.RuntimeMs/fused.Report.RuntimeMs)
+
+	// The generated operator handles the int32 -> int64 width mismatch by
+	// splitting the position list (Section V); show the evidence.
+	if err := eng.SetConfig(fusedscan.DefaultConfig()); err != nil {
+		log.Fatal(err)
+	}
+	ex, err := eng.ExplainQuery(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nJIT specialization: %s\n", ex.JITKeys[0])
+	fmt.Println("(the generated source emits a split loop for the 8-byte timestamp columns;")
+	fmt.Println(" run cmd/fusedscan-explain to see it in full)")
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a two-column table, run the paper's example query
+//
+//	SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2
+//
+// through the full engine (SQL -> optimizer -> JIT -> fused scan), and
+// compare the simulated runtime against the scalar baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fusedscan"
+)
+
+func main() {
+	const rows = 4_000_000
+	rng := rand.New(rand.NewSource(1))
+
+	// Column a: 10% of rows hold the value 5. Column b: 50% hold 2.
+	a := make([]int32, rows)
+	b := make([]int32, rows)
+	for i := 0; i < rows; i++ {
+		if rng.Float64() < 0.10 {
+			a[i] = 5
+		} else {
+			a[i] = rng.Int31n(100) + 10
+		}
+		if rng.Float64() < 0.50 {
+			b[i] = 2
+		} else {
+			b[i] = rng.Int31n(100) + 10
+		}
+	}
+
+	eng := fusedscan.NewEngine()
+	tb := eng.CreateTable("tbl")
+	tb.Int32("a", a)
+	tb.Int32("b", b)
+	if err := tb.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	const query = "SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2"
+
+	// Fused Table Scan (the default: JIT-compiled, AVX-512, 512-bit).
+	fused, err := eng.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scalar tuple-at-a-time baseline (the paper's Section II loop).
+	if err := eng.SetConfig(fusedscan.Config{UseFused: false, RegisterWidth: 512}); err != nil {
+		log.Fatal(err)
+	}
+	sisd, err := eng.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: %s\n", query)
+	fmt.Printf("count: %d of %d rows\n\n", fused.Count, rows)
+	fmt.Printf("%-24s %12s %14s %16s\n", "execution", "sim runtime", "bandwidth", "mispredictions")
+	fmt.Printf("%-24s %9.3f ms %11.1f GB/s %16d\n",
+		"SISD (tuple-at-a-time)", sisd.Report.RuntimeMs, sisd.Report.AchievedGBs, sisd.Report.BranchMispredicts)
+	fmt.Printf("%-24s %9.3f ms %11.1f GB/s %16d\n",
+		"Fused Table Scan", fused.Report.RuntimeMs, fused.Report.AchievedGBs, fused.Report.BranchMispredicts)
+	fmt.Printf("\nspeedup: %.2fx  (JIT compiled %d operator(s), ~%d us modelled compile time)\n",
+		sisd.Report.RuntimeMs/fused.Report.RuntimeMs,
+		fused.Report.CompiledOperators, fused.Report.CompileTimeMicros)
+
+	if fused.Count != sisd.Count {
+		log.Fatalf("result mismatch: fused %d, sisd %d", fused.Count, sisd.Count)
+	}
+}

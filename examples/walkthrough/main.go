@@ -1,0 +1,37 @@
+// Walkthrough: reproduces the paper's Figure 3 data-flow example — the
+// 16-value columns, the 0101 comparison mask, the compressed position
+// lists, the permutex2var appends and the gather into column b — printing
+// every instruction and register state. Pass -rows to trace a random
+// workload instead of the figure's exact values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fusedscan/internal/trace"
+)
+
+func main() {
+	rows := flag.Int("rows", 0, "trace a random workload of this many rows instead of the paper's example")
+	seed := flag.Int64("seed", 1, "seed for -rows")
+	flag.Parse()
+
+	if *rows <= 0 {
+		fmt.Println("Tracing the exact example of the paper's Figure 3.")
+		fmt.Println()
+		trace.PaperExample(os.Stdout)
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	a := make([]int32, *rows)
+	b := make([]int32, *rows)
+	for i := range a {
+		a[i] = rng.Int31n(8)
+		b[i] = rng.Int31n(8)
+	}
+	trace.Fig3(os.Stdout, a, b, 5, 2)
+}

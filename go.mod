@@ -1,0 +1,3 @@
+module fusedscan
+
+go 1.22

@@ -1,0 +1,108 @@
+// Package bench is the benchmark harness that regenerates every figure of
+// the paper's evaluation section (Figures 1, 2, 4, 5, 6 and 7) plus the
+// ablations DESIGN.md calls out. Each experiment builds the paper's
+// workload (scaled by Config.Scale), executes the competing scan
+// implementations on the machine model with cold caches, takes the median
+// over Config.Reps repetitions (each with a fresh data seed), and prints a
+// table whose rows/series correspond to what the paper plots.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+	"fusedscan/internal/stats"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Params is the machine calibration (mach.Default for the paper's
+	// Xeon Platinum 8180).
+	Params mach.Params
+	// Reps is the number of repetitions; each uses a fresh data seed and
+	// cold caches, and medians are reported (the paper runs >= 100; the
+	// simulator is deterministic given a seed, so a handful suffices).
+	Reps int
+	// Scale multiplies the paper's table sizes (1.0 = full size; the
+	// largest configurations then scan 132M rows per column).
+	Scale float64
+	// Seed is the base data seed.
+	Seed int64
+	// Out receives the printed tables (io.Discard when nil).
+	Out io.Writer
+}
+
+// DefaultConfig runs at 1/16 of the paper's sizes with 3 repetitions —
+// large enough for every memory-hierarchy effect to appear, small enough
+// to finish in seconds per figure.
+func DefaultConfig() Config {
+	return Config{
+		Params: mach.Default(),
+		Reps:   3,
+		Scale:  1.0 / 16,
+		Seed:   42,
+		Out:    io.Discard,
+	}
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) reps() int {
+	if c.Reps < 1 {
+		return 1
+	}
+	return c.Reps
+}
+
+// rows scales one of the paper's table sizes, keeping at least one vector
+// block's worth of rows.
+func (c Config) rows(paperRows int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	n := int(float64(paperRows) * s)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// runKernel executes one kernel on a cold machine and returns the report.
+func runKernel(p mach.Params, k scan.Kernel) mach.Report {
+	cpu := mach.New(p)
+	k.Run(cpu, false)
+	return cpu.Finish().Report(&p)
+}
+
+// medianOver runs f once per repetition (seeded) and returns the medians
+// of every metric slice f yields.
+func medianOver(reps int, seed int64, f func(seed int64) []float64) []float64 {
+	var acc [][]float64
+	for r := 0; r < reps; r++ {
+		vals := f(seed + int64(r)*7919)
+		if acc == nil {
+			acc = make([][]float64, len(vals))
+		}
+		for i, v := range vals {
+			acc[i] = append(acc[i], v)
+		}
+	}
+	out := make([]float64, len(acc))
+	for i, xs := range acc {
+		out[i] = stats.Median(xs)
+	}
+	return out
+}
+
+// header prints an experiment banner.
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", id, title)
+}

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fusedscan/internal/scan"
+)
+
+// tinyConfig runs every experiment at 1/256 of paper scale with one rep —
+// fast enough for CI, big enough for the memory hierarchy to matter.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 1.0 / 256
+	cfg.Reps = 1
+	return cfg
+}
+
+func TestFig1Shapes(t *testing.T) {
+	r := Fig1(tinyConfig())
+	if len(r.RuntimeMs) != len(r.Sels) {
+		t.Fatal("ragged result")
+	}
+	// Mispredictions rise toward 50%... the grid tops at 100%, where the
+	// branch becomes predictable again (the paper's key observation).
+	last := len(r.Sels) - 1 // 100%
+	peak := 0
+	for i := range r.Sels {
+		if r.Mispredicts[i] > r.Mispredicts[peak] {
+			peak = i
+		}
+	}
+	if peak == 0 || peak == last {
+		t.Errorf("misprediction peak at %v, want interior", r.Sels[peak])
+	}
+	if r.Mispredicts[last] > r.Mispredicts[peak]/10 {
+		t.Errorf("mispredictions at 100%% (%v) did not collapse from peak (%v)", r.Mispredicts[last], r.Mispredicts[peak])
+	}
+	// Runtime correlates: the peak runtime is not at either extreme.
+	rtPeak := 0
+	for i := range r.Sels {
+		if r.RuntimeMs[i] > r.RuntimeMs[rtPeak] {
+			rtPeak = i
+		}
+	}
+	if rtPeak == 0 || rtPeak == last {
+		t.Errorf("runtime peak at %v, want interior", r.Sels[rtPeak])
+	}
+	// Useless prefetches vanish at the extremes.
+	if r.Useless[0] > r.Useless[peak] || r.Useless[last] > 0.2*maxOf(r.Useless) {
+		t.Errorf("useless prefetch shape wrong: %v", r.Useless)
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestFig2Shapes(t *testing.T) {
+	r := Fig2(tinyConfig())
+	// Stride 1 cannot reach the 12 GB/s ceiling; larger strides must.
+	if r.GBs[0] > 7 {
+		t.Errorf("stride-1 bandwidth %v GB/s — the naive scan should be CPU-bound", r.GBs[0])
+	}
+	ceiling := maxOf(r.GBs)
+	if ceiling < 11.5 || ceiling > 12.5 {
+		t.Errorf("bandwidth ceiling %v, want ~12 GB/s", ceiling)
+	}
+	// Once memory-bound, processed values drop with stride.
+	n := len(r.Strides)
+	if !(r.ValuesPerU[n-1] < r.ValuesPerU[2]) {
+		t.Errorf("values/us not dropping: %v", r.ValuesPerU)
+	}
+	// GB/s is non-decreasing.
+	for i := 1; i < n; i++ {
+		if r.GBs[i] < r.GBs[i-1]-0.01 {
+			t.Errorf("GB/s not monotone: %v", r.GBs)
+		}
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	cfg := tinyConfig()
+	r := Fig4(cfg)
+	if r.Cells == 0 {
+		t.Fatal("no measured cells")
+	}
+	// The fused scan wins every measured configuration, and most by >= 2x.
+	for i := range r.Sizes {
+		for j := range r.Sels {
+			if s := r.Speedup[i][j]; s != 0 && s < 1.0 {
+				t.Errorf("size %d sel %v: speedup %v < 1", r.Sizes[i], r.Sels[j], s)
+			}
+		}
+	}
+	if float64(r.AtLeast2x) < 0.6*float64(r.Cells) {
+		t.Errorf("only %d of %d cells reach 2x", r.AtLeast2x, r.Cells)
+	}
+	// Best case approaches the paper's 10x.
+	best := 0.0
+	for i := range r.Sizes {
+		for j := range r.Sels {
+			if r.Speedup[i][j] > best {
+				best = r.Speedup[i][j]
+			}
+		}
+	}
+	if best < 6 {
+		t.Errorf("best speedup %v, expected high single digits", best)
+	}
+}
+
+func TestFig56Shapes(t *testing.T) {
+	cfg := tinyConfig()
+	r := Fig56(cfg)
+	n := len(r.Sels)
+	for _, im := range r.Impls {
+		if len(r.RuntimeMs[im]) != n || len(r.Mispredicts[im]) != n {
+			t.Fatalf("%v: ragged series", im)
+		}
+	}
+	for i := range r.Sels {
+		f512 := r.RuntimeMs[scan.ImplAVX512Fused512][i]
+		f256 := r.RuntimeMs[scan.ImplAVX512Fused256][i]
+		f128 := r.RuntimeMs[scan.ImplAVX512Fused128][i]
+		sisd := r.RuntimeMs[scan.ImplSISD][i]
+		autov := r.RuntimeMs[scan.ImplAutoVec][i]
+		// (a) AVX-512 fused beats both SISD variants everywhere (allow
+		// float slack for ties at the memory bound).
+		if f512 > sisd*1.01 || f512 > autov*1.01 {
+			t.Errorf("sel %v: fused512 %.4f vs sisd %.4f autovec %.4f", r.Sels[i], f512, sisd, autov)
+		}
+		// (b) width ordering: wider is never slower.
+		if f512 > f256*1.01 || f256 > f128*1.01 {
+			t.Errorf("sel %v: width ordering broken: %.4f %.4f %.4f", r.Sels[i], f128, f256, f512)
+		}
+		// (c) AVX-512 beats the AVX2 backport at the same width.
+		if r.RuntimeMs[scan.ImplAVX512Fused128][i] > r.RuntimeMs[scan.ImplAVX2Fused128][i]*1.01 {
+			t.Errorf("sel %v: AVX-512(128) slower than AVX2(128)", r.Sels[i])
+		}
+	}
+	// Figure 5's width-gap observation: at mid selectivity the 128->256
+	// gap exceeds the 256->512 gap.
+	mid := 6 // 10%
+	g1 := r.RuntimeMs[scan.ImplAVX512Fused128][mid] - r.RuntimeMs[scan.ImplAVX512Fused256][mid]
+	g2 := r.RuntimeMs[scan.ImplAVX512Fused256][mid] - r.RuntimeMs[scan.ImplAVX512Fused512][mid]
+	if g1 <= g2 {
+		t.Errorf("width gaps: 128->256 = %v, 256->512 = %v; paper expects the former larger", g1, g2)
+	}
+	// Figure 6: at 50% the fused scan mispredicts about an order of
+	// magnitude less than SISD.
+	i50 := 7
+	if r.Mispredicts[scan.ImplAVX512Fused512][i50]*5 > r.Mispredicts[scan.ImplSISD][i50] {
+		t.Errorf("mispredicts at 50%%: fused %v vs SISD %v",
+			r.Mispredicts[scan.ImplAVX512Fused512][i50], r.Mispredicts[scan.ImplSISD][i50])
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	r := Fig7(tinyConfig())
+	// Auto-vec cost grows roughly linearly with predicate count; the
+	// fused scan grows much more slowly, so the benefit widens.
+	av := r.RuntimeMs[scan.ImplAutoVec]
+	fu := r.RuntimeMs[scan.ImplAVX512Fused512]
+	if !(av[len(av)-1] > av[0]*1.8) {
+		t.Errorf("auto-vec not growing with predicates: %v", av)
+	}
+	firstGap := av[0] / fu[0]
+	lastGap := av[len(av)-1] / fu[len(fu)-1]
+	if lastGap <= firstGap {
+		t.Errorf("fused benefit does not grow with predicates: %v -> %v", firstGap, lastGap)
+	}
+	for i := range r.Ks {
+		if fu[i] > av[i] {
+			t.Errorf("k=%d: fused %v slower than auto-vec %v", r.Ks[i], fu[i], av[i])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := tinyConfig()
+	a1 := AblationSurcharge(cfg)
+	// Removing the surcharge must not slow anything down, must leave
+	// 128/256-bit compute untouched, and must shrink 512-bit compute.
+	for i := range a1.Widths {
+		if a1.WithoutMs[i] > a1.WithMs[i]*1.001 {
+			t.Errorf("width %d: removing surcharge slowed the scan", a1.Widths[i])
+		}
+	}
+	if a1.WithCyc[0] != a1.WithoutCyc[0] || a1.WithCyc[1] != a1.WithoutCyc[1] {
+		t.Error("surcharge leaked into 128/256-bit compute")
+	}
+	if a1.WithoutCyc[2] >= a1.WithCyc[2] {
+		t.Errorf("512-bit compute did not shrink: %v vs %v", a1.WithoutCyc[2], a1.WithCyc[2])
+	}
+
+	a2 := AblationPenalty(cfg)
+	// SISD runtime rises monotonically with the penalty; fused barely.
+	for i := 1; i < len(a2.Penalties); i++ {
+		if a2.SISDMs[i] < a2.SISDMs[i-1] {
+			t.Errorf("SISD not monotone in penalty: %v", a2.SISDMs)
+		}
+	}
+	sisdGrowth := a2.SISDMs[len(a2.SISDMs)-1] / a2.SISDMs[0]
+	fusedGrowth := a2.FusedMs[len(a2.FusedMs)-1] / a2.FusedMs[0]
+	if sisdGrowth < 2 || fusedGrowth > 1.5 {
+		t.Errorf("penalty sensitivity: sisd x%v, fused x%v", sisdGrowth, fusedGrowth)
+	}
+
+	a3 := AblationDictionary(cfg)
+	if a3.DictBytes*3 >= a3.PlainBytes {
+		t.Errorf("dictionary scan bytes %d vs plain %d: expected > 3x reduction", a3.DictBytes, a3.PlainBytes)
+	}
+	if a3.DictMs > a3.PlainMs {
+		t.Errorf("dictionary scan slower (%v ms) than plain fused (%v ms)", a3.DictMs, a3.PlainMs)
+	}
+}
+
+func TestPrintingProducesTables(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 1.0 / 1024
+	var buf bytes.Buffer
+	cfg.Out = &buf
+	Fig2(cfg)
+	Fig5(cfg)
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "GB/s", "Figure 5", "AVX-512 Fused (512)", "SISD (no vec)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q", want)
+		}
+	}
+}
+
+func TestConfigRows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.5
+	if got := cfg.rows(1000); got != 500 {
+		t.Errorf("rows = %d", got)
+	}
+	cfg.Scale = 0
+	if got := cfg.rows(1000); got != 1000 {
+		t.Errorf("zero scale: rows = %d", got)
+	}
+	cfg.Scale = 1e-9
+	if got := cfg.rows(1000); got != 64 {
+		t.Errorf("floor: rows = %d", got)
+	}
+}
+
+func TestAblationMaterialization(t *testing.T) {
+	cfg := tinyConfig()
+	a4 := AblationMaterialization(cfg)
+	for i, sel := range a4.Sels {
+		if a4.BlockMs[i] < a4.FusedMs[i] {
+			t.Errorf("sel %v: block scan (%v ms) faster than fused (%v ms)", sel, a4.BlockMs[i], a4.FusedMs[i])
+		}
+		// At low selectivity the fused scan skips most column-B lines while
+		// the block scan reads every column in full; at high selectivity
+		// both read everything (and at this table size the bitmap itself is
+		// cache-resident), so only >= holds.
+		if sel <= 0.01 && a4.BlockBytes[i] <= a4.FusedBytes[i] {
+			t.Errorf("sel %v: block scan moved %d bytes, fused %d — full-column traffic missing", sel, a4.BlockBytes[i], a4.FusedBytes[i])
+		}
+		if a4.BlockBytes[i] < a4.FusedBytes[i] {
+			t.Errorf("sel %v: block scan moved fewer bytes (%d) than fused (%d)", sel, a4.BlockBytes[i], a4.FusedBytes[i])
+		}
+	}
+}
+
+func TestExtensionParallelScaling(t *testing.T) {
+	cfg := tinyConfig()
+	e1 := ExtensionParallel(cfg)
+	last := len(e1.Cores) - 1
+	// Compute-bound SISD keeps scaling well past the bandwidth ceiling.
+	if e1.SISDSpeedup[last] < 10 {
+		t.Errorf("SISD 16-core speedup %.2fx, want near-linear", e1.SISDSpeedup[last])
+	}
+	// The memory-bound fused scan saturates at the socket ceiling.
+	if e1.FusedSpeedup[last] > e1.SocketLimit*1.1 {
+		t.Errorf("fused speedup %.2fx exceeds the %.2fx socket ceiling", e1.FusedSpeedup[last], e1.SocketLimit)
+	}
+	if e1.FusedSpeedup[last] < e1.SocketLimit*0.75 {
+		t.Errorf("fused speedup %.2fx far below the %.2fx ceiling", e1.FusedSpeedup[last], e1.SocketLimit)
+	}
+	// Speedups are monotone non-decreasing in cores.
+	for i := 1; i < len(e1.Cores); i++ {
+		if e1.SISDSpeedup[i] < e1.SISDSpeedup[i-1]-0.05 || e1.FusedSpeedup[i] < e1.FusedSpeedup[i-1]-0.05 {
+			t.Errorf("speedup not monotone: sisd %v fused %v", e1.SISDSpeedup, e1.FusedSpeedup)
+		}
+	}
+}

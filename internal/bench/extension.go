@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"fusedscan/internal/mach"
+	"fusedscan/internal/parallel"
+	"fusedscan/internal/scan"
+	"fusedscan/internal/stats"
+	"fusedscan/internal/workload"
+)
+
+// ExtensionParallelResult holds the multi-core scaling numbers of the
+// morsel-driven extension: speedup over one core for the compute-bound
+// scalar scan and the memory-bound fused scan.
+type ExtensionParallelResult struct {
+	Rows         int
+	Cores        []int
+	SISDMs       []float64
+	FusedMs      []float64
+	SISDSpeedup  []float64
+	FusedSpeedup []float64
+	SocketLimit  float64 // socket BW / per-core BW: the memory-bound ceiling
+}
+
+// ExtensionParallel sweeps core counts at 50% selectivity. The scalar scan
+// (misprediction-bound) should scale ~linearly; the fused scan should
+// saturate at the socket-bandwidth ceiling.
+func ExtensionParallel(cfg Config) ExtensionParallelResult {
+	rows := cfg.rows(fig5PaperRows)
+	res := ExtensionParallelResult{
+		Rows:        rows,
+		Cores:       []int{1, 2, 4, 8, 16},
+		SocketLimit: cfg.Params.SocketBandwidthGBs / cfg.Params.StreamBandwidthGBs,
+	}
+	morsel := rows / 32
+	if morsel < 1000 {
+		morsel = 1000
+	}
+	for _, cores := range res.Cores {
+		c := cores
+		m := medianOver(cfg.reps(), cfg.Seed, func(seed int64) []float64 {
+			space := mach.NewAddrSpace()
+			ch := workload.Uniform(space, rows, 2, 0.5, seed)
+			rs, err := parallel.Scan(cfg.Params, ch, scan.ImplSISD.Build, c, morsel, false)
+			if err != nil {
+				panic(err)
+			}
+			rf, err := parallel.Scan(cfg.Params, ch, scan.ImplAVX512Fused512.Build, c, morsel, false)
+			if err != nil {
+				panic(err)
+			}
+			return []float64{rs.RuntimeMs, rf.RuntimeMs}
+		})
+		res.SISDMs = append(res.SISDMs, m[0])
+		res.FusedMs = append(res.FusedMs, m[1])
+	}
+	for i := range res.Cores {
+		res.SISDSpeedup = append(res.SISDSpeedup, res.SISDMs[0]/res.SISDMs[i])
+		res.FusedSpeedup = append(res.FusedSpeedup, res.FusedMs[0]/res.FusedMs[i])
+	}
+
+	w := cfg.out()
+	header(w, "Extension E1", fmt.Sprintf("morsel-driven multi-core scaling (%s rows, 50%% selectivity; socket ceiling %.1f cores)",
+		stats.FormatRows(rows), res.SocketLimit))
+	fmt.Fprintf(w, "%-8s %14s %10s %14s %10s\n", "cores", "SISD(ms)", "speedup", "Fused512(ms)", "speedup")
+	for i, c := range res.Cores {
+		fmt.Fprintf(w, "%-8d %14.3f %9.2fx %14.3f %9.2fx\n",
+			c, res.SISDMs[i], res.SISDSpeedup[i], res.FusedMs[i], res.FusedSpeedup[i])
+	}
+	return res
+}

@@ -1,0 +1,343 @@
+package bench
+
+import (
+	"fmt"
+
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+	"fusedscan/internal/stats"
+	"fusedscan/internal/workload"
+)
+
+// Paper workload constants.
+var (
+	fig1PaperRows = 100_000_000
+	fig1Sels      = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}
+
+	fig2PaperRows = 100_000_000
+	fig2Strides   = []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+	fig4PaperSizes = []int{1000, 10_000, 100_000, 1_000_000, 4_000_000, 16_000_000, 64_000_000, 132_000_000}
+	fig4Sels       = []float64{0.5, 0.1, 0.01, 0.001, 1e-6}
+
+	fig5PaperRows = 32_000_000
+	fig5Sels      = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0}
+
+	fig7PaperRows = 32_000_000
+	fig7Ks        = []int{2, 3, 4, 5}
+	fig7Impls     = []scan.Impl{scan.ImplAutoVec, scan.ImplAVX2Fused128, scan.ImplAVX512Fused512}
+)
+
+// Fig1Result holds, per first-predicate selectivity, the medians of the
+// three quantities Figure 1 plots for the naive SISD scan: runtime,
+// useless hardware prefetches, and branch mispredictions.
+type Fig1Result struct {
+	Rows        int
+	Sels        []float64
+	RuntimeMs   []float64
+	Useless     []float64
+	Mispredicts []float64
+}
+
+// Fig1 reproduces Figure 1: a 2-predicate SISD scan over 100M rows
+// (scaled), sweeping the per-predicate selectivity (the figure's x-axis is
+// "percent of qualifying rows per predicate" — both columns are swept).
+func Fig1(cfg Config) Fig1Result {
+	rows := cfg.rows(fig1PaperRows)
+	res := Fig1Result{Rows: rows, Sels: fig1Sels}
+	for _, sel := range fig1Sels {
+		m := medianOver(cfg.reps(), cfg.Seed+int64(sel*1e9), func(seed int64) []float64 {
+			space := mach.NewAddrSpace()
+			ch := workload.Uniform(space, rows, 2, sel, seed)
+			k, err := scan.NewSISD(ch)
+			if err != nil {
+				panic(err)
+			}
+			r := runKernel(cfg.Params, k)
+			return []float64{r.RuntimeMs, float64(r.UselessPrefetch), float64(r.Mispredicts)}
+		})
+		res.RuntimeMs = append(res.RuntimeMs, m[0])
+		res.Useless = append(res.Useless, m[1])
+		res.Mispredicts = append(res.Mispredicts, m[2])
+	}
+	res.Print(cfg)
+	return res
+}
+
+// Print renders the Figure 1 table.
+func (r Fig1Result) Print(cfg Config) {
+	w := cfg.out()
+	header(w, "Figure 1", fmt.Sprintf("SISD scan, %s rows: runtime vs. useless prefetches vs. branch mispredictions", stats.FormatRows(r.Rows)))
+	fmt.Fprintf(w, "%-12s %12s %18s %18s\n", "selectivity", "runtime(ms)", "useless_hwpf", "PAPI_BR_MSP")
+	for i, sel := range r.Sels {
+		fmt.Fprintf(w, "%-12s %12.3f %18s %18s\n",
+			stats.FormatSelectivity(sel), r.RuntimeMs[i],
+			stats.FormatCount(r.Useless[i]), stats.FormatCount(r.Mispredicts[i]))
+	}
+}
+
+// Fig2Result holds the achieved bandwidth and processed-value throughput
+// per stride of the Figure 2 skip experiment.
+type Fig2Result struct {
+	Rows       int
+	Strides    []int
+	GBs        []float64
+	ValuesPerU []float64 // values actually processed per microsecond
+}
+
+// Fig2 reproduces Figure 2: scan only every stride-th 4-byte value; cache
+// lines are still fully transferred, so achieved GB/s rises to the memory
+// ceiling while processed values/us falls.
+func Fig2(cfg Config) Fig2Result {
+	rows := cfg.rows(fig2PaperRows)
+	res := Fig2Result{Rows: rows, Strides: fig2Strides}
+	for _, stride := range fig2Strides {
+		st := stride
+		m := medianOver(cfg.reps(), cfg.Seed+int64(stride), func(seed int64) []float64 {
+			space := mach.NewAddrSpace()
+			ch := workload.Uniform(space, rows, 1, 0, seed) // needle absent
+			k, err := scan.NewStrided(ch[0], st)
+			if err != nil {
+				panic(err)
+			}
+			r := runKernel(cfg.Params, k)
+			us := r.RuntimeMs * 1000
+			return []float64{r.AchievedGBs, float64(k.Processed()) / us}
+		})
+		res.GBs = append(res.GBs, m[0])
+		res.ValuesPerU = append(res.ValuesPerU, m[1])
+	}
+	res.Print(cfg)
+	return res
+}
+
+// Print renders the Figure 2 table.
+func (r Fig2Result) Print(cfg Config) {
+	w := cfg.out()
+	header(w, "Figure 2", fmt.Sprintf("naive scan bandwidth, %s x 4-byte values (skipped = stride-1 values per 16-value line group)", stats.FormatRows(r.Rows)))
+	fmt.Fprintf(w, "%-8s %10s %12s %20s\n", "stride", "skipped", "GB/s", "values/us")
+	for i, s := range r.Strides {
+		fmt.Fprintf(w, "%-8d %10d %12.1f %20.0f\n", s, s-1, r.GBs[i], r.ValuesPerU[i])
+	}
+}
+
+// Fig4Result holds the speedup of the Fused Table Scan (AVX-512, 512-bit)
+// over the data-centric SISD scan, per table size and per-predicate
+// selectivity.
+type Fig4Result struct {
+	Sizes            []int
+	Sels             []float64
+	Speedup          [][]float64 // [size][sel]; 0 when the cell is omitted
+	AtLeast2x, Cells int
+}
+
+// Fig4 reproduces Figure 4: speedup across 8 table sizes x 5 selectivities
+// (cells where the expected match count rounds to zero are omitted, like
+// the paper's missing bars).
+func Fig4(cfg Config) Fig4Result {
+	res := Fig4Result{Sels: fig4Sels}
+	for _, paperSize := range fig4PaperSizes {
+		res.Sizes = append(res.Sizes, cfg.rows(paperSize))
+	}
+	for _, rows := range res.Sizes {
+		row := make([]float64, len(fig4Sels))
+		for j, sel := range fig4Sels {
+			if workload.Exact(rows, sel) == 0 {
+				continue // no qualifying rows: omitted bar
+			}
+			n := rows
+			m := medianOver(cfg.reps(), cfg.Seed+int64(rows)+int64(sel*1e9), func(seed int64) []float64 {
+				space := mach.NewAddrSpace()
+				ch := workload.Uniform(space, n, 2, sel, seed)
+				sisd, err := scan.ImplSISD.Build(ch)
+				if err != nil {
+					panic(err)
+				}
+				fused, err := scan.ImplAVX512Fused512.Build(ch)
+				if err != nil {
+					panic(err)
+				}
+				rs := runKernel(cfg.Params, sisd)
+				rf := runKernel(cfg.Params, fused)
+				return []float64{rs.RuntimeMs / rf.RuntimeMs}
+			})
+			row[j] = m[0]
+			res.Cells++
+			if m[0] >= 2 {
+				res.AtLeast2x++
+			}
+		}
+		res.Speedup = append(res.Speedup, row)
+	}
+	res.Print(cfg)
+	return res
+}
+
+// Print renders the Figure 4 table.
+func (r Fig4Result) Print(cfg Config) {
+	w := cfg.out()
+	header(w, "Figure 4", "Fused Table Scan (AVX-512, 512-bit) speedup over data-centric SISD")
+	fmt.Fprintf(w, "%-10s", "rows\\sel")
+	for _, sel := range r.Sels {
+		fmt.Fprintf(w, " %10s", stats.FormatSelectivity(sel))
+	}
+	fmt.Fprintln(w)
+	for i, size := range r.Sizes {
+		fmt.Fprintf(w, "%-10s", stats.FormatRows(size))
+		for j := range r.Sels {
+			if r.Speedup[i][j] == 0 {
+				fmt.Fprintf(w, " %10s", "-")
+			} else {
+				fmt.Fprintf(w, " %9.2fx", r.Speedup[i][j])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, ">= 2x in %d of %d measured configurations (paper: 32 of 40)\n", r.AtLeast2x, r.Cells)
+}
+
+// Fig56Result holds, per matching-rows fraction and implementation, the
+// median runtime (Figure 5) and branch mispredictions (Figure 6) of all
+// six implementations at 32M rows (scaled).
+type Fig56Result struct {
+	Rows        int
+	Sels        []float64
+	Impls       []scan.Impl
+	RuntimeMs   map[scan.Impl][]float64
+	Mispredicts map[scan.Impl][]float64
+}
+
+// Fig56 reproduces Figures 5 and 6 in one sweep (they share the grid).
+func Fig56(cfg Config) Fig56Result {
+	rows := cfg.rows(fig5PaperRows)
+	res := Fig56Result{
+		Rows:        rows,
+		Sels:        fig5Sels,
+		Impls:       scan.AllImpls(),
+		RuntimeMs:   make(map[scan.Impl][]float64),
+		Mispredicts: make(map[scan.Impl][]float64),
+	}
+	for _, sel := range fig5Sels {
+		n := rows
+		s := sel
+		m := medianOver(cfg.reps(), cfg.Seed+int64(sel*1e9), func(seed int64) []float64 {
+			space := mach.NewAddrSpace()
+			ch := workload.Uniform(space, n, 2, s, seed)
+			var vals []float64
+			for _, im := range res.Impls {
+				k, err := im.Build(ch)
+				if err != nil {
+					panic(err)
+				}
+				r := runKernel(cfg.Params, k)
+				vals = append(vals, r.RuntimeMs, float64(r.Mispredicts))
+			}
+			return vals
+		})
+		for i, im := range res.Impls {
+			res.RuntimeMs[im] = append(res.RuntimeMs[im], m[2*i])
+			res.Mispredicts[im] = append(res.Mispredicts[im], m[2*i+1])
+		}
+	}
+	return res
+}
+
+// Fig5 runs the sweep and prints the runtime table.
+func Fig5(cfg Config) Fig56Result {
+	res := Fig56(cfg)
+	res.PrintRuntime(cfg)
+	return res
+}
+
+// Fig6 runs the sweep and prints the misprediction table.
+func Fig6(cfg Config) Fig56Result {
+	res := Fig56(cfg)
+	res.PrintMispredicts(cfg)
+	return res
+}
+
+// PrintRuntime renders the Figure 5 table.
+func (r Fig56Result) PrintRuntime(cfg Config) {
+	w := cfg.out()
+	header(w, "Figure 5", fmt.Sprintf("median runtime (ms), %s rows, 2 predicates", stats.FormatRows(r.Rows)))
+	r.printGrid(cfg, r.RuntimeMs, func(v float64) string { return fmt.Sprintf("%.3f", v) })
+}
+
+// PrintMispredicts renders the Figure 6 table.
+func (r Fig56Result) PrintMispredicts(cfg Config) {
+	w := cfg.out()
+	header(w, "Figure 6", fmt.Sprintf("median branch mispredictions, %s rows, 2 predicates", stats.FormatRows(r.Rows)))
+	r.printGrid(cfg, r.Mispredicts, stats.FormatCount)
+}
+
+func (r Fig56Result) printGrid(cfg Config, grid map[scan.Impl][]float64, fmtCell func(float64) string) {
+	w := cfg.out()
+	fmt.Fprintf(w, "%-22s", "impl\\matching")
+	for _, sel := range r.Sels {
+		fmt.Fprintf(w, " %10s", stats.FormatSelectivity(sel))
+	}
+	fmt.Fprintln(w)
+	for _, im := range r.Impls {
+		fmt.Fprintf(w, "%-22s", im)
+		for i := range r.Sels {
+			fmt.Fprintf(w, " %10s", fmtCell(grid[im][i]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig7Result holds median runtimes per predicate count and implementation.
+type Fig7Result struct {
+	Rows      int
+	Ks        []int
+	Impls     []scan.Impl
+	RuntimeMs map[scan.Impl][]float64
+}
+
+// Fig7 reproduces Figure 7: 2-5 predicates over 32M rows (scaled); the
+// first predicate matches 1% of rows, each following predicate 50% of the
+// remaining rows.
+func Fig7(cfg Config) Fig7Result {
+	rows := cfg.rows(fig7PaperRows)
+	res := Fig7Result{Rows: rows, Ks: fig7Ks, Impls: fig7Impls, RuntimeMs: make(map[scan.Impl][]float64)}
+	for _, k := range fig7Ks {
+		n := rows
+		kk := k
+		m := medianOver(cfg.reps(), cfg.Seed+int64(k), func(seed int64) []float64 {
+			space := mach.NewAddrSpace()
+			ch := workload.Conditional(space, n, kk, 0.01, 0.5, seed)
+			var vals []float64
+			for _, im := range res.Impls {
+				kern, err := im.Build(ch)
+				if err != nil {
+					panic(err)
+				}
+				vals = append(vals, runKernel(cfg.Params, kern).RuntimeMs)
+			}
+			return vals
+		})
+		for i, im := range res.Impls {
+			res.RuntimeMs[im] = append(res.RuntimeMs[im], m[i])
+		}
+	}
+	res.Print(cfg)
+	return res
+}
+
+// Print renders the Figure 7 table.
+func (r Fig7Result) Print(cfg Config) {
+	w := cfg.out()
+	header(w, "Figure 7", fmt.Sprintf("median runtime (ms) vs. number of predicates, %s rows (first 1%%, then 50%% of remaining)", stats.FormatRows(r.Rows)))
+	fmt.Fprintf(w, "%-22s", "impl\\predicates")
+	for _, k := range r.Ks {
+		fmt.Fprintf(w, " %10d", k)
+	}
+	fmt.Fprintln(w)
+	for _, im := range r.Impls {
+		fmt.Fprintf(w, "%-22s", im)
+		for i := range r.Ks {
+			fmt.Fprintf(w, " %10.3f", r.RuntimeMs[im][i])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,209 @@
+// Package column implements the columnar storage substrate the paper
+// assumes (Section II): tables stored column-major, values of fixed size,
+// contiguous in memory, optionally horizontally partitioned into chunks and
+// optionally dictionary-encoded. Column bytes are stored little-endian in a
+// flat slice so the emulated vector loads (internal/vec) and the gather
+// instruction can operate on raw memory exactly like the paper's kernels,
+// and every column carries a simulated base address for the machine model.
+package column
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+)
+
+// Column is one fixed-width, contiguous, column-major attribute,
+// optionally carrying a validity bitmap (see nulls.go).
+type Column struct {
+	name  string
+	typ   expr.Type
+	n     int
+	data  []byte // n * typ.Size() bytes, little-endian lanes
+	base  uint64 // simulated base address
+	space *mach.AddrSpace
+
+	nulls    []uint64 // validity bitmap, 1 = valid; nil = no NULLs
+	nullOff  int      // row offset into nulls (for views)
+	nullBase uint64   // simulated base address of the bitmap
+}
+
+// New allocates a zeroed column with n rows, registering its address range
+// in the given address space.
+func New(space *mach.AddrSpace, name string, t expr.Type, n int) *Column {
+	if !t.Valid() {
+		panic(fmt.Sprintf("column: invalid type %d", uint8(t)))
+	}
+	if n < 0 {
+		panic("column: negative row count")
+	}
+	size := n * t.Size()
+	return &Column{
+		name:  name,
+		typ:   t,
+		n:     n,
+		data:  make([]byte, size),
+		base:  space.Alloc(size),
+		space: space,
+	}
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Type returns the column's value type.
+func (c *Column) Type() expr.Type { return c.typ }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return c.n }
+
+// Data returns the raw little-endian value bytes.
+func (c *Column) Data() []byte { return c.data }
+
+// Base returns the simulated base address of the column.
+func (c *Column) Base() uint64 { return c.base }
+
+// Addr returns the simulated address of row i.
+func (c *Column) Addr(i int) uint64 {
+	return c.base + uint64(i*c.typ.Size())
+}
+
+// SetRaw stores the low bytes of the raw bit pattern at row i.
+func (c *Column) SetRaw(i int, bits uint64) {
+	s := c.typ.Size()
+	off := i * s
+	switch s {
+	case 1:
+		c.data[off] = byte(bits)
+	case 2:
+		binary.LittleEndian.PutUint16(c.data[off:], uint16(bits))
+	case 4:
+		binary.LittleEndian.PutUint32(c.data[off:], uint32(bits))
+	default:
+		binary.LittleEndian.PutUint64(c.data[off:], bits)
+	}
+}
+
+// Raw returns the zero-extended raw bit pattern at row i.
+func (c *Column) Raw(i int) uint64 {
+	s := c.typ.Size()
+	off := i * s
+	switch s {
+	case 1:
+		return uint64(c.data[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(c.data[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(c.data[off:]))
+	default:
+		return binary.LittleEndian.Uint64(c.data[off:])
+	}
+}
+
+// Set stores a typed value at row i. The value must match the column type.
+func (c *Column) Set(i int, v expr.Value) {
+	if v.Type != c.typ {
+		panic(fmt.Sprintf("column %s: storing %s into %s column", c.name, v.Type, c.typ))
+	}
+	c.SetRaw(i, storeBits(v))
+}
+
+// storeBits converts a Value's canonical Bits into the column's stored
+// representation (floats narrow to their width; integers truncate).
+func storeBits(v expr.Value) uint64 {
+	switch v.Type {
+	case expr.Float32:
+		return uint64(math.Float32bits(float32(v.Float())))
+	case expr.Float64:
+		return v.Bits
+	default:
+		return v.Bits
+	}
+}
+
+// StoredBits converts a typed value into the raw pattern as it would sit in
+// a column lane of that type (what the search-value broadcast register must
+// hold for a bitwise-faithful comparison).
+func StoredBits(v expr.Value) uint64 { return storeBits(v) }
+
+// Value returns the typed value at row i.
+func (c *Column) Value(i int) expr.Value {
+	raw := c.Raw(i)
+	switch {
+	case c.typ == expr.Float32:
+		return expr.NewFloat(expr.Float32, float64(math.Float32frombits(uint32(raw))))
+	case c.typ == expr.Float64:
+		return expr.NewFloat(expr.Float64, math.Float64frombits(raw))
+	case c.typ.Signed():
+		return expr.NewInt(c.typ, signExtend(raw, c.typ.Size()))
+	default:
+		return expr.NewUint(c.typ, raw)
+	}
+}
+
+func signExtend(raw uint64, size int) int64 {
+	shift := uint(64 - 8*size)
+	return int64(raw<<shift) >> shift
+}
+
+// Slice returns a zero-copy view of rows [begin, end): the view shares the
+// parent's bytes and keeps the parent's address arithmetic, so scans over
+// the view touch exactly the parent's memory for those rows. This is how
+// chunk-at-a-time (morsel) execution reuses the unchanged kernels.
+func (c *Column) Slice(begin, end int) *Column {
+	if begin < 0 || end > c.n || begin > end {
+		panic(fmt.Sprintf("column %s: slice [%d, %d) out of range [0, %d)", c.name, begin, end, c.n))
+	}
+	s := c.typ.Size()
+	return &Column{
+		name:     c.name,
+		typ:      c.typ,
+		n:        end - begin,
+		data:     c.data[begin*s : end*s],
+		base:     c.base + uint64(begin*s),
+		space:    c.space,
+		nulls:    c.nulls,
+		nullOff:  c.nullOff + begin,
+		nullBase: c.nullBase,
+	}
+}
+
+// FromInt32s builds an int32 column from a slice (convenience for tests,
+// examples and generators).
+func FromInt32s(space *mach.AddrSpace, name string, vals []int32) *Column {
+	c := New(space, name, expr.Int32, len(vals))
+	for i, v := range vals {
+		c.SetRaw(i, uint64(uint32(v)))
+	}
+	return c
+}
+
+// FromInt64s builds an int64 column from a slice.
+func FromInt64s(space *mach.AddrSpace, name string, vals []int64) *Column {
+	c := New(space, name, expr.Int64, len(vals))
+	for i, v := range vals {
+		c.SetRaw(i, uint64(v))
+	}
+	return c
+}
+
+// FromFloat64s builds a float64 column from a slice.
+func FromFloat64s(space *mach.AddrSpace, name string, vals []float64) *Column {
+	c := New(space, name, expr.Float64, len(vals))
+	for i, v := range vals {
+		c.SetRaw(i, math.Float64bits(v))
+	}
+	return c
+}
+
+// FromFloat32s builds a float32 column from a slice.
+func FromFloat32s(space *mach.AddrSpace, name string, vals []float32) *Column {
+	c := New(space, name, expr.Float32, len(vals))
+	for i, v := range vals {
+		c.SetRaw(i, uint64(math.Float32bits(v)))
+	}
+	return c
+}

@@ -1,0 +1,183 @@
+package column
+
+import (
+	"fmt"
+	"sort"
+
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+)
+
+// Table is a named collection of equal-length columns. Tables may be
+// horizontally partitioned into chunks (the paper's footnote 1); chunking
+// is represented by a row range so that scans can run chunk-at-a-time.
+type Table struct {
+	name   string
+	n      int
+	cols   []*Column
+	byName map[string]int
+	space  *mach.AddrSpace
+}
+
+// NewTable creates an empty table bound to an address space.
+func NewTable(space *mach.AddrSpace, name string) *Table {
+	return &Table{name: name, byName: make(map[string]int), space: space, n: -1}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Rows returns the number of rows (0 for a table with no columns yet).
+func (t *Table) Rows() int {
+	if t.n < 0 {
+		return 0
+	}
+	return t.n
+}
+
+// Space returns the address space columns of this table are allocated in.
+func (t *Table) Space() *mach.AddrSpace { return t.space }
+
+// AddColumn attaches a column. All columns must have the same length.
+func (t *Table) AddColumn(c *Column) error {
+	if _, dup := t.byName[c.Name()]; dup {
+		return fmt.Errorf("table %s: duplicate column %q", t.name, c.Name())
+	}
+	if t.n >= 0 && c.Len() != t.n {
+		return fmt.Errorf("table %s: column %q has %d rows, want %d", t.name, c.Name(), c.Len(), t.n)
+	}
+	t.n = c.Len()
+	t.byName[c.Name()] = len(t.cols)
+	t.cols = append(t.cols, c)
+	return nil
+}
+
+// MustAddColumn is AddColumn that panics on error (for generators/tests).
+func (t *Table) MustAddColumn(c *Column) {
+	if err := t.AddColumn(c); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns the column with the given name, or an error.
+func (t *Table) Column(name string) (*Column, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("table %s: no column %q", t.name, name)
+	}
+	return t.cols[i], nil
+}
+
+// Columns returns all columns in attachment order.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// ColumnNames returns the column names in attachment order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// Chunk is a horizontal partition of a table: a [Begin, End) row range.
+type Chunk struct {
+	Begin, End int
+}
+
+// Rows returns the number of rows in the chunk.
+func (ch Chunk) Rows() int { return ch.End - ch.Begin }
+
+// Chunks partitions the table into chunks of at most chunkRows rows.
+func (t *Table) Chunks(chunkRows int) []Chunk {
+	if chunkRows <= 0 {
+		panic("column: chunkRows must be positive")
+	}
+	n := t.Rows()
+	var chunks []Chunk
+	for b := 0; b < n; b += chunkRows {
+		e := b + chunkRows
+		if e > n {
+			e = n
+		}
+		chunks = append(chunks, Chunk{Begin: b, End: e})
+	}
+	return chunks
+}
+
+// Stats summarizes a column for the optimizer's selectivity estimation:
+// min/max and a sampled value histogram.
+type Stats struct {
+	Type expr.Type
+	Rows int
+	// NullFraction is the sampled fraction of NULL rows.
+	NullFraction float64
+	Min, Max     expr.Value
+	// SampleSorted holds up to sampleCap sampled values (canonical Bits),
+	// sorted by the column's comparison order, for selectivity estimation.
+	SampleSorted []expr.Value
+}
+
+const sampleCap = 1024
+
+// ComputeStats scans the column once (no machine-model accounting; this is
+// the planner's offline statistics pass) and returns its statistics.
+func ComputeStats(c *Column) Stats {
+	n := c.Len()
+	st := Stats{Type: c.Type(), Rows: n}
+	if n == 0 {
+		return st
+	}
+	st.Min = c.Value(0)
+	st.Max = c.Value(0)
+	step := n / sampleCap
+	if step == 0 {
+		step = 1
+	}
+	sampled, nulls := 0, 0
+	for i := 0; i < n; i += step {
+		sampled++
+		if c.Null(i) {
+			nulls++
+			continue
+		}
+		v := c.Value(i)
+		if v.Compare(expr.Lt, st.Min) {
+			st.Min = v
+		}
+		if v.Compare(expr.Gt, st.Max) {
+			st.Max = v
+		}
+		if len(st.SampleSorted) < sampleCap {
+			st.SampleSorted = append(st.SampleSorted, v)
+		}
+	}
+	sort.Slice(st.SampleSorted, func(i, j int) bool {
+		return st.SampleSorted[i].Compare(expr.Lt, st.SampleSorted[j])
+	})
+	if sampled > 0 {
+		st.NullFraction = float64(nulls) / float64(sampled)
+	}
+	return st
+}
+
+// EstimateSelectivity estimates the fraction of rows satisfying "col op v"
+// from the sample. It returns a value in [0, 1].
+func (st *Stats) EstimateSelectivity(op expr.CmpOp, v expr.Value) float64 {
+	if len(st.SampleSorted) == 0 {
+		return 1.0
+	}
+	match := 0
+	for _, s := range st.SampleSorted {
+		if s.Compare(op, v) {
+			match++
+		}
+	}
+	// Clamp away from exactly 0 so ordering decisions remain stable: an
+	// unseen value may still exist in unsampled rows.
+	sel := float64(match) / float64(len(st.SampleSorted))
+	if sel == 0 {
+		sel = 0.5 / float64(len(st.SampleSorted))
+	}
+	return sel
+}

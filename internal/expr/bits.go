@@ -1,0 +1,56 @@
+package expr
+
+import "math"
+
+// CompareBits evaluates "a op b" where a and b are raw stored-width bit
+// patterns of type t (little-endian lane contents, zero-extended to 64
+// bits). This is the comparison semantics of one vector lane and of the
+// scalar kernels' raw loads; signedness and floatness come from t.
+func CompareBits(t Type, op CmpOp, a, b uint64) bool {
+	var c int
+	switch {
+	case t == Float32:
+		x, y := float64(math.Float32frombits(uint32(a))), float64(math.Float32frombits(uint32(b)))
+		return compareFloat(op, x, y)
+	case t == Float64:
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		return compareFloat(op, x, y)
+	case t.Signed():
+		x, y := signExtendBits(a, t.Size()), signExtendBits(b, t.Size())
+		switch {
+		case x < y:
+			c = -1
+		case x > y:
+			c = 1
+		}
+	default:
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	}
+	return CmpResult(op, c)
+}
+
+// compareFloat applies IEEE-754 ordered/unordered comparison semantics:
+// every comparison with a NaN operand is false except !=, which is true.
+func compareFloat(op CmpOp, x, y float64) bool {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return op == Ne
+	}
+	var c int
+	switch {
+	case x < y:
+		c = -1
+	case x > y:
+		c = 1
+	}
+	return CmpResult(op, c)
+}
+
+func signExtendBits(raw uint64, size int) int64 {
+	shift := uint(64 - 8*size)
+	return int64(raw<<shift) >> shift
+}

@@ -1,0 +1,244 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeProperties(t *testing.T) {
+	cases := []struct {
+		typ    Type
+		size   int
+		signed bool
+		float  bool
+		str    string
+	}{
+		{Int8, 1, true, false, "int8"},
+		{Int16, 2, true, false, "int16"},
+		{Int32, 4, true, false, "int32"},
+		{Int64, 8, true, false, "int64"},
+		{Uint8, 1, false, false, "uint8"},
+		{Uint16, 2, false, false, "uint16"},
+		{Uint32, 4, false, false, "uint32"},
+		{Uint64, 8, false, false, "uint64"},
+		{Float32, 4, false, true, "float32"},
+		{Float64, 8, false, true, "float64"},
+	}
+	if len(cases) != NumTypes {
+		t.Fatalf("expected %d types", NumTypes)
+	}
+	for _, c := range cases {
+		if c.typ.Size() != c.size {
+			t.Errorf("%s size %d", c.str, c.typ.Size())
+		}
+		if c.typ.Signed() != c.signed {
+			t.Errorf("%s signedness", c.str)
+		}
+		if c.typ.Float() != c.float {
+			t.Errorf("%s floatness", c.str)
+		}
+		if c.typ.Integer() == c.float {
+			t.Errorf("%s integerness", c.str)
+		}
+		if c.typ.String() != c.str {
+			t.Errorf("%s String() = %s", c.str, c.typ.String())
+		}
+		parsed, err := ParseType(c.str)
+		if err != nil || parsed != c.typ {
+			t.Errorf("ParseType(%s) = %v, %v", c.str, parsed, err)
+		}
+	}
+	if _, err := ParseType("varchar"); err == nil {
+		t.Error("ParseType accepted varchar")
+	}
+	aliases := map[string]Type{"int": Int32, "bigint": Int64, "double": Float64, "real": Float32, "smallint": Int16, "tinyint": Int8}
+	for s, want := range aliases {
+		if got, err := ParseType(s); err != nil || got != want {
+			t.Errorf("ParseType(%s) = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestCmpOpParsingAndStrings(t *testing.T) {
+	for _, op := range AllCmpOps() {
+		parsed, err := ParseCmpOp(op.String())
+		if err != nil || parsed != op {
+			t.Errorf("round trip %s failed: %v %v", op, parsed, err)
+		}
+	}
+	if op, err := ParseCmpOp("!="); err != nil || op != Ne {
+		t.Error("!= not parsed")
+	}
+	if op, err := ParseCmpOp("=="); err != nil || op != Eq {
+		t.Error("== not parsed")
+	}
+	if _, err := ParseCmpOp("~"); err == nil {
+		t.Error("bogus operator parsed")
+	}
+}
+
+func TestCmpOpNegateFlip(t *testing.T) {
+	vals := []int64{-3, 0, 3}
+	for _, op := range AllCmpOps() {
+		for _, a := range vals {
+			for _, b := range vals {
+				va, vb := NewInt(Int32, a), NewInt(Int32, b)
+				if va.Compare(op, vb) == va.Compare(op.Negate(), vb) {
+					t.Errorf("negate law broken for %s (%d, %d)", op, a, b)
+				}
+				if va.Compare(op, vb) != vb.Compare(op.Flip(), va) {
+					t.Errorf("flip law broken for %s (%d, %d)", op, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestValueTruncationAndSignExtension(t *testing.T) {
+	v := NewInt(Int8, 300) // truncates to 44
+	if v.Int() != 44 {
+		t.Errorf("int8 300 -> %d", v.Int())
+	}
+	v = NewInt(Int8, -1)
+	if v.Int() != -1 {
+		t.Errorf("int8 -1 -> %d", v.Int())
+	}
+	u := NewUint(Uint8, 300)
+	if u.Uint() != 44 {
+		t.Errorf("uint8 300 -> %d", u.Uint())
+	}
+	f := NewFloat(Float32, 1.0000001)
+	if f.Float() != float64(float32(1.0000001)) {
+		t.Error("float32 not narrowed")
+	}
+}
+
+func TestValueCompareAcrossOps(t *testing.T) {
+	a := NewInt(Int32, 5)
+	b := NewInt(Int32, 7)
+	checks := []struct {
+		op   CmpOp
+		want bool
+	}{{Eq, false}, {Ne, true}, {Lt, true}, {Le, true}, {Gt, false}, {Ge, false}}
+	for _, c := range checks {
+		if a.Compare(c.op, b) != c.want {
+			t.Errorf("5 %s 7 = %v", c.op, !c.want)
+		}
+	}
+	if !a.Compare(Eq, NewInt(Int32, 5)) {
+		t.Error("5 == 5 failed")
+	}
+}
+
+func TestValueCompareUnsignedWrap(t *testing.T) {
+	big := NewUint(Uint32, 0xffffffff)
+	zero := NewUint(Uint32, 0)
+	if !big.Compare(Gt, zero) {
+		t.Error("uint32 max > 0 failed")
+	}
+	neg := NewInt(Int32, -1)
+	z := NewInt(Int32, 0)
+	if !neg.Compare(Lt, z) {
+		t.Error("int32 -1 < 0 failed")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(Int32, "-42")
+	if err != nil || v.Int() != -42 {
+		t.Errorf("ParseValue int32: %v %v", v, err)
+	}
+	v, err = ParseValue(Uint64, "18446744073709551615")
+	if err != nil || v.Uint() != math.MaxUint64 {
+		t.Errorf("ParseValue uint64 max: %v %v", v, err)
+	}
+	v, err = ParseValue(Float64, "2.5e3")
+	if err != nil || v.Float() != 2500 {
+		t.Errorf("ParseValue float: %v %v", v, err)
+	}
+	if _, err = ParseValue(Int32, "abc"); err == nil {
+		t.Error("bad int literal accepted")
+	}
+	if _, err = ParseValue(Uint32, "-1"); err == nil {
+		t.Error("negative unsigned literal accepted")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if s := NewInt(Int16, -7).String(); s != "-7" {
+		t.Errorf("String() = %s", s)
+	}
+	if s := NewUint(Uint8, 200).String(); s != "200" {
+		t.Errorf("String() = %s", s)
+	}
+	if s := NewFloat(Float64, 0.5).String(); s != "0.5" {
+		t.Errorf("String() = %s", s)
+	}
+}
+
+func TestCompareBitsMatchesValueCompare(t *testing.T) {
+	// Property: CompareBits on stored-width patterns agrees with
+	// Value.Compare for integer types.
+	f := func(a, b int32) bool {
+		va, vb := NewInt(Int32, int64(a)), NewInt(Int32, int64(b))
+		for _, op := range AllCmpOps() {
+			if CompareBits(Int32, op, uint64(uint32(a)), uint64(uint32(b))) != va.Compare(op, vb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b uint16) bool {
+		va, vb := NewUint(Uint16, uint64(a)), NewUint(Uint16, uint64(b))
+		for _, op := range AllCmpOps() {
+			if CompareBits(Uint16, op, uint64(a), uint64(b)) != va.Compare(op, vb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareBitsFloatNaN(t *testing.T) {
+	nan := math.Float64bits(math.NaN())
+	one := math.Float64bits(1.0)
+	for _, op := range []CmpOp{Eq, Lt, Le, Gt, Ge} {
+		if CompareBits(Float64, op, nan, one) {
+			t.Errorf("NaN %s 1.0 = true", op)
+		}
+		if CompareBits(Float64, op, one, nan) {
+			t.Errorf("1.0 %s NaN = true", op)
+		}
+	}
+	if !CompareBits(Float64, Ne, nan, one) || !CompareBits(Float64, Ne, nan, nan) {
+		t.Error("NaN != must be true")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := Predicate{Column: "a", Op: Eq, Value: NewInt(Int32, 5)}
+	if p.String() != "a = 5" {
+		t.Errorf("Predicate.String() = %q", p.String())
+	}
+}
+
+func TestTypeValid(t *testing.T) {
+	for _, typ := range AllTypes() {
+		if !typ.Valid() {
+			t.Errorf("%s invalid", typ)
+		}
+	}
+	if Type(200).Valid() {
+		t.Error("bogus type valid")
+	}
+	if CmpOp(99).Valid() {
+		t.Error("bogus op valid")
+	}
+}

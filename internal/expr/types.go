@@ -1,0 +1,237 @@
+// Package expr defines the value type system, comparison operators, and
+// predicate expressions used throughout the engine.
+//
+// The paper's runtime-specialization argument (Section V) rests on this
+// parameter space: ten fixed-width data types (signed and unsigned integers
+// of 1, 2, 4 and 8 bytes plus float and double) crossed with six comparison
+// operators. Every layer above — the scan kernels, the JIT code generator,
+// and the SQL front end — is parameterized over these enums.
+package expr
+
+import "fmt"
+
+// Type identifies one of the ten fixed-width column value types the paper
+// enumerates in Section V.
+type Type uint8
+
+const (
+	Int8 Type = iota
+	Int16
+	Int32
+	Int64
+	Uint8
+	Uint16
+	Uint32
+	Uint64
+	Float32
+	Float64
+	numTypes
+)
+
+// NumTypes is the number of distinct value types (ten, per the paper).
+const NumTypes = int(numTypes)
+
+// AllTypes lists every value type, in declaration order.
+func AllTypes() []Type {
+	ts := make([]Type, NumTypes)
+	for i := range ts {
+		ts[i] = Type(i)
+	}
+	return ts
+}
+
+// Size returns the width of a value of this type in bytes.
+func (t Type) Size() int {
+	switch t {
+	case Int8, Uint8:
+		return 1
+	case Int16, Uint16:
+		return 2
+	case Int32, Uint32, Float32:
+		return 4
+	case Int64, Uint64, Float64:
+		return 8
+	default:
+		panic(fmt.Sprintf("expr: invalid type %d", uint8(t)))
+	}
+}
+
+// Signed reports whether the type is a signed integer type.
+func (t Type) Signed() bool {
+	switch t {
+	case Int8, Int16, Int32, Int64:
+		return true
+	}
+	return false
+}
+
+// Float reports whether the type is a floating-point type.
+func (t Type) Float() bool {
+	return t == Float32 || t == Float64
+}
+
+// Integer reports whether the type is an integer (signed or unsigned) type.
+func (t Type) Integer() bool { return !t.Float() }
+
+// Valid reports whether t is one of the ten defined types.
+func (t Type) Valid() bool { return t < numTypes }
+
+func (t Type) String() string {
+	switch t {
+	case Int8:
+		return "int8"
+	case Int16:
+		return "int16"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Uint8:
+		return "uint8"
+	case Uint16:
+		return "uint16"
+	case Uint32:
+		return "uint32"
+	case Uint64:
+		return "uint64"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// ParseType converts a SQL-ish type name to a Type.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "int8", "tinyint":
+		return Int8, nil
+	case "int16", "smallint":
+		return Int16, nil
+	case "int32", "int", "integer":
+		return Int32, nil
+	case "int64", "bigint":
+		return Int64, nil
+	case "uint8":
+		return Uint8, nil
+	case "uint16":
+		return Uint16, nil
+	case "uint32":
+		return Uint32, nil
+	case "uint64":
+		return Uint64, nil
+	case "float32", "float", "real":
+		return Float32, nil
+	case "float64", "double":
+		return Float64, nil
+	}
+	return 0, fmt.Errorf("expr: unknown type %q", s)
+}
+
+// CmpOp is one of the six comparison operators from Section V.
+type CmpOp uint8
+
+const (
+	Eq CmpOp = iota // =
+	Ne              // <> / !=
+	Lt              // <
+	Le              // <=
+	Gt              // >
+	Ge              // >=
+	numCmpOps
+)
+
+// NumCmpOps is the number of comparison operators (six, per the paper).
+const NumCmpOps = int(numCmpOps)
+
+// AllCmpOps lists every comparison operator, in declaration order.
+func AllCmpOps() []CmpOp {
+	ops := make([]CmpOp, NumCmpOps)
+	for i := range ops {
+		ops[i] = CmpOp(i)
+	}
+	return ops
+}
+
+// Valid reports whether op is one of the six defined operators.
+func (op CmpOp) Valid() bool { return op < numCmpOps }
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("cmpop(%d)", uint8(op))
+	}
+}
+
+// Negate returns the complementary operator, such that for all a, b:
+// cmp(op, a, b) == !cmp(op.Negate(), a, b).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	default:
+		panic(fmt.Sprintf("expr: invalid cmp op %d", uint8(op)))
+	}
+}
+
+// Flip returns the operator with its operands swapped, such that for all
+// a, b: cmp(op, a, b) == cmp(op.Flip(), b, a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case Eq, Ne:
+		return op
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default:
+		panic(fmt.Sprintf("expr: invalid cmp op %d", uint8(op)))
+	}
+}
+
+// ParseCmpOp converts a SQL comparison token to a CmpOp.
+func ParseCmpOp(s string) (CmpOp, error) {
+	switch s {
+	case "=", "==":
+		return Eq, nil
+	case "<>", "!=":
+		return Ne, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	}
+	return 0, fmt.Errorf("expr: unknown comparison operator %q", s)
+}

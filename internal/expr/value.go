@@ -1,0 +1,225 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is a single typed scalar. Integers (signed and unsigned) are stored
+// in Bits as their raw two's-complement / unsigned pattern, zero-extended or
+// sign-extended to 64 bits according to the type; floats are stored as the
+// IEEE-754 bit pattern of the float64 (for Float64) or float32 (for Float32,
+// widened to float64 before storing). This mirrors how values sit in the
+// emulated vector registers, where every lane holds a raw bit pattern and
+// the comparison instruction decides how to interpret it.
+type Value struct {
+	Type Type
+	Bits uint64
+}
+
+// NewInt builds a Value of the given integer type from a signed integer.
+// The value is truncated to the type's width, as a store to a column of
+// that type would.
+func NewInt(t Type, v int64) Value {
+	if t.Float() {
+		panic("expr: NewInt called with float type")
+	}
+	return Value{Type: t, Bits: truncBits(t, uint64(v))}
+}
+
+// NewUint builds a Value of the given integer type from an unsigned integer.
+func NewUint(t Type, v uint64) Value {
+	if t.Float() {
+		panic("expr: NewUint called with float type")
+	}
+	return Value{Type: t, Bits: truncBits(t, v)}
+}
+
+// NewFloat builds a Value of a floating-point type.
+func NewFloat(t Type, v float64) Value {
+	switch t {
+	case Float32:
+		return Value{Type: t, Bits: math.Float64bits(float64(float32(v)))}
+	case Float64:
+		return Value{Type: t, Bits: math.Float64bits(v)}
+	default:
+		panic("expr: NewFloat called with integer type")
+	}
+}
+
+// truncBits truncates raw to the width of t and, for signed types,
+// sign-extends back to 64 bits so comparisons on Bits work uniformly.
+func truncBits(t Type, raw uint64) uint64 {
+	switch t.Size() {
+	case 1:
+		raw &= 0xff
+		if t.Signed() && raw&0x80 != 0 {
+			raw |= ^uint64(0xff)
+		}
+	case 2:
+		raw &= 0xffff
+		if t.Signed() && raw&0x8000 != 0 {
+			raw |= ^uint64(0xffff)
+		}
+	case 4:
+		raw &= 0xffffffff
+		if t.Signed() && raw&0x80000000 != 0 {
+			raw |= ^uint64(0xffffffff)
+		}
+	}
+	return raw
+}
+
+// Int returns the value as a signed integer. Panics on float types.
+func (v Value) Int() int64 {
+	if v.Type.Float() {
+		panic("expr: Int on float value")
+	}
+	return int64(v.Bits)
+}
+
+// Uint returns the value as an unsigned integer. Panics on float types.
+func (v Value) Uint() uint64 {
+	if v.Type.Float() {
+		panic("expr: Uint on float value")
+	}
+	return v.Bits & widthMask(v.Type)
+}
+
+func widthMask(t Type) uint64 {
+	switch t.Size() {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	case 4:
+		return 0xffffffff
+	default:
+		return ^uint64(0)
+	}
+}
+
+// Float returns the value as a float64. Panics on integer types.
+func (v Value) Float() float64 {
+	if !v.Type.Float() {
+		panic("expr: Float on integer value")
+	}
+	return math.Float64frombits(v.Bits)
+}
+
+// Compare evaluates "v op w" where both values must share a type.
+func (v Value) Compare(op CmpOp, w Value) bool {
+	if v.Type != w.Type {
+		panic(fmt.Sprintf("expr: comparing %s with %s", v.Type, w.Type))
+	}
+	var c int
+	switch {
+	case v.Type.Float():
+		return compareFloat(op, v.Float(), w.Float())
+	case v.Type.Signed():
+		a, b := v.Int(), w.Int()
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	default:
+		a, b := v.Uint(), w.Uint()
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	}
+	return CmpResult(op, c)
+}
+
+// CmpResult maps a three-way comparison result (-1, 0, +1) through op.
+func CmpResult(op CmpOp, c int) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	default:
+		panic(fmt.Sprintf("expr: invalid cmp op %d", uint8(op)))
+	}
+}
+
+func (v Value) String() string {
+	switch {
+	case v.Type.Float():
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case v.Type.Signed():
+		return strconv.FormatInt(v.Int(), 10)
+	default:
+		return strconv.FormatUint(v.Uint(), 10)
+	}
+}
+
+// ParseValue parses a literal of the given type.
+func ParseValue(t Type, s string) (Value, error) {
+	switch {
+	case t.Float():
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("expr: bad %s literal %q: %v", t, s, err)
+		}
+		return NewFloat(t, f), nil
+	case t.Signed():
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("expr: bad %s literal %q: %v", t, s, err)
+		}
+		return NewInt(t, i), nil
+	default:
+		u, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("expr: bad %s literal %q: %v", t, s, err)
+		}
+		return NewUint(t, u), nil
+	}
+}
+
+// PredKind distinguishes value comparisons from NULL tests.
+type PredKind uint8
+
+// Predicate kinds.
+const (
+	PredCompare   PredKind = iota // column op literal
+	PredIsNull                    // column IS NULL
+	PredIsNotNull                 // column IS NOT NULL
+)
+
+// Predicate is a single predicate over one column: a comparison against a
+// literal ("column op value") or a NULL test. Chains of predicates joined
+// by AND are what the Fused Table Scan consumes. Op and Value are only
+// meaningful for PredCompare.
+type Predicate struct {
+	Column string
+	Kind   PredKind
+	Op     CmpOp
+	Value  Value
+}
+
+func (p Predicate) String() string {
+	switch p.Kind {
+	case PredIsNull:
+		return fmt.Sprintf("%s IS NULL", p.Column)
+	case PredIsNotNull:
+		return fmt.Sprintf("%s IS NOT NULL", p.Column)
+	default:
+		return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Value)
+	}
+}

@@ -1,0 +1,103 @@
+package jit
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"fusedscan/internal/scan"
+	"fusedscan/internal/vec"
+)
+
+// Program is one compiled fused-scan operator: the generated source
+// listing plus an executable kernel factory specialized on the signature.
+// A program is independent of literal search values and of the concrete
+// columns — those are supplied at Bind time, so one cached program serves
+// every query with the same shape (the paper's motivation for caching
+// compiled operators).
+type Program struct {
+	Sig    Signature
+	Source string
+	// CompileMicros is the modelled cost of running the template through
+	// the system compiler, derived from the listing size. The paper notes
+	// compile time stops mattering once operators are cached.
+	CompileMicros int
+}
+
+// compileMicrosPerLine approximates a C++ compiler's per-line cost for the
+// small, header-light translation units the generator emits.
+const compileMicrosPerLine = 180
+
+// Bind attaches concrete columns and literals to the program, returning an
+// executable kernel. The chain must match the program's signature.
+func (p *Program) Bind(ch scan.Chain) (scan.Kernel, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Sig.Matches(ch) {
+		return nil, fmt.Errorf("jit: chain %v does not match compiled signature %s", ch, p.Sig)
+	}
+	return scan.NewFused(ch, p.Sig.Width, p.Sig.ISA)
+}
+
+// Compiler generates and caches fused-scan programs. It is safe for
+// concurrent use.
+type Compiler struct {
+	mu    sync.Mutex
+	cache map[string]*Program
+
+	hits   int
+	misses int
+}
+
+// NewCompiler returns an empty compiler cache.
+func NewCompiler() *Compiler {
+	return &Compiler{cache: make(map[string]*Program)}
+}
+
+// Compile returns the program for a signature, generating it on first use.
+func (c *Compiler) Compile(sig Signature) (*Program, error) {
+	if err := sig.Validate(); err != nil {
+		return nil, err
+	}
+	key := sig.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.cache[key]; ok {
+		c.hits++
+		return p, nil
+	}
+	c.misses++
+	src := GenerateSource(sig)
+	p := &Program{
+		Sig:           sig,
+		Source:        src,
+		CompileMicros: (strings.Count(src, "\n") + 1) * compileMicrosPerLine,
+	}
+	c.cache[key] = p
+	return p, nil
+}
+
+// CompileChain is the common path: derive the signature from a chain,
+// compile (or fetch) the program and bind it.
+func (c *Compiler) CompileChain(ch scan.Chain, w vec.Width, isa vec.ISA) (scan.Kernel, *Program, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	p, err := c.Compile(SignatureOf(ch, w, isa))
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := p.Bind(ch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, p, nil
+}
+
+// Stats reports cache effectiveness.
+func (c *Compiler) Stats() (hits, misses, cached int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.cache)
+}

@@ -1,0 +1,57 @@
+package jit
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fusedscan/internal/expr"
+	"fusedscan/internal/vec"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden codegen listings")
+
+// goldenSignatures are the canonical specializations whose full listings
+// are pinned: the paper's headline int32/int32 512-bit operator, the
+// width-mismatch split case, and a three-predicate mixed-type chain.
+func goldenSignatures() map[string]Signature {
+	return map[string]Signature{
+		"int32_eq_int32_eq_w512.cpp.golden": {
+			Preds: []PredSpec{{Type: expr.Int32, Op: expr.Eq}, {Type: expr.Int32, Op: expr.Eq}},
+			Width: vec.W512, ISA: vec.IsaAVX512,
+		},
+		"int32_eq_int64_le_w128.cpp.golden": {
+			Preds: []PredSpec{{Type: expr.Int32, Op: expr.Eq}, {Type: expr.Int64, Op: expr.Le}},
+			Width: vec.W128, ISA: vec.IsaAVX512,
+		},
+		"float32_lt_uint16_ge_int8_ne_w256.cpp.golden": {
+			Preds: []PredSpec{{Type: expr.Float32, Op: expr.Lt}, {Type: expr.Uint16, Op: expr.Ge}, {Type: expr.Int8, Op: expr.Ne}},
+			Width: vec.W256, ISA: vec.IsaAVX512,
+		},
+	}
+}
+
+// TestGoldenListings pins the exact generated source for the canonical
+// specializations, so unintentional codegen drift is caught. Refresh with
+// `go test ./internal/jit -run TestGoldenListings -update` after a
+// deliberate change.
+func TestGoldenListings(t *testing.T) {
+	for name, sig := range goldenSignatures() {
+		path := filepath.Join("testdata", name)
+		got := GenerateSource(sig)
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: generated source drifted from golden file; run with -update if intentional\n--- got ---\n%s", name, got)
+		}
+	}
+}

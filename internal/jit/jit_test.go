@@ -1,0 +1,217 @@
+package jit
+
+import (
+	"strings"
+	"testing"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+	"fusedscan/internal/vec"
+)
+
+func twoPredChain(t *testing.T) scan.Chain {
+	t.Helper()
+	space := mach.NewAddrSpace()
+	a := column.FromInt32s(space, "a", []int32{5, 1, 5, 2, 5, 5, 9, 5})
+	b := column.FromInt32s(space, "b", []int32{2, 2, 3, 2, 2, 7, 2, 2})
+	return scan.Chain{
+		{Col: a, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)},
+		{Col: b, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 2)},
+	}
+}
+
+func TestSpecializationSpaceSize(t *testing.T) {
+	if got := SpecializationSpaceSize(1); got != 60 {
+		t.Errorf("one predicate: %d, want 60", got)
+	}
+	// The paper: "this leaves us with 3600 possibilities for two
+	// predicates".
+	if got := SpecializationSpaceSize(2); got != 3600 {
+		t.Errorf("two predicates: %d, want 3600", got)
+	}
+	if got := SpecializationSpaceSize(3); got != 216000 {
+		t.Errorf("three predicates: %d", got)
+	}
+}
+
+func TestSignatureKeyAndValidate(t *testing.T) {
+	ch := twoPredChain(t)
+	sig := SignatureOf(ch, vec.W512, vec.IsaAVX512)
+	if sig.Key() != "fused_int32_eq_int32_eq_w512_avx512" {
+		t.Errorf("key = %s", sig.Key())
+	}
+	if err := sig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sig.Matches(ch) {
+		t.Error("signature does not match its own chain")
+	}
+	bad := Signature{Width: vec.W256, ISA: vec.IsaAVX2, Preds: sig.Preds}
+	if err := bad.Validate(); err == nil {
+		t.Error("wide AVX2 signature validated")
+	}
+	if err := (Signature{Width: vec.W512}).Validate(); err == nil {
+		t.Error("empty signature validated")
+	}
+}
+
+func TestGeneratedSourceContainsSpecializedIntrinsics(t *testing.T) {
+	ch := twoPredChain(t)
+	sig := SignatureOf(ch, vec.W512, vec.IsaAVX512)
+	src := GenerateSource(sig)
+	for _, want := range []string{
+		"_mm512_loadu_si512",
+		"_mm512_cmpeq_epi32_mask",
+		"_mm512_maskz_compress_epi32",
+		"_mm512_permutex2var_epi32",
+		"_mm512_i32gather_epi32",
+		"_mm512_mask_cmpeq_epi32_mask",
+		"const int32_t* __restrict col0",
+		"stage1",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedSourceSpecializesTypesAndOps(t *testing.T) {
+	space := mach.NewAddrSpace()
+	a := column.New(space, "a", expr.Float32, 16)
+	b := column.New(space, "b", expr.Uint16, 16)
+	ch := scan.Chain{
+		{Col: a, Op: expr.Lt, Value: expr.NewFloat(expr.Float32, 1.0)},
+		{Col: b, Op: expr.Ge, Value: expr.NewUint(expr.Uint16, 3)},
+	}
+	src := GenerateSource(SignatureOf(ch, vec.W256, vec.IsaAVX512))
+	for _, want := range []string{
+		"_mm256_cmplt_ps_mask",         // float32 < resolves to ps
+		"_mm256_mask_cmpge_epu16_mask", // uint16 >= resolves to unsigned
+		"const float* __restrict col0", // C types specialize
+		"const uint16_t* __restrict col1",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q\n%s", want, src)
+		}
+	}
+}
+
+func TestGeneratedSourceEmitsSplitLoop(t *testing.T) {
+	// int32 positions feeding an int64 column: 128-bit register holds 4
+	// positions but only 2 values — the JIT must emit the split loop.
+	space := mach.NewAddrSpace()
+	a := column.New(space, "a", expr.Int32, 16)
+	b := column.New(space, "b", expr.Int64, 16)
+	ch := scan.Chain{
+		{Col: a, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 1)},
+		{Col: b, Op: expr.Eq, Value: expr.NewInt(expr.Int64, 1)},
+	}
+	src := GenerateSource(SignatureOf(ch, vec.W128, vec.IsaAVX512))
+	if !strings.Contains(src, "index list is split") {
+		t.Errorf("split loop not emitted:\n%s", src)
+	}
+	// Narrow first column splits the value mask instead.
+	ch2 := scan.Chain{
+		{Col: column.New(space, "c", expr.Int8, 16), Op: expr.Eq, Value: expr.NewInt(expr.Int8, 1)},
+	}
+	src2 := GenerateSource(SignatureOf(ch2, vec.W128, vec.IsaAVX512))
+	if !strings.Contains(src2, "split:") {
+		t.Errorf("mask split not emitted for narrow first column:\n%s", src2)
+	}
+}
+
+func TestCompilerCacheHits(t *testing.T) {
+	c := NewCompiler()
+	ch := twoPredChain(t)
+	sig := SignatureOf(ch, vec.W512, vec.IsaAVX512)
+	p1, err := c.Compile(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Compile(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("second compile did not hit the cache")
+	}
+	hits, misses, cached := c.Stats()
+	if hits != 1 || misses != 1 || cached != 1 {
+		t.Errorf("stats = %d hits, %d misses, %d cached", hits, misses, cached)
+	}
+	if p1.CompileMicros <= 0 {
+		t.Error("compile cost not modelled")
+	}
+	// A different width is a different program.
+	if p3, _ := c.Compile(SignatureOf(ch, vec.W128, vec.IsaAVX512)); p3 == p1 {
+		t.Error("distinct signatures shared a program")
+	}
+}
+
+func TestCompileChainExecutes(t *testing.T) {
+	c := NewCompiler()
+	ch := twoPredChain(t)
+	kern, prog, err := c.CompileChain(ch, vec.W512, vec.IsaAVX512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog == nil || prog.Source == "" {
+		t.Fatal("no program")
+	}
+	got := kern.Run(mach.New(mach.Default()), true)
+	want := scan.Reference(ch, true)
+	if got.Count != want.Count {
+		t.Fatalf("compiled kernel count %d, want %d", got.Count, want.Count)
+	}
+}
+
+func TestBindRejectsMismatchedChain(t *testing.T) {
+	c := NewCompiler()
+	ch := twoPredChain(t)
+	p, err := c.Compile(SignatureOf(ch, vec.W512, vec.IsaAVX512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain with a different operator shape must be rejected.
+	other := scan.Chain{ch[0]}
+	if _, err := p.Bind(other); err == nil {
+		t.Error("mismatched chain bound")
+	}
+	other2 := scan.Chain{ch[0], {Col: ch[1].Col, Op: expr.Lt, Value: ch[1].Value}}
+	if _, err := p.Bind(other2); err == nil {
+		t.Error("operator-mismatched chain bound")
+	}
+	// Same shape, different literal: must bind (literals are bind
+	// parameters, not specialization parameters).
+	other3 := scan.Chain{ch[0], {Col: ch[1].Col, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 99)}}
+	if _, err := p.Bind(other3); err != nil {
+		t.Errorf("same-shape chain rejected: %v", err)
+	}
+}
+
+func TestAllSignatureCombinationsGenerate(t *testing.T) {
+	// Every (type, op) pair at every width must produce a non-empty,
+	// panic-free listing: the whole 60-entry single-predicate space and a
+	// sample of two-predicate combinations.
+	for _, typ := range expr.AllTypes() {
+		for _, op := range expr.AllCmpOps() {
+			for _, w := range []vec.Width{vec.W128, vec.W256, vec.W512} {
+				sig := Signature{Preds: []PredSpec{{Type: typ, Op: op}}, Width: w, ISA: vec.IsaAVX512}
+				if src := GenerateSource(sig); len(src) < 100 {
+					t.Fatalf("suspiciously short source for %s", sig)
+				}
+			}
+		}
+	}
+	for _, t1 := range expr.AllTypes() {
+		sig := Signature{
+			Preds: []PredSpec{{Type: expr.Int32, Op: expr.Eq}, {Type: t1, Op: expr.Le}},
+			Width: vec.W512, ISA: vec.IsaAVX512,
+		}
+		if src := GenerateSource(sig); !strings.Contains(src, "stage1") {
+			t.Fatalf("no stage1 for %s", sig)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package lqp implements logical query plans and the rule-based optimizer
+// of the paper's Figure 9: the SQL AST is translated into a tree of
+// relational operators without implementation choices; optimizer rules then
+// reorder predicates by estimated selectivity, prune unsatisfiable plans,
+// and — the paper's key step — detect chains of consecutive predicates
+// (σ...σ) and tag them for translation into a single Fused Table Scan
+// (Figure 8).
+package lqp
+
+import (
+	"fmt"
+	"strings"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/sqlparse"
+)
+
+// Node is one logical operator.
+type Node interface {
+	Child() Node // nil for leaves
+	String() string
+}
+
+// StoredTable is the leaf: a table in the catalog.
+type StoredTable struct {
+	Table *column.Table
+}
+
+// Child implements Node.
+func (*StoredTable) Child() Node { return nil }
+
+func (n *StoredTable) String() string {
+	return fmt.Sprintf("StoredTable(%s)", n.Table.Name())
+}
+
+// Predicate is one σ: a comparison of a column against a literal, with the
+// optimizer's selectivity estimate attached.
+type Predicate struct {
+	Input  Node
+	Pred   expr.Predicate
+	EstSel float64
+}
+
+// Child implements Node.
+func (n *Predicate) Child() Node { return n.Input }
+
+func (n *Predicate) String() string {
+	return fmt.Sprintf("Predicate[%s] (est. sel. %.4g)", n.Pred, n.EstSel)
+}
+
+// FusedChain is the optimizer's tag for a run of consecutive predicates
+// that the LQP translator must hand to the JIT compiler as one Fused Table
+// Scan operator (the ꔖ node of Figure 8).
+type FusedChain struct {
+	Input Node
+	Preds []expr.Predicate
+}
+
+// Child implements Node.
+func (n *FusedChain) Child() Node { return n.Input }
+
+func (n *FusedChain) String() string {
+	parts := make([]string, len(n.Preds))
+	for i, p := range n.Preds {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("FusedTableScan[%s]", strings.Join(parts, " AND "))
+}
+
+// EmptyResult replaces a subtree proven to produce no rows (an
+// unsatisfiable predicate, e.g. equality outside the column's min/max).
+type EmptyResult struct {
+	Reason string
+}
+
+// Child implements Node.
+func (*EmptyResult) Child() Node { return nil }
+
+func (n *EmptyResult) String() string { return fmt.Sprintf("EmptyResult(%s)", n.Reason) }
+
+// Projection selects output columns (Star selects all).
+type Projection struct {
+	Input   Node
+	Star    bool
+	Columns []string
+}
+
+// Child implements Node.
+func (n *Projection) Child() Node { return n.Input }
+
+func (n *Projection) String() string {
+	if n.Star {
+		return "Projection[*]"
+	}
+	return fmt.Sprintf("Projection[%s]", strings.Join(n.Columns, ", "))
+}
+
+// AggKind selects the aggregate function.
+type AggKind uint8
+
+// Supported aggregates.
+const (
+	AggCount AggKind = iota // COUNT(*)
+	AggSum                  // SUM(col)
+	AggMin                  // MIN(col)
+	AggMax                  // MAX(col)
+	AggAvg                  // AVG(col)
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return "AGG?"
+	}
+}
+
+// AggItem is one aggregate term.
+type AggItem struct {
+	Kind AggKind
+	Col  string // empty for COUNT(*)
+}
+
+// Label renders the item as it appears in result headers.
+func (a AggItem) Label() string {
+	if a.Kind == AggCount {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", strings.ToLower(a.Kind.String()), a.Col)
+}
+
+// Aggregate computes one or more aggregates over its input's qualifying
+// rows (COUNT(*), SUM, MIN, MAX, AVG).
+type Aggregate struct {
+	Input Node
+	Items []AggItem
+}
+
+// Child implements Node.
+func (n *Aggregate) Child() Node { return n.Input }
+
+func (n *Aggregate) String() string {
+	labels := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		labels[i] = it.Label()
+	}
+	return fmt.Sprintf("Aggregate[%s]", strings.Join(labels, ", "))
+}
+
+// Sort orders the output by one column (ORDER BY col [DESC]).
+type Sort struct {
+	Input Node
+	Col   string
+	Desc  bool
+}
+
+// Child implements Node.
+func (n *Sort) Child() Node { return n.Input }
+
+func (n *Sort) String() string {
+	dir := "ASC"
+	if n.Desc {
+		dir = "DESC"
+	}
+	return fmt.Sprintf("Sort[%s %s]", n.Col, dir)
+}
+
+// Limit caps the output row count.
+type Limit struct {
+	Input Node
+	N     int
+}
+
+// Child implements Node.
+func (n *Limit) Child() Node { return n.Input }
+
+func (n *Limit) String() string { return fmt.Sprintf("Limit[%d]", n.N) }
+
+// Plan is a logical plan plus the optimizer trace.
+type Plan struct {
+	Root         Node
+	Table        *column.Table
+	AppliedRules []string
+}
+
+// Format renders the plan tree top-down, one operator per line.
+func (p *Plan) Format() string {
+	var sb strings.Builder
+	depth := 0
+	for n := p.Root; n != nil; n = n.Child() {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.String())
+		sb.WriteByte('\n')
+		depth++
+	}
+	return sb.String()
+}
+
+// Catalog resolves table names.
+type Catalog interface {
+	Table(name string) (*column.Table, error)
+}
+
+// Build translates a parsed SELECT into an unoptimized logical plan,
+// resolving column types and literal values against the catalog.
+func Build(sel *sqlparse.Select, cat Catalog) (*Plan, error) {
+	tbl, err := cat.Table(sel.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	var node Node = &StoredTable{Table: tbl}
+	for _, cmp := range sel.Where {
+		col, err := tbl.Column(cmp.Column)
+		if err != nil {
+			return nil, err
+		}
+		if cmp.NullTest != expr.PredCompare {
+			node = &Predicate{
+				Input:  node,
+				Pred:   expr.Predicate{Column: cmp.Column, Kind: cmp.NullTest},
+				EstSel: 1,
+			}
+			continue
+		}
+		val, err := expr.ParseValue(col.Type(), cmp.Literal)
+		if err != nil {
+			return nil, fmt.Errorf("predicate on %q: %v", cmp.Column, err)
+		}
+		node = &Predicate{
+			Input:  node,
+			Pred:   expr.Predicate{Column: cmp.Column, Op: cmp.Op, Value: val},
+			EstSel: 1, // estimated by the optimizer's statistics rule
+		}
+		if cmp.IsBetween {
+			// Desugar BETWEEN: the >= predicate was added above; stack the
+			// <= upper bound as a second conjunct.
+			hi, err := expr.ParseValue(col.Type(), cmp.BetweenHi)
+			if err != nil {
+				return nil, fmt.Errorf("BETWEEN upper bound on %q: %v", cmp.Column, err)
+			}
+			node = &Predicate{
+				Input:  node,
+				Pred:   expr.Predicate{Column: cmp.Column, Op: expr.Le, Value: hi},
+				EstSel: 1,
+			}
+		}
+	}
+
+	if sel.OrderBy != "" {
+		if _, err := tbl.Column(sel.OrderBy); err != nil {
+			return nil, err
+		}
+		node = &Sort{Input: node, Col: sel.OrderBy, Desc: sel.Desc}
+	}
+
+	switch {
+	case len(sel.Aggs) > 0:
+		agg := &Aggregate{Input: node}
+		for _, term := range sel.Aggs {
+			item := AggItem{Col: term.Col}
+			switch term.Func {
+			case sqlparse.AggCount:
+				item.Kind = AggCount
+			case sqlparse.AggSum:
+				item.Kind = AggSum
+			case sqlparse.AggMin:
+				item.Kind = AggMin
+			case sqlparse.AggMax:
+				item.Kind = AggMax
+			case sqlparse.AggAvg:
+				item.Kind = AggAvg
+			default:
+				return nil, fmt.Errorf("unsupported aggregate %q", term.Func)
+			}
+			if item.Kind != AggCount {
+				if _, err := tbl.Column(term.Col); err != nil {
+					return nil, err
+				}
+			}
+			agg.Items = append(agg.Items, item)
+		}
+		node = agg
+	case sel.Star:
+		node = &Projection{Input: node, Star: true}
+	default:
+		for _, c := range sel.Columns {
+			if _, err := tbl.Column(c); err != nil {
+				return nil, err
+			}
+		}
+		node = &Projection{Input: node, Columns: sel.Columns}
+	}
+	if sel.Limit >= 0 {
+		node = &Limit{Input: node, N: sel.Limit}
+	}
+	return &Plan{Root: node, Table: tbl}, nil
+}

@@ -1,0 +1,261 @@
+package lqp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/sqlparse"
+)
+
+type testCatalog map[string]*column.Table
+
+func (c testCatalog) Table(name string) (*column.Table, error) {
+	if t, ok := c[name]; ok {
+		return t, nil
+	}
+	return nil, errNoTable
+}
+
+var errNoTable = &catalogError{"no such table"}
+
+type catalogError struct{ msg string }
+
+func (e *catalogError) Error() string { return e.msg }
+
+func makeCatalog(t *testing.T) testCatalog {
+	t.Helper()
+	space := mach.NewAddrSpace()
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	av := make([]int32, n) // ~50% are 5
+	bv := make([]int32, n) // ~1% are 2
+	cv := make([]int64, n) // ~10% are 7
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			av[i] = 5
+		} else {
+			av[i] = 100
+		}
+		if rng.Float64() < 0.01 {
+			bv[i] = 2
+		} else {
+			bv[i] = 200
+		}
+		if rng.Float64() < 0.1 {
+			cv[i] = 7
+		} else {
+			cv[i] = 300
+		}
+	}
+	tbl := column.NewTable(space, "t")
+	tbl.MustAddColumn(column.FromInt32s(space, "a", av))
+	tbl.MustAddColumn(column.FromInt32s(space, "b", bv))
+	tbl.MustAddColumn(column.FromInt64s(space, "c", cv))
+	return testCatalog{"t": tbl}
+}
+
+func parse(t *testing.T, sql string) *sqlparse.Select {
+	t.Helper()
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestBuildPlanShape(t *testing.T) {
+	cat := makeCatalog(t)
+	plan, err := Build(parse(t, "SELECT COUNT(*) FROM t WHERE a = 5 AND b = 2"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect Aggregate -> Predicate(b) -> Predicate(a) -> StoredTable.
+	agg, ok := plan.Root.(*Aggregate)
+	if !ok {
+		t.Fatalf("root = %T", plan.Root)
+	}
+	p1, ok := agg.Input.(*Predicate)
+	if !ok || p1.Pred.Column != "b" {
+		t.Fatalf("outer predicate = %v", agg.Input)
+	}
+	p2, ok := p1.Input.(*Predicate)
+	if !ok || p2.Pred.Column != "a" {
+		t.Fatalf("inner predicate = %v", p1.Input)
+	}
+	if _, ok := p2.Input.(*StoredTable); !ok {
+		t.Fatalf("leaf = %T", p2.Input)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cat := makeCatalog(t)
+	if _, err := Build(parse(t, "SELECT COUNT(*) FROM missing"), cat); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := Build(parse(t, "SELECT COUNT(*) FROM t WHERE zz = 1"), cat); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := Build(parse(t, "SELECT zz FROM t"), cat); err == nil {
+		t.Error("unknown projected column accepted")
+	}
+	// Literal type resolution: float literal for an int column fails.
+	if _, err := Build(parse(t, "SELECT COUNT(*) FROM t WHERE a = 1.5"), cat); err == nil {
+		t.Error("float literal for int column accepted")
+	}
+}
+
+func TestOptimizerEstimatesAndReorders(t *testing.T) {
+	cat := makeCatalog(t)
+	// Source order: a (50%) then c (10%) then b (1%). After optimization
+	// the chain must run b, c, a.
+	plan, err := Build(parse(t, "SELECT COUNT(*) FROM t WHERE a = 5 AND c = 7 AND b = 2"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewOptimizer().Optimize(plan)
+
+	var fc *FusedChain
+	for n := plan.Root; n != nil; n = n.Child() {
+		if f, ok := n.(*FusedChain); ok {
+			fc = f
+			break
+		}
+	}
+	if fc == nil {
+		t.Fatalf("no fused chain:\n%s", plan.Format())
+	}
+	if len(fc.Preds) != 3 {
+		t.Fatalf("chain = %v", fc.Preds)
+	}
+	order := []string{fc.Preds[0].Column, fc.Preds[1].Column, fc.Preds[2].Column}
+	if order[0] != "b" || order[1] != "c" || order[2] != "a" {
+		t.Errorf("chain order = %v, want [b c a]", order)
+	}
+	wantRules := map[string]bool{}
+	for _, r := range plan.AppliedRules {
+		wantRules[r] = true
+	}
+	for _, r := range []string{"EstimateSelectivities", "ReorderPredicatesBySelectivity", "FuseConsecutiveScans"} {
+		if !wantRules[r] {
+			t.Errorf("rule %s not applied (got %v)", r, plan.AppliedRules)
+		}
+	}
+}
+
+func TestOptimizerPrunesUnsatisfiable(t *testing.T) {
+	cat := makeCatalog(t)
+	cases := []string{
+		"SELECT COUNT(*) FROM t WHERE a = 99999",
+		"SELECT COUNT(*) FROM t WHERE a < -5",
+		"SELECT COUNT(*) FROM t WHERE a > 99999",
+		"SELECT COUNT(*) FROM t WHERE a <= -1",
+		"SELECT COUNT(*) FROM t WHERE a >= 99999",
+	}
+	for _, sql := range cases {
+		plan, err := Build(parse(t, sql), cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		NewOptimizer().Optimize(plan)
+		if !strings.Contains(plan.Format(), "EmptyResult") {
+			t.Errorf("%s: not pruned:\n%s", sql, plan.Format())
+		}
+	}
+	// Satisfiable plans are not pruned. Ne is never pruned.
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM t WHERE a = 5",
+		"SELECT COUNT(*) FROM t WHERE a <> 99999",
+		"SELECT COUNT(*) FROM t WHERE a < 6",
+	} {
+		plan, err := Build(parse(t, sql), cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		NewOptimizer().Optimize(plan)
+		if strings.Contains(plan.Format(), "EmptyResult") {
+			t.Errorf("%s: wrongly pruned:\n%s", sql, plan.Format())
+		}
+	}
+}
+
+func TestOptimizerSinglePredicateStillFuses(t *testing.T) {
+	cat := makeCatalog(t)
+	plan, err := Build(parse(t, "SELECT COUNT(*) FROM t WHERE a = 5"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewOptimizer().Optimize(plan)
+	if !strings.Contains(plan.Format(), "FusedTableScan") {
+		t.Errorf("single predicate not tagged:\n%s", plan.Format())
+	}
+}
+
+func TestOptimizerNoPredicates(t *testing.T) {
+	cat := makeCatalog(t)
+	plan, err := Build(parse(t, "SELECT COUNT(*) FROM t"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewOptimizer().Optimize(plan)
+	if strings.Contains(plan.Format(), "Fused") {
+		t.Errorf("fused chain without predicates:\n%s", plan.Format())
+	}
+}
+
+func TestPlanFormat(t *testing.T) {
+	cat := makeCatalog(t)
+	plan, err := Build(parse(t, "SELECT a, b FROM t WHERE a = 5 LIMIT 3"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := plan.Format()
+	for _, want := range []string{"Limit[3]", "Projection[a, b]", "Predicate[a = 5]", "StoredTable(t)"} {
+		if !strings.Contains(f, want) {
+			t.Errorf("plan missing %q:\n%s", want, f)
+		}
+	}
+}
+
+func TestOptimizerPrunesContradictions(t *testing.T) {
+	cat := makeCatalog(t)
+	contradictory := []string{
+		"SELECT COUNT(*) FROM t WHERE a = 5 AND a = 100",
+		"SELECT COUNT(*) FROM t WHERE a < 3 AND a > 7",
+		"SELECT COUNT(*) FROM t WHERE a >= 10 AND a < 10",
+		"SELECT COUNT(*) FROM t WHERE a = 5 AND a < 5",
+		"SELECT COUNT(*) FROM t WHERE a = 5 AND a > 100",
+		"SELECT COUNT(*) FROM t WHERE a IS NULL AND a = 5",
+		"SELECT COUNT(*) FROM t WHERE a IS NULL AND a IS NOT NULL",
+	}
+	for _, sql := range contradictory {
+		plan, err := Build(parse(t, sql), cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		NewOptimizer().Optimize(plan)
+		if !strings.Contains(plan.Format(), "EmptyResult") {
+			t.Errorf("%s: not pruned:\n%s", sql, plan.Format())
+		}
+	}
+	satisfiable := []string{
+		"SELECT COUNT(*) FROM t WHERE a = 5 AND a = 5",
+		"SELECT COUNT(*) FROM t WHERE a >= 5 AND a <= 5",
+		"SELECT COUNT(*) FROM t WHERE a > 3 AND a < 7 AND b = 2",
+		"SELECT COUNT(*) FROM t WHERE a = 5 AND a <= 5",
+		"SELECT COUNT(*) FROM t WHERE a IS NOT NULL AND a = 5",
+		"SELECT COUNT(*) FROM t WHERE a <> 100 AND a = 5",
+	}
+	for _, sql := range satisfiable {
+		plan, err := Build(parse(t, sql), cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		NewOptimizer().Optimize(plan)
+		if strings.Contains(plan.Format(), "EmptyResult") {
+			t.Errorf("%s: wrongly pruned:\n%s", sql, plan.Format())
+		}
+	}
+}

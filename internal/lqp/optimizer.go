@@ -1,0 +1,313 @@
+package lqp
+
+import (
+	"fmt"
+	"sort"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+)
+
+// Optimizer applies the rule-based rewrites of Figure 9. Column statistics
+// are computed lazily per column and cached for the optimizer's lifetime.
+type Optimizer struct {
+	stats map[statsKey]column.Stats
+}
+
+type statsKey struct {
+	table, col string
+}
+
+// NewOptimizer returns an optimizer with an empty statistics cache.
+func NewOptimizer() *Optimizer {
+	return &Optimizer{stats: make(map[statsKey]column.Stats)}
+}
+
+// Optimize rewrites the plan in place: selectivity estimation,
+// unsatisfiable-predicate pruning, selectivity-based predicate reordering,
+// and fused-chain detection. The applied rules are recorded on the plan.
+func (o *Optimizer) Optimize(p *Plan) {
+	o.estimateSelectivities(p)
+	o.pruneContradictions(p)
+	o.pruneUnsatisfiable(p)
+	o.reorderPredicates(p)
+	o.fuseChains(p)
+}
+
+// pruneContradictions detects conjunctions on one column that no value can
+// satisfy — "a = 5 AND a = 6", "a < 3 AND a > 7", "a IS NULL AND a = 5" —
+// and replaces the plan with EmptyResult. It works on the predicate run
+// before reordering, interval-intersecting the comparison bounds per
+// column.
+func (o *Optimizer) pruneContradictions(p *Plan) {
+	run, _ := predicateRun(p)
+	if len(run) < 2 {
+		return
+	}
+	type bounds struct {
+		lo, hi         *expr.Value // nil = unbounded
+		loOpen, hiOpen bool
+		eq             *expr.Value
+		isNull         bool
+		notNull        bool
+	}
+	byCol := make(map[string]*bounds)
+	contradiction := ""
+
+	for _, pr := range run {
+		b := byCol[pr.Pred.Column]
+		if b == nil {
+			b = &bounds{}
+			byCol[pr.Pred.Column] = b
+		}
+		switch pr.Pred.Kind {
+		case expr.PredIsNull:
+			b.isNull = true
+		case expr.PredIsNotNull:
+			b.notNull = true
+		default:
+			// A comparison also implies IS NOT NULL.
+			b.notNull = true
+			v := pr.Pred.Value
+			switch pr.Pred.Op {
+			case expr.Eq:
+				if b.eq != nil && !b.eq.Compare(expr.Eq, v) {
+					contradiction = fmt.Sprintf("%s = %s AND %s = %s", pr.Pred.Column, b.eq, pr.Pred.Column, v)
+				}
+				b.eq = &v
+			case expr.Lt, expr.Le:
+				if b.hi == nil || v.Compare(expr.Lt, *b.hi) {
+					b.hi, b.hiOpen = &v, pr.Pred.Op == expr.Lt
+				} else if v.Compare(expr.Eq, *b.hi) && pr.Pred.Op == expr.Lt {
+					b.hiOpen = true
+				}
+			case expr.Gt, expr.Ge:
+				if b.lo == nil || v.Compare(expr.Gt, *b.lo) {
+					b.lo, b.loOpen = &v, pr.Pred.Op == expr.Gt
+				} else if v.Compare(expr.Eq, *b.lo) && pr.Pred.Op == expr.Gt {
+					b.loOpen = true
+				}
+			}
+		}
+	}
+	if contradiction == "" {
+		for col, b := range byCol {
+			switch {
+			case b.isNull && b.notNull:
+				contradiction = fmt.Sprintf("%s IS NULL AND %s IS NOT NULL (or a comparison)", col, col)
+			case b.eq != nil && b.lo != nil && (b.eq.Compare(expr.Lt, *b.lo) || (b.loOpen && b.eq.Compare(expr.Eq, *b.lo))):
+				contradiction = fmt.Sprintf("%s = %s conflicts with its lower bound %s", col, b.eq, *b.lo)
+			case b.eq != nil && b.hi != nil && (b.eq.Compare(expr.Gt, *b.hi) || (b.hiOpen && b.eq.Compare(expr.Eq, *b.hi))):
+				contradiction = fmt.Sprintf("%s = %s conflicts with its upper bound %s", col, b.eq, *b.hi)
+			case b.lo != nil && b.hi != nil && (b.lo.Compare(expr.Gt, *b.hi) ||
+				(b.lo.Compare(expr.Eq, *b.hi) && (b.loOpen || b.hiOpen))):
+				contradiction = fmt.Sprintf("%s has empty range (%s, %s)", col, *b.lo, *b.hi)
+			}
+			if contradiction != "" {
+				break
+			}
+		}
+	}
+	if contradiction != "" {
+		replaceChild(p, run[0], &EmptyResult{Reason: "contradiction: " + contradiction})
+		p.AppliedRules = append(p.AppliedRules, "PruneContradictoryPredicates")
+	}
+}
+
+func (o *Optimizer) colStats(tbl *column.Table, name string) (column.Stats, bool) {
+	key := statsKey{tbl.Name(), name}
+	if st, ok := o.stats[key]; ok {
+		return st, true
+	}
+	col, err := tbl.Column(name)
+	if err != nil {
+		return column.Stats{}, false
+	}
+	st := column.ComputeStats(col)
+	o.stats[key] = st
+	return st, true
+}
+
+// estimateSelectivities fills in EstSel on every predicate from sampled
+// column statistics.
+func (o *Optimizer) estimateSelectivities(p *Plan) {
+	applied := false
+	for n := p.Root; n != nil; n = n.Child() {
+		pred, ok := n.(*Predicate)
+		if !ok {
+			continue
+		}
+		if st, ok := o.colStats(p.Table, pred.Pred.Column); ok {
+			switch pred.Pred.Kind {
+			case expr.PredIsNull:
+				pred.EstSel = st.NullFraction
+			case expr.PredIsNotNull:
+				pred.EstSel = 1 - st.NullFraction
+			default:
+				pred.EstSel = st.EstimateSelectivity(pred.Pred.Op, pred.Pred.Value)
+			}
+			applied = true
+		}
+	}
+	if applied {
+		p.AppliedRules = append(p.AppliedRules, "EstimateSelectivities")
+	}
+}
+
+// pruneUnsatisfiable replaces a predicate run with EmptyResult when a
+// predicate cannot match any row (literal outside the column's [min, max]).
+func (o *Optimizer) pruneUnsatisfiable(p *Plan) {
+	for n := p.Root; n != nil; n = n.Child() {
+		pred, ok := n.(*Predicate)
+		if !ok {
+			continue
+		}
+		if pred.Pred.Kind != expr.PredCompare {
+			continue // NULL tests are never pruned by min/max bounds
+		}
+		st, ok := o.colStats(p.Table, pred.Pred.Column)
+		if !ok || st.Rows == 0 {
+			continue
+		}
+		unsat := false
+		switch pred.Pred.Op {
+		case expr.Eq:
+			unsat = pred.Pred.Value.Compare(expr.Lt, st.Min) || pred.Pred.Value.Compare(expr.Gt, st.Max)
+		case expr.Lt:
+			unsat = !st.Min.Compare(expr.Lt, pred.Pred.Value)
+		case expr.Le:
+			unsat = st.Min.Compare(expr.Gt, pred.Pred.Value)
+		case expr.Gt:
+			unsat = !st.Max.Compare(expr.Gt, pred.Pred.Value)
+		case expr.Ge:
+			unsat = st.Max.Compare(expr.Lt, pred.Pred.Value)
+		}
+		if unsat {
+			replaceChild(p, n, &EmptyResult{
+				Reason: fmt.Sprintf("%s is outside [%s, %s]", pred.Pred, st.Min, st.Max),
+			})
+			p.AppliedRules = append(p.AppliedRules, "PruneUnsatisfiablePredicate")
+			return
+		}
+	}
+}
+
+// reorderPredicates sorts each maximal run of stacked predicates by
+// ascending estimated selectivity, so the most selective predicate runs
+// first — the paper's "predicates are evaluated as early as possible and
+// in the most efficient order". The sort is stable, preserving source
+// order among equal estimates.
+func (o *Optimizer) reorderPredicates(p *Plan) {
+	run, parent := predicateRun(p)
+	if len(run) < 2 {
+		return
+	}
+	// run[0] is the outermost node, i.e. the predicate evaluated last; the
+	// most selective predicate must end up innermost (evaluated first), so
+	// sort descending in run order.
+	ordered := make([]*Predicate, len(run))
+	copy(ordered, run)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].EstSel > ordered[j].EstSel })
+
+	changed := false
+	for i := range run {
+		if run[i] != ordered[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return
+	}
+	// Relink: parent -> ordered[0] -> ... -> ordered[k-1] -> base.
+	base := run[len(run)-1].Input
+	for i := 0; i < len(ordered)-1; i++ {
+		ordered[i].Input = ordered[i+1]
+	}
+	ordered[len(ordered)-1].Input = base
+	setChild(p, parent, ordered[0])
+	p.AppliedRules = append(p.AppliedRules, "ReorderPredicatesBySelectivity")
+}
+
+// fuseChains replaces each maximal run of stacked predicates with a single
+// FusedChain node — the tagging step that makes the LQP translator emit a
+// Fused Table Scan.
+func (o *Optimizer) fuseChains(p *Plan) {
+	run, parent := predicateRun(p)
+	if len(run) == 0 {
+		return
+	}
+	if _, ok := run[len(run)-1].Input.(*StoredTable); !ok {
+		// Only chains sitting directly on a stored table are fusable
+		// (e.g. a pruned plan leaves predicates over an EmptyResult).
+		return
+	}
+	fc := &FusedChain{Input: run[len(run)-1].Input}
+	// The chain lists predicates in evaluation order: innermost (deepest σ,
+	// applied first) leads, so it drives the sequential block scan.
+	for i := len(run) - 1; i >= 0; i-- {
+		fc.Preds = append(fc.Preds, run[i].Pred)
+	}
+	setChild(p, parent, fc)
+	p.AppliedRules = append(p.AppliedRules, "FuseConsecutiveScans")
+}
+
+// predicateRun returns the topmost maximal run of stacked Predicate nodes
+// (outermost first) and the node whose child is the run's head (nil when
+// the run starts at the root).
+func predicateRun(p *Plan) ([]*Predicate, Node) {
+	var parent Node
+	for n := p.Root; n != nil; n = n.Child() {
+		if pred, ok := n.(*Predicate); ok {
+			run := []*Predicate{pred}
+			for {
+				next, ok := run[len(run)-1].Input.(*Predicate)
+				if !ok {
+					break
+				}
+				run = append(run, next)
+			}
+			return run, parent
+		}
+		parent = n
+	}
+	return nil, nil
+}
+
+// setChild replaces parent's child (or the plan root when parent is nil).
+func setChild(p *Plan, parent, child Node) {
+	if parent == nil {
+		p.Root = child
+		return
+	}
+	switch t := parent.(type) {
+	case *Predicate:
+		t.Input = child
+	case *Projection:
+		t.Input = child
+	case *Aggregate:
+		t.Input = child
+	case *Limit:
+		t.Input = child
+	case *Sort:
+		t.Input = child
+	case *FusedChain:
+		t.Input = child
+	default:
+		panic(fmt.Sprintf("lqp: cannot set child of %T", parent))
+	}
+}
+
+// replaceChild swaps the subtree rooted at old with repl.
+func replaceChild(p *Plan, old, repl Node) {
+	if p.Root == old {
+		p.Root = repl
+		return
+	}
+	for n := p.Root; n != nil; n = n.Child() {
+		if n.Child() == old {
+			setChild(p, n, repl)
+			return
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package mach
+
+// AddrSpace hands out non-overlapping simulated physical address ranges for
+// column data. Kernels combine a column's base address with element offsets
+// to drive the cache model; the actual bytes live in ordinary Go slices.
+type AddrSpace struct {
+	next uint64
+}
+
+// NewAddrSpace returns an allocator whose first allocation starts above
+// zero, so that a zero address is never valid.
+func NewAddrSpace() *AddrSpace {
+	return &AddrSpace{next: 1 << 20}
+}
+
+// Alloc reserves size bytes aligned to a 4 KiB boundary and returns the
+// base address.
+func (a *AddrSpace) Alloc(size int) uint64 {
+	const align = 4096
+	base := (a.next + align - 1) &^ (align - 1)
+	a.next = base + uint64(size)
+	return base
+}

@@ -1,0 +1,131 @@
+package mach
+
+// cache is one set-associative level with LRU replacement, tracked at
+// cache-line granularity. Entries store lineID+1 so that zero means empty.
+type cache struct {
+	ways int
+	sets int
+	data []uint64 // sets * ways entries, each set kept in LRU order (MRU first)
+}
+
+func newCache(bytes, ways, lineBytes int) *cache {
+	lines := bytes / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &cache{
+		ways: ways,
+		sets: sets,
+		data: make([]uint64, sets*ways),
+	}
+}
+
+// access looks up a line and inserts it if absent, maintaining LRU order.
+// It returns whether the line was already present, and the line that was
+// evicted to make room (0 if none).
+func (c *cache) access(line uint64) (hit bool, evicted uint64) {
+	set := int(line % uint64(c.sets))
+	s := c.data[set*c.ways : set*c.ways+c.ways]
+	key := line + 1
+	for i, v := range s {
+		if v == key {
+			// Move to front (MRU).
+			copy(s[1:i+1], s[:i])
+			s[0] = key
+			return true, 0
+		}
+	}
+	ev := s[c.ways-1]
+	copy(s[1:], s[:c.ways-1])
+	s[0] = key
+	if ev != 0 {
+		evicted = ev - 1
+	}
+	return false, evicted
+}
+
+// contains reports whether a line is cached, without touching LRU state.
+func (c *cache) contains(line uint64) bool {
+	set := int(line % uint64(c.sets))
+	s := c.data[set*c.ways : set*c.ways+c.ways]
+	key := line + 1
+	for _, v := range s {
+		if v == key {
+			return true
+		}
+	}
+	return false
+}
+
+// flush empties the cache (the paper flushes all caches between reps).
+func (c *cache) flush() {
+	for i := range c.data {
+		c.data[i] = 0
+	}
+}
+
+// hierarchy is the three-level inclusive cache model.
+type hierarchy struct {
+	l1, l2, l3 *cache
+}
+
+func newHierarchy(p *Params) *hierarchy {
+	return &hierarchy{
+		l1: newCache(p.L1Bytes, p.L1Ways, p.LineBytes),
+		l2: newCache(p.L2Bytes, p.L2Ways, p.LineBytes),
+		l3: newCache(p.L3Bytes, p.L3Ways, p.LineBytes),
+	}
+}
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Memory levels, from registers outward.
+const (
+	LevelL1  Level = 1
+	LevelL2  Level = 2
+	LevelL3  Level = 3
+	LevelMem       = Level(4)
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "DRAM"
+	default:
+		return "level(?)"
+	}
+}
+
+// access touches a line in the hierarchy and returns the level that
+// satisfied it. Lines are installed in every level on the way in.
+func (h *hierarchy) access(line uint64) Level {
+	if hit, _ := h.l1.access(line); hit {
+		return LevelL1
+	}
+	if hit, _ := h.l2.access(line); hit {
+		return LevelL2
+	}
+	if hit, _ := h.l3.access(line); hit {
+		return LevelL3
+	}
+	return LevelMem
+}
+
+// cached reports whether the line is present at any level (no LRU update).
+func (h *hierarchy) cached(line uint64) bool {
+	return h.l1.contains(line) || h.l2.contains(line) || h.l3.contains(line)
+}
+
+func (h *hierarchy) flush() {
+	h.l1.flush()
+	h.l2.flush()
+	h.l3.flush()
+}

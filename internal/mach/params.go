@@ -1,0 +1,171 @@
+// Package mach models the microarchitecture of the paper's test system (an
+// Intel Xeon Platinum 8180, Skylake-SP) closely enough that the performance
+// effects the paper measures with hardware counters — branch-misprediction
+// rollbacks, useless hardware prefetches, the memory-bandwidth ceiling, and
+// the CPU-bound nature of scalar scans — emerge mechanistically from the
+// simulated kernels rather than being curve-fit per experiment.
+//
+// The model has four interacting parts:
+//
+//   - a gshare branch predictor with a misprediction rollback penalty;
+//   - a three-level set-associative cache hierarchy (32 KB L1D, 1 MB L2,
+//     38.5 MB L3, 64-byte lines, LRU) that can be flushed between
+//     repetitions, as the paper does;
+//   - a prefetcher with two mechanisms: a stream detector that hides the
+//     latency of sequential misses, and the speculative next-column load
+//     the paper describes ("the prefetcher will speculatively load the
+//     value for the second column if it expects col_a[i] == 5 to be
+//     true") whose wasted lines are counted like the Skylake
+//     l2_lines_out.useless_hwpf event;
+//   - an instruction cost table (cycles of reciprocal throughput per
+//     instruction class and register width, with the paper-observed
+//     surcharge on some 512-bit instructions) combined with DRAM traffic
+//     through a roofline: runtime = max(compute cycles, DRAM bytes at the
+//     effective stream bandwidth), plus exposed latency for random misses
+//     the prefetcher cannot cover.
+//
+// All constants live in Params and are calibrated once, against the
+// hardware the paper names and the ~12 GB/s ceiling of its Figure 2 — not
+// per experiment.
+package mach
+
+import "fusedscan/internal/vec"
+
+// Params holds every calibration constant of the machine model.
+type Params struct {
+	// ClockGHz converts cycles to wall time. The 8180 runs 2.5 GHz base.
+	ClockGHz float64
+
+	// StreamBandwidthGBs is the effective single-core DRAM stream bandwidth.
+	// The paper's Figure 2 shows an available bandwidth of ~12 GB/s.
+	StreamBandwidthGBs float64
+
+	// SocketBandwidthGBs caps the aggregate DRAM bandwidth of all cores
+	// together (six DDR4-2666 channels sustain ~80 GB/s). Only the
+	// multi-core extension (internal/parallel) consults it; the paper's
+	// experiments are single-core.
+	SocketBandwidthGBs float64
+
+	// MispredictPenaltyCycles is the rollback cost of one branch
+	// misprediction (Skylake-class front-end refill plus discarded work).
+	MispredictPenaltyCycles float64
+
+	// RandomMissLatencyCycles is the exposed latency of a demand miss the
+	// stream prefetcher cannot cover (a gather to an uncached line),
+	// after out-of-order overlap (memory-level parallelism) is accounted.
+	RandomMissLatencyCycles float64
+
+	// ScalarIPC is the sustained scalar instructions-per-cycle of the
+	// branchy tuple-at-a-time loop.
+	ScalarIPC float64
+
+	// GatherPerLaneCycles is the per-element cost of a gather instruction
+	// on top of its base issue cost (Skylake gathers retire a few lanes
+	// per cycle).
+	GatherPerLaneCycles float64
+
+	// Surcharge512Cycles is added to lane-crossing 512-bit instructions
+	// (compress, permutex2var), modelling the paper's observation that
+	// "some 512-bit instructions take longer than their corresponding
+	// 256-bit instruction". It raises 512-bit compute cycles; the Figure 5
+	// gap ordering (128→256 larger than 256→512) chiefly emerges from the
+	// 512-bit kernel hitting the DRAM roofline (see bench.AblationSurcharge).
+	Surcharge512Cycles float64
+
+	// Cache geometry.
+	L1Bytes, L2Bytes, L3Bytes int
+	L1Ways, L2Ways, L3Ways    int
+	LineBytes                 int
+
+	// PrefetchDegree is how many lines ahead the stream prefetcher runs.
+	PrefetchDegree int
+
+	// PrefetchWindow is the capacity of the outstanding-prefetch tracking
+	// buffer; prefetched lines evicted from it unused are counted as
+	// useless (the l2_lines_out.useless_hwpf model).
+	PrefetchWindow int
+
+	// PredictorBits is the log2 size of the gshare pattern history table.
+	PredictorBits int
+	// PredictorHistory is the global history length in bits.
+	PredictorHistory int
+}
+
+// Default returns the calibration for the paper's test system (Xeon
+// Platinum 8180, PC4-2666 DRAM).
+func Default() Params {
+	return Params{
+		ClockGHz:                2.5,
+		StreamBandwidthGBs:      12.0,
+		SocketBandwidthGBs:      80.0,
+		MispredictPenaltyCycles: 18,
+		RandomMissLatencyCycles: 30,
+		ScalarIPC:               2.4,
+		GatherPerLaneCycles:     0.4,
+		Surcharge512Cycles:      1.0,
+		L1Bytes:                 32 << 10,
+		L2Bytes:                 1 << 20,
+		L3Bytes:                 38_797_312, // 38.5 MB
+		L1Ways:                  8,
+		L2Ways:                  16,
+		L3Ways:                  11,
+		LineBytes:               64,
+		PrefetchDegree:          2,
+		PrefetchWindow:          64,
+		PredictorBits:           12,
+		PredictorHistory:        8,
+	}
+}
+
+// CyclesPerDRAMLine is the bandwidth cost of transferring one cache line
+// from memory, in cycles.
+func (p *Params) CyclesPerDRAMLine() float64 {
+	bytesPerCycle := p.StreamBandwidthGBs / p.ClockGHz
+	return float64(p.LineBytes) / bytesPerCycle
+}
+
+// VecCost returns the reciprocal-throughput cost, in cycles, of one vector
+// instruction of the given class at the given width under the given ISA
+// dialect. For IsaAVX2, the AVX-512-only instructions are charged at the
+// instruction counts of their multi-instruction emulations (see
+// internal/vec/avx2.go).
+func (p *Params) VecCost(isa vec.ISA, kind vec.OpKind, w vec.Width) float64 {
+	const simdCPI = 0.5 // two vector ports for simple ops
+
+	if isa == vec.IsaAVX2 {
+		switch kind {
+		case vec.OpCompress:
+			// The long compress emulation is straight-line, dependency-
+			// light table-lookup/shuffle/blend code that issues near the
+			// machine's full width.
+			return vec.Avx2CompressInstrs * 0.25
+		case vec.OpMaskCmpMask:
+			// cmp -> and -> movemask is a dependent chain.
+			return vec.Avx2MaskedCmpInstrs * simdCPI
+		case vec.OpCmpMask:
+			return vec.Avx2CmpInstrs * simdCPI
+		case vec.OpPermutex2var:
+			return vec.Avx2Permute2Instrs * simdCPI
+		}
+	}
+
+	var c float64
+	switch kind {
+	case vec.OpLoad, vec.OpStore, vec.OpSet1, vec.OpAdd, vec.OpKMov:
+		c = simdCPI
+	case vec.OpCmpMask, vec.OpMaskCmpMask:
+		c = 1.0
+	case vec.OpCompress, vec.OpPermutex2var:
+		c = 2.0
+		if w == vec.W512 {
+			c += p.Surcharge512Cycles
+		}
+	case vec.OpGather:
+		c = 2.0 // base issue cost; per-lane cost charged separately
+	case vec.OpScalar:
+		c = 1.0 / p.ScalarIPC
+	default:
+		c = 1.0
+	}
+	return c
+}

@@ -1,0 +1,66 @@
+package mach
+
+// BranchPredictor is a gshare predictor: a pattern history table of 2-bit
+// saturating counters indexed by the branch site XOR the global outcome
+// history. It reproduces the selectivity-dependent misprediction behaviour
+// of Figure 1: with a first-predicate selectivity p, the data-dependent
+// match branch mispredicts at a rate that rises toward 50 % selectivity and
+// collapses at 0 % and 100 %, where the outcome becomes learnable.
+type BranchPredictor struct {
+	table   []uint8
+	mask    uint32
+	history uint32
+	histMax uint32
+}
+
+// NewBranchPredictor builds a gshare predictor with a 2^bits-entry table and
+// history bits of global history.
+func NewBranchPredictor(bits, history int) *BranchPredictor {
+	if bits < 1 || bits > 24 {
+		panic("mach: predictor bits out of range")
+	}
+	bp := &BranchPredictor{
+		table:   make([]uint8, 1<<uint(bits)),
+		mask:    uint32(1)<<uint(bits) - 1,
+		histMax: uint32(1)<<uint(history) - 1,
+	}
+	bp.Reset()
+	return bp
+}
+
+// Reset restores the weakly-not-taken initial state and clears history.
+func (bp *BranchPredictor) Reset() {
+	for i := range bp.table {
+		bp.table[i] = 1 // weakly not taken
+	}
+	bp.history = 0
+}
+
+// Predict returns the current prediction for a branch site without
+// recording an outcome. Kernels use it to model speculative actions (e.g.
+// the speculative second-column prefetch).
+func (bp *BranchPredictor) Predict(site uint32) bool {
+	idx := (site ^ bp.history) & bp.mask
+	return bp.table[idx] >= 2
+}
+
+// Record resolves a branch: it returns the prediction that was made and
+// updates the counter and history with the actual outcome.
+func (bp *BranchPredictor) Record(site uint32, taken bool) (predictedTaken bool) {
+	idx := (site ^ bp.history) & bp.mask
+	ctr := bp.table[idx]
+	predictedTaken = ctr >= 2
+	if taken {
+		if ctr < 3 {
+			bp.table[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		bp.table[idx] = ctr - 1
+	}
+	bp.history <<= 1
+	if taken {
+		bp.history |= 1
+	}
+	bp.history &= bp.histMax
+	return predictedTaken
+}

@@ -1,0 +1,80 @@
+package mach
+
+// prefetchTracker models the useless-hardware-prefetch accounting of the
+// Skylake l2_lines_out.useless_hwpf event: lines brought in by the
+// prefetcher are tracked in a bounded window; if a tracked line ages out of
+// the window (or the measurement ends) without ever having been demanded,
+// it counts as a useless prefetch.
+type prefetchTracker struct {
+	window  int
+	ring    []pfEntry
+	head    int
+	count   int
+	index   map[uint64]int // line -> ring slot
+	useless uint64
+	issued  uint64
+}
+
+type pfEntry struct {
+	line  uint64
+	used  bool
+	valid bool
+}
+
+func newPrefetchTracker(window int) *prefetchTracker {
+	return &prefetchTracker{
+		window: window,
+		ring:   make([]pfEntry, window),
+		index:  make(map[uint64]int, window*2),
+	}
+}
+
+// insert records a prefetched line. If the window is full, the oldest entry
+// is retired (counting as useless if it was never demanded).
+func (t *prefetchTracker) insert(line uint64) {
+	t.issued++
+	if i, ok := t.index[line]; ok && t.ring[i].valid && t.ring[i].line == line {
+		return // already outstanding
+	}
+	if t.count == t.window {
+		t.retire(t.head)
+		t.head = (t.head + 1) % t.window
+		t.count--
+	}
+	slot := (t.head + t.count) % t.window
+	t.ring[slot] = pfEntry{line: line, valid: true}
+	t.index[line] = slot
+	t.count++
+}
+
+// demand marks a line as used if it is an outstanding prefetch; it reports
+// whether the access was covered by a prefetch.
+func (t *prefetchTracker) demand(line uint64) bool {
+	i, ok := t.index[line]
+	if !ok || !t.ring[i].valid || t.ring[i].line != line {
+		return false
+	}
+	t.ring[i].used = true
+	return true
+}
+
+func (t *prefetchTracker) retire(slot int) {
+	e := &t.ring[slot]
+	if !e.valid {
+		return
+	}
+	if !e.used {
+		t.useless++
+	}
+	delete(t.index, e.line)
+	e.valid = false
+}
+
+// drain retires every outstanding entry (end of measurement / cache flush).
+func (t *prefetchTracker) drain() {
+	for k := 0; k < t.count; k++ {
+		t.retire((t.head + k) % t.window)
+	}
+	t.head = 0
+	t.count = 0
+}

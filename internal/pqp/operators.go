@@ -1,0 +1,458 @@
+package pqp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/lqp"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+)
+
+// maxMaterializedRows bounds how many output rows a projection will
+// materialize when no LIMIT is given, so SELECT * over a huge table cannot
+// exhaust memory. Count is always exact.
+const maxMaterializedRows = 100000
+
+// positionSource is the internal dataflow interface: operators that
+// produce qualifying row positions. When countOnly is set, Positions may
+// be nil (the consumer only needs Count).
+type positionSource interface {
+	positions(cpu *mach.CPU, countOnly bool) (scan.Result, error)
+	table() *column.Table
+}
+
+// fullScanOp produces every row of a table (a scan with no predicates).
+type fullScanOp struct {
+	tbl *column.Table
+}
+
+func newFullScan(tbl *column.Table) *fullScanOp { return &fullScanOp{tbl: tbl} }
+
+func (op *fullScanOp) Describe() string { return fmt.Sprintf("TableScan(%s, all rows)", op.tbl.Name()) }
+
+func (op *fullScanOp) table() *column.Table { return op.tbl }
+
+func (op *fullScanOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+	n := op.tbl.Rows()
+	res := scan.Result{Count: n}
+	if countOnly {
+		return res, nil
+	}
+	res.Positions = make([]uint32, n)
+	for i := range res.Positions {
+		res.Positions[i] = uint32(i)
+	}
+	cpu.Scalar(n)
+	return res, nil
+}
+
+func (op *fullScanOp) Run(cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.positions(cpu, true)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Count: int64(res.Count)}, nil
+}
+
+// scanOp evaluates a predicate chain in a single kernel pass (fused or
+// scalar short-circuit).
+type scanOp struct {
+	tbl    *column.Table
+	chain  scan.Chain
+	kernel scan.Kernel
+	name   string
+}
+
+func (op *scanOp) Describe() string { return fmt.Sprintf("%s on %s", op.name, op.tbl.Name()) }
+
+func (op *scanOp) table() *column.Table { return op.tbl }
+
+func (op *scanOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+	return op.kernel.Run(cpu, !countOnly), nil
+}
+
+func (op *scanOp) Run(cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.positions(cpu, true)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Count: int64(res.Count)}, nil
+}
+
+// filterOp applies one predicate to an incoming, materialized position
+// list — the "regular query plan" of Figure 8, where every σ consumes and
+// produces intermediary position lists. This is the execution style the
+// fused operator exists to replace.
+type filterOp struct {
+	input  positionSource
+	pred   scan.Pred
+	region int
+	inited bool
+}
+
+func (op *filterOp) Describe() string {
+	return fmt.Sprintf("Filter[%s] (materialized position list)", op.pred)
+}
+
+func (op *filterOp) child() Operator { return op.input.(Operator) }
+
+func (op *filterOp) table() *column.Table { return op.input.table() }
+
+func (op *filterOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+	in, err := op.input.positions(cpu, false)
+	if err != nil {
+		return scan.Result{}, err
+	}
+	if !op.inited {
+		op.region = cpu.NewRandomRegion()
+		op.inited = true
+	}
+	col := op.pred.Col
+	size := col.Type().Size()
+	needle := op.pred.StoredBits()
+	var out scan.Result
+	for _, pos := range in.Positions {
+		cpu.Scalar(2)
+		cpu.RandomRead(op.region, col.Addr(int(pos)), size)
+		match := expr.CompareBits(col.Type(), op.pred.Op, col.Raw(int(pos)), needle)
+		cpu.Branch(0x900+uint32(op.region), match)
+		if match {
+			out.Count++
+			if !countOnly {
+				out.Positions = append(out.Positions, pos)
+			}
+			cpu.Scalar(1)
+		}
+	}
+	return out, nil
+}
+
+func (op *filterOp) Run(cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.positions(cpu, true)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Count: int64(res.Count)}, nil
+}
+
+// aggItem is one aggregate computation bound to its column.
+type aggItem struct {
+	kind lqp.AggKind
+	col  *column.Column // nil for COUNT(*)
+}
+
+// aggOp computes one or more aggregates over the qualifying positions in a
+// single pass: non-count items gather their column's values (real random
+// reads) and fold them. NULL values are ignored, per SQL (an all-NULL
+// input yields 0 / no value rather than NULL — a documented
+// simplification).
+type aggOp struct {
+	input  positionSource
+	items  []aggItem
+	labels []string
+}
+
+func (op *aggOp) Describe() string {
+	labels := make([]string, len(op.items))
+	for i, it := range op.items {
+		if it.col == nil {
+			labels[i] = "COUNT(*)"
+		} else {
+			labels[i] = fmt.Sprintf("%s(%s)", it.kind, it.col.Name())
+		}
+	}
+	return fmt.Sprintf("Aggregate[%s]", strings.Join(labels, ", "))
+}
+
+func (op *aggOp) child() Operator { return op.input.(Operator) }
+
+// aggState folds one item.
+type aggState struct {
+	sumI   int64
+	sumF   float64
+	minMax expr.Value
+	seen   bool
+	valid  int64
+}
+
+func (op *aggOp) Run(cpu *mach.CPU) (QueryResult, error) {
+	countOnly := true
+	for _, it := range op.items {
+		if it.col != nil {
+			countOnly = false
+		}
+	}
+	res, err := op.input.positions(cpu, countOnly)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	out := QueryResult{Count: int64(res.Count), IsAggregate: true, AggLabels: op.labels}
+
+	states := make([]aggState, len(op.items))
+	regions := make([]int, len(op.items))
+	for i, it := range op.items {
+		if it.col != nil {
+			regions[i] = cpu.NewRandomRegion()
+		}
+		_ = it
+	}
+	for _, pos := range res.Positions {
+		for i, it := range op.items {
+			if it.col == nil {
+				continue
+			}
+			cpu.Scalar(2) // address computation + fold
+			cpu.RandomRead(regions[i], it.col.Addr(int(pos)), it.col.Type().Size())
+			if it.col.Null(int(pos)) {
+				continue
+			}
+			v := it.col.Value(int(pos))
+			st := &states[i]
+			st.valid++
+			t := it.col.Type()
+			switch it.kind {
+			case lqp.AggSum, lqp.AggAvg:
+				switch {
+				case t.Float():
+					st.sumF += v.Float()
+				case t.Signed():
+					st.sumI += v.Int()
+				default:
+					st.sumI += int64(v.Uint())
+				}
+			case lqp.AggMin:
+				if !st.seen || v.Compare(expr.Lt, st.minMax) {
+					st.minMax = v
+					st.seen = true
+				}
+			case lqp.AggMax:
+				if !st.seen || v.Compare(expr.Gt, st.minMax) {
+					st.minMax = v
+					st.seen = true
+				}
+			}
+		}
+	}
+
+	for i, it := range op.items {
+		st := states[i]
+		var val expr.Value
+		switch {
+		case it.col == nil:
+			val = expr.NewInt(expr.Int64, int64(res.Count))
+		case it.kind == lqp.AggSum:
+			if it.col.Type().Float() {
+				val = expr.NewFloat(expr.Float64, st.sumF)
+			} else {
+				val = expr.NewInt(expr.Int64, st.sumI)
+			}
+		case it.kind == lqp.AggAvg:
+			total := st.sumF
+			if !it.col.Type().Float() {
+				total = float64(st.sumI)
+			}
+			if st.valid > 0 {
+				total /= float64(st.valid)
+			}
+			val = expr.NewFloat(expr.Float64, total)
+		default: // MIN / MAX
+			if !st.seen {
+				val = expr.NewInt(expr.Int64, 0) // empty input
+				if it.col.Type().Float() {
+					val = expr.NewFloat(expr.Float64, 0)
+				}
+			} else {
+				val = st.minMax
+			}
+		}
+		out.Aggregates = append(out.Aggregates, val)
+	}
+	return out, nil
+}
+
+// sortOp orders the qualifying positions by one column's values (ORDER
+// BY). Keys are fetched with real random reads; the O(n log n) comparison
+// work is charged as scalar instructions.
+type sortOp struct {
+	input positionSource
+	col   *column.Column
+	desc  bool
+}
+
+func (op *sortOp) Describe() string {
+	dir := "ASC"
+	if op.desc {
+		dir = "DESC"
+	}
+	return fmt.Sprintf("Sort[%s %s]", op.col.Name(), dir)
+}
+
+func (op *sortOp) child() Operator { return op.input.(Operator) }
+
+func (op *sortOp) table() *column.Table { return op.input.table() }
+
+func (op *sortOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+	in, err := op.input.positions(cpu, countOnly)
+	if err != nil || countOnly {
+		return in, err
+	}
+	region := cpu.NewRandomRegion()
+	size := op.col.Type().Size()
+	keys := make([]expr.Value, len(in.Positions))
+	nulls := make([]bool, len(in.Positions))
+	for i, pos := range in.Positions {
+		cpu.Scalar(2)
+		cpu.RandomRead(region, op.col.Addr(int(pos)), size)
+		nulls[i] = op.col.Null(int(pos))
+		if !nulls[i] {
+			keys[i] = op.col.Value(int(pos))
+		}
+	}
+	idx := make([]int, len(in.Positions))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		// NULLs sort last, as in most engines' default.
+		switch {
+		case nulls[i] && nulls[j]:
+			return false
+		case nulls[i]:
+			return false
+		case nulls[j]:
+			return true
+		}
+		if op.desc {
+			return keys[i].Compare(expr.Gt, keys[j])
+		}
+		return keys[i].Compare(expr.Lt, keys[j])
+	})
+	// Charge ~n log2 n comparisons at two instructions each.
+	if n := len(idx); n > 1 {
+		logN := 0
+		for v := n; v > 1; v >>= 1 {
+			logN++
+		}
+		cpu.Scalar(2 * n * logN)
+	}
+	out := scan.Result{Count: in.Count, Positions: make([]uint32, len(idx))}
+	for o, i := range idx {
+		out.Positions[o] = in.Positions[i]
+	}
+	return out, nil
+}
+
+func (op *sortOp) Run(cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.positions(cpu, true)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Count: int64(res.Count)}, nil
+}
+
+// emptyOp is the physical form of an optimizer-pruned plan.
+type emptyOp struct {
+	reason string
+}
+
+func (op *emptyOp) Describe() string { return fmt.Sprintf("EmptyResult(%s)", op.reason) }
+
+func (op *emptyOp) Run(*mach.CPU) (QueryResult, error) { return QueryResult{}, nil }
+
+func (op *emptyOp) positions(*mach.CPU, bool) (scan.Result, error) { return scan.Result{}, nil }
+
+func (op *emptyOp) table() *column.Table { return nil }
+
+// projectOp materializes the selected columns for qualifying positions.
+type projectOp struct {
+	input   positionSource
+	tbl     *column.Table
+	columns []string
+	cap     int // max rows to materialize
+}
+
+func (op *projectOp) Describe() string {
+	return fmt.Sprintf("Projection[%s]", strings.Join(op.columns, ", "))
+}
+
+func (op *projectOp) child() Operator { return op.input.(Operator) }
+
+func (op *projectOp) Run(cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.input.positions(cpu, false)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	cols := make([]*column.Column, len(op.columns))
+	regions := make([]int, len(op.columns))
+	for i, name := range op.columns {
+		c, err := op.tbl.Column(name)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		cols[i] = c
+		regions[i] = cpu.NewRandomRegion()
+	}
+	limit := op.cap
+	if limit <= 0 || limit > maxMaterializedRows {
+		limit = maxMaterializedRows
+	}
+	anyNullable := false
+	for _, c := range cols {
+		if c.HasNulls() {
+			anyNullable = true
+		}
+	}
+	out := QueryResult{Count: int64(res.Count), Columns: op.columns}
+	for _, pos := range res.Positions {
+		if len(out.Rows) >= limit {
+			break
+		}
+		row := make(Row, len(cols))
+		var nullRow []bool
+		if anyNullable {
+			nullRow = make([]bool, len(cols))
+		}
+		for i, c := range cols {
+			cpu.Scalar(2)
+			cpu.RandomRead(regions[i], c.Addr(int(pos)), c.Type().Size())
+			row[i] = c.Value(int(pos))
+			if anyNullable && c.Null(int(pos)) {
+				nullRow[i] = true
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		if anyNullable {
+			out.RowNulls = append(out.RowNulls, nullRow)
+		}
+	}
+	return out, nil
+}
+
+// limitOp caps the number of materialized rows.
+type limitOp struct {
+	input Operator
+	n     int
+}
+
+func (op *limitOp) Describe() string { return fmt.Sprintf("Limit[%d]", op.n) }
+
+func (op *limitOp) child() Operator { return op.input }
+
+func (op *limitOp) Run(cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.input.Run(cpu)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if len(res.Rows) > op.n {
+		res.Rows = res.Rows[:op.n]
+	}
+	if len(res.RowNulls) > op.n {
+		res.RowNulls = res.RowNulls[:op.n]
+	}
+	return res, nil
+}

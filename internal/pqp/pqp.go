@@ -1,0 +1,248 @@
+// Package pqp implements physical query plans: the LQP translator of
+// Figure 9 turns an optimized logical plan into executable operators,
+// invoking the JIT compiler for every FusedChain tag (the paper's drop-in
+// replacement for consecutive scans), and the executor runs the operator
+// tree against the machine model.
+package pqp
+
+import (
+	"fmt"
+	"strings"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/jit"
+	"fusedscan/internal/lqp"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+	"fusedscan/internal/vec"
+)
+
+// Options configure physical plan generation.
+type Options struct {
+	// UseFused selects the JIT-generated Fused Table Scan for predicate
+	// chains; when false, chains run on the scalar SISD operator (the
+	// "regular query plan" of Figure 8).
+	UseFused bool
+	// Width is the vector register width for fused operators.
+	Width vec.Width
+	// ISA is the instruction-set dialect for fused operators.
+	ISA vec.ISA
+}
+
+// DefaultOptions is the paper's best configuration: AVX-512 at 512 bits.
+func DefaultOptions() Options {
+	return Options{UseFused: true, Width: vec.W512, ISA: vec.IsaAVX512}
+}
+
+// Row is one materialized output row.
+type Row []expr.Value
+
+// QueryResult is the output of executing a physical plan.
+type QueryResult struct {
+	// Count is the COUNT(*) value for aggregate queries, and the number
+	// of qualifying rows otherwise.
+	Count int64
+	// Aggregates holds one value per aggregate item when IsAggregate is
+	// set (Int64 for integer SUM/COUNT — wrapping on overflow like the
+	// C++ operator would — Float64 for float SUM and every AVG, the
+	// column's own type for MIN/MAX). AggLabels names them.
+	Aggregates  []expr.Value
+	AggLabels   []string
+	IsAggregate bool
+	// Columns names the projected columns (empty for aggregate queries).
+	Columns []string
+	// Rows holds materialized output (empty for aggregate queries),
+	// capped by LIMIT. RowNulls, when non-nil, marks NULL cells (same
+	// shape as Rows).
+	Rows     []Row
+	RowNulls [][]bool
+}
+
+// Operator is one physical operator.
+type Operator interface {
+	// Describe renders the operator for EXPLAIN output.
+	Describe() string
+	// Run executes the operator tree on a CPU.
+	Run(cpu *mach.CPU) (QueryResult, error)
+}
+
+// Plan is an executable physical plan.
+type Plan struct {
+	Root Operator
+	// Programs lists the JIT programs the plan uses (for EXPLAIN and the
+	// compile-cost accounting).
+	Programs []*jit.Program
+}
+
+// Format renders the physical operator tree.
+func (p *Plan) Format() string {
+	var sb strings.Builder
+	var walk func(op Operator, depth int)
+	walk = func(op Operator, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(op.Describe())
+		sb.WriteByte('\n')
+		if c, ok := op.(interface{ child() Operator }); ok && c.child() != nil {
+			walk(c.child(), depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return sb.String()
+}
+
+// Translate lowers an optimized logical plan into a physical plan,
+// compiling fused operators through the given JIT compiler.
+func Translate(lp *lqp.Plan, comp *jit.Compiler, opts Options) (*Plan, error) {
+	if !opts.Width.Valid() {
+		return nil, fmt.Errorf("pqp: invalid register width %d", int(opts.Width))
+	}
+	p := &Plan{}
+	root, err := translateNode(lp.Root, lp.Table, comp, opts, p)
+	if err != nil {
+		return nil, err
+	}
+	p.Root = root
+	return p, nil
+}
+
+func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Options, p *Plan) (Operator, error) {
+	switch t := n.(type) {
+	case *lqp.StoredTable:
+		return newFullScan(t.Table), nil
+
+	case *lqp.EmptyResult:
+		return &emptyOp{reason: t.Reason}, nil
+
+	case *lqp.FusedChain:
+		if _, ok := t.Input.(*lqp.StoredTable); !ok {
+			return nil, fmt.Errorf("pqp: fused chain must sit directly on a stored table, found %T", t.Input)
+		}
+		ch, err := buildChain(tbl, t.Preds)
+		if err != nil {
+			return nil, err
+		}
+		if !opts.UseFused {
+			kern, err := scan.NewSISD(ch)
+			if err != nil {
+				return nil, err
+			}
+			return &scanOp{tbl: tbl, chain: ch, kernel: kern, name: "TableScan(SISD)"}, nil
+		}
+		kern, prog, err := comp.CompileChain(ch, opts.Width, opts.ISA)
+		if err != nil {
+			return nil, err
+		}
+		p.Programs = append(p.Programs, prog)
+		return &scanOp{
+			tbl: tbl, chain: ch, kernel: kern,
+			name: fmt.Sprintf("FusedTableScan[%s]", prog.Sig.Key()),
+		}, nil
+
+	case *lqp.Predicate:
+		// An untagged predicate (optimizer not run): a filter over the
+		// materialized position list of whatever sits below — the regular
+		// query plan the fused operator replaces.
+		child, err := translateNode(t.Input, tbl, comp, opts, p)
+		if err != nil {
+			return nil, err
+		}
+		src, ok := child.(positionSource)
+		if !ok {
+			return nil, fmt.Errorf("pqp: predicate over non-positional input %T", child)
+		}
+		col, err := tbl.Column(t.Pred.Column)
+		if err != nil {
+			return nil, err
+		}
+		pred := scan.Pred{Col: col, Kind: t.Pred.Kind, Op: t.Pred.Op, Value: t.Pred.Value}
+		if err := (scan.Chain{pred}).Validate(); err != nil {
+			return nil, err
+		}
+		return &filterOp{input: src, pred: pred}, nil
+
+	case *lqp.Aggregate:
+		child, err := translateNode(t.Input, tbl, comp, opts, p)
+		if err != nil {
+			return nil, err
+		}
+		src, ok := child.(positionSource)
+		if !ok {
+			return nil, fmt.Errorf("pqp: aggregate over non-positional input %T", child)
+		}
+		op := &aggOp{input: src}
+		for _, item := range t.Items {
+			op.labels = append(op.labels, item.Label())
+			ai := aggItem{kind: item.Kind}
+			if item.Kind != lqp.AggCount {
+				col, err := tbl.Column(item.Col)
+				if err != nil {
+					return nil, err
+				}
+				ai.col = col
+			}
+			op.items = append(op.items, ai)
+		}
+		return op, nil
+
+	case *lqp.Projection:
+		child, err := translateNode(t.Input, tbl, comp, opts, p)
+		if err != nil {
+			return nil, err
+		}
+		src, ok := child.(positionSource)
+		if !ok {
+			return nil, fmt.Errorf("pqp: projection over non-positional input %T", child)
+		}
+		cols := t.Columns
+		if t.Star {
+			cols = tbl.ColumnNames()
+		}
+		return &projectOp{input: src, tbl: tbl, columns: cols}, nil
+
+	case *lqp.Sort:
+		child, err := translateNode(t.Input, tbl, comp, opts, p)
+		if err != nil {
+			return nil, err
+		}
+		src, ok := child.(positionSource)
+		if !ok {
+			return nil, fmt.Errorf("pqp: sort over non-positional input %T", child)
+		}
+		col, err := tbl.Column(t.Col)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{input: src, col: col, desc: t.Desc}, nil
+
+	case *lqp.Limit:
+		child, err := translateNode(t.Input, tbl, comp, opts, p)
+		if err != nil {
+			return nil, err
+		}
+		if proj, ok := child.(*projectOp); ok {
+			proj.cap = t.N
+		}
+		return &limitOp{input: child, n: t.N}, nil
+
+	default:
+		return nil, fmt.Errorf("pqp: cannot translate %T", n)
+	}
+}
+
+// buildChain resolves logical predicates to a scan.Chain over the table's
+// columns.
+func buildChain(tbl *column.Table, preds []expr.Predicate) (scan.Chain, error) {
+	var ch scan.Chain
+	for _, p := range preds {
+		col, err := tbl.Column(p.Column)
+		if err != nil {
+			return nil, err
+		}
+		ch = append(ch, scan.Pred{Col: col, Kind: p.Kind, Op: p.Op, Value: p.Value})
+	}
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}

@@ -1,0 +1,139 @@
+package scan
+
+import (
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/vec"
+)
+
+// AutoVec models what gcc -O3 emits for the Section II loop when it
+// auto-vectorizes it: a branch-free, block-at-a-time evaluation that loads
+// and compares *every* predicate column in full (auto-vectorization cannot
+// short-circuit), combines the comparison masks with ANDs and accumulates
+// the match count — using 256-bit AVX2, the compiler's default on the
+// paper's machine.
+//
+// This is the "SISD (auto vec)" configuration of Figures 4-7. Its defining
+// costs, which the fused scan avoids, are (a) full memory traffic on every
+// predicate column regardless of selectivity and (b) a scalar, branchy
+// mask-to-positions materialization step whenever a following operator
+// needs row ids rather than a count.
+type AutoVec struct {
+	chain Chain
+	width vec.Width
+}
+
+// NewAutoVec builds the auto-vectorized kernel for a validated chain.
+func NewAutoVec(ch Chain) (*AutoVec, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	return &AutoVec{chain: ch, width: vec.W256}, nil
+}
+
+// Name implements Kernel.
+func (a *AutoVec) Name() string { return "SISD (auto vec)" }
+
+// Run executes the block-at-a-time scan on the given CPU.
+func (a *AutoVec) Run(cpu *mach.CPU, wantPositions bool) Result {
+	ch := a.chain
+	n := ch.Rows()
+	k := len(ch)
+	w := a.width
+	const isa = vec.IsaAVX2
+
+	// Block size: the lane count of the widest element type, so one block
+	// is one mask's worth of rows for every column.
+	maxSize := 0
+	for _, p := range ch {
+		if s := p.Col.Type().Size(); s > maxSize {
+			maxSize = s
+		}
+	}
+	blockRows := w.Lanes(maxSize)
+
+	needles := make([]vec.Reg, k)
+	streams := make([]int, k)
+	nullStreams := make([]int, k)
+	for j, p := range ch {
+		needles[j] = vec.Set1(w, p.Col.Type().Size(), p.StoredBits())
+		cpu.Vec(isa, vec.OpSet1, w) // hoisted, charged once
+		streams[j] = cpu.NewStream()
+		if p.Col.HasNulls() {
+			nullStreams[j] = cpu.NewStream()
+		}
+	}
+
+	var res Result
+	for b := 0; b < n; b += blockRows {
+		rows := blockRows
+		if n-b < rows {
+			rows = n - b
+		}
+		combined := vec.FirstN(rows)
+		for j, p := range ch {
+			var m vec.Mask
+			if p.Kind != expr.PredCompare {
+				// NULL test: the mask is the validity polarity; only the
+				// bitmap is touched.
+				if p.Col.HasNulls() {
+					cpu.StreamRead(nullStreams[j], p.Col.NullAddr(b), (rows+7)/8)
+				}
+				cpu.Vec(isa, vec.OpKMov, w)
+				combined &= vec.Mask(p.BlockMask(b, rows))
+				continue
+			}
+			size := p.Col.Type().Size()
+			lanes := w.Lanes(size)
+			// A block may need several register loads for narrow types.
+			for off := 0; off < rows; off += lanes {
+				cnt := lanes
+				if rows-off < cnt {
+					cnt = rows - off
+				}
+				byteOff := (b + off) * size
+				cpu.StreamRead(streams[j], p.Col.Base()+uint64(byteOff), cnt*size)
+				// A block can span a line boundary for wide types; touch
+				// the last byte's line too.
+				cpu.StreamRead(streams[j], p.Col.Base()+uint64(byteOff+cnt*size-1), 1)
+				r := vec.LoadPartial(w, size, p.Col.Data()[byteOff:], cnt)
+				cpu.Vec(isa, vec.OpLoad, w)
+				sub := vec.CmpMask(w, p.Col.Type(), p.Op, r, needles[j])
+				cpu.Vec(isa, vec.OpCmpMask, w)
+				sub &= vec.FirstN(cnt)
+				m |= sub << uint(off)
+				if lanes < rows {
+					cpu.Scalar(1) // mask stitching for multi-load blocks
+				}
+			}
+			if p.Col.HasNulls() {
+				cpu.StreamRead(nullStreams[j], p.Col.NullAddr(b), (rows+7)/8)
+				cpu.Vec(isa, vec.OpKMov, w)
+				m &= vec.Mask(p.Col.ValidMask(b, rows))
+			}
+			combined &= m
+			cpu.Vec(isa, vec.OpKMov, w) // the AND of the masks
+		}
+		// Branch-free count accumulation (vpsubd on the mask-expanded
+		// compare result, horizontally reduced after the loop).
+		cpu.Vec(isa, vec.OpAdd, w)
+		cpu.Scalar(2) // loop bookkeeping
+		cnt := combined.PopCount(rows)
+		res.Count += cnt
+
+		if wantPositions && cnt > 0 {
+			// Materialization: the branchy scalar extraction loop the
+			// paper's block-at-a-time discussion refers to.
+			cpu.Branch(siteBlockMatch, true)
+			for l := 0; l < rows; l++ {
+				cpu.Scalar(2)
+				if combined.Bit(l) {
+					res.Positions = append(res.Positions, uint32(b+l))
+				}
+			}
+		} else if wantPositions {
+			cpu.Branch(siteBlockMatch, false)
+		}
+	}
+	return res
+}

@@ -1,0 +1,85 @@
+package scan
+
+import (
+	"testing"
+
+	"fusedscan/internal/mach"
+	"fusedscan/internal/vec"
+)
+
+func TestBlockMaterializedMatchesReference(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4097} {
+		for _, k := range []int{1, 2, 3} {
+			for _, sel := range []float64{0, 0.1, 0.5, 1.0} {
+				ch := makeIntChain(t, n, k, sel, int64(n+k)+int64(sel*100))
+				want := Reference(ch, true)
+				for _, w := range []vec.Width{vec.W128, vec.W256, vec.W512} {
+					kern, err := NewBlockMaterialized(ch, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := kern.Run(mach.New(mach.Default()), true)
+					if !equalResults(got, want) {
+						t.Fatalf("n=%d k=%d sel=%v w=%v: count %d, want %d", n, k, sel, w, got.Count, want.Count)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlockMaterializedMixedTypes(t *testing.T) {
+	// Reuse the mixed-width fixtures from the fused tests: the block scan
+	// must agree on non-4-byte columns too.
+	ch := makeIntChain(t, 500, 1, 0.3, 7)
+	want := Reference(ch, false)
+	kern, err := NewBlockMaterialized(ch, vec.W512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kern.Run(mach.New(mach.Default()), false); got.Count != want.Count {
+		t.Fatalf("count %d, want %d", got.Count, want.Count)
+	}
+}
+
+func TestBlockMaterializedCostsMoreTrafficThanFused(t *testing.T) {
+	// The whole point: the materialized bitmap round-trips through the
+	// memory system, so the block-at-a-time scan moves more bytes and is
+	// slower than the fused scan at low selectivity.
+	ch := makeIntChain(t, 500_000, 2, 0.01, 3)
+	p := mach.Default()
+
+	block, err := NewBlockMaterialized(ch, vec.W512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := NewFused(ch, vec.W512, vec.IsaAVX512)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cb := mach.New(p)
+	block.Run(cb, false)
+	rb := cb.Finish().Report(&p)
+
+	cf := mach.New(p)
+	fused.Run(cf, false)
+	rf := cf.Finish().Report(&p)
+
+	if rb.DRAMLines() <= rf.DRAMLines() {
+		t.Errorf("block scan moved %d lines, fused %d — materialization should cost traffic", rb.DRAMLines(), rf.DRAMLines())
+	}
+	if rb.RuntimeMs <= rf.RuntimeMs {
+		t.Errorf("block scan %.3f ms not slower than fused %.3f ms", rb.RuntimeMs, rf.RuntimeMs)
+	}
+}
+
+func TestBlockMaterializedRejectsBadInput(t *testing.T) {
+	ch := makeIntChain(t, 10, 1, 0.5, 1)
+	if _, err := NewBlockMaterialized(ch, vec.Width(99)); err == nil {
+		t.Error("bad width accepted")
+	}
+	if _, err := NewBlockMaterialized(Chain{}, vec.W512); err == nil {
+		t.Error("empty chain accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package scan
+
+import (
+	"fmt"
+
+	"fusedscan/internal/mach"
+)
+
+// RunChunked executes a predicate chain chunk-at-a-time: the table is
+// horizontally partitioned into chunks of chunkRows rows (the paper's
+// footnote: the column-major table "can, however, be horizontally
+// partitioned into chunks or morsels"), a kernel is built per chunk over
+// zero-copy column views, and per-chunk results are concatenated with
+// positions rebased to table row ids.
+//
+// build constructs the kernel for a (sub-)chain — typically Impl.Build or
+// a jit-compiled operator factory. Chunked execution is semantically
+// identical to a whole-table scan; it exists for engines that store data
+// chunked and for bounding intermediate sizes.
+func RunChunked(build func(Chain) (Kernel, error), ch Chain, chunkRows int, cpu *mach.CPU, wantPositions bool) (Result, error) {
+	if err := ch.Validate(); err != nil {
+		return Result{}, err
+	}
+	if chunkRows <= 0 {
+		return Result{}, fmt.Errorf("scan: chunkRows must be positive, got %d", chunkRows)
+	}
+	n := ch.Rows()
+	var total Result
+	for begin := 0; begin < n; begin += chunkRows {
+		end := begin + chunkRows
+		if end > n {
+			end = n
+		}
+		sub := make(Chain, len(ch))
+		for i, p := range ch {
+			sub[i] = Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value}
+		}
+		kern, err := build(sub)
+		if err != nil {
+			return Result{}, fmt.Errorf("scan: chunk [%d, %d): %w", begin, end, err)
+		}
+		res := kern.Run(cpu, wantPositions)
+		total.Count += res.Count
+		if wantPositions {
+			for _, pos := range res.Positions {
+				total.Positions = append(total.Positions, pos+uint32(begin))
+			}
+		}
+	}
+	return total, nil
+}

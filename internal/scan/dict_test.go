@@ -1,0 +1,101 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/vec"
+)
+
+func dictFixture(t *testing.T, n, distinct int) (*column.Column, *column.DictColumn) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	space := mach.NewAddrSpace()
+	col := column.New(space, "c", expr.Int32, n)
+	for i := 0; i < n; i++ {
+		col.SetRaw(i, uint64(uint32(rng.Intn(distinct)*3))) // values 0,3,6,...
+	}
+	return col, column.Encode(space, col)
+}
+
+func TestDictScanMatchesReferenceAllOps(t *testing.T) {
+	col, dict := dictFixture(t, 5000, 40)
+	for _, op := range expr.AllCmpOps() {
+		for _, probe := range []int64{0, 5, 6, 57, 117, 200, -3} {
+			v := expr.NewInt(expr.Int32, probe)
+			ch := Chain{{Col: col, Op: op, Value: v}}
+			want := Reference(ch, true)
+			for _, w := range []vec.Width{vec.W128, vec.W256, vec.W512} {
+				ds, err := NewDictScan(dict, op, v, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := ds.Run(mach.New(mach.Default()), true)
+				if !equalResults(got, want) {
+					t.Fatalf("op %s probe %d width %v: count %d, want %d", op, probe, w, got.Count, want.Count)
+				}
+			}
+		}
+	}
+}
+
+func TestDictScanMovesLessData(t *testing.T) {
+	// 40 distinct values -> 6-bit codes: the packed scan must move far
+	// fewer DRAM bytes than the 32-bit plain scan.
+	col, dict := dictFixture(t, 400000, 40)
+	v := expr.NewInt(expr.Int32, 6)
+	ch := Chain{{Col: col, Op: expr.Eq, Value: v}}
+	p := mach.Default()
+
+	plain, err := NewFused(ch, vec.W512, vec.IsaAVX512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuP := mach.New(p)
+	plain.Run(cpuP, false)
+	plainLines := cpuP.Finish().DRAMLines()
+
+	ds, err := NewDictScan(dict, expr.Eq, v, vec.W512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuD := mach.New(p)
+	ds.Run(cpuD, false)
+	dictLines := cpuD.Finish().DRAMLines()
+
+	if dictLines*3 >= plainLines {
+		t.Errorf("dict scan moved %d lines, plain %d — expected > 3x reduction", dictLines, plainLines)
+	}
+}
+
+func TestDictScanUnsatisfiable(t *testing.T) {
+	col, dict := dictFixture(t, 1000, 10)
+	_ = col
+	// Value 1 is never stored (values are multiples of 3).
+	ds, err := NewDictScan(dict, expr.Eq, expr.NewInt(expr.Int32, 1), vec.W512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := mach.New(mach.Default())
+	got := ds.Run(cpu, true)
+	if got.Count != 0 || got.Positions != nil {
+		t.Fatalf("unsatisfiable scan returned %+v", got)
+	}
+	// It must not even touch memory.
+	if cpu.Finish().DRAMLines() != 0 {
+		t.Error("unsatisfiable scan touched memory")
+	}
+}
+
+func TestDictScanRejectsBadWidth(t *testing.T) {
+	_, dict := dictFixture(t, 100, 4)
+	if _, err := NewDictScan(dict, expr.Eq, expr.NewInt(expr.Int32, 0), vec.Width(7)); err == nil {
+		t.Error("bad width accepted")
+	}
+	if _, err := NewDictScan(dict, expr.Eq, expr.NewInt(expr.Int64, 0), vec.W128); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}

@@ -1,0 +1,385 @@
+package scan
+
+import (
+	"fmt"
+
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/vec"
+)
+
+// Fused is the paper's contribution (Section III): a consecutive table scan
+// that evaluates a whole conjunctive predicate chain without leaving SIMD
+// mode. Per block of the first column it:
+//
+//  1. loads a register of values (_mm*_loadu_si*),
+//  2. compares against the broadcast search value (_mm*_cmp*_ep*_mask),
+//  3. compresses the block's row ids through the comparison mask into a
+//     dense position list (_mm*_mask_compress_epi32), appending across
+//     blocks with _mm*_permutex2var_epi32 until a full register of
+//     matching positions is accumulated,
+//  4. gathers the corresponding values of the next column
+//     (_mm*_i32gather_ep*), compares them under mask
+//     (_mm*_mask_cmp*_ep*_mask) and compresses the surviving positions —
+//     feeding them into the next predicate's accumulator, and so on down
+//     the chain,
+//  5. emits the final surviving positions (or their count) to the next
+//     operator.
+//
+// The same code runs at 128, 256 or 512-bit register width and in either
+// the AVX-512 dialect or the paper's AVX2 backport dialect (identical
+// semantics, multi-instruction emulations charged for compress, masked
+// compare and permute).
+//
+// When a downstream column is wider than the position element (e.g. 4-byte
+// positions indexing an 8-byte column), a register of positions is split
+// into lane-count-sized groups and the follow-up predicate runs once per
+// group — the index-list splitting the paper's JIT section describes.
+type Fused struct {
+	chain Chain
+	width vec.Width
+	isa   vec.ISA
+}
+
+// NewFused builds the fused kernel for a validated chain at the given
+// register width and ISA dialect.
+func NewFused(ch Chain, w vec.Width, isa vec.ISA) (*Fused, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	if !w.Valid() {
+		return nil, fmt.Errorf("scan: invalid register width %d", int(w))
+	}
+	if isa == vec.IsaAVX2 && w != vec.W128 {
+		// The paper's AVX2 backport is evaluated at 128 bits ("AVX2 Fused
+		// (128)"); wider AVX2 would need a different (lane-crossing-free)
+		// formulation.
+		return nil, fmt.Errorf("scan: AVX2 dialect supports only 128-bit registers")
+	}
+	return &Fused{chain: ch, width: w, isa: isa}, nil
+}
+
+// Name implements Kernel.
+func (f *Fused) Name() string {
+	if f.isa == vec.IsaAVX2 {
+		return fmt.Sprintf("AVX2 Fused (%d)", int(f.width))
+	}
+	return fmt.Sprintf("AVX-512 Fused (%d)", int(f.width))
+}
+
+// Width returns the kernel's register width.
+func (f *Fused) Width() vec.Width { return f.width }
+
+// ISA returns the kernel's instruction-set dialect.
+func (f *Fused) ISA() vec.ISA { return f.isa }
+
+// fusedRun is the per-execution state of the fused kernel.
+type fusedRun struct {
+	cpu  *mach.CPU
+	w    vec.Width
+	isa  vec.ISA
+	ch   Chain
+	p    int // position lanes per register: w.Lanes(4)
+	want bool
+
+	needles []vec.Reg
+	regions []int // random-read region per stage >= 1
+
+	// Null handling: bitmap stream for the driving column, bitmap gather
+	// regions for follow-up stages.
+	nullStream  int
+	nullRegions []int
+
+	// Per follow-up stage (index 1..k-1): the position-list accumulator.
+	acc  []vec.Reg
+	alen []int
+
+	gatherOffs []int64 // scratch for gather offset reporting
+
+	res Result
+}
+
+// Run executes the fused scan on the given CPU.
+func (f *Fused) Run(cpu *mach.CPU, wantPositions bool) Result {
+	ch := f.chain
+	k := len(ch)
+	r := &fusedRun{
+		cpu:     cpu,
+		w:       f.width,
+		isa:     f.isa,
+		ch:      ch,
+		p:       f.width.Lanes(4),
+		want:    wantPositions,
+		needles: make([]vec.Reg, k),
+		regions: make([]int, k),
+		acc:     make([]vec.Reg, k),
+		alen:    make([]int, k),
+	}
+	r.nullRegions = make([]int, k)
+	for j, pr := range ch {
+		r.needles[j] = vec.Set1(f.width, pr.Col.Type().Size(), pr.StoredBits())
+		cpu.Vec(f.isa, vec.OpSet1, f.width) // hoisted out of the loop
+		if j > 0 {
+			r.regions[j] = cpu.NewRandomRegion()
+		}
+		if pr.Col.HasNulls() {
+			if j == 0 {
+				r.nullStream = cpu.NewStream()
+			} else {
+				r.nullRegions[j] = cpu.NewRandomRegion()
+			}
+		}
+	}
+
+	r.scanFirstColumn()
+	r.flush()
+	return r.res
+}
+
+// scanFirstColumn drives stage 0: the sequential block scan of the first
+// predicate's column.
+func (r *fusedRun) scanFirstColumn() {
+	pr := r.ch[0]
+	col := pr.Col
+	t := col.Type()
+	size := t.Size()
+	lanes := r.w.Lanes(size)
+	n := col.Len()
+	data := col.Data()
+	stream := r.cpu.NewStream()
+
+	for b := 0; b < n; b += lanes {
+		rows := lanes
+		if n-b < rows {
+			rows = n - b
+		}
+		var m vec.Mask
+		if pr.Kind == expr.PredCompare {
+			byteOff := b * size
+			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff), rows*size)
+			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff+rows*size-1), 1)
+			reg := vec.LoadPartial(r.w, size, data[byteOff:], rows)
+			r.cpu.Vec(r.isa, vec.OpLoad, r.w)
+
+			m = vec.CmpMask(r.w, t, pr.Op, reg, r.needles[0])
+			r.cpu.Vec(r.isa, vec.OpCmpMask, r.w)
+			m &= vec.FirstN(rows)
+			if col.HasNulls() {
+				// Load the block's validity bits and AND them in (a kmov
+				// from memory plus a kand; the bitmap is real traffic).
+				r.cpu.StreamRead(r.nullStream, col.NullAddr(b), (rows+7)/8)
+				r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+				m &= vec.Mask(col.ValidMask(b, rows))
+			}
+		} else {
+			// NULL test: the mask comes straight from the validity bitmap
+			// — the value bytes are never touched.
+			if col.HasNulls() {
+				r.cpu.StreamRead(r.nullStream, col.NullAddr(b), (rows+7)/8)
+			}
+			r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+			m = vec.Mask(pr.BlockMask(b, rows))
+		}
+
+		// kmov + test: does this block contribute any match?
+		r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+		r.cpu.Scalar(1)
+		hasMatch := m != 0
+		r.cpu.Branch(siteBlockMatch, hasMatch)
+		r.cpu.Scalar(1) // loop bookkeeping (unrolled by the JIT)
+		if !hasMatch {
+			continue
+		}
+
+		// Convert the mask into positions. If the value lanes outnumber
+		// the position lanes (1- and 2-byte elements), split the mask.
+		for sub := 0; sub < rows; sub += r.p {
+			cnt := r.p
+			if rows-sub < cnt {
+				cnt = rows - sub
+			}
+			subMask := (m >> uint(sub)) & vec.FirstN(cnt)
+			if lanes > r.p {
+				r.cpu.Scalar(2) // mask shift + test for split blocks
+				if subMask == 0 {
+					continue
+				}
+			}
+			// Row-id register for this block: a static iota plus the
+			// broadcast block base (one vector add per block).
+			iota := vec.Iota(r.w, 4, uint64(b+sub), 1)
+			r.cpu.Vec(r.isa, vec.OpAdd, r.w)
+
+			pos := vec.CompressZ(r.w, 4, subMask, iota)
+			r.cpu.Vec(r.isa, vec.OpCompress, r.w)
+			r.appendPositions(1, pos, subMask.PopCount(cnt))
+		}
+	}
+}
+
+// appendPositions adds cnt positions (in the low lanes of pos) to stage's
+// accumulator, dispatching a full register downstream whenever the
+// accumulator fills — the paper's "if it already held three entries and the
+// iteration produced two more results ... first process the incomplete
+// list and then start a new list".
+func (r *fusedRun) appendPositions(stage int, pos vec.Reg, cnt int) {
+	if stage == len(r.ch) {
+		r.emit(pos, cnt)
+		return
+	}
+	have := r.alen[stage]
+	overflow := have+cnt > r.p
+	r.cpu.Scalar(1)
+	r.cpu.Branch(siteListFull+uint32(stage), overflow)
+
+	if have == 0 && cnt == r.p {
+		// JIT fast path: the accumulator is empty and the new positions
+		// already fill a register — dispatch directly, no merge needed.
+		r.dispatch(stage, pos, r.p)
+		return
+	}
+	if !overflow {
+		// Shift the new positions up behind the existing list
+		// (permutex2var) and merge (mask_compress with merge semantics).
+		r.acc[stage] = vec.ShiftLanesUp(r.w, 4, have, pos, r.acc[stage])
+		r.cpu.Vec(r.isa, vec.OpPermutex2var, r.w)
+		r.cpu.Vec(r.isa, vec.OpCompress, r.w)
+		r.alen[stage] = have + cnt
+		if r.alen[stage] == r.p {
+			full := r.acc[stage]
+			r.alen[stage] = 0
+			r.acc[stage] = vec.Reg{}
+			r.dispatch(stage, full, r.p)
+		}
+		return
+	}
+
+	// Fill the register, dispatch it, then start a new list with the
+	// remainder.
+	take := r.p - have
+	full := vec.ShiftLanesUp(r.w, 4, have, pos, r.acc[stage])
+	r.cpu.Vec(r.isa, vec.OpPermutex2var, r.w)
+	r.cpu.Vec(r.isa, vec.OpCompress, r.w)
+	rest := cnt - take
+	// Shift the remainder of pos down to lane 0.
+	rem := vec.ShiftLanesDown(r.w, 4, take, pos)
+	r.cpu.Vec(r.isa, vec.OpPermutex2var, r.w)
+	r.acc[stage] = rem
+	r.alen[stage] = rest
+	r.dispatch(stage, full, r.p)
+}
+
+// dispatch evaluates predicate `stage` for cnt positions held in pos,
+// passing survivors to the next stage's accumulator.
+func (r *fusedRun) dispatch(stage int, pos vec.Reg, cnt int) {
+	pr := r.ch[stage]
+	col := pr.Col
+	t := col.Type()
+	size := t.Size()
+	lanes := r.w.Lanes(size)
+	data := col.Data()
+	base := col.Base()
+
+	for g := 0; g < cnt; g += lanes {
+		gcnt := lanes
+		if cnt-g < gcnt {
+			gcnt = cnt - g
+		}
+		group := pos
+		if g > 0 {
+			// Bring group g to the low lanes (index-list splitting for
+			// wider downstream elements).
+			group = vec.ShiftLanesDown(r.w, 4, g, pos)
+			r.cpu.Vec(r.isa, vec.OpPermutex2var, r.w)
+		}
+		gmask := vec.FirstN(gcnt)
+
+		var m vec.Mask
+		if pr.Kind == expr.PredCompare {
+			var gathered vec.Reg
+			gathered, r.gatherOffs = vec.Gather(r.w, size, vec.Reg{}, gmask, group, data, size, r.gatherOffs[:0])
+			r.cpu.Gather(r.isa, r.w, gcnt)
+			for _, off := range r.gatherOffs {
+				r.cpu.RandomRead(r.regions[stage], base+uint64(off), size)
+			}
+
+			m = vec.MaskCmpMask(r.w, t, pr.Op, gmask, gathered, r.needles[stage])
+			r.cpu.Vec(r.isa, vec.OpMaskCmpMask, r.w)
+			if col.HasNulls() {
+				// Gather the validity bytes of the active positions and
+				// mask NULL rows out.
+				r.cpu.Gather(r.isa, r.w, gcnt)
+				var vm vec.Mask
+				for l := 0; l < gcnt; l++ {
+					p := int(group.Lane(4, l))
+					r.cpu.RandomRead(r.nullRegions[stage], col.NullAddr(p), 1)
+					if !col.Null(p) {
+						vm |= 1 << uint(l)
+					}
+				}
+				r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+				m &= vm
+			}
+		} else {
+			// NULL test: gather only the validity bytes of the active
+			// positions; the value bytes are never touched.
+			wantNull := pr.Kind == expr.PredIsNull
+			if col.HasNulls() {
+				r.cpu.Gather(r.isa, r.w, gcnt)
+			}
+			for l := 0; l < gcnt; l++ {
+				p := int(group.Lane(4, l))
+				if col.HasNulls() {
+					r.cpu.RandomRead(r.nullRegions[stage], col.NullAddr(p), 1)
+				}
+				if col.Null(p) == wantNull {
+					m |= 1 << uint(l)
+				}
+			}
+			r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+		}
+
+		r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+		r.cpu.Scalar(1)
+		sk := m.PopCount(gcnt)
+		r.cpu.Branch(siteStageMatch+uint32(stage), sk != 0)
+		if sk == 0 {
+			continue
+		}
+
+		surv := vec.CompressZ(r.w, 4, m, group)
+		r.cpu.Vec(r.isa, vec.OpCompress, r.w)
+		r.appendPositions(stage+1, surv, sk)
+	}
+}
+
+// emit delivers final surviving positions to the consumer.
+func (r *fusedRun) emit(pos vec.Reg, cnt int) {
+	r.res.Count += cnt
+	r.cpu.Scalar(1)
+	if !r.want {
+		return
+	}
+	// Store the register and append cnt row ids (what handing the position
+	// list to the next operator costs).
+	r.cpu.Vec(r.isa, vec.OpStore, r.w)
+	r.cpu.Scalar(1)
+	for l := 0; l < cnt; l++ {
+		r.res.Positions = append(r.res.Positions, uint32(pos.Lane(4, l)))
+	}
+}
+
+// flush drains partially filled accumulators down the chain at the end of
+// the input.
+func (r *fusedRun) flush() {
+	for stage := 1; stage < len(r.ch); stage++ {
+		if r.alen[stage] == 0 {
+			continue
+		}
+		pos := r.acc[stage]
+		cnt := r.alen[stage]
+		r.alen[stage] = 0
+		r.acc[stage] = vec.Reg{}
+		r.dispatch(stage, pos, cnt)
+	}
+}

@@ -1,0 +1,321 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/vec"
+)
+
+// makeIntChain builds a k-predicate equality chain over int32 columns where
+// each predicate matches roughly sel of the rows, and returns the chain.
+func makeIntChain(t *testing.T, n, k int, sel float64, seed int64) Chain {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := mach.NewAddrSpace()
+	var ch Chain
+	for j := 0; j < k; j++ {
+		vals := make([]int32, n)
+		for i := range vals {
+			if rng.Float64() < sel {
+				vals[i] = 5
+			} else {
+				vals[i] = int32(rng.Intn(100)) + 10
+			}
+		}
+		col := column.FromInt32s(space, string(rune('a'+j)), vals)
+		ch = append(ch, Pred{Col: col, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)})
+	}
+	return ch
+}
+
+func equalResults(a, b Result) bool {
+	if a.Count != b.Count || len(a.Positions) != len(b.Positions) {
+		return false
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKernelsMatchReference(t *testing.T) {
+	params := mach.Default()
+	for _, n := range []int{0, 1, 3, 17, 100, 1000, 4097} {
+		for _, k := range []int{1, 2, 3, 5} {
+			for _, sel := range []float64{0, 0.01, 0.3, 0.5, 1.0} {
+				ch := makeIntChain(t, n, k, sel, int64(n*100+k*10)+int64(sel*7))
+				want := Reference(ch, true)
+				for _, im := range AllImpls() {
+					kern, err := im.Build(ch)
+					if err != nil {
+						t.Fatalf("%v: %v", im, err)
+					}
+					cpu := mach.New(params)
+					got := kern.Run(cpu, true)
+					if !equalResults(got, want) {
+						t.Fatalf("%v n=%d k=%d sel=%v: got count=%d positions(%d), want count=%d positions(%d)",
+							im, n, k, sel, got.Count, len(got.Positions), want.Count, len(want.Positions))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelsCountOnly(t *testing.T) {
+	ch := makeIntChain(t, 2000, 2, 0.2, 42)
+	want := Reference(ch, false)
+	for _, im := range AllImpls() {
+		kern, _ := im.Build(ch)
+		cpu := mach.New(mach.Default())
+		got := kern.Run(cpu, false)
+		if got.Count != want.Count {
+			t.Errorf("%v: count %d, want %d", im, got.Count, want.Count)
+		}
+		if got.Positions != nil {
+			t.Errorf("%v: positions returned when not requested", im)
+		}
+	}
+}
+
+// TestAllTypesAllOps exercises every value type and comparison operator
+// through the fused kernel at every width.
+func TestAllTypesAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 600
+	for _, typ := range expr.AllTypes() {
+		space := mach.NewAddrSpace()
+		col := column.New(space, "c", typ, n)
+		for i := 0; i < n; i++ {
+			switch {
+			case typ.Float():
+				col.Set(i, expr.NewFloat(typ, float64(rng.Intn(40))-20+0.5))
+			case typ.Signed():
+				col.Set(i, expr.NewInt(typ, int64(rng.Intn(40))-20))
+			default:
+				col.Set(i, expr.NewUint(typ, uint64(rng.Intn(40))))
+			}
+		}
+		var needle expr.Value
+		switch {
+		case typ.Float():
+			needle = expr.NewFloat(typ, 3.5)
+		case typ.Signed():
+			needle = expr.NewInt(typ, -3)
+		default:
+			needle = expr.NewUint(typ, 17)
+		}
+		for _, op := range expr.AllCmpOps() {
+			ch := Chain{{Col: col, Op: op, Value: needle}}
+			want := Reference(ch, true)
+			for _, w := range []vec.Width{vec.W128, vec.W256, vec.W512} {
+				kern, err := NewFused(ch, w, vec.IsaAVX512)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := kern.Run(mach.New(mach.Default()), true)
+				if !equalResults(got, want) {
+					t.Fatalf("%s %s %v: fused=%d ref=%d", typ, op, w, got.Count, want.Count)
+				}
+			}
+			sisd, err := NewSISD(ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sisd.Run(mach.New(mach.Default()), true); !equalResults(got, want) {
+				t.Fatalf("%s %s sisd: %d vs %d", typ, op, got.Count, want.Count)
+			}
+		}
+	}
+}
+
+// TestMixedWidthChain covers the JIT-splitting case the paper describes:
+// a 4-byte first column followed by an 8-byte column (position register
+// holds more indexes than the follow-up register holds values) and the
+// reverse, plus narrow 1- and 2-byte columns.
+func TestMixedWidthChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 3000
+	space := mach.NewAddrSpace()
+
+	c32 := column.New(space, "a", expr.Int32, n)
+	c64 := column.New(space, "b", expr.Int64, n)
+	c16 := column.New(space, "c", expr.Uint16, n)
+	c8 := column.New(space, "d", expr.Int8, n)
+	for i := 0; i < n; i++ {
+		c32.Set(i, expr.NewInt(expr.Int32, int64(rng.Intn(4))))
+		c64.Set(i, expr.NewInt(expr.Int64, int64(rng.Intn(4))))
+		c16.Set(i, expr.NewUint(expr.Uint16, uint64(rng.Intn(4))))
+		c8.Set(i, expr.NewInt(expr.Int8, int64(rng.Intn(4))-2))
+	}
+
+	chains := []Chain{
+		{
+			{Col: c32, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 1)},
+			{Col: c64, Op: expr.Eq, Value: expr.NewInt(expr.Int64, 2)},
+		},
+		{
+			{Col: c64, Op: expr.Le, Value: expr.NewInt(expr.Int64, 1)},
+			{Col: c32, Op: expr.Ne, Value: expr.NewInt(expr.Int32, 0)},
+		},
+		{
+			{Col: c16, Op: expr.Lt, Value: expr.NewUint(expr.Uint16, 2)},
+			{Col: c64, Op: expr.Ge, Value: expr.NewInt(expr.Int64, 1)},
+			{Col: c8, Op: expr.Gt, Value: expr.NewInt(expr.Int8, -1)},
+		},
+		{
+			{Col: c8, Op: expr.Eq, Value: expr.NewInt(expr.Int8, 0)},
+			{Col: c16, Op: expr.Eq, Value: expr.NewUint(expr.Uint16, 1)},
+		},
+	}
+	for ci, ch := range chains {
+		want := Reference(ch, true)
+		for _, im := range AllImpls() {
+			kern, err := im.Build(ch)
+			if err != nil {
+				t.Fatalf("chain %d %v: %v", ci, im, err)
+			}
+			got := kern.Run(mach.New(mach.Default()), true)
+			if !equalResults(got, want) {
+				t.Fatalf("chain %d %v: count %d want %d", ci, im, got.Count, want.Count)
+			}
+		}
+	}
+}
+
+// TestPaperFig3Walkthrough reproduces the worked example of Figure 3:
+// 16 int32 values in column A scanned for 5, column B for 2; only row 1
+// matches both.
+func TestPaperFig3Walkthrough(t *testing.T) {
+	space := mach.NewAddrSpace()
+	colA := column.FromInt32s(space, "a", []int32{2, 5, 4, 5, 6, 1, 5, 7, 6, 8, 5, 3, 5, 9, 9, 5})
+	colB := column.FromInt32s(space, "b", []int32{5, 2, 3, 1, 1, 3, 6, 0, 8, 7, 3, 3, 2, 9, 3, 2})
+	ch := Chain{
+		{Col: colA, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)},
+		{Col: colB, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 2)},
+	}
+	want := Reference(ch, true)
+	// Row 1 (a=5, b=2) and row 12 (a=5, b=2) and row 15 (a=5, b=2) match
+	// in this layout; the paper's figure shows the state after the first
+	// full position list, where row 1 is the surviving match.
+	if want.Count == 0 || want.Positions[0] != 1 {
+		t.Fatalf("reference disagrees with the paper: %+v", want)
+	}
+	for _, im := range AllImpls() {
+		kern, _ := im.Build(ch)
+		got := kern.Run(mach.New(mach.Default()), true)
+		if !equalResults(got, want) {
+			t.Fatalf("%v: %+v want %+v", im, got, want)
+		}
+	}
+
+	// The first 128-bit block (2, 5, 4, 5) vs 5 must produce mask 0101 and
+	// position list (1, 3), as printed in the figure.
+	r := vec.Load(vec.W128, colA.Data())
+	m := vec.CmpMask(vec.W128, expr.Int32, expr.Eq, r, vec.Set1(vec.W128, 4, 5))
+	if vec.FormatMask(m, 4) != "0101" {
+		t.Fatalf("block mask = %s, want 0101", vec.FormatMask(m, 4))
+	}
+	plist := vec.CompressZ(vec.W128, 4, m, vec.Iota(vec.W128, 4, 0, 1))
+	if plist.Lane(4, 0) != 1 || plist.Lane(4, 1) != 3 {
+		t.Fatalf("position list = %s, want (1, 3, ...)", plist.Format(vec.W128, 4))
+	}
+}
+
+func TestStridedProcessedCount(t *testing.T) {
+	space := mach.NewAddrSpace()
+	col := column.FromInt32s(space, "a", make([]int32, 100))
+	p := Pred{Col: col, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)}
+	for stride, want := range map[int]int{1: 100, 2: 50, 3: 34, 4: 25, 7: 15} {
+		s, err := NewStrided(p, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Processed(); got != want {
+			t.Errorf("stride %d: processed %d, want %d", stride, got, want)
+		}
+	}
+	if _, err := NewStrided(p, 0); err == nil {
+		t.Error("stride 0 accepted")
+	}
+}
+
+func TestStridedCounts(t *testing.T) {
+	space := mach.NewAddrSpace()
+	vals := make([]int32, 64)
+	for i := range vals {
+		vals[i] = int32(i % 4) // value 0 at every stride-4 position
+	}
+	col := column.FromInt32s(space, "a", vals)
+	p := Pred{Col: col, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 0)}
+	s, _ := NewStrided(p, 4)
+	got := s.Run(mach.New(mach.Default()), true)
+	if got.Count != 16 {
+		t.Fatalf("strided count = %d, want 16", got.Count)
+	}
+	for i, pos := range got.Positions {
+		if pos != uint32(4*i) {
+			t.Fatalf("position %d = %d", i, pos)
+		}
+	}
+}
+
+func TestChainValidate(t *testing.T) {
+	space := mach.NewAddrSpace()
+	a := column.FromInt32s(space, "a", make([]int32, 10))
+	b := column.FromInt32s(space, "b", make([]int32, 12))
+
+	if err := (Chain{}).Validate(); err == nil {
+		t.Error("empty chain accepted")
+	}
+	mismatch := Chain{{Col: a, Op: expr.Eq, Value: expr.NewInt(expr.Int64, 5)}}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("type-mismatched predicate accepted")
+	}
+	lenMismatch := Chain{
+		{Col: a, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)},
+		{Col: b, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)},
+	}
+	if err := lenMismatch.Validate(); err == nil {
+		t.Error("length-mismatched chain accepted")
+	}
+	ok := Chain{{Col: a, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+}
+
+func TestFusedRejectsWideAVX2(t *testing.T) {
+	ch := makeIntChain(t, 10, 1, 0.5, 1)
+	if _, err := NewFused(ch, vec.W256, vec.IsaAVX2); err == nil {
+		t.Error("256-bit AVX2 accepted")
+	}
+	if _, err := NewFused(ch, vec.Width(333), vec.IsaAVX512); err == nil {
+		t.Error("bogus width accepted")
+	}
+}
+
+// TestFloatNaN ensures NaN rows never match except under !=.
+func TestFloatNaN(t *testing.T) {
+	space := mach.NewAddrSpace()
+	vals := []float64{1.5, math.NaN(), 2.5, math.NaN(), 3.5}
+	col := column.FromFloat64s(space, "f", vals)
+	for _, op := range expr.AllCmpOps() {
+		ch := Chain{{Col: col, Op: op, Value: expr.NewFloat(expr.Float64, 2.5)}}
+		want := Reference(ch, true)
+		for _, im := range AllImpls() {
+			kern, _ := im.Build(ch)
+			got := kern.Run(mach.New(mach.Default()), true)
+			if !equalResults(got, want) {
+				t.Errorf("%v op %s: %+v want %+v", im, op, got, want)
+			}
+		}
+	}
+}

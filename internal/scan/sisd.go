@@ -1,0 +1,209 @@
+package scan
+
+import (
+	"errors"
+
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+)
+
+// Branch-site identifiers. They only need to be distinct per kernel run
+// (the predictor is reset between measurements).
+const (
+	siteSISDPred   uint32 = 0x100 // + predicate index
+	siteBlockMatch uint32 = 0x200 // + stage index (fused / autovec block branch)
+	siteListFull   uint32 = 0x300 // + stage index (fused position-list overflow)
+	siteStageMatch uint32 = 0x400 // + stage index (fused survivors branch)
+)
+
+// SISD is the branchy tuple-at-a-time scan from the paper's Section II:
+//
+//	for (pos_t i = 0; i < col_a.size(); ++i)
+//	    if (col_a[i] == 5 && col_b[i] == 2) ++total_results;
+//
+// Short-circuit evaluation loads later columns only on a match; the
+// processor speculates past the data-dependent branches, and the hardware
+// prefetcher speculatively loads the next column's value whenever a match
+// is predicted — both effects the machine model reproduces.
+type SISD struct {
+	chain Chain
+}
+
+// NewSISD builds the scalar kernel for a validated chain.
+func NewSISD(ch Chain) (*SISD, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	return &SISD{chain: ch}, nil
+}
+
+// Name implements Kernel.
+func (s *SISD) Name() string { return "SISD (no vec)" }
+
+// Run executes the scan on the given CPU.
+func (s *SISD) Run(cpu *mach.CPU, wantPositions bool) Result {
+	ch := s.chain
+	n := ch.Rows()
+	k := len(ch)
+
+	needles := make([]uint64, k)
+	types := make([]expr.Type, k)
+	ops := make([]expr.CmpOp, k)
+	sizes := make([]int, k)
+	for j, p := range ch {
+		needles[j] = p.StoredBits()
+		types[j] = p.Col.Type()
+		ops[j] = p.Op
+		sizes[j] = p.Col.Type().Size()
+	}
+
+	stream0 := cpu.NewStream()
+	regions := make([]int, k)
+	for j := 1; j < k; j++ {
+		regions[j] = cpu.NewRandomRegion()
+	}
+
+	// Nullable columns add a bitmap stream per column and a bit test per
+	// evaluated predicate.
+	nullStreams := make([]int, k)
+	for j, p := range ch {
+		if p.Col.HasNulls() {
+			nullStreams[j] = cpu.NewStream()
+		}
+	}
+
+	// eval evaluates predicate j at row i with the appropriate memory
+	// charges: NULL tests touch only the validity bitmap; comparisons read
+	// the value (streamed for the first column, gathered for later ones)
+	// plus the bitmap when the column is nullable.
+	eval := func(j, i int) bool {
+		p := ch[j]
+		switch p.Kind {
+		case expr.PredIsNull, expr.PredIsNotNull:
+			cpu.Scalar(1)
+			if p.Col.HasNulls() {
+				if j == 0 {
+					cpu.StreamRead(nullStreams[j], p.Col.NullAddr(i), 1)
+				} else {
+					cpu.RandomRead(regions[j], p.Col.NullAddr(i), 1)
+				}
+			}
+			return p.Matches(i, 0)
+		default:
+			if j == 0 {
+				cpu.StreamRead(stream0, p.Col.Addr(i), sizes[j])
+			} else {
+				cpu.Scalar(2) // address computation + load of the next column
+				cpu.RandomRead(regions[j], p.Col.Addr(i), sizes[j])
+			}
+			match := expr.CompareBits(types[j], ops[j], p.Col.Raw(i), needles[j])
+			cpu.Scalar(1) // the compare itself
+			if p.Col.HasNulls() {
+				cpu.Scalar(1)
+				if j == 0 {
+					cpu.StreamRead(nullStreams[j], p.Col.NullAddr(i), 1)
+				} else {
+					cpu.RandomRead(regions[j], p.Col.NullAddr(i), 1)
+				}
+				match = match && !p.Col.Null(i)
+			}
+			return match
+		}
+	}
+
+	var res Result
+	for i := 0; i < n; i++ {
+		// Loop bookkeeping: index increment, bound check, address
+		// computation, value load.
+		cpu.Scalar(3)
+		match := eval(0, i)
+
+		// If the predictor expects the first predicate to match, the
+		// hardware speculatively touches the second column (Section II).
+		if k > 1 && cpu.PredictTaken(siteSISDPred) {
+			cpu.SpeculativePrefetch(ch[1].Col.Addr(i))
+		}
+		cpu.Branch(siteSISDPred, match)
+		if !match {
+			continue
+		}
+		for j := 1; j < k; j++ {
+			mj := eval(j, i)
+			if j+1 < k && cpu.PredictTaken(siteSISDPred+uint32(j)) {
+				cpu.SpeculativePrefetch(ch[j+1].Col.Addr(i))
+			}
+			cpu.Branch(siteSISDPred+uint32(j), mj)
+			if !mj {
+				match = false
+				break
+			}
+		}
+		if match {
+			cpu.Scalar(1) // ++total_results / emit position
+			res.Count++
+			if wantPositions {
+				res.Positions = append(res.Positions, uint32(i))
+			}
+		}
+	}
+	return res
+}
+
+// Strided is the Figure 2 motivation experiment: scan only every stride-th
+// value of a single column, which reduces the number of compares but not
+// the number of cache lines loaded. With stride 1 it degenerates to a
+// single-predicate SISD scan.
+type Strided struct {
+	pred   Pred
+	stride int
+}
+
+// NewStrided builds the strided kernel. stride must be >= 1.
+func NewStrided(p Pred, stride int) (*Strided, error) {
+	if err := (Chain{p}).Validate(); err != nil {
+		return nil, err
+	}
+	if stride < 1 {
+		return nil, errStride
+	}
+	return &Strided{pred: p, stride: stride}, nil
+}
+
+var errStride = errors.New("scan: stride must be >= 1")
+
+// Name implements Kernel.
+func (s *Strided) Name() string { return "SISD strided" }
+
+// Run executes the strided scan. Skipped values still cost their cache
+// lines: the stream read advances through every line of the column.
+func (s *Strided) Run(cpu *mach.CPU, wantPositions bool) Result {
+	col := s.pred.Col
+	n := col.Len()
+	size := col.Type().Size()
+	needle := s.pred.StoredBits()
+	t, op := col.Type(), s.pred.Op
+
+	stream := cpu.NewStream()
+	var res Result
+	for i := 0; i < n; i += s.stride {
+		cpu.Scalar(3)
+		cpu.StreamRead(stream, col.Addr(i), size)
+		match := expr.CompareBits(t, op, col.Raw(i), needle)
+		cpu.Scalar(1)
+		cpu.Branch(siteSISDPred, match)
+		if match {
+			cpu.Scalar(1)
+			res.Count++
+			if wantPositions {
+				res.Positions = append(res.Positions, uint32(i))
+			}
+		}
+	}
+	return res
+}
+
+// Processed returns how many values a strided run actually compares.
+func (s *Strided) Processed() int {
+	n := s.pred.Col.Len()
+	return (n + s.stride - 1) / s.stride
+}

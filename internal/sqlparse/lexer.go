@@ -1,0 +1,168 @@
+// Package sqlparse is the SQL front end for the scan-oriented query subset
+// the paper's pipeline handles (Figure 9: SQL string -> parser -> AST):
+//
+//	SELECT COUNT(*) | * | col [, col ...]
+//	FROM table
+//	[WHERE col OP literal [AND col OP literal ...]]
+//	[LIMIT n]
+//
+// OP is one of =, <>, !=, <, <=, >, >=. Conjunctions only: the fused scan
+// is defined over predicate chains; a disjunction is a parse-time error
+// with a clear message rather than a silent fallback.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol  // ( ) , *
+	tokCompare // = <> != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex scans the whole input. Keywords are case-insensitive and returned as
+// identifiers; the parser matches them by folded comparison.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9' || c == '.':
+			if err := l.lexNumber(false); err != nil {
+				return nil, err
+			}
+		case c == '-':
+			// Negative literal (the grammar has no arithmetic, so '-' can
+			// only start a number).
+			if err := l.lexNumber(true); err != nil {
+				return nil, err
+			}
+		case c == '(' || c == ')' || c == ',' || c == '*':
+			l.emit(tokSymbol, string(c), l.pos)
+			l.pos++
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			if err := l.lexCompare(); err != nil {
+				return nil, err
+			}
+		case c == ';':
+			l.pos++ // trailing semicolons are permitted
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexNumber(negative bool) error {
+	start := l.pos
+	if negative {
+		l.pos++
+		if l.pos >= len(l.src) || !(l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			return fmt.Errorf("sql: dangling '-' at position %d", start)
+		}
+	}
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if text == "-" || text == "." || text == "-." {
+		return fmt.Errorf("sql: malformed number %q at position %d", text, start)
+	}
+	l.emit(tokNumber, text, start)
+	return nil
+}
+
+func (l *lexer) lexCompare() error {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	two := ""
+	if l.pos < len(l.src) {
+		two = l.src[start : l.pos+1]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos++
+		l.emit(tokCompare, two, start)
+		return nil
+	}
+	switch c {
+	case '=', '<', '>':
+		l.emit(tokCompare, string(c), start)
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected %q at position %d", c, start)
+}
+
+// foldEq reports a case-insensitive keyword match.
+func foldEq(s, keyword string) bool { return strings.EqualFold(s, keyword) }

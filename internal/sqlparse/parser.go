@@ -1,0 +1,359 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"fusedscan/internal/expr"
+)
+
+// AggFunc names an aggregate function.
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggCount AggFunc = "count" // COUNT(*)
+	AggSum   AggFunc = "sum"
+	AggMin   AggFunc = "min"
+	AggMax   AggFunc = "max"
+	AggAvg   AggFunc = "avg"
+)
+
+// AggTerm is one aggregate in the projection list: FUNC(col), or COUNT(*)
+// with an empty Col.
+type AggTerm struct {
+	Func AggFunc
+	Col  string
+}
+
+func (a AggTerm) String() string {
+	if a.Func == AggCount {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s)", strings.ToUpper(string(a.Func)), a.Col)
+}
+
+// Select is the parsed AST of a supported statement. Exactly one of Aggs,
+// Star or Columns is populated.
+type Select struct {
+	Aggs    []AggTerm // aggregate list: COUNT(*), SUM(col), MIN/MAX/AVG(col)
+	Star    bool      // SELECT *
+	Columns []string  // explicit projection list
+	Table   string
+	Where   []Comparison // implicit conjunction, in source order
+	OrderBy string       // ORDER BY column ("" when absent)
+	Desc    bool         // ORDER BY ... DESC
+	Limit   int          // -1 when absent
+}
+
+// Comparison is one WHERE term: Column Op Literal. The literal is kept
+// textual because its type is only known once the column is resolved
+// against the catalog (done by the planner). A BETWEEN term is represented
+// with IsBetween set: Op/Literal hold the >= lower bound and BetweenHi the
+// upper bound; the planner desugars it into two conjunctive predicates
+// (col >= lo AND col <= hi), which the optimizer then fuses like any other
+// chain.
+type Comparison struct {
+	Column    string
+	Op        expr.CmpOp
+	Literal   string
+	IsBetween bool
+	BetweenHi string
+	// NullTest marks "col IS NULL" (PredIsNull) or "col IS NOT NULL"
+	// (PredIsNotNull); PredCompare means an ordinary comparison.
+	NullTest expr.PredKind
+}
+
+func (c Comparison) String() string {
+	switch {
+	case c.IsBetween:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", c.Column, c.Literal, c.BetweenHi)
+	case c.NullTest == expr.PredIsNull:
+		return fmt.Sprintf("%s IS NULL", c.Column)
+	case c.NullTest == expr.PredIsNotNull:
+		return fmt.Sprintf("%s IS NOT NULL", c.Column)
+	default:
+		return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Literal)
+	}
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Select, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errorf("unexpected %q after end of statement", p.cur().text)
+	}
+	return sel, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && foldEq(p.cur().text, kw)
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if p.cur().kind != tokSymbol || p.cur().text != sym {
+		return p.errorf("expected %q, found %q", sym, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at position %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+
+	switch {
+	case p.atAggFunc() != "":
+		for {
+			term, err := p.parseAggTerm()
+			if err != nil {
+				return nil, err
+			}
+			sel.Aggs = append(sel.Aggs, term)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+				if p.atAggFunc() == "" {
+					return nil, p.errorf("cannot mix aggregates and plain columns in one SELECT")
+				}
+				continue
+			}
+			break
+		}
+	case p.cur().kind == tokSymbol && p.cur().text == "*":
+		p.advance()
+		sel.Star = true
+	default:
+		for {
+			if !p.at(tokIdent) || isReserved(p.cur().text) {
+				return nil, p.errorf("expected column name, found %q", p.cur().text)
+			}
+			sel.Columns = append(sel.Columns, p.advance().text)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent) || isReserved(p.cur().text) {
+		return nil, p.errorf("expected table name, found %q", p.cur().text)
+	}
+	sel.Table = p.advance().text
+
+	if p.atKeyword("where") {
+		p.advance()
+		for {
+			cmp, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, cmp)
+			if p.atKeyword("and") {
+				p.advance()
+				continue
+			}
+			if p.atKeyword("or") {
+				return nil, p.errorf("OR is not supported: the fused table scan evaluates conjunctive predicate chains")
+			}
+			break
+		}
+	}
+
+	if p.atKeyword("order") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokIdent) || isReserved(p.cur().text) {
+			return nil, p.errorf("expected ORDER BY column, found %q", p.cur().text)
+		}
+		sel.OrderBy = p.advance().text
+		switch {
+		case p.atKeyword("desc"):
+			p.advance()
+			sel.Desc = true
+		case p.atKeyword("asc"):
+			p.advance()
+		}
+		if len(sel.Aggs) > 0 {
+			return nil, p.errorf("ORDER BY cannot be combined with aggregates")
+		}
+	}
+
+	if p.atKeyword("limit") {
+		p.advance()
+		if !p.at(tokNumber) {
+			return nil, p.errorf("expected LIMIT count, found %q", p.cur().text)
+		}
+		var n int
+		if _, err := fmt.Sscanf(p.advance().text, "%d", &n); err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT count")
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// atAggFunc returns the aggregate function at the cursor, or "".
+func (p *parser) atAggFunc() AggFunc {
+	if p.cur().kind != tokIdent {
+		return ""
+	}
+	for _, f := range []AggFunc{AggCount, AggSum, AggMin, AggMax, AggAvg} {
+		if foldEq(p.cur().text, string(f)) {
+			return f
+		}
+	}
+	return ""
+}
+
+// parseAggTerm parses COUNT(*) or FUNC(col).
+func (p *parser) parseAggTerm() (AggTerm, error) {
+	f := p.atAggFunc()
+	if f == "" {
+		return AggTerm{}, p.errorf("expected aggregate function, found %q", p.cur().text)
+	}
+	p.advance()
+	if err := p.expectSymbol("("); err != nil {
+		return AggTerm{}, err
+	}
+	term := AggTerm{Func: f}
+	if f == AggCount {
+		if err := p.expectSymbol("*"); err != nil {
+			return AggTerm{}, err
+		}
+	} else {
+		if !p.at(tokIdent) || isReserved(p.cur().text) {
+			return AggTerm{}, p.errorf("expected column name in %s, found %q", strings.ToUpper(string(f)), p.cur().text)
+		}
+		term.Col = p.advance().text
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return AggTerm{}, err
+	}
+	return term, nil
+}
+
+// parseComparison accepts "col OP literal", the flipped "literal OP col"
+// (normalized so the column is on the left), and "col BETWEEN lo AND hi"
+// (desugared by the caller into two predicates via the Between fields).
+func (p *parser) parseComparison() (Comparison, error) {
+	var cmp Comparison
+	flipped := false
+
+	switch {
+	case p.at(tokIdent) && !isReserved(p.cur().text):
+		cmp.Column = p.advance().text
+	case p.at(tokNumber):
+		cmp.Literal = p.advance().text
+		flipped = true
+	default:
+		return cmp, p.errorf("expected predicate, found %q", p.cur().text)
+	}
+
+	if !flipped && p.atKeyword("is") {
+		p.advance()
+		cmp.NullTest = expr.PredIsNull
+		if p.atKeyword("not") {
+			p.advance()
+			cmp.NullTest = expr.PredIsNotNull
+		}
+		if err := p.expectKeyword("null"); err != nil {
+			return cmp, err
+		}
+		return cmp, nil
+	}
+
+	if !flipped && p.atKeyword("between") {
+		p.advance()
+		if !p.at(tokNumber) {
+			return cmp, p.errorf("expected BETWEEN lower bound, found %q", p.cur().text)
+		}
+		cmp.Op = expr.Ge
+		cmp.Literal = p.advance().text
+		if err := p.expectKeyword("and"); err != nil {
+			return cmp, err
+		}
+		if !p.at(tokNumber) {
+			return cmp, p.errorf("expected BETWEEN upper bound, found %q", p.cur().text)
+		}
+		cmp.BetweenHi = p.advance().text
+		cmp.IsBetween = true
+		return cmp, nil
+	}
+
+	if !p.at(tokCompare) {
+		return cmp, p.errorf("expected comparison operator, found %q", p.cur().text)
+	}
+	op, err := expr.ParseCmpOp(p.advance().text)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Op = op
+
+	if flipped {
+		if !p.at(tokIdent) || isReserved(p.cur().text) {
+			return cmp, p.errorf("expected column name, found %q", p.cur().text)
+		}
+		cmp.Column = p.advance().text
+		cmp.Op = op.Flip()
+	} else {
+		if !p.at(tokNumber) {
+			return cmp, p.errorf("expected literal, found %q (only column-vs-literal predicates are supported)", p.cur().text)
+		}
+		cmp.Literal = p.advance().text
+	}
+	return cmp, nil
+}
+
+func isReserved(s string) bool {
+	for _, kw := range []string{"select", "from", "where", "and", "or", "count", "sum", "min", "max", "avg", "limit", "between", "is", "not", "null", "order", "by", "asc", "desc"} {
+		if foldEq(s, kw) {
+			return true
+		}
+	}
+	return false
+}

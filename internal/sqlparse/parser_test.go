@@ -1,0 +1,246 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"fusedscan/internal/expr"
+)
+
+func TestParseCountStar(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Aggs) != 1 || sel.Aggs[0].Func != AggCount || sel.Star || len(sel.Columns) != 0 {
+		t.Fatalf("projection wrong: %+v", sel)
+	}
+	if sel.Table != "tbl" {
+		t.Fatalf("table = %q", sel.Table)
+	}
+	if len(sel.Where) != 2 {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	if sel.Where[0].Column != "a" || sel.Where[0].Op != expr.Eq || sel.Where[0].Literal != "5" {
+		t.Fatalf("first predicate = %+v", sel.Where[0])
+	}
+	if sel.Where[1].String() != "b = 2" {
+		t.Fatalf("second predicate = %s", sel.Where[1])
+	}
+}
+
+func TestParseProjectionList(t *testing.T) {
+	sel, err := Parse("select a, b, c from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Columns) != 3 || sel.Columns[2] != "c" {
+		t.Fatalf("columns = %v", sel.Columns)
+	}
+	if len(sel.Where) != 0 || sel.Limit != -1 {
+		t.Fatalf("unexpected where/limit: %+v", sel)
+	}
+}
+
+func TestParseStarAndLimit(t *testing.T) {
+	sel, err := Parse("SELECT * FROM t WHERE x >= -3 LIMIT 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Star || sel.Limit != 10 {
+		t.Fatalf("%+v", sel)
+	}
+	if sel.Where[0].Op != expr.Ge || sel.Where[0].Literal != "-3" {
+		t.Fatalf("predicate = %+v", sel.Where[0])
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	ops := map[string]expr.CmpOp{
+		"=": expr.Eq, "<>": expr.Ne, "!=": expr.Ne,
+		"<": expr.Lt, "<=": expr.Le, ">": expr.Gt, ">=": expr.Ge,
+	}
+	for tok, want := range ops {
+		sel, err := Parse("SELECT COUNT(*) FROM t WHERE a " + tok + " 1")
+		if err != nil {
+			t.Fatalf("%s: %v", tok, err)
+		}
+		if sel.Where[0].Op != want {
+			t.Errorf("%s parsed as %s", tok, sel.Where[0].Op)
+		}
+	}
+}
+
+func TestParseFlippedPredicate(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM t WHERE 5 < a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 < a normalizes to a > 5.
+	if sel.Where[0].Column != "a" || sel.Where[0].Op != expr.Gt || sel.Where[0].Literal != "5" {
+		t.Fatalf("normalized predicate = %+v", sel.Where[0])
+	}
+}
+
+func TestParseFloatAndScientificLiterals(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM t WHERE a < 2.5 AND b >= 1e-3 AND c <> -0.25E+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Where[0].Literal != "2.5" || sel.Where[1].Literal != "1e-3" || sel.Where[2].Literal != "-0.25E+2" {
+		t.Fatalf("literals = %+v", sel.Where)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("SeLeCt CoUnT(*) FrOm t WhErE a = 1 AnD b = 2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		sql     string
+		wantSub string
+	}{
+		{"", "expected select"},
+		{"SELECT FROM t", "expected column name"},
+		{"SELECT COUNT(* FROM t", `expected ")"`},
+		{"SELECT a FROM", "expected table name"},
+		{"SELECT a FROM t WHERE", "expected predicate"},
+		{"SELECT a FROM t WHERE a = 1 OR b = 2", "OR is not supported"},
+		{"SELECT a FROM t WHERE a ~ 1", "unexpected"},
+		{"SELECT a FROM t WHERE a = b", "expected literal"},
+		{"SELECT a FROM t WHERE a =", "expected literal"},
+		{"SELECT a FROM t LIMIT x", "expected LIMIT count"},
+		{"SELECT a FROM t garbage", "unexpected"},
+		{"SELECT a FROM t WHERE a = 1 AND", "expected predicate"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.sql)
+		if err == nil {
+			t.Errorf("%q: no error", c.sql)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.wantSub)) {
+			t.Errorf("%q: error %q does not mention %q", c.sql, err, c.wantSub)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"SELECT @ FROM t", "SELECT a FROM t WHERE a = -", "SELECT a FROM t WHERE a ! 1"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: lexer accepted garbage", src)
+		}
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM t WHERE a BETWEEN 5 AND 7 AND b = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Where) != 2 {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	bt := sel.Where[0]
+	if !bt.IsBetween || bt.Op != expr.Ge || bt.Literal != "5" || bt.BetweenHi != "7" {
+		t.Fatalf("between term = %+v", bt)
+	}
+	if bt.String() != "a BETWEEN 5 AND 7" {
+		t.Fatalf("String() = %q", bt.String())
+	}
+	if sel.Where[1].String() != "b = 2" {
+		t.Fatalf("second term = %v", sel.Where[1])
+	}
+	// Errors.
+	for _, bad := range []string{
+		"SELECT COUNT(*) FROM t WHERE a BETWEEN AND 7",
+		"SELECT COUNT(*) FROM t WHERE a BETWEEN 5 AND",
+		"SELECT COUNT(*) FROM t WHERE a BETWEEN 5 7",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseSum(t *testing.T) {
+	sel, err := Parse("SELECT SUM(price) FROM t WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Aggs) != 1 || sel.Aggs[0].Func != AggSum || sel.Aggs[0].Col != "price" || sel.Star {
+		t.Fatalf("%+v", sel)
+	}
+	for _, bad := range []string{
+		"SELECT SUM() FROM t",
+		"SELECT SUM(*) FROM t",
+		"SELECT SUM(price FROM t",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseMultipleAggregates(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*), SUM(a), MIN(b), MAX(b), AVG(c) FROM t WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Aggs) != 5 {
+		t.Fatalf("aggs = %v", sel.Aggs)
+	}
+	want := []AggTerm{
+		{Func: AggCount}, {Func: AggSum, Col: "a"}, {Func: AggMin, Col: "b"},
+		{Func: AggMax, Col: "b"}, {Func: AggAvg, Col: "c"},
+	}
+	for i, w := range want {
+		if sel.Aggs[i] != w {
+			t.Errorf("agg %d = %+v, want %+v", i, sel.Aggs[i], w)
+		}
+	}
+	if sel.Aggs[0].String() != "COUNT(*)" || sel.Aggs[4].String() != "AVG(c)" {
+		t.Errorf("labels: %s %s", sel.Aggs[0], sel.Aggs[4])
+	}
+	// Mixing aggregates and plain columns is rejected.
+	if _, err := Parse("SELECT COUNT(*), a FROM t"); err == nil {
+		t.Error("mixed projection accepted")
+	}
+	if _, err := Parse("SELECT MIN(*) FROM t"); err == nil {
+		t.Error("MIN(*) accepted")
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM t WHERE a IS NULL AND b IS NOT NULL AND c = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Where) != 3 {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	if sel.Where[0].NullTest != expr.PredIsNull || sel.Where[0].Column != "a" {
+		t.Fatalf("first = %+v", sel.Where[0])
+	}
+	if sel.Where[1].NullTest != expr.PredIsNotNull {
+		t.Fatalf("second = %+v", sel.Where[1])
+	}
+	if sel.Where[2].NullTest != expr.PredCompare {
+		t.Fatalf("third = %+v", sel.Where[2])
+	}
+	if sel.Where[0].String() != "a IS NULL" || sel.Where[1].String() != "b IS NOT NULL" {
+		t.Fatalf("strings: %s / %s", sel.Where[0], sel.Where[1])
+	}
+	for _, bad := range []string{
+		"SELECT COUNT(*) FROM t WHERE a IS 5",
+		"SELECT COUNT(*) FROM t WHERE a IS NOT 5",
+		"SELECT COUNT(*) FROM t WHERE IS NULL",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package stats provides the small numeric helpers the benchmark harness
+// uses: medians over repetitions (the paper reports medians of >= 100
+// runs) and compact human-readable number formatting for the printed
+// tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (the paper's summary statistic).
+// It returns NaN for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return s[mid-1]/2 + s[mid]/2 // halve first: avoids overflow on huge values
+}
+
+// Mean returns the arithmetic mean of xs (NaN for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest element (NaN for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element (NaN for an empty slice).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// FormatCount renders large counts compactly: 1234 -> "1234",
+// 1200000 -> "1.2M".
+func FormatCount(v float64) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case abs >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// FormatRows renders a row count the way the paper labels table sizes:
+// 1K, 10K, ... 1M, 132M.
+func FormatRows(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1000 && n%1000 == 0:
+		return fmt.Sprintf("%dK", n/1000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// FormatSelectivity renders a fraction as the paper's percent labels:
+// 0.5 -> "50%", 1e-6 -> "0.0001%".
+func FormatSelectivity(sel float64) string {
+	pct := sel * 100
+	if pct >= 1 {
+		return fmt.Sprintf("%g%%", pct)
+	}
+	return fmt.Sprintf("%.6g%%", pct)
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) not NaN")
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if Mean(xs) != 4 || Min(xs) != 2 || Max(xs) != 6 {
+		t.Errorf("mean/min/max = %v %v %v", Mean(xs), Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty-slice results not NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 10 {
+		t.Error("extremes wrong")
+	}
+	if Percentile(xs, 50) != 5 {
+		t.Errorf("P50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 90) != 9 {
+		t.Errorf("P90 = %v", Percentile(xs, 90))
+	}
+}
+
+// Property: the median sits between min and max and is order-invariant.
+func TestMedianProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Median(xs)
+		if m < Min(xs) || m > Max(xs) {
+			return false
+		}
+		shuffled := append([]float64(nil), xs...)
+		rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return Median(shuffled) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nearest-rank percentile is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	xs := make([]float64, 37)
+	rng := rand.New(rand.NewSource(2))
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 5 {
+		v := Percentile(xs, p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v", p)
+		}
+		prev = v
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if Percentile(xs, 100) != sorted[len(sorted)-1] {
+		t.Error("P100 != max")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if FormatRows(1000) != "1K" || FormatRows(132_000_000) != "132M" || FormatRows(777) != "777" {
+		t.Error("FormatRows wrong")
+	}
+	if FormatSelectivity(0.5) != "50%" {
+		t.Errorf("FormatSelectivity(0.5) = %s", FormatSelectivity(0.5))
+	}
+	if FormatSelectivity(1e-6) != "0.0001%" {
+		t.Errorf("FormatSelectivity(1e-6) = %s", FormatSelectivity(1e-6))
+	}
+	if FormatCount(1_200_000) != "1.20M" {
+		t.Errorf("FormatCount = %s", FormatCount(1_200_000))
+	}
+	if FormatCount(123) != "123" {
+		t.Errorf("FormatCount = %s", FormatCount(123))
+	}
+}

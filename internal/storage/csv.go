@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+)
+
+// ReadCSV imports a CSV file as a table. The first record must be a header
+// of "name:type" fields (e.g. "price:float64,qty:int32"); a bare "name"
+// defaults to int32. Empty cells become NULL. All of expr's type names and
+// SQL aliases (int, bigint, double, ...) are accepted.
+func ReadCSV(r io.Reader, space *mach.AddrSpace, tableName string) (*column.Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading CSV header: %w", err)
+	}
+	names := make([]string, len(header))
+	types := make([]expr.Type, len(header))
+	for i, h := range header {
+		name, typeName, found := strings.Cut(strings.TrimSpace(h), ":")
+		if name == "" {
+			return nil, fmt.Errorf("storage: empty column name in CSV header field %d", i)
+		}
+		names[i] = name
+		if !found {
+			types[i] = expr.Int32
+			continue
+		}
+		t, err := expr.ParseType(strings.TrimSpace(typeName))
+		if err != nil {
+			return nil, fmt.Errorf("storage: CSV header field %q: %w", h, err)
+		}
+		types[i] = t
+	}
+
+	// Two passes would need a seekable reader; buffer parsed values
+	// instead (raw bits plus null positions) and build columns at the end.
+	raw := make([][]uint64, len(header))
+	var nulls [][]int
+	nulls = make([][]int, len(header))
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: CSV row %d: %w", row+2, err)
+		}
+		for i := range header {
+			cell := strings.TrimSpace(rec[i])
+			if cell == "" {
+				nulls[i] = append(nulls[i], row)
+				raw[i] = append(raw[i], 0)
+				continue
+			}
+			v, err := expr.ParseValue(types[i], cell)
+			if err != nil {
+				return nil, fmt.Errorf("storage: CSV row %d column %q: %w", row+2, names[i], err)
+			}
+			raw[i] = append(raw[i], column.StoredBits(v))
+		}
+		row++
+	}
+
+	tbl := column.NewTable(space, tableName)
+	for i := range header {
+		c := column.New(space, names[i], types[i], row)
+		for r, bits := range raw[i] {
+			c.SetRaw(r, bits)
+		}
+		for _, r := range nulls[i] {
+			c.SetNull(r)
+		}
+		if err := tbl.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,247 @@
+// Package storage persists tables in a simple binary, little-endian,
+// length-prefixed format, and imports CSV files. It exists so the CLI
+// tools and embedding applications can keep datasets across runs; the
+// format stores exactly what the engine needs — column names, the ten
+// fixed-width types, raw value bytes, and validity bitmaps.
+//
+// Layout (all integers little-endian):
+//
+//	magic   "FSCN"            4 bytes
+//	version u32               currently 1
+//	name    u32 len + bytes   table name
+//	rows    u64
+//	cols    u32
+//	per column:
+//	  name     u32 len + bytes
+//	  type     u8              expr.Type
+//	  hasNulls u8              0 or 1
+//	  data     rows*size bytes
+//	  nulls    ceil(rows/64)*8 bytes (present iff hasNulls)
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+)
+
+const (
+	magic   = "FSCN"
+	version = 1
+	// maxNameLen bounds name fields so corrupt files cannot trigger huge
+	// allocations.
+	maxNameLen = 4096
+	// maxRows bounds the row count for the same reason (2^40 rows of one
+	// byte is already a terabyte).
+	maxRows = 1 << 40
+	// maxCols bounds the column count.
+	maxCols = 1 << 16
+)
+
+// WriteTable serializes a table.
+func WriteTable(w io.Writer, t *column.Table) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, version); err != nil {
+		return err
+	}
+	if err := writeString(bw, t.Name()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(t.Rows())); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(t.Columns()))); err != nil {
+		return err
+	}
+	for _, c := range t.Columns() {
+		if err := writeString(bw, c.Name()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(c.Type())); err != nil {
+			return err
+		}
+		hasNulls := byte(0)
+		if c.HasNulls() {
+			hasNulls = 1
+		}
+		if err := bw.WriteByte(hasNulls); err != nil {
+			return err
+		}
+		if _, err := bw.Write(c.Data()); err != nil {
+			return err
+		}
+		if c.HasNulls() {
+			words := (c.Len() + 63) / 64
+			buf := make([]byte, 8)
+			for wi := 0; wi < words; wi++ {
+				var word uint64
+				for b := 0; b < 64; b++ {
+					row := wi*64 + b
+					if row >= c.Len() || !c.Null(row) {
+						word |= 1 << uint(b)
+					}
+				}
+				binary.LittleEndian.PutUint64(buf, word)
+				if _, err := bw.Write(buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTable deserializes a table, allocating its columns in space.
+func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
+	br := bufio.NewReader(r)
+	var mg [4]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, fmt.Errorf("storage: reading magic: %w", err)
+	}
+	if string(mg[:]) != magic {
+		return nil, fmt.Errorf("storage: bad magic %q (not a fusedscan table file)", mg)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("storage: unsupported version %d (want %d)", ver, version)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var rows uint64
+	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	if rows > maxRows {
+		return nil, fmt.Errorf("storage: implausible row count %d", rows)
+	}
+	ncols, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ncols > maxCols {
+		return nil, fmt.Errorf("storage: implausible column count %d", ncols)
+	}
+
+	tbl := column.NewTable(space, name)
+	for ci := uint32(0); ci < ncols; ci++ {
+		cname, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		typ := expr.Type(tb)
+		if !typ.Valid() {
+			return nil, fmt.Errorf("storage: column %q has invalid type %d", cname, tb)
+		}
+		hasNulls, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		c := column.New(space, cname, typ, int(rows))
+		if _, err := io.ReadFull(br, c.Data()); err != nil {
+			return nil, fmt.Errorf("storage: column %q data: %w", cname, err)
+		}
+		if hasNulls == 1 {
+			c.EnsureNulls()
+			words := (int(rows) + 63) / 64
+			buf := make([]byte, 8)
+			for wi := 0; wi < words; wi++ {
+				if _, err := io.ReadFull(br, buf); err != nil {
+					return nil, fmt.Errorf("storage: column %q nulls: %w", cname, err)
+				}
+				word := binary.LittleEndian.Uint64(buf)
+				for b := 0; b < 64; b++ {
+					row := wi*64 + b
+					if row >= int(rows) {
+						break
+					}
+					if word&(1<<uint(b)) == 0 {
+						c.SetNull(row)
+					}
+				}
+			}
+		} else if hasNulls != 0 {
+			return nil, fmt.Errorf("storage: column %q has invalid null flag %d", cname, hasNulls)
+		}
+		if err := tbl.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// SaveFile writes a table to path.
+func SaveFile(path string, t *column.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTable(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a table from path.
+func LoadFile(path string, space *mach.AddrSpace) (*column.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTable(f, space)
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxNameLen {
+		return fmt.Errorf("storage: name too long (%d bytes)", len(s))
+	}
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("storage: name length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

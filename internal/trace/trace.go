@@ -1,0 +1,132 @@
+// Package trace renders the Fused Table Scan's data flow step by step, in
+// the style of the paper's Figure 3: for each executed instruction it
+// prints the intrinsic name and the resulting register or mask contents.
+// It exists for documentation, debugging and teaching — the production
+// kernel lives in internal/scan; this package re-executes the same
+// algorithm for the 2-predicate, 128-bit case with narration, and its
+// results are tested to agree with the reference evaluation.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/vec"
+)
+
+// PaperColumnA and PaperColumnB are the 16-value example columns printed
+// in Figure 3 (searching a = 5 AND b = 2; the figure shows row 1 as the
+// match surviving the first full position list).
+var (
+	PaperColumnA = []int32{2, 5, 4, 5, 6, 1, 5, 7, 6, 8, 5, 3, 5, 9, 9, 5}
+	PaperColumnB = []int32{5, 2, 3, 1, 1, 3, 6, 0, 8, 7, 3, 3, 2, 9, 3, 2}
+)
+
+// Fig3 walks a two-predicate 128-bit AVX-512 fused scan over the given
+// int32 columns, narrating every instruction to w, and returns the
+// matching positions.
+func Fig3(w io.Writer, colA, colB []int32, needleA, needleB int32) []uint32 {
+	if len(colA) != len(colB) {
+		panic("trace: column length mismatch")
+	}
+	space := mach.NewAddrSpace()
+	a := column.FromInt32s(space, "a", colA)
+	b := column.FromInt32s(space, "b", colB)
+
+	const width = vec.W128
+	const lanes = 4
+	n := a.Len()
+
+	name := func(k vec.OpKind, op expr.CmpOp) string {
+		return vec.IntrinsicName(k, width, expr.Int32, op)
+	}
+	reg := func(r vec.Reg) string { return r.Format(width, 4) }
+
+	fmt.Fprintf(w, "Fused Table Scan data flow (Figure 3): a = %d AND b = %d, %d rows, 128-bit registers\n\n",
+		needleA, needleB, n)
+
+	needA := vec.Set1(width, 4, uint64(uint32(needleA)))
+	needB := vec.Set1(width, 4, uint64(uint32(needleB)))
+	fmt.Fprintf(w, "%s(%d)           -> %s   (first search value)\n", name(vec.OpSet1, expr.Eq), needleA, reg(needA))
+	fmt.Fprintf(w, "%s(%d)           -> %s   (second search value)\n\n", name(vec.OpSet1, expr.Eq), needleB, reg(needB))
+
+	var plist vec.Reg
+	plen := 0
+	var out []uint32
+
+	dispatch := func(pos vec.Reg, cnt int) {
+		fmt.Fprintf(w, "  -- position list full: %s holds %d matching positions in column a\n", reg(pos), cnt)
+		gmask := vec.FirstN(cnt)
+		gathered, _ := vec.Gather(width, 4, vec.Reg{}, gmask, pos, b.Data(), 4, nil)
+		fmt.Fprintf(w, "  %s(b, pos, 4)      -> %s\n", name(vec.OpGather, expr.Eq), reg(gathered))
+		m2 := vec.MaskCmpMask(width, expr.Int32, expr.Eq, gmask, gathered, needB)
+		fmt.Fprintf(w, "  %s  -> %s\n", name(vec.OpMaskCmpMask, expr.Eq), vec.FormatMask(m2, cnt))
+		surv := vec.CompressZ(width, 4, m2, pos)
+		k := m2.PopCount(cnt)
+		fmt.Fprintf(w, "  %s    -> %s   (%d rows match both conditions)\n", name(vec.OpCompress, expr.Eq), reg(surv), k)
+		for l := 0; l < k; l++ {
+			out = append(out, uint32(surv.Lane(4, l)))
+		}
+	}
+
+	for blk := 0; blk < n; blk += lanes {
+		rows := lanes
+		if n-blk < rows {
+			rows = n - blk
+		}
+		fmt.Fprintf(w, "block %d: rows %d..%d of column a\n", blk/lanes, blk, blk+rows-1)
+		r := vec.LoadPartial(width, 4, a.Data()[blk*4:], rows)
+		fmt.Fprintf(w, "  %s            -> %s\n", name(vec.OpLoad, expr.Eq), reg(r))
+		m := vec.CmpMask(width, expr.Int32, expr.Eq, r, needA) & vec.FirstN(rows)
+		fmt.Fprintf(w, "  %s     -> %s\n", name(vec.OpCmpMask, expr.Eq), vec.FormatMask(m, rows))
+		if m == 0 {
+			fmt.Fprintf(w, "  (no matches, next block)\n\n")
+			continue
+		}
+		iota := vec.Iota(width, 4, uint64(blk), 1)
+		pos := vec.CompressZ(width, 4, m, iota)
+		cnt := m.PopCount(rows)
+		fmt.Fprintf(w, "  %s  -> %s   (indexes of current block, compressed)\n",
+			name(vec.OpCompress, expr.Eq), reg(pos))
+
+		// Append to the running position list, dispatching on overflow.
+		if plen+cnt > lanes {
+			take := lanes - plen
+			full := vec.ShiftLanesUp(width, 4, plen, pos, plist)
+			fmt.Fprintf(w, "  %s + %s -> %s   (append, list fills)\n",
+				name(vec.OpPermutex2var, expr.Eq), name(vec.OpCompress, expr.Eq), reg(full))
+			rem := vec.ShiftLanesDown(width, 4, take, pos)
+			plist = rem
+			plen = plen + cnt - lanes
+			dispatch(full, lanes)
+			fmt.Fprintf(w, "  new position list: %s (%d entries)\n\n", reg(plist), plen)
+			continue
+		}
+		plist = vec.ShiftLanesUp(width, 4, plen, pos, plist)
+		plen += cnt
+		fmt.Fprintf(w, "  %s + %s -> %s   (position list, %d entries)\n",
+			name(vec.OpPermutex2var, expr.Eq), name(vec.OpCompress, expr.Eq), reg(plist), plen)
+		if plen == lanes {
+			full := plist
+			plist = vec.Reg{}
+			plen = 0
+			dispatch(full, lanes)
+		}
+		fmt.Fprintln(w)
+	}
+	if plen > 0 {
+		fmt.Fprintf(w, "end of input: flushing incomplete position list (%d entries)\n", plen)
+		dispatch(plist, plen)
+	}
+
+	fmt.Fprintf(w, "\nfinal result: %d row(s) match both conditions: %v\n", len(out), out)
+	return out
+}
+
+// PaperExample runs Fig3 on the exact columns of the paper's figure.
+func PaperExample(w io.Writer) []uint32 {
+	return Fig3(w, PaperColumnA, PaperColumnB, 5, 2)
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+)
+
+func TestPaperExampleMatchesReference(t *testing.T) {
+	var buf bytes.Buffer
+	got := PaperExample(&buf)
+
+	space := mach.NewAddrSpace()
+	a := column.FromInt32s(space, "a", PaperColumnA)
+	b := column.FromInt32s(space, "b", PaperColumnB)
+	want := scan.Reference(scan.Chain{
+		{Col: a, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)},
+		{Col: b, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 2)},
+	}, true)
+
+	if len(got) != want.Count {
+		t.Fatalf("trace found %d matches, reference %d", len(got), want.Count)
+	}
+	for i, p := range got {
+		if p != want.Positions[i] {
+			t.Fatalf("position %d: %d vs %d", i, p, want.Positions[i])
+		}
+	}
+	// Row 1 is the figure's highlighted match.
+	if got[0] != 1 {
+		t.Fatalf("first match %d, figure shows row 1", got[0])
+	}
+
+	out := buf.String()
+	// The narration must show the figure's key intermediate states.
+	for _, wantLine := range []string{
+		"(2, 5, 4, 5)", // first block of column a
+		"0101",         // its comparison mask
+		"(1, 3",        // its compressed position list
+		"_mm_loadu_si128",
+		"_mm_cmpeq_epi32_mask",
+		"_mm_mask_compress_epi32",
+		"_mm_permutex2var_epi32",
+		"_mm_i32gather_epi32",
+		"_mm_mask_cmpeq_epi32_mask",
+	} {
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("trace output missing %q", wantLine)
+		}
+	}
+}
+
+func TestFig3RandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(100)
+		colA := make([]int32, n)
+		colB := make([]int32, n)
+		for i := 0; i < n; i++ {
+			colA[i] = int32(rng.Intn(4))
+			colB[i] = int32(rng.Intn(4))
+		}
+		got := Fig3(io.Discard, colA, colB, 1, 2)
+
+		space := mach.NewAddrSpace()
+		a := column.FromInt32s(space, "a", colA)
+		b := column.FromInt32s(space, "b", colB)
+		want := scan.Reference(scan.Chain{
+			{Col: a, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 1)},
+			{Col: b, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 2)},
+		}, true)
+		if len(got) != want.Count {
+			t.Fatalf("trial %d (n=%d): %d matches, want %d", trial, n, len(got), want.Count)
+		}
+		for i := range got {
+			if got[i] != want.Positions[i] {
+				t.Fatalf("trial %d: position %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestFig3PanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Fig3(io.Discard, []int32{1}, []int32{1, 2}, 1, 1)
+}

@@ -1,0 +1,62 @@
+package vec
+
+// AVX2 backport model.
+//
+// The paper evaluates an "AVX2 Fused (128)" configuration in which every
+// AVX-512 instruction is replaced by an equivalent AVX2 sequence
+// (avx_scan.cpp, REG == 128 && !AVX512). AVX2 has neither mask registers
+// nor a compress instruction, so:
+//
+//   - a masked comparison (_mm_mask_cmpeq_epi32_mask) becomes a packed
+//     compare producing all-ones lanes plus an AND and a movemask —
+//     Avx2MaskedCmpInstrs scalar-equivalent instructions;
+//   - _mm_mask_compress_epi32 becomes a ~32-instruction emulation (the
+//     paper: "something as short as _mm_mask_compress_epi32 became 32
+//     lines") built from shuffle-table lookups and blends —
+//     Avx2CompressInstrs instructions;
+//   - _mm_permutex2var_epi32 becomes an alignr/blend sequence —
+//     Avx2Permute2Instrs instructions.
+//
+// Functionally the results are identical, so the kernels reuse the AVX-512
+// semantic helpers; only the machine model charges the AVX2 instruction
+// counts. The constants below are what internal/mach consults when a kernel
+// runs in ISA IsaAVX2.
+const (
+	// Avx2CompressInstrs is the instruction count of the AVX2 emulation of
+	// mask_compress (shuffle-control table load, pshufb, blendv, pointer
+	// bookkeeping — 32 lines in the paper's implementation).
+	Avx2CompressInstrs = 32
+
+	// Avx2MaskedCmpInstrs is the instruction count of the AVX2 emulation of
+	// a masked compare-into-mask: cmp + and + movemask.
+	Avx2MaskedCmpInstrs = 3
+
+	// Avx2Permute2Instrs is the instruction count of the AVX2 emulation of
+	// permutex2var: two shuffles plus a blend.
+	Avx2Permute2Instrs = 3
+
+	// Avx2CmpInstrs is the instruction count of an unmasked compare-into-
+	// mask on AVX2: cmp + movemask.
+	Avx2CmpInstrs = 2
+)
+
+// ISA selects the instruction-set dialect a kernel is generated for. It
+// affects only cost accounting (and the rendered intrinsic listing), never
+// results.
+type ISA uint8
+
+const (
+	IsaAVX512 ISA = iota
+	IsaAVX2
+)
+
+func (i ISA) String() string {
+	switch i {
+	case IsaAVX512:
+		return "AVX-512"
+	case IsaAVX2:
+		return "AVX2"
+	default:
+		return "isa(?)"
+	}
+}

@@ -1,0 +1,140 @@
+package vec
+
+import (
+	"fmt"
+
+	"fusedscan/internal/expr"
+)
+
+// OpKind identifies an instruction class for cost accounting (internal/mach)
+// and for rendering intrinsic names in generated code (internal/jit).
+type OpKind uint8
+
+const (
+	OpLoad OpKind = iota // _mm*_loadu_si*
+	OpStore
+	OpSet1
+	OpAdd
+	OpCmpMask     // _mm*_cmp[op]_ep[iu]*_mask
+	OpMaskCmpMask // _mm*_mask_cmp[op]_ep[iu]*_mask
+	OpCompress    // _mm*_mask_compress_epi*
+	OpPermutex2var
+	OpGather // _mm*_i32gather_epi*
+	OpKMov   // mask register move / popcount bookkeeping
+	OpScalar // one scalar ALU instruction
+	numOpKinds
+)
+
+// NumOpKinds is the number of instruction classes.
+const NumOpKinds = int(numOpKinds)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpSet1:
+		return "set1"
+	case OpAdd:
+		return "add"
+	case OpCmpMask:
+		return "cmp_mask"
+	case OpMaskCmpMask:
+		return "mask_cmp_mask"
+	case OpCompress:
+		return "mask_compress"
+	case OpPermutex2var:
+		return "permutex2var"
+	case OpGather:
+		return "gather"
+	case OpKMov:
+		return "kmov"
+	case OpScalar:
+		return "scalar"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// widthPrefix returns the intrinsic prefix for a register width:
+// _mm (128), _mm256, _mm512.
+func widthPrefix(w Width) string {
+	switch w {
+	case W128:
+		return "_mm"
+	case W256:
+		return "_mm256"
+	case W512:
+		return "_mm512"
+	default:
+		panic(fmt.Sprintf("vec: invalid width %d", int(w)))
+	}
+}
+
+// elemSuffix returns the intrinsic element suffix for a type:
+// epi8/16/32/64 for signed ints, epu8/16/32/64 for unsigned (comparisons),
+// ps/pd for floats.
+func elemSuffix(t expr.Type, forCmp bool) string {
+	switch t {
+	case expr.Float32:
+		return "ps"
+	case expr.Float64:
+		return "pd"
+	}
+	base := fmt.Sprintf("%d", t.Size()*8)
+	if forCmp && !t.Signed() {
+		return "epu" + base
+	}
+	return "epi" + base
+}
+
+// cmpName returns the intrinsic comparison infix for an operator: eq, neq,
+// lt, le, gt, ge — as in _mm_cmpeq_epi32_mask.
+func cmpName(op expr.CmpOp) string {
+	switch op {
+	case expr.Eq:
+		return "eq"
+	case expr.Ne:
+		return "neq"
+	case expr.Lt:
+		return "lt"
+	case expr.Le:
+		return "le"
+	case expr.Gt:
+		return "gt"
+	case expr.Ge:
+		return "ge"
+	default:
+		panic(fmt.Sprintf("vec: invalid cmp op %d", uint8(op)))
+	}
+}
+
+// IntrinsicName renders the AVX-512 intrinsic name for an instruction class
+// at a given register width and element type, as it would appear in the
+// JIT-generated C++ listing. op is only consulted for comparisons.
+func IntrinsicName(k OpKind, w Width, t expr.Type, op expr.CmpOp) string {
+	p := widthPrefix(w)
+	switch k {
+	case OpLoad:
+		return fmt.Sprintf("%s_loadu_si%d", p, int(w))
+	case OpStore:
+		return fmt.Sprintf("%s_storeu_si%d", p, int(w))
+	case OpSet1:
+		return fmt.Sprintf("%s_set1_%s", p, elemSuffix(t, false))
+	case OpAdd:
+		return fmt.Sprintf("%s_add_%s", p, elemSuffix(t, false))
+	case OpCmpMask:
+		return fmt.Sprintf("%s_cmp%s_%s_mask", p, cmpName(op), elemSuffix(t, true))
+	case OpMaskCmpMask:
+		return fmt.Sprintf("%s_mask_cmp%s_%s_mask", p, cmpName(op), elemSuffix(t, true))
+	case OpCompress:
+		return fmt.Sprintf("%s_mask_compress_%s", p, elemSuffix(t, false))
+	case OpPermutex2var:
+		return fmt.Sprintf("%s_permutex2var_%s", p, elemSuffix(t, false))
+	case OpGather:
+		return fmt.Sprintf("%s_i32gather_%s", p, elemSuffix(t, false))
+	default:
+		return fmt.Sprintf("%s_%s", p, k.String())
+	}
+}

@@ -1,0 +1,205 @@
+package vec
+
+import (
+	"fmt"
+
+	"fusedscan/internal/expr"
+)
+
+// Load performs an unaligned vector load (_mm*_loadu_si*) of w.Bytes() bytes
+// from src.
+func Load(w Width, src []byte) Reg {
+	var r Reg
+	copy(r.b[:w.Bytes()], src[:w.Bytes()])
+	return r
+}
+
+// LoadPartial loads n*elemSize bytes from src into the low lanes and zeroes
+// the rest. It models a masked load at the tail of a column.
+func LoadPartial(w Width, elemSize int, src []byte, n int) Reg {
+	var r Reg
+	copy(r.b[:n*elemSize], src[:n*elemSize])
+	return r
+}
+
+// Set1 broadcasts one element pattern to all lanes (_mm*_set1_epi*).
+func Set1(w Width, elemSize int, bits uint64) Reg {
+	var r Reg
+	for i := 0; i < w.Lanes(elemSize); i++ {
+		r.SetLane(elemSize, i, bits)
+	}
+	return r
+}
+
+// Iota fills the lanes with start, start+step, start+2*step, ... It models
+// the "register that holds all positions in the current block" from the
+// paper's Figure 3 (built once with _mm*_set_epi* and advanced with an add).
+func Iota(w Width, elemSize int, start, step uint64) Reg {
+	var r Reg
+	v := start
+	for i := 0; i < w.Lanes(elemSize); i++ {
+		r.SetLane(elemSize, i, v)
+		v += step
+	}
+	return r
+}
+
+// Add performs a lane-wise addition (_mm*_add_epi*). Wrap-around follows
+// the lane width, as on hardware.
+func Add(w Width, elemSize int, a, b Reg) Reg {
+	var r Reg
+	for i := 0; i < w.Lanes(elemSize); i++ {
+		r.SetLane(elemSize, i, a.Lane(elemSize, i)+b.Lane(elemSize, i))
+	}
+	return r
+}
+
+// laneCompare evaluates "a op b" for one lane of type t.
+func laneCompare(t expr.Type, op expr.CmpOp, a, b uint64) bool {
+	return expr.CompareBits(t, op, a, b)
+}
+
+// CmpMask performs a packed comparison producing a lane mask
+// (_mm*_cmp[op]_ep[iu]*_mask / _mm*_cmp_p[sd]_mask). Element type t decides
+// both the lane width and the signedness / floatness of the comparison.
+func CmpMask(w Width, t expr.Type, op expr.CmpOp, a, b Reg) Mask {
+	size := t.Size()
+	var m Mask
+	for i := 0; i < w.Lanes(size); i++ {
+		if laneCompare(t, op, a.Lane(size, i), b.Lane(size, i)) {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// MaskCmpMask is the masked comparison (_mm*_mask_cmp[op]_ep[iu]*_mask):
+// lanes whose bit in k is clear produce 0 regardless of the comparison.
+// Before AVX-512 this required two instructions (a compare plus an AND),
+// which is one of the fusions the paper credits for its speedup.
+func MaskCmpMask(w Width, t expr.Type, op expr.CmpOp, k Mask, a, b Reg) Mask {
+	return CmpMask(w, t, op, a, b) & k
+}
+
+// Compress implements _mm*_mask_compress_epi* with merge semantics:
+// the lanes of a whose bit in k is set are moved, in order, to the low
+// lanes of the result; the remaining high lanes are taken from src
+// (lane-for-lane). This is the key instruction that turns a comparison
+// bitmask into a dense position list without leaving SIMD mode.
+func Compress(w Width, elemSize int, src Reg, k Mask, a Reg) Reg {
+	n := w.Lanes(elemSize)
+	r := src
+	j := 0
+	for i := 0; i < n; i++ {
+		if k.Bit(i) {
+			r.SetLane(elemSize, j, a.Lane(elemSize, i))
+			j++
+		}
+	}
+	// Lanes j..n-1 keep src's values (merge semantics). Copy explicitly for
+	// the partial lanes src may have provided beyond register width use.
+	for i := j; i < n; i++ {
+		r.SetLane(elemSize, i, src.Lane(elemSize, i))
+	}
+	return r
+}
+
+// CompressZ is the zeroing variant (_mm*_maskz_compress_epi*): high lanes
+// are zeroed instead of merged.
+func CompressZ(w Width, elemSize int, k Mask, a Reg) Reg {
+	return Compress(w, elemSize, Reg{}, k, a)
+}
+
+// Permutex2var implements _mm*_permutex2var_epi*: result lane i selects a
+// lane from the 2n-lane concatenation (a, b) according to the low bits of
+// idx lane i. Bit log2(n) of the index selects b over a. The paper uses it
+// to shift an existing position list so freshly compressed positions can be
+// appended behind it.
+func Permutex2var(w Width, elemSize int, a, idx, b Reg) Reg {
+	n := w.Lanes(elemSize)
+	var r Reg
+	for i := 0; i < n; i++ {
+		sel := int(idx.Lane(elemSize, i)) & (2*n - 1)
+		if sel < n {
+			r.SetLane(elemSize, i, a.Lane(elemSize, sel))
+		} else {
+			r.SetLane(elemSize, i, b.Lane(elemSize, sel-n))
+		}
+	}
+	return r
+}
+
+// ShiftLanesUp returns a register whose lane i+by = a lane i, with the low
+// `by` lanes taken from fill's low lanes. It is expressed on hardware as a
+// single Permutex2var with a precomputed index vector; kernels use this
+// helper and charge the cost of one permutex2var.
+func ShiftLanesUp(w Width, elemSize, by int, a, fill Reg) Reg {
+	n := w.Lanes(elemSize)
+	var idx Reg
+	for i := 0; i < n; i++ {
+		if i < by {
+			// select fill lane i (second operand)
+			idx.SetLane(elemSize, i, uint64(n+i))
+		} else {
+			idx.SetLane(elemSize, i, uint64(i-by))
+		}
+	}
+	return Permutex2var(w, elemSize, a, idx, fill)
+}
+
+// ShiftLanesDown returns a register whose lane i = a lane i+by; the top
+// `by` lanes are zeroed. Like ShiftLanesUp it is one Permutex2var with a
+// precomputed index vector on hardware.
+func ShiftLanesDown(w Width, elemSize, by int, a Reg) Reg {
+	n := w.Lanes(elemSize)
+	var idx Reg
+	for i := 0; i < n; i++ {
+		if i+by < n {
+			idx.SetLane(elemSize, i, uint64(i+by))
+		} else {
+			idx.SetLane(elemSize, i, uint64(n+i)) // select from zero operand
+		}
+	}
+	return Permutex2var(w, elemSize, a, idx, Reg{})
+}
+
+// Gather implements _mm*_i32gather_epi32 / _mm*_i32gather_epi64 and their
+// masked forms: for each lane i with k.Bit(i) set, load one element of
+// elemSize bytes from base[idx*scale:], where idx is lane i of vindex
+// interpreted as an unsigned 32-bit index. Lanes with a clear mask bit take
+// their value from src. Offsets of the loads actually performed are appended
+// to offs (for the machine model's memory accounting) and the extended
+// slice is returned.
+func Gather(w Width, elemSize int, src Reg, k Mask, vindex Reg, base []byte, scale int, offs []int64) (Reg, []int64) {
+	n := w.Lanes(elemSize)
+	r := src
+	for i := 0; i < n; i++ {
+		if !k.Bit(i) {
+			continue
+		}
+		idx := vindex.Lane(4, i) & 0xffffffff
+		off := int64(idx) * int64(scale)
+		var v uint64
+		for b := 0; b < elemSize; b++ {
+			v |= uint64(base[off+int64(b)]) << uint(8*b)
+		}
+		r.SetLane(elemSize, i, v)
+		offs = append(offs, off)
+	}
+	return r, offs
+}
+
+// Store writes the low w.Bytes() bytes of the register to dst
+// (_mm*_storeu_si*).
+func Store(w Width, dst []byte, r Reg) {
+	copy(dst[:w.Bytes()], r.b[:w.Bytes()])
+}
+
+// ValidateElemSize panics unless elemSize is one of 1, 2, 4 or 8.
+func ValidateElemSize(elemSize int) {
+	switch elemSize {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("vec: invalid element size %d", elemSize))
+	}
+}

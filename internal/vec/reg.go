@@ -1,0 +1,159 @@
+// Package vec is a software model of the subset of the AVX2 / AVX-512
+// instruction sets that the Fused Table Scan uses: vector registers of 128,
+// 256 and 512 bits, lane masks, packed comparisons producing masks, the
+// AVX-512 compress and two-source permute (swizzle) instructions, and the
+// gather instructions.
+//
+// The paper's kernels are written directly against Intel intrinsics
+// (_mm_loadu_si128, _mm_cmpeq_epi32_mask, _mm_mask_compress_epi32,
+// _mm_permutex2var_epi32, _mm_i32gather_epi32, ...). Go has no intrinsics,
+// so this package reproduces the architectural semantics of those
+// instructions; the scan kernels in internal/scan are then line-for-line
+// transcriptions of the paper's data flow (Figure 3). Instruction latency,
+// throughput and memory behaviour are modelled separately by internal/mach —
+// this package is purely functional.
+package vec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Width is a vector register width in bits.
+type Width int
+
+// The three register widths evaluated in the paper (Figures 4-7).
+const (
+	W128 Width = 128
+	W256 Width = 256
+	W512 Width = 512
+)
+
+// Bytes returns the register width in bytes.
+func (w Width) Bytes() int { return int(w) / 8 }
+
+// Lanes returns how many elements of elemSize bytes fit in a register.
+func (w Width) Lanes(elemSize int) int { return w.Bytes() / elemSize }
+
+// Valid reports whether w is one of the three supported widths.
+func (w Width) Valid() bool { return w == W128 || w == W256 || w == W512 }
+
+func (w Width) String() string { return fmt.Sprintf("%d-bit", int(w)) }
+
+// Reg is a vector register. Registers are always backed by 64 bytes of
+// storage; operations at width W use only the first W.Bytes() bytes.
+// Lanes are stored little-endian, matching x86.
+type Reg struct {
+	b [64]byte
+}
+
+// Mask is a lane predicate (the AVX-512 k-register model). Bit i corresponds
+// to lane i. With 8-bit lanes in a 512-bit register there are at most 64
+// lanes, so uint64 always suffices.
+type Mask uint64
+
+// Bit reports whether lane i is set.
+func (m Mask) Bit(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// PopCount returns the number of set lanes among the first n lanes.
+func (m Mask) PopCount(n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if m.Bit(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// FirstN returns a mask with the first n lanes set.
+func FirstN(n int) Mask {
+	if n >= 64 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(n) - 1
+}
+
+// Lane returns the raw (zero-extended) bit pattern of lane i for elements of
+// elemSize bytes. The interpretation (signed / unsigned / float) is applied
+// by the comparison instructions, exactly as on real hardware where a
+// register has no element type.
+func (r *Reg) Lane(elemSize, i int) uint64 {
+	off := i * elemSize
+	switch elemSize {
+	case 1:
+		return uint64(r.b[off])
+	case 2:
+		return uint64(r.b[off]) | uint64(r.b[off+1])<<8
+	case 4:
+		return uint64(r.b[off]) | uint64(r.b[off+1])<<8 |
+			uint64(r.b[off+2])<<16 | uint64(r.b[off+3])<<24
+	case 8:
+		return uint64(r.b[off]) | uint64(r.b[off+1])<<8 |
+			uint64(r.b[off+2])<<16 | uint64(r.b[off+3])<<24 |
+			uint64(r.b[off+4])<<32 | uint64(r.b[off+5])<<40 |
+			uint64(r.b[off+6])<<48 | uint64(r.b[off+7])<<56
+	default:
+		panic(fmt.Sprintf("vec: invalid element size %d", elemSize))
+	}
+}
+
+// SetLane stores the low elemSize bytes of v into lane i.
+func (r *Reg) SetLane(elemSize, i int, v uint64) {
+	off := i * elemSize
+	switch elemSize {
+	case 1:
+		r.b[off] = byte(v)
+	case 2:
+		r.b[off] = byte(v)
+		r.b[off+1] = byte(v >> 8)
+	case 4:
+		r.b[off] = byte(v)
+		r.b[off+1] = byte(v >> 8)
+		r.b[off+2] = byte(v >> 16)
+		r.b[off+3] = byte(v >> 24)
+	case 8:
+		r.b[off] = byte(v)
+		r.b[off+1] = byte(v >> 8)
+		r.b[off+2] = byte(v >> 16)
+		r.b[off+3] = byte(v >> 24)
+		r.b[off+4] = byte(v >> 32)
+		r.b[off+5] = byte(v >> 40)
+		r.b[off+6] = byte(v >> 48)
+		r.b[off+7] = byte(v >> 56)
+	default:
+		panic(fmt.Sprintf("vec: invalid element size %d", elemSize))
+	}
+}
+
+// Bytes returns the first n bytes of the register's storage.
+func (r *Reg) Bytes(n int) []byte { return r.b[:n] }
+
+// Format renders the register as a lane list for debugging and for the
+// worked Figure-3 example, e.g. "(2, 5, 4, 5)".
+func (r *Reg) Format(w Width, elemSize int) string {
+	n := w.Lanes(elemSize)
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d", r.Lane(elemSize, i))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// FormatMask renders a mask over n lanes, lane 0 first, e.g. "0101".
+func FormatMask(m Mask, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if m.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,404 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fusedscan/internal/expr"
+)
+
+func TestWidthLanes(t *testing.T) {
+	cases := []struct {
+		w    Width
+		size int
+		want int
+	}{
+		{W128, 4, 4}, {W128, 8, 2}, {W128, 1, 16},
+		{W256, 4, 8}, {W256, 2, 16},
+		{W512, 4, 16}, {W512, 8, 8}, {W512, 1, 64},
+	}
+	for _, c := range cases {
+		if got := c.w.Lanes(c.size); got != c.want {
+			t.Errorf("%v.Lanes(%d) = %d, want %d", c.w, c.size, got, c.want)
+		}
+	}
+}
+
+func TestLaneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{1, 2, 4, 8} {
+		var r Reg
+		n := W512.Lanes(size)
+		vals := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = rng.Uint64() & (1<<uint(8*size) - 1)
+			if size == 8 {
+				vals[i] = rng.Uint64()
+			}
+			r.SetLane(size, i, vals[i])
+		}
+		for i := 0; i < n; i++ {
+			if got := r.Lane(size, i); got != vals[i] {
+				t.Fatalf("size %d lane %d: got %#x want %#x", size, i, got, vals[i])
+			}
+		}
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	for _, w := range []Width{W128, W256, W512} {
+		r := Load(w, src)
+		dst := make([]byte, 64)
+		Store(w, dst, r)
+		for i := 0; i < w.Bytes(); i++ {
+			if dst[i] != src[i] {
+				t.Fatalf("%v: byte %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestSet1AndIota(t *testing.T) {
+	r := Set1(W256, 4, 0xdeadbeef)
+	for i := 0; i < 8; i++ {
+		if r.Lane(4, i) != 0xdeadbeef {
+			t.Fatalf("set1 lane %d = %#x", i, r.Lane(4, i))
+		}
+	}
+	io := Iota(W512, 4, 100, 3)
+	for i := 0; i < 16; i++ {
+		if got := io.Lane(4, i); got != uint64(100+3*i) {
+			t.Fatalf("iota lane %d = %d", i, got)
+		}
+	}
+}
+
+func TestAddWrapAround(t *testing.T) {
+	a := Set1(W128, 2, 0xffff)
+	b := Set1(W128, 2, 2)
+	r := Add(W128, 2, a, b)
+	for i := 0; i < 8; i++ {
+		if got := r.Lane(2, i); got != 1 {
+			t.Fatalf("lane %d: got %d, want wraparound 1", i, got)
+		}
+	}
+}
+
+func TestCmpMaskPaperExample(t *testing.T) {
+	// Figure 3: column A block (2, 5, 4, 5) compared for equality with 5
+	// must yield mask 0101 (lanes 1 and 3).
+	var a Reg
+	for i, v := range []uint64{2, 5, 4, 5} {
+		a.SetLane(4, i, v)
+	}
+	needle := Set1(W128, 4, 5)
+	m := CmpMask(W128, expr.Int32, expr.Eq, a, needle)
+	if m != 0b1010 {
+		t.Fatalf("mask = %04b, want 1010 (lanes 1,3)", m)
+	}
+	if FormatMask(m, 4) != "0101" {
+		t.Fatalf("FormatMask = %q", FormatMask(m, 4))
+	}
+}
+
+func TestCmpMaskSignedness(t *testing.T) {
+	// -1 as int32 must be < 0 signed, but > 0 when compared as uint32.
+	var a Reg
+	a.SetLane(4, 0, 0xffffffff)
+	zero := Set1(W128, 4, 0)
+	if m := CmpMask(W128, expr.Int32, expr.Lt, a, zero); !m.Bit(0) {
+		t.Error("int32 -1 < 0 should match")
+	}
+	if m := CmpMask(W128, expr.Uint32, expr.Lt, a, zero); m.Bit(0) {
+		t.Error("uint32 0xffffffff < 0 should not match")
+	}
+	if m := CmpMask(W128, expr.Uint32, expr.Gt, a, zero); !m.Bit(0) {
+		t.Error("uint32 0xffffffff > 0 should match")
+	}
+}
+
+func TestCmpMaskFloat(t *testing.T) {
+	var a Reg
+	a.SetLane(4, 0, uint64(math.Float32bits(1.5)))
+	a.SetLane(4, 1, uint64(math.Float32bits(-2.25)))
+	a.SetLane(4, 2, uint64(math.Float32bits(float32(math.NaN()))))
+	b := Set1(W128, 4, uint64(math.Float32bits(0)))
+	m := CmpMask(W128, expr.Float32, expr.Gt, a, b)
+	if !m.Bit(0) || m.Bit(1) {
+		t.Errorf("float32 compare mask wrong: %v", FormatMask(m, 4))
+	}
+	if m.Bit(2) {
+		t.Error("NaN > 0 must be false")
+	}
+	// NaN != x is true.
+	mne := CmpMask(W128, expr.Float32, expr.Ne, a, b)
+	if !mne.Bit(2) {
+		t.Error("NaN != 0 must be true")
+	}
+}
+
+func TestMaskCmpMask(t *testing.T) {
+	a := Set1(W128, 4, 7)
+	b := Set1(W128, 4, 7)
+	m := MaskCmpMask(W128, expr.Int32, expr.Eq, 0b0110, a, b)
+	if m != 0b0110 {
+		t.Fatalf("masked cmp = %04b, want 0110", m)
+	}
+}
+
+func TestCompressPaperExample(t *testing.T) {
+	// Figure 3: mask 0101 over positions (0,1,2,3) compresses to (1,3,_,_).
+	iota := Iota(W128, 4, 0, 1)
+	r := CompressZ(W128, 4, 0b1010, iota)
+	if r.Lane(4, 0) != 1 || r.Lane(4, 1) != 3 {
+		t.Fatalf("compress = %s, want (1, 3, 0, 0)", r.Format(W128, 4))
+	}
+	if r.Lane(4, 2) != 0 || r.Lane(4, 3) != 0 {
+		t.Fatalf("compress upper lanes not zeroed: %s", r.Format(W128, 4))
+	}
+}
+
+func TestCompressMergeSemantics(t *testing.T) {
+	src := Iota(W128, 4, 100, 1) // (100, 101, 102, 103)
+	a := Iota(W128, 4, 0, 1)     // (0, 1, 2, 3)
+	r := Compress(W128, 4, src, 0b1001, a)
+	// Selected lanes 0 and 3 -> (0, 3, src[2], src[3]).
+	want := []uint64{0, 3, 102, 103}
+	for i, w := range want {
+		if got := r.Lane(4, i); got != w {
+			t.Fatalf("lane %d = %d, want %d (reg %s)", i, got, w, r.Format(W128, 4))
+		}
+	}
+}
+
+func TestPermutex2var(t *testing.T) {
+	a := Iota(W128, 4, 0, 1)  // 0..3
+	b := Iota(W128, 4, 10, 1) // 10..13
+	var idx Reg
+	for i, sel := range []uint64{7, 0, 4, 3} {
+		idx.SetLane(4, i, sel)
+	}
+	r := Permutex2var(W128, 4, a, idx, b)
+	want := []uint64{13, 0, 10, 3}
+	for i, w := range want {
+		if got := r.Lane(4, i); got != w {
+			t.Fatalf("lane %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPermutex2varIndexMasking(t *testing.T) {
+	// Indices beyond 2n-1 wrap (hardware masks the control bits).
+	a := Iota(W128, 4, 0, 1)
+	b := Iota(W128, 4, 10, 1)
+	var idx Reg
+	idx.SetLane(4, 0, 8) // 8 & 7 == 0 -> a[0]
+	r := Permutex2var(W128, 4, a, idx, b)
+	if r.Lane(4, 0) != 0 {
+		t.Fatalf("wrapped index: got %d, want 0", r.Lane(4, 0))
+	}
+}
+
+func TestShiftLanesUpDown(t *testing.T) {
+	a := Iota(W256, 4, 1, 1)     // 1..8
+	fill := Iota(W256, 4, 50, 1) // 50..57
+	up := ShiftLanesUp(W256, 4, 3, a, fill)
+	wantUp := []uint64{50, 51, 52, 1, 2, 3, 4, 5}
+	for i, w := range wantUp {
+		if got := up.Lane(4, i); got != w {
+			t.Fatalf("up lane %d = %d, want %d", i, got, w)
+		}
+	}
+	down := ShiftLanesDown(W256, 4, 3, a)
+	wantDown := []uint64{4, 5, 6, 7, 8, 0, 0, 0}
+	for i, w := range wantDown {
+		if got := down.Lane(4, i); got != w {
+			t.Fatalf("down lane %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	// Base memory: int32 values 0,10,20,...
+	base := make([]byte, 4*64)
+	for i := 0; i < 64; i++ {
+		v := uint32(i * 10)
+		base[4*i] = byte(v)
+		base[4*i+1] = byte(v >> 8)
+		base[4*i+2] = byte(v >> 16)
+		base[4*i+3] = byte(v >> 24)
+	}
+	var vindex Reg
+	for i, idx := range []uint64{3, 60, 0, 7} {
+		vindex.SetLane(4, i, idx)
+	}
+	src := Set1(W128, 4, 999)
+	r, offs := Gather(W128, 4, src, 0b1011, vindex, base, 4, nil)
+	if r.Lane(4, 0) != 30 || r.Lane(4, 1) != 600 || r.Lane(4, 3) != 70 {
+		t.Fatalf("gather = %s", r.Format(W128, 4))
+	}
+	if r.Lane(4, 2) != 999 {
+		t.Fatalf("masked-off lane overwritten: %d", r.Lane(4, 2))
+	}
+	if len(offs) != 3 || offs[0] != 12 || offs[1] != 240 || offs[2] != 28 {
+		t.Fatalf("gather offsets = %v", offs)
+	}
+}
+
+func TestGather64BitElements(t *testing.T) {
+	base := make([]byte, 8*16)
+	for i := 0; i < 16; i++ {
+		base[8*i] = byte(i + 1)
+	}
+	var vindex Reg
+	vindex.SetLane(4, 0, 5)
+	vindex.SetLane(4, 1, 15)
+	r, offs := Gather(W128, 8, Reg{}, 0b11, vindex, base, 8, nil)
+	if r.Lane(8, 0) != 6 || r.Lane(8, 1) != 16 {
+		t.Fatalf("gather64 = %s", r.Format(W128, 8))
+	}
+	if len(offs) != 2 {
+		t.Fatalf("offsets = %v", offs)
+	}
+}
+
+func TestFirstN(t *testing.T) {
+	if FirstN(0) != 0 {
+		t.Error("FirstN(0) != 0")
+	}
+	if FirstN(4) != 0b1111 {
+		t.Error("FirstN(4) wrong")
+	}
+	if FirstN(64) != ^Mask(0) {
+		t.Error("FirstN(64) wrong")
+	}
+	if FirstN(100) != ^Mask(0) {
+		t.Error("FirstN(>64) should saturate")
+	}
+}
+
+func TestMaskPopCount(t *testing.T) {
+	m := Mask(0b1101)
+	if m.PopCount(4) != 3 {
+		t.Errorf("PopCount(4) = %d", m.PopCount(4))
+	}
+	if m.PopCount(2) != 1 {
+		t.Errorf("PopCount(2) = %d", m.PopCount(2))
+	}
+}
+
+// Property: compress never loses or reorders selected lanes.
+func TestCompressProperty(t *testing.T) {
+	f := func(lanes [16]uint32, mask uint16) bool {
+		var a Reg
+		for i, v := range lanes {
+			a.SetLane(4, i, uint64(v))
+		}
+		r := CompressZ(W512, 4, Mask(mask), a)
+		j := 0
+		for i := 0; i < 16; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				if r.Lane(4, j) != uint64(lanes[i]) {
+					return false
+				}
+				j++
+			}
+		}
+		// Remaining lanes zero.
+		for ; j < 16; j++ {
+			if r.Lane(4, j) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ShiftLanesDown(by, ShiftLanesUp(by, a, zero)) == a for the
+// surviving lanes.
+func TestShiftRoundTripProperty(t *testing.T) {
+	f := func(lanes [8]uint32, byRaw uint8) bool {
+		by := int(byRaw) % 8
+		var a Reg
+		for i, v := range lanes {
+			a.SetLane(4, i, uint64(v))
+		}
+		up := ShiftLanesUp(W256, 4, by, a, Reg{})
+		back := ShiftLanesDown(W256, 4, by, up)
+		for i := 0; i < 8-by; i++ {
+			if back.Lane(4, i) != uint64(lanes[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CmpMask agrees with expr.CompareBits lane by lane for every
+// type and operator.
+func TestCmpMaskAgreesWithScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, typ := range expr.AllTypes() {
+		size := typ.Size()
+		lanes := W512.Lanes(size)
+		for _, op := range expr.AllCmpOps() {
+			var a, b Reg
+			for i := 0; i < lanes; i++ {
+				av := rng.Uint64() & (1<<uint(8*size) - 1)
+				bv := av
+				if rng.Intn(2) == 0 {
+					bv = rng.Uint64() & (1<<uint(8*size) - 1)
+				}
+				if size == 8 {
+					av, bv = rng.Uint64(), av
+				}
+				a.SetLane(size, i, av)
+				b.SetLane(size, i, bv)
+			}
+			m := CmpMask(W512, typ, op, a, b)
+			for i := 0; i < lanes; i++ {
+				want := expr.CompareBits(typ, op, a.Lane(size, i), b.Lane(size, i))
+				if m.Bit(i) != want {
+					t.Fatalf("%s %s lane %d: mask %v, scalar %v", typ, op, i, m.Bit(i), want)
+				}
+			}
+		}
+	}
+}
+
+func TestIntrinsicNames(t *testing.T) {
+	cases := []struct {
+		kind OpKind
+		w    Width
+		typ  expr.Type
+		op   expr.CmpOp
+		want string
+	}{
+		{OpLoad, W128, expr.Int32, expr.Eq, "_mm_loadu_si128"},
+		{OpCmpMask, W128, expr.Int32, expr.Eq, "_mm_cmpeq_epi32_mask"},
+		{OpMaskCmpMask, W128, expr.Int32, expr.Eq, "_mm_mask_cmpeq_epi32_mask"},
+		{OpCompress, W128, expr.Int32, expr.Eq, "_mm_mask_compress_epi32"},
+		{OpPermutex2var, W128, expr.Int32, expr.Eq, "_mm_permutex2var_epi32"},
+		{OpGather, W128, expr.Int32, expr.Eq, "_mm_i32gather_epi32"},
+		{OpCmpMask, W512, expr.Uint16, expr.Lt, "_mm512_cmplt_epu16_mask"},
+		{OpCmpMask, W256, expr.Float32, expr.Gt, "_mm256_cmpgt_ps_mask"},
+		{OpLoad, W512, expr.Int64, expr.Eq, "_mm512_loadu_si512"},
+	}
+	for _, c := range cases {
+		if got := IntrinsicName(c.kind, c.w, c.typ, c.op); got != c.want {
+			t.Errorf("IntrinsicName(%v, %v, %v, %v) = %q, want %q", c.kind, c.w, c.typ, c.op, got, c.want)
+		}
+	}
+}

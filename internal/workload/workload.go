@@ -1,0 +1,159 @@
+// Package workload generates the synthetic tables the paper's evaluation
+// scans: int32 columns where each predicate's selectivity is controlled
+// exactly, either independently per column (Figures 1, 4, 5, 6) or as a
+// conditional chain where each following predicate keeps a fraction of the
+// remaining rows (Figure 7).
+//
+// Selectivity is exact, not expected: for a requested selectivity s over n
+// rows, round(s*n) rows carry the match value, at positions chosen by a
+// deterministic pseudo-random permutation — the paper's "percent of
+// qualifying rows per predicate". Generators are seeded and reproducible.
+package workload
+
+import (
+	"math/rand"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+)
+
+// MatchValue is the value predicates search for (the paper's "a = 5").
+const MatchValue int32 = 5
+
+// fillColumn writes an int32 column where exactly matches of the n rows
+// hold MatchValue and the rest hold values drawn from [100, 200).
+func fillColumn(col *column.Column, rng *rand.Rand, matches int) {
+	n := col.Len()
+	for i := 0; i < n; i++ {
+		col.SetRaw(i, uint64(uint32(100+rng.Int31n(100))))
+	}
+	for _, p := range samplePositions(rng, n, matches) {
+		col.SetRaw(p, uint64(uint32(MatchValue)))
+	}
+}
+
+// samplePositions draws `matches` distinct row ids from [0, n). For sparse
+// draws it rejection-samples (cheap at large n); otherwise it permutes.
+func samplePositions(rng *rand.Rand, n, matches int) []int {
+	if matches == 0 {
+		return nil
+	}
+	if matches <= n/16 {
+		seen := make(map[int]struct{}, matches)
+		out := make([]int, 0, matches)
+		for len(out) < matches {
+			p := rng.Intn(n)
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+		return out
+	}
+	return rng.Perm(n)[:matches]
+}
+
+// Exact returns round(sel*n) clamped to [0, n].
+func Exact(n int, sel float64) int {
+	m := int(sel*float64(n) + 0.5)
+	if m < 0 {
+		m = 0
+	}
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// Independent builds k int32 columns of n rows where column j matches
+// MatchValue on exactly Exact(n, sels[j]) rows, independently of the other
+// columns, and returns the equality chain over them.
+func Independent(space *mach.AddrSpace, n int, sels []float64, seed int64) scan.Chain {
+	rng := rand.New(rand.NewSource(seed))
+	var ch scan.Chain
+	for j, sel := range sels {
+		col := column.New(space, colName(j), expr.Int32, n)
+		fillColumn(col, rng, Exact(n, sel))
+		ch = append(ch, scan.Pred{Col: col, Op: expr.Eq, Value: expr.NewInt(expr.Int32, int64(MatchValue))})
+	}
+	return ch
+}
+
+// Uniform builds a k-predicate chain where every predicate has the same
+// selectivity (the Figure 4/5/6 setup).
+func Uniform(space *mach.AddrSpace, n, k int, sel float64, seed int64) scan.Chain {
+	sels := make([]float64, k)
+	for i := range sels {
+		sels[i] = sel
+	}
+	return Independent(space, n, sels, seed)
+}
+
+// Conditional builds a k-predicate chain in the Figure 7 configuration:
+// the first predicate matches exactly Exact(n, first) rows; each following
+// predicate matches exactly the fraction `rest` of the rows still
+// surviving the chain so far (rows not surviving get a matching value with
+// the same probability, so per-column distributions stay realistic).
+func Conditional(space *mach.AddrSpace, n, k int, first, rest float64, seed int64) scan.Chain {
+	rng := rand.New(rand.NewSource(seed))
+	var ch scan.Chain
+
+	col0 := column.New(space, colName(0), expr.Int32, n)
+	fillColumn(col0, rng, Exact(n, first))
+	ch = append(ch, scan.Pred{Col: col0, Op: expr.Eq, Value: expr.NewInt(expr.Int32, int64(MatchValue))})
+
+	surviving := make([]int, 0, Exact(n, first))
+	for i := 0; i < n; i++ {
+		if col0.Raw(i) == uint64(uint32(MatchValue)) {
+			surviving = append(surviving, i)
+		}
+	}
+
+	for j := 1; j < k; j++ {
+		col := column.New(space, colName(j), expr.Int32, n)
+		// Background: non-surviving rows match with probability `rest`.
+		for i := 0; i < n; i++ {
+			if rng.Float64() < rest {
+				col.SetRaw(i, uint64(uint32(MatchValue)))
+			} else {
+				col.SetRaw(i, uint64(uint32(100+rng.Int31n(100))))
+			}
+		}
+		// Exactly `rest` of the surviving rows keep surviving.
+		keep := Exact(len(surviving), rest)
+		perm := rng.Perm(len(surviving))
+		next := make([]int, 0, keep)
+		for idx, pi := range perm {
+			row := surviving[pi]
+			if idx < keep {
+				col.SetRaw(row, uint64(uint32(MatchValue)))
+				next = append(next, row)
+			} else {
+				col.SetRaw(row, uint64(uint32(100+rng.Int31n(100))))
+			}
+		}
+		surviving = next
+		ch = append(ch, scan.Pred{Col: col, Op: expr.Eq, Value: expr.NewInt(expr.Int32, int64(MatchValue))})
+	}
+	return ch
+}
+
+func colName(j int) string {
+	if j < 26 {
+		return string(rune('a' + j))
+	}
+	return "c" + string(rune('0'+j%10))
+}
+
+// Table wraps a chain's columns into a named table (for the SQL layer and
+// the examples).
+func Table(space *mach.AddrSpace, name string, ch scan.Chain) *column.Table {
+	t := column.NewTable(space, name)
+	for _, p := range ch {
+		t.MustAddColumn(p.Col)
+	}
+	return t
+}

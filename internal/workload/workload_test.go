@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+)
+
+func countMatches(ch scan.Chain, j int) int {
+	col := ch[j].Col
+	needle := ch[j].StoredBits()
+	c := 0
+	for i := 0; i < col.Len(); i++ {
+		if col.Raw(i) == needle {
+			c++
+		}
+	}
+	return c
+}
+
+func TestExact(t *testing.T) {
+	cases := []struct {
+		n    int
+		sel  float64
+		want int
+	}{
+		{100, 0.5, 50},
+		{100, 0.001, 0},
+		{1000, 0.001, 1},
+		{100, 1.0, 100},
+		{100, 2.0, 100},
+		{100, -1, 0},
+		{0, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := Exact(c.n, c.sel); got != c.want {
+			t.Errorf("Exact(%d, %v) = %d, want %d", c.n, c.sel, got, c.want)
+		}
+	}
+}
+
+func TestIndependentExactSelectivity(t *testing.T) {
+	space := mach.NewAddrSpace()
+	sels := []float64{0.5, 0.01, 0.001}
+	ch := Independent(space, 10000, sels, 1)
+	if len(ch) != 3 {
+		t.Fatalf("chain length %d", len(ch))
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j, sel := range sels {
+		want := Exact(10000, sel)
+		if got := countMatches(ch, j); got != want {
+			t.Errorf("column %d: %d matches, want %d", j, got, want)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(mach.NewAddrSpace(), 5000, 2, 0.1, 7)
+	b := Uniform(mach.NewAddrSpace(), 5000, 2, 0.1, 7)
+	ra := scan.Reference(a, true)
+	rb := scan.Reference(b, true)
+	if ra.Count != rb.Count {
+		t.Fatalf("same seed, different results: %d vs %d", ra.Count, rb.Count)
+	}
+	for i := range ra.Positions {
+		if ra.Positions[i] != rb.Positions[i] {
+			t.Fatal("same seed, different positions")
+		}
+	}
+	c := Uniform(mach.NewAddrSpace(), 5000, 2, 0.1, 8)
+	rc := scan.Reference(c, true)
+	same := ra.Count == rc.Count && len(ra.Positions) == len(rc.Positions)
+	if same {
+		for i := range ra.Positions {
+			if ra.Positions[i] != rc.Positions[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data (suspicious)")
+	}
+}
+
+func TestConditionalChainSurvival(t *testing.T) {
+	const n = 20000
+	space := mach.NewAddrSpace()
+	for _, k := range []int{2, 3, 4, 5} {
+		ch := Conditional(space, n, k, 0.01, 0.5, int64(k))
+		if err := ch.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Survivors after predicate j must be Exact(..., 0.5) applied
+		// repeatedly to Exact(n, 0.01).
+		want := Exact(n, 0.01)
+		for j := 1; j < k; j++ {
+			want = Exact(want, 0.5)
+		}
+		got := scan.Reference(ch, false).Count
+		if got != want {
+			t.Errorf("k=%d: %d survivors, want %d", k, got, want)
+		}
+		// The first column's selectivity is exact.
+		if got := countMatches(ch, 0); got != Exact(n, 0.01) {
+			t.Errorf("k=%d: first column matches %d", k, got)
+		}
+		// Following columns match roughly 50% globally.
+		for j := 1; j < k; j++ {
+			m := countMatches(ch, j)
+			if m < n*45/100 || m > n*55/100 {
+				t.Errorf("k=%d column %d: background match rate %d/%d out of range", k, j, m, n)
+			}
+		}
+	}
+}
+
+func TestTableWrapping(t *testing.T) {
+	space := mach.NewAddrSpace()
+	ch := Uniform(space, 100, 3, 0.5, 3)
+	tbl := Table(space, "t", ch)
+	if tbl.Rows() != 100 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	if len(tbl.Columns()) != 3 {
+		t.Fatalf("columns = %d", len(tbl.Columns()))
+	}
+	if _, err := tbl.Column("a"); err != nil {
+		t.Fatal(err)
+	}
+}
