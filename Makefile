@@ -1,0 +1,33 @@
+# Tier-1 gate: everything a change must pass before merging.
+# `make check` is what CI runs; the individual targets exist for local use.
+
+GO ?= go
+
+.PHONY: check build vet test race fuzz bench clean
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Plain test run (the seed's tier-1 gate).
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector, including the concurrency stress
+# tests; slower than `make test` but the tier-1 bar for this repo.
+race:
+	$(GO) test -race ./...
+
+# Short coverage-guided fuzz of the SQL parser.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse
+
+bench:
+	$(GO) run ./cmd/fusedscan-bench -fig 1 -scale 0.01 -reps 1
+
+clean:
+	$(GO) clean -testcache

@@ -26,7 +26,18 @@ func main() {
 	scale := flag.Float64("scale", 1.0/16, "table-size scale factor (1.0 = paper sizes)")
 	reps := flag.Int("reps", 3, "repetitions per configuration (median reported)")
 	seed := flag.Int64("seed", 42, "base data seed")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this wall-clock time (0 = none)")
 	flag.Parse()
+
+	if *timeout > 0 {
+		// The bench sweeps have no cancellation points, so the guard is a
+		// hard wall-clock abort: better a truncated run than a CI job that
+		// hangs at -scale 1.0.
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "fusedscan-bench: aborted after -timeout %v\n", *timeout)
+			os.Exit(1)
+		})
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,6 +21,7 @@ import (
 func main() {
 	rows := flag.Int("rows", 100_000, "rows in the generated demo table")
 	showJIT := flag.Bool("jit", true, "print the JIT-generated operator source")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the execution step (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fusedscan-explain [flags] \"SELECT ...\"")
@@ -71,11 +74,23 @@ func main() {
 		}
 	}
 
-	res, err := eng.Query(sql)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := eng.QueryContext(ctx, sql)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatal(fmt.Errorf("execution exceeded -timeout %v and was cancelled", *timeout))
+		}
 		fatal(err)
 	}
 	fmt.Println("\n=== Execution ===")
+	if res.Degraded {
+		fmt.Printf("note: degraded execution (%s)\n", res.DegradedReason)
+	}
 	fmt.Printf("result count: %d\n", res.Count)
 	fmt.Printf("simulated:    %.3f ms, %.1f GB/s, %d branch mispredicts, %d B DRAM traffic\n",
 		res.Report.RuntimeMs, res.Report.AchievedGBs, res.Report.BranchMispredicts, res.Report.DRAMBytes)

@@ -15,11 +15,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"fusedscan"
 )
@@ -59,7 +62,9 @@ func main() {
 	loadPath := flag.String("load", "", "load a binary table file (.fscn)")
 	savePath := flag.String("save", "", "after running, save a table as name=path")
 	noDemo := flag.Bool("nodemo", false, "skip generating the demo table")
+	timeout := flag.Duration("timeout", 0, "per-statement wall-clock limit (0 = none), e.g. 5s")
 	flag.Parse()
+	stmtTimeout = *timeout
 
 	eng := fusedscan.NewEngine()
 	if !*noDemo {
@@ -189,11 +194,32 @@ func indent(s string) string {
 	return sb.String()
 }
 
+// stmtTimeout is the -timeout flag value: the wall-clock budget for each
+// statement. Zero means unlimited.
+var stmtTimeout time.Duration
+
+// stmtContext returns the context a statement runs under.
+func stmtContext() (context.Context, context.CancelFunc) {
+	if stmtTimeout > 0 {
+		return context.WithTimeout(context.Background(), stmtTimeout)
+	}
+	return context.Background(), func() {}
+}
+
 func runOne(eng *fusedscan.Engine, sql string) {
-	res, err := eng.Query(sql)
+	ctx, cancel := stmtContext()
+	defer cancel()
+	res, err := eng.QueryContext(ctx, sql)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "error: statement exceeded -timeout %v and was cancelled\n", stmtTimeout)
+			return
+		}
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "note: degraded execution (%s)\n", res.DegradedReason)
 	}
 	switch {
 	case res.Aggregate:

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"fusedscan/internal/expr"
@@ -48,7 +49,8 @@ func main() {
 	for i, sig := range shapes {
 		prog, err := comp.Compile(sig)
 		if err != nil {
-			panic(err)
+			fmt.Fprintf(os.Stderr, "codegen: compiling shape %d: %v\n", i+1, err)
+			os.Exit(1)
 		}
 		fmt.Printf("\n=== shape %d: %s (modelled compile time %d us) ===\n", i+1, sig.Key(), prog.CompileMicros)
 		printExcerpt(prog.Source, 18)
@@ -56,7 +58,8 @@ func main() {
 
 	// Compiling the first shape again is a cache hit.
 	if _, err := comp.Compile(shapes[0]); err != nil {
-		panic(err)
+		fmt.Fprintf(os.Stderr, "codegen: recompiling shape 1: %v\n", err)
+		os.Exit(1)
 	}
 	hits, misses, cached := comp.Stats()
 	fmt.Printf("\noperator cache: %d hits, %d misses, %d programs cached\n", hits, misses, cached)

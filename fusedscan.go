@@ -23,11 +23,14 @@
 package fusedscan
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
@@ -126,17 +129,61 @@ type Result struct {
 	// Aggregate is set when the query computed aggregates; Rows then holds
 	// exactly one row of rendered aggregate values under Columns labels.
 	Aggregate bool
+	// Degraded is set when JIT compilation failed and the query fell back
+	// to the scalar scan path: results are still exact, only slower.
+	// DegradedReason records why the fallback happened.
+	Degraded       bool
+	DegradedReason string
 }
+
+// QueryError is the structured failure Engine.QueryContext returns when a
+// stage of query processing panics (and, for fault-injection tests, when a
+// stage is made to fail). The panic-recovery boundary converts internal
+// panics — a malformed plan, a kernel bug, an injected fault — into this
+// error so one bad query cannot take down a process serving many.
+type QueryError struct {
+	// Stage is where processing failed: "parse", "plan", "translate" or
+	// "execute".
+	Stage string
+	// Query is the SQL text that triggered the failure.
+	Query string
+	// Err is the underlying cause (for a recovered panic, an error
+	// wrapping the panic value).
+	Err error
+	// Panicked reports whether Err was recovered from a panic.
+	Panicked bool
+	// Stack holds the goroutine stack captured at recovery time (empty for
+	// non-panic failures).
+	Stack string
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("fusedscan: %s stage failed for %q: %v", e.Stage, e.Query, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *QueryError) Unwrap() error { return e.Err }
 
 // Engine owns a catalog of tables, the JIT operator cache, the optimizer
 // statistics cache, and the machine model configuration.
+//
+// Concurrency contract: an Engine is safe for concurrent use by multiple
+// goroutines. Queries (Query, QueryContext, ExplainQuery, Scan.Run*) may
+// run concurrently with each other and with catalog changes (Register,
+// CreateTable/Finish, LoadTable, LoadCSV) and SetConfig; each query reads
+// a consistent snapshot of the configuration at its start, and registered
+// tables are immutable. The one exception is mutating a *column.Table or
+// TableBuilder after handing it to Register/Finish — tables must be fully
+// built before they are registered.
 type Engine struct {
 	params    mach.Params
 	space     *mach.AddrSpace
-	tables    map[string]*column.Table
 	compiler  *jit.Compiler
 	optimizer *lqp.Optimizer
-	config    Config
+
+	mu     sync.RWMutex // guards tables and config
+	tables map[string]*column.Table
+	config Config
 }
 
 // NewEngine creates an engine with the paper's machine calibration and the
@@ -152,21 +199,30 @@ func NewEngine() *Engine {
 	}
 }
 
-// SetConfig changes the execution strategy for subsequent queries.
+// SetConfig changes the execution strategy for subsequent queries. Queries
+// already running keep the configuration they started with.
 func (e *Engine) SetConfig(c Config) error {
 	if _, err := c.options(); err != nil {
 		return err
 	}
+	e.mu.Lock()
 	e.config = c
+	e.mu.Unlock()
 	return nil
 }
 
 // Config returns the current execution configuration.
-func (e *Engine) Config() Config { return e.config }
+func (e *Engine) Config() Config {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.config
+}
 
 // Table implements the planner catalog.
 func (e *Engine) Table(name string) (*column.Table, error) {
+	e.mu.RLock()
 	t, ok := e.tables[name]
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("fusedscan: unknown table %q", name)
 	}
@@ -175,16 +231,21 @@ func (e *Engine) Table(name string) (*column.Table, error) {
 
 // TableNames lists registered tables, sorted.
 func (e *Engine) TableNames() []string {
+	e.mu.RLock()
 	names := make([]string, 0, len(e.tables))
 	for n := range e.tables {
 		names = append(names, n)
 	}
+	e.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
-// Register adds an existing table to the catalog.
+// Register adds an existing table to the catalog. The table must not be
+// mutated afterwards (see the Engine concurrency contract).
 func (e *Engine) Register(t *column.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, dup := e.tables[t.Name()]; dup {
 		return fmt.Errorf("fusedscan: table %q already exists", t.Name())
 	}
@@ -332,19 +393,70 @@ func (b *TableBuilder) Finish() error {
 
 // Query parses, plans, optimizes, JIT-compiles and executes a SQL
 // statement on a fresh simulated CPU with cold caches (the paper's
-// measurement discipline).
+// measurement discipline). It is QueryContext with a background context.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryContext(context.Background(), sql)
+}
+
+// Stage names used in QueryError.
+const (
+	stageParse     = "parse"
+	stagePlan      = "plan"
+	stageTranslate = "translate"
+	stageExecute   = "execute"
+)
+
+// recoverStage converts a panic in a query-processing stage into a
+// *QueryError, so internal panics fail one query instead of the process.
+func recoverStage(stage *string, sql string, res **Result, err *error) {
+	if r := recover(); r != nil {
+		*res = nil
+		*err = &QueryError{
+			Stage:    *stage,
+			Query:    sql,
+			Err:      fmt.Errorf("panic: %v", r),
+			Panicked: true,
+			Stack:    string(debug.Stack()),
+		}
+	}
+}
+
+// QueryContext is Query with cooperative cancellation and panic isolation.
+//
+// The context is checked before any work starts (an already-cancelled or
+// expired context returns its error immediately, before planning), and
+// execution honours it at chunk boundaries during table scans and every
+// few thousand rows in the materializing operators, so cancelling a long
+// scan aborts it promptly with ctx.Err().
+//
+// A panic in any stage of query processing is recovered and returned as a
+// *QueryError carrying the stage, the SQL text and the captured stack; the
+// engine remains fully usable afterwards. When the JIT compiler fails, the
+// query is answered on the scalar scan path instead and the Result is
+// marked Degraded.
+func (e *Engine) QueryContext(ctx context.Context, sql string) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	stage := stageParse
+	defer recoverStage(&stage, sql, &res, &err)
+
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	stage = stagePlan
 	plan, err := lqp.Build(sel, e)
 	if err != nil {
 		return nil, err
 	}
 	e.optimizer.Optimize(plan)
 
-	opts, err := e.config.options()
+	stage = stageTranslate
+	opts, err := e.Config().options()
 	if err != nil {
 		return nil, err
 	}
@@ -353,17 +465,20 @@ func (e *Engine) Query(sql string) (*Result, error) {
 		return nil, err
 	}
 
+	stage = stageExecute
 	cpu := mach.New(e.params)
-	qres, err := phys.Root.Run(cpu)
+	qres, err := phys.Root.Run(ctx, cpu)
 	if err != nil {
 		return nil, err
 	}
 	hits, _, cached := e.compiler.Stats()
-	res := &Result{
-		Count:   qres.Count,
-		Columns: qres.Columns,
-		Report:  perfReport(cpu.Finish().Report(&e.params), phys.Programs, hits, cached),
-		Fused:   len(phys.Programs) > 0,
+	res = &Result{
+		Count:          qres.Count,
+		Columns:        qres.Columns,
+		Report:         perfReport(cpu.Finish().Report(&e.params), phys.Programs, hits, cached),
+		Fused:          len(phys.Programs) > 0,
+		Degraded:       phys.Degraded,
+		DegradedReason: phys.DegradedReason,
 	}
 	if qres.IsAggregate {
 		// Aggregates render as a one-row result set under their labels;
@@ -405,22 +520,38 @@ type Explain struct {
 	JITKeys       []string
 }
 
-// ExplainQuery plans a statement without executing it.
-func (e *Engine) ExplainQuery(sql string) (*Explain, error) {
+// ExplainQuery plans a statement without executing it. Like QueryContext,
+// it recovers panics in any planning stage into a *QueryError.
+func (e *Engine) ExplainQuery(sql string) (ex *Explain, err error) {
+	stage := stageParse
+	defer func() {
+		if r := recover(); r != nil {
+			ex = nil
+			err = &QueryError{
+				Stage:    stage,
+				Query:    sql,
+				Err:      fmt.Errorf("panic: %v", r),
+				Panicked: true,
+				Stack:    string(debug.Stack()),
+			}
+		}
+	}()
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	stage = stagePlan
 	plan, err := lqp.Build(sel, e)
 	if err != nil {
 		return nil, err
 	}
-	ex := &Explain{LogicalPlan: plan.Format()}
+	ex = &Explain{LogicalPlan: plan.Format()}
 	e.optimizer.Optimize(plan)
 	ex.OptimizedPlan = plan.Format()
 	ex.AppliedRules = plan.AppliedRules
 
-	opts, err := e.config.options()
+	stage = stageTranslate
+	opts, err := e.Config().options()
 	if err != nil {
 		return nil, err
 	}
@@ -441,6 +572,10 @@ type ScanResult struct {
 	Count     int
 	Positions []uint32
 	Report    PerfReport
+	// Degraded is set when JIT compilation failed and the scan fell back
+	// to the scalar kernel; DegradedReason records why.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Scan starts a direct predicate-chain scan on a table, bypassing SQL —
@@ -511,38 +646,90 @@ type ParallelResult struct {
 	RuntimeMs float64 // modelled multi-core runtime (shared socket bandwidth)
 	ComputeMs float64 // slowest core's compute time
 	MemMs     float64 // memory time at the aggregate bandwidth
+	// Degraded is set when JIT compilation failed for at least one morsel
+	// and the scan fell back to the scalar kernel there; DegradedReason
+	// records the first reason.
+	Degraded       bool
+	DegradedReason string
 }
 
 // RunParallel executes the chain morsel-at-a-time on the given number of
 // simulated cores (an extension beyond the paper's single-core evaluation;
 // see internal/parallel). Results are identical to Run.
 func (s *Scan) RunParallel(cores, morselRows int) (*ParallelResult, error) {
+	return s.RunParallelContext(context.Background(), cores, morselRows)
+}
+
+// RunParallelContext is RunParallel with cooperative cancellation: workers
+// check ctx between morsels, and a cancelled context returns ctx.Err().
+// A failed JIT compile degrades the affected morsels to the scalar kernel
+// rather than failing the scan.
+func (s *Scan) RunParallelContext(ctx context.Context, cores, morselRows int) (*ParallelResult, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	opts, err := s.eng.config.options()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts, err := s.eng.Config().options()
 	if err != nil {
 		return nil, err
 	}
+	deg := newDegradation()
 	build := func(ch scan.Chain) (scan.Kernel, error) {
 		if !opts.UseFused {
 			return scan.NewSISD(ch)
 		}
 		k, _, err := s.eng.compiler.CompileChain(ch, opts.Width, opts.ISA)
-		return k, err
+		if err != nil {
+			if sk, serr := scan.NewSISD(ch); serr == nil {
+				deg.record(err)
+				return sk, nil
+			}
+			return nil, err
+		}
+		return k, nil
 	}
-	res, err := parallel.Scan(s.eng.params, s.chain, build, cores, morselRows, true)
+	res, err := parallel.ScanContext(ctx, s.eng.params, s.chain, build, cores, morselRows, true)
 	if err != nil {
 		return nil, err
 	}
+	degraded, reason := deg.state()
 	return &ParallelResult{
-		Count:     res.Count,
-		Positions: res.Positions,
-		Cores:     res.Cores,
-		RuntimeMs: res.RuntimeMs,
-		ComputeMs: res.ComputeMs,
-		MemMs:     res.MemMs,
+		Count:          res.Count,
+		Positions:      res.Positions,
+		Cores:          res.Cores,
+		RuntimeMs:      res.RuntimeMs,
+		ComputeMs:      res.ComputeMs,
+		MemMs:          res.MemMs,
+		Degraded:       degraded,
+		DegradedReason: reason,
 	}, nil
+}
+
+// degradation records the first JIT-fallback reason across (possibly
+// concurrent) kernel builds.
+type degradation struct {
+	mu     sync.Mutex
+	reason string
+	set    bool
+}
+
+func newDegradation() *degradation { return &degradation{} }
+
+func (d *degradation) record(err error) {
+	d.mu.Lock()
+	if !d.set {
+		d.set = true
+		d.reason = fmt.Sprintf("jit unavailable, using scalar scan: %v", err)
+	}
+	d.mu.Unlock()
+}
+
+func (d *degradation) state() (bool, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.set, d.reason
 }
 
 // Chunked makes Run execute chunk-at-a-time over horizontal partitions of
@@ -560,24 +747,44 @@ func (s *Scan) Chunked(rows int) *Scan {
 // Run executes the chain with the engine's configuration, returning the
 // qualifying positions and the simulated performance report.
 func (s *Scan) Run() (*ScanResult, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: when ctx can be
+// cancelled, the scan executes chunk-at-a-time (semantically identical)
+// and checks ctx between chunks, so a cancelled or deadline-exceeded
+// context aborts the scan promptly with ctx.Err(). A failed JIT compile
+// degrades the scan to the scalar kernel rather than failing it.
+func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 	if s.err != nil {
 		return nil, s.err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := s.chain.Validate(); err != nil {
 		return nil, err
 	}
-	opts, err := s.eng.config.options()
+	opts, err := s.eng.Config().options()
 	if err != nil {
 		return nil, err
 	}
 
 	var progs []*jit.Program
+	deg := newDegradation()
 	build := func(ch scan.Chain) (scan.Kernel, error) {
 		if !opts.UseFused {
 			return scan.NewSISD(ch)
 		}
 		k, p, err := s.eng.compiler.CompileChain(ch, opts.Width, opts.ISA)
 		if err != nil {
+			if sk, serr := scan.NewSISD(ch); serr == nil {
+				deg.record(err)
+				return sk, nil
+			}
 			return nil, err
 		}
 		if len(progs) == 0 {
@@ -588,12 +795,20 @@ func (s *Scan) Run() (*ScanResult, error) {
 
 	cpu := mach.New(s.eng.params)
 	var res scan.Result
-	if s.chunkRows > 0 {
-		res, err = scan.RunChunked(build, s.chain, s.chunkRows, cpu, true)
+	switch {
+	case s.chunkRows > 0:
+		res, err = scan.RunChunkedContext(ctx, build, s.chain, s.chunkRows, cpu, true)
 		if err != nil {
 			return nil, err
 		}
-	} else {
+	case ctx.Done() != nil:
+		// Cancellable execution: chunk-at-a-time with a context check
+		// between chunks (same results as a whole-table pass).
+		res, err = scan.RunChunkedContext(ctx, build, s.chain, cancellableChunkRows, cpu, true)
+		if err != nil {
+			return nil, err
+		}
+	default:
 		kern, err := build(s.chain)
 		if err != nil {
 			return nil, err
@@ -601,9 +816,16 @@ func (s *Scan) Run() (*ScanResult, error) {
 		res = kern.Run(cpu, true)
 	}
 	hits, _, cached := s.eng.compiler.Stats()
+	degraded, reason := deg.state()
 	return &ScanResult{
-		Count:     res.Count,
-		Positions: res.Positions,
-		Report:    perfReport(cpu.Finish().Report(&s.eng.params), progs, hits, cached),
+		Count:          res.Count,
+		Positions:      res.Positions,
+		Report:         perfReport(cpu.Finish().Report(&s.eng.params), progs, hits, cached),
+		Degraded:       degraded,
+		DegradedReason: reason,
 	}, nil
 }
+
+// cancellableChunkRows is the horizontal partition size RunContext uses for
+// cancellable execution; cancellation latency is bounded by one chunk.
+const cancellableChunkRows = 1 << 16

@@ -178,13 +178,15 @@ func ParseValue(t Type, s string) (Value, error) {
 		}
 		return NewFloat(t, f), nil
 	case t.Signed():
-		i, err := strconv.ParseInt(s, 10, 64)
+		// Parse at the type's own bit width so out-of-range literals are
+		// rejected instead of silently truncated (e.g. 128 as int8).
+		i, err := strconv.ParseInt(s, 10, t.Size()*8)
 		if err != nil {
 			return Value{}, fmt.Errorf("expr: bad %s literal %q: %v", t, s, err)
 		}
 		return NewInt(t, i), nil
 	default:
-		u, err := strconv.ParseUint(s, 10, 64)
+		u, err := strconv.ParseUint(s, 10, t.Size()*8)
 		if err != nil {
 			return Value{}, fmt.Errorf("expr: bad %s literal %q: %v", t, s, err)
 		}

@@ -1,0 +1,166 @@
+// Package faultinject provides deterministic, test-driven fault injection
+// for the engine's failure-path tests. Production code calls Hit (or
+// MaybePanic) at a named site; tests Arm a site to fail on its N-th hit,
+// either by returning an injected error or by panicking — exercising the
+// engine's error aggregation, graceful degradation and panic-isolation
+// boundaries without fragile timing or real I/O failures.
+//
+// The package is safe for concurrent use, but hit counting across
+// goroutines is only deterministic when the instrumented code path itself
+// is deterministic (e.g. "fail the first compile" is exact; "fail the 7th
+// morsel" selects a morsel, not necessarily the same one each run, when
+// workers race). When nothing is armed, Hit is a single atomic load.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects how an armed site fails.
+type Mode uint8
+
+const (
+	// ModeError makes Hit return an *Error.
+	ModeError Mode = iota
+	// ModePanic makes Hit (and MaybePanic) panic with a *Panic value.
+	ModePanic
+)
+
+func (m Mode) String() string {
+	if m == ModePanic {
+		return "panic"
+	}
+	return "error"
+}
+
+// Well-known injection sites wired into the engine.
+const (
+	// SiteJITCompile fails jit.Compiler.Compile (drives the graceful
+	// SISD-degradation path).
+	SiteJITCompile = "jit.compile"
+	// SiteKernelRun panics inside a scan kernel's Run (drives the
+	// panic-isolation boundary). Only ModePanic is meaningful here: kernel
+	// Run has no error return.
+	SiteKernelRun = "scan.kernel"
+	// SiteStorageLoad fails storage.LoadFile.
+	SiteStorageLoad = "storage.load"
+	// SiteParallelMorsel fails one morsel of a parallel scan (drives the
+	// errors.Join aggregation path).
+	SiteParallelMorsel = "parallel.morsel"
+)
+
+// Error is the injected failure returned by Hit in ModeError.
+type Error struct {
+	Site string
+	N    int64 // which hit triggered (1-based)
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %q (hit %d)", e.Site, e.N)
+}
+
+// Panic is the value an armed ModePanic site panics with.
+type Panic struct {
+	Site string
+	N    int64
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %q (hit %d)", p.Site, p.N)
+}
+
+type fault struct {
+	n    int64 // trigger on the n-th hit (1-based)
+	mode Mode
+	hits int64
+}
+
+var (
+	// anyArmed short-circuits Hit when no site is armed, so instrumented
+	// hot paths pay one atomic load in production.
+	anyArmed atomic.Bool
+
+	mu     sync.Mutex
+	faults = map[string]*fault{}
+)
+
+// Arm schedules site to fail on its n-th hit (1-based; n <= 1 means the
+// next hit). Re-arming a site resets its hit counter.
+func Arm(site string, n int, mode Mode) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	faults[site] = &fault{n: int64(n), mode: mode}
+	anyArmed.Store(true)
+}
+
+// Disarm removes any fault scheduled for site.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(faults, site)
+	anyArmed.Store(len(faults) > 0)
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = map[string]*fault{}
+	anyArmed.Store(false)
+}
+
+// Hits reports how many times site has been hit since it was armed.
+func Hits(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if f, ok := faults[site]; ok {
+		return f.hits
+	}
+	return 0
+}
+
+// Hit records one pass through site. When the site is armed and this is
+// the scheduled hit, it fails: ModeError returns an *Error, ModePanic
+// panics with a *Panic. Otherwise it returns nil.
+func Hit(site string) error {
+	if !anyArmed.Load() {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	f, ok := faults[site]
+	if !ok {
+		return nil
+	}
+	f.hits++
+	if f.hits != f.n {
+		return nil
+	}
+	if f.mode == ModePanic {
+		panic(&Panic{Site: site, N: f.hits})
+	}
+	return &Error{Site: site, N: f.hits}
+}
+
+// MaybePanic is Hit for sites with no error return (e.g. inside a scan
+// kernel): it triggers only ModePanic faults and ignores ModeError ones.
+func MaybePanic(site string) {
+	if !anyArmed.Load() {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	f, ok := faults[site]
+	if !ok || f.mode != ModePanic {
+		return
+	}
+	f.hits++
+	if f.hits == f.n {
+		panic(&Panic{Site: site, N: f.hits})
+	}
+}

@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := Hit("nope"); err != nil {
+			t.Fatalf("disarmed hit returned %v", err)
+		}
+	}
+}
+
+func TestArmErrorTriggersOnNthHit(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("s", 3, ModeError)
+	for i := 1; i <= 5; i++ {
+		err := Hit("s")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+		if i == 3 {
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Site != "s" || fe.N != 3 {
+				t.Fatalf("hit 3: unexpected error %#v", err)
+			}
+		}
+	}
+	if Hits("s") != 5 {
+		t.Fatalf("hits = %d, want 5", Hits("s"))
+	}
+}
+
+func TestArmPanicMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", 1, ModePanic)
+	defer func() {
+		r := recover()
+		pv, ok := r.(*Panic)
+		if !ok || pv.Site != "p" {
+			t.Fatalf("recovered %#v, want *Panic at site p", r)
+		}
+	}()
+	Hit("p")
+	t.Fatal("Hit did not panic")
+}
+
+func TestMaybePanicIgnoresErrorMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("m", 1, ModeError)
+	MaybePanic("m") // must not panic and must not consume the hit
+	if err := Hit("m"); err == nil {
+		t.Fatal("error-mode fault was consumed by MaybePanic")
+	}
+}
+
+func TestRearmResetsCounter(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("r", 2, ModeError)
+	Hit("r")
+	Arm("r", 2, ModeError) // reset
+	if err := Hit("r"); err != nil {
+		t.Fatalf("first hit after re-arm failed: %v", err)
+	}
+	if err := Hit("r"); err == nil {
+		t.Fatal("second hit after re-arm did not fail")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("d", 1, ModeError)
+	Disarm("d")
+	if err := Hit("d"); err != nil {
+		t.Fatalf("disarmed site failed: %v", err)
+	}
+}

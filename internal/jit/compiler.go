@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"fusedscan/internal/faultinject"
 	"fusedscan/internal/scan"
 	"fusedscan/internal/vec"
 )
@@ -41,13 +43,15 @@ func (p *Program) Bind(ch scan.Chain) (scan.Kernel, error) {
 }
 
 // Compiler generates and caches fused-scan programs. It is safe for
-// concurrent use.
+// concurrent use: the program cache is mutex-guarded and the hit/miss
+// statistics are atomic, so many queries can compile (and share) operators
+// simultaneously.
 type Compiler struct {
 	mu    sync.Mutex
 	cache map[string]*Program
 
-	hits   int
-	misses int
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewCompiler returns an empty compiler cache.
@@ -60,14 +64,17 @@ func (c *Compiler) Compile(sig Signature) (*Program, error) {
 	if err := sig.Validate(); err != nil {
 		return nil, err
 	}
+	if err := faultinject.Hit(faultinject.SiteJITCompile); err != nil {
+		return nil, fmt.Errorf("jit: compiling %s: %w", sig.Key(), err)
+	}
 	key := sig.Key()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p, ok := c.cache[key]; ok {
-		c.hits++
+		c.hits.Add(1)
 		return p, nil
 	}
-	c.misses++
+	c.misses.Add(1)
 	src := GenerateSource(sig)
 	p := &Program{
 		Sig:           sig,
@@ -98,6 +105,7 @@ func (c *Compiler) CompileChain(ch scan.Chain, w vec.Width, isa vec.ISA) (scan.K
 // Stats reports cache effectiveness.
 func (c *Compiler) Stats() (hits, misses, cached int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.cache)
+	cached = len(c.cache)
+	c.mu.Unlock()
+	return int(c.hits.Load()), int(c.misses.Load()), cached
 }

@@ -3,6 +3,7 @@ package lqp
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
@@ -10,7 +11,10 @@ import (
 
 // Optimizer applies the rule-based rewrites of Figure 9. Column statistics
 // are computed lazily per column and cached for the optimizer's lifetime.
+// An Optimizer is safe for concurrent use: the statistics cache is
+// mutex-guarded, and every other rewrite mutates only the per-query plan.
 type Optimizer struct {
+	mu    sync.Mutex
 	stats map[statsKey]column.Stats
 }
 
@@ -116,15 +120,23 @@ func (o *Optimizer) pruneContradictions(p *Plan) {
 
 func (o *Optimizer) colStats(tbl *column.Table, name string) (column.Stats, bool) {
 	key := statsKey{tbl.Name(), name}
-	if st, ok := o.stats[key]; ok {
+	o.mu.Lock()
+	st, ok := o.stats[key]
+	o.mu.Unlock()
+	if ok {
 		return st, true
 	}
 	col, err := tbl.Column(name)
 	if err != nil {
 		return column.Stats{}, false
 	}
-	st := column.ComputeStats(col)
+	// Computed outside the lock: stats are deterministic per column, so a
+	// concurrent duplicate computation is wasted work, not a correctness
+	// problem.
+	st = column.ComputeStats(col)
+	o.mu.Lock()
 	o.stats[key] = st
+	o.mu.Unlock()
 	return st, true
 }
 

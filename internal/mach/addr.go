@@ -1,9 +1,14 @@
 package mach
 
+import "sync"
+
 // AddrSpace hands out non-overlapping simulated physical address ranges for
 // column data. Kernels combine a column's base address with element offsets
 // to drive the cache model; the actual bytes live in ordinary Go slices.
+// It is safe for concurrent use, so tables can be built from multiple
+// goroutines against one engine.
 type AddrSpace struct {
+	mu   sync.Mutex
 	next uint64
 }
 
@@ -17,6 +22,8 @@ func NewAddrSpace() *AddrSpace {
 // base address.
 func (a *AddrSpace) Alloc(size int) uint64 {
 	const align = 4096
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	base := (a.next + align - 1) &^ (align - 1)
 	a.next = base + uint64(size)
 	return base

@@ -10,6 +10,13 @@
 // the scan kernel over zero-copy column views. Functional results are
 // merged in morsel order, so they are identical to a sequential scan.
 //
+// Failure model: a morsel whose kernel fails to build (or panics while
+// running) poisons only that morsel, not the process — workers recover
+// panics, every morsel error is collected, and ScanContext returns them
+// all joined with errors.Join. Context cancellation is checked between
+// morsels, so a cancelled scan stops within one morsel's worth of work
+// per core.
+//
 // Performance model: per-core compute is independent, but all cores share
 // the socket's memory controllers. The combined report takes
 //
@@ -22,10 +29,13 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"fusedscan/internal/faultinject"
 	"fusedscan/internal/mach"
 	"fusedscan/internal/scan"
 )
@@ -52,6 +62,15 @@ type Result struct {
 // Scan executes the chain with `cores` workers over morsels of morselRows
 // rows. build constructs a kernel per morsel (e.g. scan.Impl.Build).
 func Scan(params mach.Params, ch scan.Chain, build func(scan.Chain) (scan.Kernel, error), cores, morselRows int, wantPositions bool) (*Result, error) {
+	return ScanContext(context.Background(), params, ch, build, cores, morselRows, wantPositions)
+}
+
+// ScanContext is Scan with cooperative cancellation: workers check ctx
+// between morsels and stop early when it is cancelled, in which case
+// ctx.Err() is returned. All per-morsel failures (build errors and
+// recovered kernel panics) are aggregated with errors.Join rather than
+// keeping only the first.
+func ScanContext(ctx context.Context, params mach.Params, ch scan.Chain, build func(scan.Chain) (scan.Kernel, error), cores, morselRows int, wantPositions bool) (*Result, error) {
 	if err := ch.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,6 +79,9 @@ func Scan(params mach.Params, ch scan.Chain, build func(scan.Chain) (scan.Kernel
 	}
 	if morselRows < 1 {
 		return nil, fmt.Errorf("parallel: morselRows must be >= 1, got %d", morselRows)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	n := ch.Rows()
@@ -86,41 +108,62 @@ func Scan(params mach.Params, ch scan.Chain, build func(scan.Chain) (scan.Kernel
 	// the emulator's time, not the modelled machine's).
 	results := make([]morselResult, len(morsels))
 	cpus := make([]*mach.CPU, cores)
-	errs := make([]error, cores)
+	workerErrs := make([][]error, cores)
 	var wg sync.WaitGroup
+
+	// runMorsel builds and runs one morsel's kernel, converting a panic in
+	// either into an error: a poisoned morsel must fail the scan, not the
+	// process (worker goroutines are outside any caller's recover).
+	runMorsel := func(worker int, m morsel) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("parallel: morsel %d: panic: %v", m.idx, r)
+			}
+		}()
+		if err := faultinject.Hit(faultinject.SiteParallelMorsel); err != nil {
+			return fmt.Errorf("parallel: morsel %d: %w", m.idx, err)
+		}
+		sub := make(scan.Chain, len(ch))
+		for i, p := range ch {
+			sub[i] = scan.Pred{Col: p.Col.Slice(m.begin, m.end), Kind: p.Kind, Op: p.Op, Value: p.Value}
+		}
+		kern, err := build(sub)
+		if err != nil {
+			return fmt.Errorf("parallel: morsel %d: %w", m.idx, err)
+		}
+		results[m.idx] = morselResult{
+			idx:   m.idx,
+			begin: m.begin,
+			res:   kern.Run(cpus[worker], wantPositions),
+		}
+		return nil
+	}
 
 	for c := 0; c < cores; c++ {
 		cpus[c] = mach.New(params)
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			cpu := cpus[worker]
 			for mi := worker; mi < len(morsels); mi += cores {
-				m := morsels[mi]
-				sub := make(scan.Chain, len(ch))
-				for i, p := range ch {
-					sub[i] = scan.Pred{Col: p.Col.Slice(m.begin, m.end), Kind: p.Kind, Op: p.Op, Value: p.Value}
+				if ctx.Err() != nil {
+					return
 				}
-				kern, err := build(sub)
-				if err != nil {
-					if errs[worker] == nil {
-						errs[worker] = fmt.Errorf("parallel: morsel %d: %w", m.idx, err)
-					}
-					continue
-				}
-				results[m.idx] = morselResult{
-					idx:   m.idx,
-					begin: m.begin,
-					res:   kern.Run(cpu, wantPositions),
+				if err := runMorsel(worker, morsels[mi]); err != nil {
+					workerErrs[worker] = append(workerErrs[worker], err)
 				}
 			}
 		}(c)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var all []error
+	for _, errs := range workerErrs {
+		all = append(all, errs...)
+	}
+	if err := errors.Join(all...); err != nil {
+		return nil, err
 	}
 
 	out := &Result{Cores: cores}

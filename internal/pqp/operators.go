@@ -1,6 +1,7 @@
 package pqp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,11 +18,31 @@ import (
 // exhaust memory. Count is always exact.
 const maxMaterializedRows = 100000
 
+// execChunkRows is the horizontal partition size used when a scan must be
+// cancellable: the kernel runs chunk-at-a-time with a context check between
+// chunks, so cancellation latency is bounded by one chunk's work.
+const execChunkRows = 1 << 16
+
+// pollEvery is how many per-position iterations pass between context
+// checks in the materializing operators (filter, aggregate, sort keys,
+// projection). A power of two so the check is a mask test.
+const pollEvery = 1 << 13
+
+// pollCtx returns ctx.Err() every pollEvery-th iteration i (and on i == 0),
+// nil otherwise. Operators with per-position loops call it so a cancelled
+// query aborts mid-loop instead of running to completion.
+func pollCtx(ctx context.Context, i int) error {
+	if i&(pollEvery-1) != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // positionSource is the internal dataflow interface: operators that
 // produce qualifying row positions. When countOnly is set, Positions may
 // be nil (the consumer only needs Count).
 type positionSource interface {
-	positions(cpu *mach.CPU, countOnly bool) (scan.Result, error)
+	positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error)
 	table() *column.Table
 }
 
@@ -36,11 +57,14 @@ func (op *fullScanOp) Describe() string { return fmt.Sprintf("TableScan(%s, all 
 
 func (op *fullScanOp) table() *column.Table { return op.tbl }
 
-func (op *fullScanOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+func (op *fullScanOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
 	n := op.tbl.Rows()
 	res := scan.Result{Count: n}
 	if countOnly {
 		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return scan.Result{}, err
 	}
 	res.Positions = make([]uint32, n)
 	for i := range res.Positions {
@@ -50,8 +74,8 @@ func (op *fullScanOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, err
 	return res, nil
 }
 
-func (op *fullScanOp) Run(cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.positions(cpu, true)
+func (op *fullScanOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.positions(ctx, cpu, true)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -59,11 +83,15 @@ func (op *fullScanOp) Run(cpu *mach.CPU) (QueryResult, error) {
 }
 
 // scanOp evaluates a predicate chain in a single kernel pass (fused or
-// scalar short-circuit).
+// scalar short-circuit). When the context is cancellable the pass runs
+// chunk-at-a-time (semantically identical) so cancellation is honoured at
+// chunk boundaries; otherwise the pre-built kernel scans the whole table
+// in one pass, exactly reproducing the paper's measurement discipline.
 type scanOp struct {
 	tbl    *column.Table
 	chain  scan.Chain
 	kernel scan.Kernel
+	build  func(scan.Chain) (scan.Kernel, error)
 	name   string
 }
 
@@ -71,12 +99,15 @@ func (op *scanOp) Describe() string { return fmt.Sprintf("%s on %s", op.name, op
 
 func (op *scanOp) table() *column.Table { return op.tbl }
 
-func (op *scanOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) {
-	return op.kernel.Run(cpu, !countOnly), nil
+func (op *scanOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+	if ctx.Done() == nil || op.build == nil {
+		return op.kernel.Run(cpu, !countOnly), nil
+	}
+	return scan.RunChunkedContext(ctx, op.build, op.chain, execChunkRows, cpu, !countOnly)
 }
 
-func (op *scanOp) Run(cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.positions(cpu, true)
+func (op *scanOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.positions(ctx, cpu, true)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -102,8 +133,8 @@ func (op *filterOp) child() Operator { return op.input.(Operator) }
 
 func (op *filterOp) table() *column.Table { return op.input.table() }
 
-func (op *filterOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) {
-	in, err := op.input.positions(cpu, false)
+func (op *filterOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+	in, err := op.input.positions(ctx, cpu, false)
 	if err != nil {
 		return scan.Result{}, err
 	}
@@ -115,7 +146,10 @@ func (op *filterOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error
 	size := col.Type().Size()
 	needle := op.pred.StoredBits()
 	var out scan.Result
-	for _, pos := range in.Positions {
+	for i, pos := range in.Positions {
+		if err := pollCtx(ctx, i); err != nil {
+			return scan.Result{}, err
+		}
 		cpu.Scalar(2)
 		cpu.RandomRead(op.region, col.Addr(int(pos)), size)
 		match := expr.CompareBits(col.Type(), op.pred.Op, col.Raw(int(pos)), needle)
@@ -131,8 +165,8 @@ func (op *filterOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error
 	return out, nil
 }
 
-func (op *filterOp) Run(cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.positions(cpu, true)
+func (op *filterOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.positions(ctx, cpu, true)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -179,14 +213,14 @@ type aggState struct {
 	valid  int64
 }
 
-func (op *aggOp) Run(cpu *mach.CPU) (QueryResult, error) {
+func (op *aggOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
 	countOnly := true
 	for _, it := range op.items {
 		if it.col != nil {
 			countOnly = false
 		}
 	}
-	res, err := op.input.positions(cpu, countOnly)
+	res, err := op.input.positions(ctx, cpu, countOnly)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -200,7 +234,10 @@ func (op *aggOp) Run(cpu *mach.CPU) (QueryResult, error) {
 		}
 		_ = it
 	}
-	for _, pos := range res.Positions {
+	for pi, pos := range res.Positions {
+		if err := pollCtx(ctx, pi); err != nil {
+			return QueryResult{}, err
+		}
 		for i, it := range op.items {
 			if it.col == nil {
 				continue
@@ -295,8 +332,8 @@ func (op *sortOp) child() Operator { return op.input.(Operator) }
 
 func (op *sortOp) table() *column.Table { return op.input.table() }
 
-func (op *sortOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) {
-	in, err := op.input.positions(cpu, countOnly)
+func (op *sortOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+	in, err := op.input.positions(ctx, cpu, countOnly)
 	if err != nil || countOnly {
 		return in, err
 	}
@@ -305,6 +342,9 @@ func (op *sortOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) 
 	keys := make([]expr.Value, len(in.Positions))
 	nulls := make([]bool, len(in.Positions))
 	for i, pos := range in.Positions {
+		if err := pollCtx(ctx, i); err != nil {
+			return scan.Result{}, err
+		}
 		cpu.Scalar(2)
 		cpu.RandomRead(region, op.col.Addr(int(pos)), size)
 		nulls[i] = op.col.Null(int(pos))
@@ -347,8 +387,8 @@ func (op *sortOp) positions(cpu *mach.CPU, countOnly bool) (scan.Result, error) 
 	return out, nil
 }
 
-func (op *sortOp) Run(cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.positions(cpu, true)
+func (op *sortOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.positions(ctx, cpu, true)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -362,9 +402,11 @@ type emptyOp struct {
 
 func (op *emptyOp) Describe() string { return fmt.Sprintf("EmptyResult(%s)", op.reason) }
 
-func (op *emptyOp) Run(*mach.CPU) (QueryResult, error) { return QueryResult{}, nil }
+func (op *emptyOp) Run(context.Context, *mach.CPU) (QueryResult, error) { return QueryResult{}, nil }
 
-func (op *emptyOp) positions(*mach.CPU, bool) (scan.Result, error) { return scan.Result{}, nil }
+func (op *emptyOp) positions(context.Context, *mach.CPU, bool) (scan.Result, error) {
+	return scan.Result{}, nil
+}
 
 func (op *emptyOp) table() *column.Table { return nil }
 
@@ -382,8 +424,8 @@ func (op *projectOp) Describe() string {
 
 func (op *projectOp) child() Operator { return op.input.(Operator) }
 
-func (op *projectOp) Run(cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.input.positions(cpu, false)
+func (op *projectOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.input.positions(ctx, cpu, false)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -408,9 +450,12 @@ func (op *projectOp) Run(cpu *mach.CPU) (QueryResult, error) {
 		}
 	}
 	out := QueryResult{Count: int64(res.Count), Columns: op.columns}
-	for _, pos := range res.Positions {
+	for pi, pos := range res.Positions {
 		if len(out.Rows) >= limit {
 			break
+		}
+		if err := pollCtx(ctx, pi); err != nil {
+			return QueryResult{}, err
 		}
 		row := make(Row, len(cols))
 		var nullRow []bool
@@ -443,8 +488,8 @@ func (op *limitOp) Describe() string { return fmt.Sprintf("Limit[%d]", op.n) }
 
 func (op *limitOp) child() Operator { return op.input }
 
-func (op *limitOp) Run(cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.input.Run(cpu)
+func (op *limitOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
+	res, err := op.input.Run(ctx, cpu)
 	if err != nil {
 		return QueryResult{}, err
 	}

@@ -6,6 +6,7 @@
 package pqp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -63,8 +64,11 @@ type QueryResult struct {
 type Operator interface {
 	// Describe renders the operator for EXPLAIN output.
 	Describe() string
-	// Run executes the operator tree on a CPU.
-	Run(cpu *mach.CPU) (QueryResult, error)
+	// Run executes the operator tree on a CPU. Execution honours ctx:
+	// operators check for cancellation at chunk boundaries (table scans)
+	// and every few thousand rows (per-position loops), returning ctx.Err()
+	// when the context is cancelled or past its deadline.
+	Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error)
 }
 
 // Plan is an executable physical plan.
@@ -73,6 +77,11 @@ type Plan struct {
 	// Programs lists the JIT programs the plan uses (for EXPLAIN and the
 	// compile-cost accounting).
 	Programs []*jit.Program
+	// Degraded is set when JIT compilation or kernel binding failed and the
+	// plan fell back to the scalar SISD scan path instead of failing the
+	// query. DegradedReason records why.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Format renders the physical operator tree.
@@ -122,20 +131,35 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if err != nil {
 			return nil, err
 		}
+		sisdBuild := func(sub scan.Chain) (scan.Kernel, error) { return scan.NewSISD(sub) }
 		if !opts.UseFused {
 			kern, err := scan.NewSISD(ch)
 			if err != nil {
 				return nil, err
 			}
-			return &scanOp{tbl: tbl, chain: ch, kernel: kern, name: "TableScan(SISD)"}, nil
+			return &scanOp{tbl: tbl, chain: ch, kernel: kern, build: sisdBuild, name: "TableScan(SISD)"}, nil
 		}
 		kern, prog, err := comp.CompileChain(ch, opts.Width, opts.ISA)
 		if err != nil {
-			return nil, err
+			// Graceful degradation: a failed compile (or bind) falls back to
+			// the scalar short-circuit scan — same results, slower — instead
+			// of failing the query. Only a chain the SISD kernel also rejects
+			// (i.e. an invalid chain) surfaces the original error.
+			skern, serr := scan.NewSISD(ch)
+			if serr != nil {
+				return nil, err
+			}
+			p.Degraded = true
+			p.DegradedReason = fmt.Sprintf("jit unavailable, using scalar scan: %v", err)
+			return &scanOp{tbl: tbl, chain: ch, kernel: skern, build: sisdBuild, name: "TableScan(SISD, degraded)"}, nil
 		}
 		p.Programs = append(p.Programs, prog)
+		fusedBuild := func(sub scan.Chain) (scan.Kernel, error) {
+			k, _, err := comp.CompileChain(sub, opts.Width, opts.ISA)
+			return k, err
+		}
 		return &scanOp{
-			tbl: tbl, chain: ch, kernel: kern,
+			tbl: tbl, chain: ch, kernel: kern, build: fusedBuild,
 			name: fmt.Sprintf("FusedTableScan[%s]", prog.Sig.Key()),
 		}, nil
 

@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 
 	"fusedscan/internal/mach"
@@ -18,6 +19,13 @@ import (
 // identical to a whole-table scan; it exists for engines that store data
 // chunked and for bounding intermediate sizes.
 func RunChunked(build func(Chain) (Kernel, error), ch Chain, chunkRows int, cpu *mach.CPU, wantPositions bool) (Result, error) {
+	return RunChunkedContext(context.Background(), build, ch, chunkRows, cpu, wantPositions)
+}
+
+// RunChunkedContext is RunChunked with cooperative cancellation: ctx is
+// checked between chunks, so a cancelled or deadline-exceeded context
+// aborts the scan within one chunk's worth of work and returns ctx.Err().
+func RunChunkedContext(ctx context.Context, build func(Chain) (Kernel, error), ch Chain, chunkRows int, cpu *mach.CPU, wantPositions bool) (Result, error) {
 	if err := ch.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -27,6 +35,9 @@ func RunChunked(build func(Chain) (Kernel, error), ch Chain, chunkRows int, cpu 
 	n := ch.Rows()
 	var total Result
 	for begin := 0; begin < n; begin += chunkRows {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		end := begin + chunkRows
 		if end > n {
 			end = n

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fusedscan/internal/expr"
+	"fusedscan/internal/faultinject"
 	"fusedscan/internal/mach"
 	"fusedscan/internal/vec"
 )
@@ -101,6 +102,7 @@ type fusedRun struct {
 
 // Run executes the fused scan on the given CPU.
 func (f *Fused) Run(cpu *mach.CPU, wantPositions bool) Result {
+	faultinject.MaybePanic(faultinject.SiteKernelRun)
 	ch := f.chain
 	k := len(ch)
 	r := &fusedRun{

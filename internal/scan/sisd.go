@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"fusedscan/internal/expr"
+	"fusedscan/internal/faultinject"
 	"fusedscan/internal/mach"
 )
 
@@ -42,6 +43,7 @@ func (s *SISD) Name() string { return "SISD (no vec)" }
 
 // Run executes the scan on the given CPU.
 func (s *SISD) Run(cpu *mach.CPU, wantPositions bool) Result {
+	faultinject.MaybePanic(faultinject.SiteKernelRun)
 	ch := s.chain
 	n := ch.Rows()
 	k := len(ch)

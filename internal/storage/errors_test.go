@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fusedscan/internal/faultinject"
+	"fusedscan/internal/mach"
+)
+
+// writeTruncated saves a valid table file and then truncates it to frac of
+// its size.
+func writeTruncated(t *testing.T, frac float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trunc.fscn")
+	if err := SaveFile(path, buildTable(t, 200)); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, int64(float64(fi.Size())*frac)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadFileTruncatedNamesPath(t *testing.T) {
+	for _, frac := range []float64{0.9, 0.5, 0.1, 0.01} {
+		path := writeTruncated(t, frac)
+		_, err := LoadFile(path, mach.NewAddrSpace())
+		if err == nil {
+			t.Fatalf("frac=%.2f: truncated file loaded without error", frac)
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("frac=%.2f: error does not name the file: %v", frac, err)
+		}
+	}
+}
+
+func TestLoadFileMissingFileError(t *testing.T) {
+	_, err := LoadFile(filepath.Join(t.TempDir(), "nope.fscn"), mach.NewAddrSpace())
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist in the chain", err)
+	}
+}
+
+func TestLoadFileGarbageNamesPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.fscn")
+	if err := os.WriteFile(path, []byte("this is not a table"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path, mach.NewAddrSpace())
+	if err == nil {
+		t.Fatal("garbage file loaded")
+	}
+	if !strings.Contains(err.Error(), path) || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("error = %v, want it to name the path and the bad magic", err)
+	}
+}
+
+func TestLoadFileFaultInjected(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "ok.fscn")
+	if err := SaveFile(path, buildTable(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.SiteStorageLoad, 1, faultinject.ModeError)
+	_, err := LoadFile(path, mach.NewAddrSpace())
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want injected *faultinject.Error", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("injected error does not name the file: %v", err)
+	}
+
+	// Second load (fault consumed) succeeds.
+	if _, err := LoadFile(path, mach.NewAddrSpace()); err != nil {
+		t.Fatalf("post-fault load failed: %v", err)
+	}
+}
+
+func TestReadCSVBadHeaderNamesField(t *testing.T) {
+	cases := map[string]string{
+		"a:varchar\n1\n":      "varchar", // unknown type names the offending header field
+		":int32\n1\n":         "header",  // empty column name
+		"a:int32,:int64\n1\n": "field 1", // positional for the second empty name
+	}
+	for src, want := range cases {
+		_, err := ReadCSV(strings.NewReader(src), mach.NewAddrSpace(), "t")
+		if err == nil {
+			t.Errorf("%q: accepted", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: error %v does not mention %q", src, err, want)
+		}
+	}
+}
+
+func TestReadCSVWrongTypeCellNamesRowAndColumn(t *testing.T) {
+	src := "id:int32,price:float64\n1,9.5\n2,notanumber\n"
+	_, err := ReadCSV(strings.NewReader(src), mach.NewAddrSpace(), "t")
+	if err == nil {
+		t.Fatal("bad float cell accepted")
+	}
+	// Row 3 of the file (row 2 of data, 1 header line).
+	if !strings.Contains(err.Error(), "row 3") || !strings.Contains(err.Error(), `"price"`) {
+		t.Errorf("error %v does not name the row and column", err)
+	}
+}
+
+func TestReadCSVIntOverflowCell(t *testing.T) {
+	src := "a:int8\n127\n128\n"
+	_, err := ReadCSV(strings.NewReader(src), mach.NewAddrSpace(), "t")
+	if err == nil {
+		t.Fatal("out-of-range int8 accepted")
+	}
+	if !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("error %v does not name the row", err)
+	}
+}

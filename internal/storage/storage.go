@@ -28,6 +28,7 @@ import (
 
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
+	"fusedscan/internal/faultinject"
 	"fusedscan/internal/mach"
 )
 
@@ -200,14 +201,22 @@ func SaveFile(path string, t *column.Table) error {
 	return f.Close()
 }
 
-// LoadFile reads a table from path.
+// LoadFile reads a table from path. Errors are wrapped with the file path
+// so callers (and their logs) can tell which of many loaded files failed.
 func LoadFile(path string, space *mach.AddrSpace) (*column.Table, error) {
+	if err := faultinject.Hit(faultinject.SiteStorageLoad); err != nil {
+		return nil, fmt.Errorf("storage: loading %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadTable(f, space)
+	t, err := ReadTable(f, space)
+	if err != nil {
+		return nil, fmt.Errorf("storage: loading %s: %w", path, err)
+	}
+	return t, nil
 }
 
 func writeU32(w io.Writer, v uint32) error {
