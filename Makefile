@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench clean
+.PHONY: check build vet test race soak fuzz bench clean
 
-check: build vet race
+check: build vet race soak
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ test:
 # tests; slower than `make test` but the tier-1 bar for this repo.
 race:
 	$(GO) test -race ./...
+
+# Short chaos soak under the race detector: hundreds of concurrent
+# governed queries with fault injection, byte-identical-result and
+# goroutine-leak checks. Scale up with FUSEDSCAN_SOAK_QUERIES=5000.
+soak:
+	$(GO) test -race -run TestSoakGovernedChaos -count=1 .
 
 # Short coverage-guided fuzz of the SQL parser.
 fuzz:

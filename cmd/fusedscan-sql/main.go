@@ -63,10 +63,19 @@ func main() {
 	savePath := flag.String("save", "", "after running, save a table as name=path")
 	noDemo := flag.Bool("nodemo", false, "skip generating the demo table")
 	timeout := flag.Duration("timeout", 0, "per-statement wall-clock limit (0 = none), e.g. 5s")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission limit: queries running at once (0 = unlimited)")
+	memBudget := flag.Int64("mem-budget", 0, "per-query memory budget in bytes for materialized results (0 = unlimited)")
 	flag.Parse()
 	stmtTimeout = *timeout
+	memBudgetBytes = *memBudget
 
 	eng := fusedscan.NewEngine()
+	if *maxConcurrent > 0 || *memBudget > 0 {
+		g := fusedscan.DefaultGovernance()
+		g.MaxConcurrent = *maxConcurrent
+		g.MemBudgetBytes = *memBudget
+		eng.SetGovernance(g)
+	}
 	if !*noDemo {
 		if err := buildDemo(eng, *rows, *seed); err != nil {
 			fatal(err)
@@ -198,6 +207,10 @@ func indent(s string) string {
 // statement. Zero means unlimited.
 var stmtTimeout time.Duration
 
+// memBudgetBytes is the -mem-budget flag value, kept for the friendly
+// over-budget message.
+var memBudgetBytes int64
+
 // stmtContext returns the context a statement runs under.
 func stmtContext() (context.Context, context.CancelFunc) {
 	if stmtTimeout > 0 {
@@ -211,11 +224,19 @@ func runOne(eng *fusedscan.Engine, sql string) {
 	defer cancel()
 	res, err := eng.QueryContext(ctx, sql)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+		var oe *fusedscan.OverloadedError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
 			fmt.Fprintf(os.Stderr, "error: statement exceeded -timeout %v and was cancelled\n", stmtTimeout)
-			return
+		case errors.As(err, &oe):
+			fmt.Fprintf(os.Stderr, "error: engine overloaded (%d queries already running), retry in ~%v or raise -max-concurrent\n",
+				oe.Running, oe.RetryAfter)
+		case errors.Is(err, fusedscan.ErrMemoryBudget):
+			fmt.Fprintf(os.Stderr, "error: statement exceeded the -mem-budget of %d bytes; narrow the result or raise the budget\n",
+				memBudgetBytes)
+		default:
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
 	}
 	if res.Degraded {

@@ -34,6 +34,7 @@ import (
 
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
+	"fusedscan/internal/govern"
 	"fusedscan/internal/jit"
 	"fusedscan/internal/lqp"
 	"fusedscan/internal/mach"
@@ -164,6 +165,70 @@ func (e *QueryError) Error() string {
 // Unwrap exposes the underlying cause to errors.Is / errors.As.
 func (e *QueryError) Unwrap() error { return e.Err }
 
+// Resource-governance surface (see internal/govern and DESIGN.md §8). The
+// governance layer is fully permissive by default — no concurrency limit,
+// no memory budget, no default deadline — so it costs nothing until limits
+// are opted into with SetGovernance.
+var (
+	// ErrOverloaded is returned by QueryContext when admission control
+	// sheds the query: the concurrency limit and wait queue are both full.
+	// The concrete type is *OverloadedError, which carries a retry-after
+	// hint. Test with errors.Is(err, fusedscan.ErrOverloaded).
+	ErrOverloaded = govern.ErrOverloaded
+	// ErrMemoryBudget is returned when a query exceeds its per-query memory
+	// budget at a materialization point. The concrete type is
+	// *MemoryBudgetError. Test with errors.Is(err, fusedscan.ErrMemoryBudget).
+	ErrMemoryBudget = govern.ErrMemoryBudget
+)
+
+// Governance holds the engine's resource-governance knobs: admission
+// control (MaxConcurrent, MaxQueue, QueueWait), per-query limits
+// (DefaultQueryTimeout, MemBudgetBytes), the JIT circuit breaker, and
+// transient-load retry. See DefaultGovernance for the permissive defaults.
+type Governance = govern.Config
+
+// BreakerSettings configures the JIT circuit breaker inside Governance.
+type BreakerSettings = govern.BreakerConfig
+
+// OverloadedError is the typed rejection admission control returns.
+type OverloadedError = govern.OverloadedError
+
+// MemoryBudgetError is the typed failure for a blown memory budget.
+type MemoryBudgetError = govern.MemoryBudgetError
+
+// ChecksumError reports a corrupt column block detected while loading a
+// table file (see internal/storage).
+type ChecksumError = storage.ChecksumError
+
+// DefaultGovernance returns the out-of-the-box governance configuration:
+// fully permissive admission, no default deadline, no memory budget, JIT
+// breaker enabled, two retries for transient load faults.
+func DefaultGovernance() Governance { return govern.Defaults() }
+
+// EngineStats is a point-in-time snapshot of the engine's governance and
+// JIT counters, for operators and load tests.
+type EngineStats struct {
+	// Admission control.
+	Admitted      int64 // queries that passed admission
+	Rejected      int64 // queries shed with ErrOverloaded
+	QueueTimeouts int64 // rejections after waiting the full QueueWait
+	Running       int64 // admitted queries currently executing
+	Queued        int64 // queries currently waiting for admission
+	// Memory budgets and storage.
+	MemBudgetDenials int64 // queries failed with ErrMemoryBudget
+	LoadRetries      int64 // transient table-load faults that were retried
+	// JIT circuit breaker.
+	BreakerState       string // "closed", "open" or "half-open"
+	BreakerTrips       int64  // closed->open transitions
+	BreakerRejections  int64  // compile requests rejected while open
+	JITBreakerRejects  int64  // compiler-side rejection count (incl. injected)
+	ConsecutiveCompileFailures int
+	// JIT operator cache.
+	JITCacheHits   int
+	JITCacheMisses int
+	JITCacheSize   int
+}
+
 // Engine owns a catalog of tables, the JIT operator cache, the optimizer
 // statistics cache, and the machine model configuration.
 //
@@ -180,6 +245,8 @@ type Engine struct {
 	space     *mach.AddrSpace
 	compiler  *jit.Compiler
 	optimizer *lqp.Optimizer
+	gov       *govern.Governor
+	breaker   *govern.Breaker
 
 	mu     sync.RWMutex // guards tables and config
 	tables map[string]*column.Table
@@ -189,13 +256,54 @@ type Engine struct {
 // NewEngine creates an engine with the paper's machine calibration and the
 // default (fused, AVX-512/512) execution configuration.
 func NewEngine() *Engine {
-	return &Engine{
+	gcfg := govern.Defaults()
+	e := &Engine{
 		params:    mach.Default(),
 		space:     mach.NewAddrSpace(),
 		tables:    make(map[string]*column.Table),
 		compiler:  jit.NewCompiler(),
 		optimizer: lqp.NewOptimizer(),
+		gov:       govern.New(gcfg),
+		breaker:   govern.NewBreaker(gcfg.Breaker),
 		config:    DefaultConfig(),
+	}
+	e.compiler.SetBreaker(e.breaker)
+	return e
+}
+
+// SetGovernance changes the resource-governance configuration: admission
+// limits, the default query deadline, the per-query memory budget, the JIT
+// breaker thresholds and load-retry policy. Queries already admitted (or
+// queued) finish under the limits they started with.
+func (e *Engine) SetGovernance(g Governance) {
+	e.gov.SetConfig(g)
+	e.breaker.SetConfig(g.Breaker)
+}
+
+// Governance returns the current resource-governance configuration.
+func (e *Engine) Governance() Governance { return e.gov.Config() }
+
+// Stats snapshots the engine's governance and JIT counters.
+func (e *Engine) Stats() EngineStats {
+	gs := e.gov.Snapshot()
+	bs := e.breaker.Stats()
+	hits, misses, cached := e.compiler.Stats()
+	return EngineStats{
+		Admitted:                   gs.Admitted,
+		Rejected:                   gs.Rejected,
+		QueueTimeouts:              gs.QueueTimeouts,
+		Running:                    gs.Running,
+		Queued:                     gs.Queued,
+		MemBudgetDenials:           gs.MemBudgetDenials,
+		LoadRetries:                gs.LoadRetries,
+		BreakerState:               bs.State,
+		BreakerTrips:               bs.Trips,
+		BreakerRejections:          bs.Rejections,
+		JITBreakerRejects:          e.compiler.BreakerRejects(),
+		ConsecutiveCompileFailures: bs.ConsecutiveFailures,
+		JITCacheHits:               hits,
+		JITCacheMisses:             misses,
+		JITCacheSize:               cached,
 	}
 }
 
@@ -269,8 +377,28 @@ func (e *Engine) SaveTable(name, path string) error {
 
 // LoadTable reads a table from a binary table file and registers it under
 // the name stored in the file. It returns that name.
+//
+// Transient load faults (modelled by the storage.load fault-injection
+// site) are retried with backoff per the governance LoadRetries /
+// LoadRetryBackoff knobs; deterministic failures — corrupt files
+// (*ChecksumError), format errors — are never retried.
 func (e *Engine) LoadTable(path string) (string, error) {
-	t, err := storage.LoadFile(path, e.space)
+	return e.LoadTableContext(context.Background(), path)
+}
+
+// LoadTableContext is LoadTable honouring ctx between retry attempts.
+func (e *Engine) LoadTableContext(ctx context.Context, path string) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gcfg := e.gov.Config()
+	var t *column.Table
+	attempts, err := govern.Retry(ctx, gcfg.LoadRetries, gcfg.LoadRetryBackoff, storage.Transient, func() error {
+		var lerr error
+		t, lerr = storage.LoadFile(path, e.space)
+		return lerr
+	})
+	e.gov.NoteLoadRetries(int64(attempts - 1))
 	if err != nil {
 		return "", err
 	}
@@ -431,15 +559,39 @@ func recoverStage(stage *string, sql string, res **Result, err *error) {
 //
 // A panic in any stage of query processing is recovered and returned as a
 // *QueryError carrying the stage, the SQL text and the captured stack; the
-// engine remains fully usable afterwards. When the JIT compiler fails, the
-// query is answered on the scalar scan path instead and the Result is
-// marked Degraded.
+// engine remains fully usable afterwards. When the JIT compiler fails (or
+// its circuit breaker is open), the query is answered on the scalar scan
+// path instead and the Result is marked Degraded.
+//
+// Governance (see SetGovernance): when a DefaultQueryTimeout is configured
+// and ctx carries no deadline, the default is applied. The query then
+// passes admission control — under saturation it may wait in the bounded
+// admission queue and be shed with ErrOverloaded. When a per-query memory
+// budget is configured, materialization points (position lists, sort keys,
+// projected rows) charge it and the query fails with ErrMemoryBudget
+// instead of allocating without bound.
 func (e *Engine) QueryContext(ctx context.Context, sql string) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
+	}
+	gcfg := e.gov.Config()
+	if gcfg.DefaultQueryTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, gcfg.DefaultQueryTimeout)
+			defer cancel()
+		}
+	}
+	release, aerr := e.gov.Admit(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+	if acct := e.gov.NewAccountant(); acct != nil {
+		ctx = govern.WithAccountant(ctx, acct)
 	}
 	stage := stageParse
 	defer recoverStage(&stage, sql, &res, &err)
@@ -754,7 +906,9 @@ func (s *Scan) Run() (*ScanResult, error) {
 // cancelled, the scan executes chunk-at-a-time (semantically identical)
 // and checks ctx between chunks, so a cancelled or deadline-exceeded
 // context aborts the scan promptly with ctx.Err(). A failed JIT compile
-// degrades the scan to the scalar kernel rather than failing it.
+// degrades the scan to the scalar kernel rather than failing it. When the
+// engine has a per-query memory budget configured, position-list growth is
+// charged against it and the scan fails with ErrMemoryBudget when exceeded.
 func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 	if s.err != nil {
 		return nil, s.err
@@ -767,6 +921,9 @@ func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 	}
 	if err := s.chain.Validate(); err != nil {
 		return nil, err
+	}
+	if acct := s.eng.gov.NewAccountant(); acct != nil {
+		ctx = govern.WithAccountant(ctx, acct)
 	}
 	opts, err := s.eng.Config().options()
 	if err != nil {
@@ -801,9 +958,10 @@ func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 		if err != nil {
 			return nil, err
 		}
-	case ctx.Done() != nil:
-		// Cancellable execution: chunk-at-a-time with a context check
-		// between chunks (same results as a whole-table pass).
+	case ctx.Done() != nil || govern.AccountantFrom(ctx) != nil:
+		// Cancellable or budgeted execution: chunk-at-a-time with a context
+		// check and memory accounting between chunks (same results as a
+		// whole-table pass).
 		res, err = scan.RunChunkedContext(ctx, build, s.chain, cancellableChunkRows, cpu, true)
 		if err != nil {
 			return nil, err

@@ -49,6 +49,18 @@ const (
 	// SiteParallelMorsel fails one morsel of a parallel scan (drives the
 	// errors.Join aggregation path).
 	SiteParallelMorsel = "parallel.morsel"
+	// SiteGovernAdmit fails admission control (drives the typed
+	// ErrOverloaded load-shedding path without needing to saturate the
+	// engine).
+	SiteGovernAdmit = "govern.admit"
+	// SiteJITBreaker forces the JIT circuit breaker to reject a compile
+	// (drives the breaker-open degradation path deterministically,
+	// without accumulating real consecutive failures).
+	SiteJITBreaker = "jit.breaker"
+	// SiteStorageChecksum fails block-checksum verification in
+	// storage.ReadTable (drives the corruption-detection path without
+	// crafting a corrupt file).
+	SiteStorageChecksum = "storage.checksum"
 )
 
 // Error is the injected failure returned by Hit in ModeError.
@@ -70,6 +82,11 @@ type Panic struct {
 func (p *Panic) String() string {
 	return fmt.Sprintf("faultinject: injected panic at %q (hit %d)", p.Site, p.N)
 }
+
+// Error makes *Panic an error, so recovery boundaries that convert panics
+// into errors (parallel workers, the engine's query stages) can wrap the
+// injected value with %w and keep the failure typed for errors.As.
+func (p *Panic) Error() string { return p.String() }
 
 type fault struct {
 	n    int64 // trigger on the n-th hit (1-based)

@@ -1,0 +1,274 @@
+package govern
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: normal operation, work is allowed.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: work is rejected until the cooldown expires.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is allowed through; its outcome decides
+	// whether the breaker closes or re-opens with a longer cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Disabled turns the breaker off: Allow always succeeds.
+	Disabled bool
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// open. <= 0 uses the default (3).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open after tripping before
+	// it lets a half-open probe through. <= 0 uses the default (250ms).
+	Cooldown time.Duration
+	// MaxCooldown caps the exponential backoff applied when a half-open
+	// probe fails again. <= 0 uses the default (5s).
+	MaxCooldown time.Duration
+}
+
+// DefaultBreakerConfig trips after 3 consecutive failures, cools down
+// 250ms, and backs off up to 5s.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{FailureThreshold: 3, Cooldown: 250 * time.Millisecond, MaxCooldown: 5 * time.Second}
+}
+
+func (c BreakerConfig) normalized() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 5 * time.Second
+	}
+	if c.MaxCooldown < c.Cooldown {
+		c.MaxCooldown = c.Cooldown
+	}
+	return c
+}
+
+// BreakerOpenError is the typed rejection Allow returns while the breaker
+// is open (or while a half-open probe is already in flight).
+type BreakerOpenError struct {
+	// Failures is the consecutive-failure count that tripped the breaker.
+	Failures int
+	// RetryAfter is how long until the next half-open probe is allowed.
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("govern: circuit breaker open after %d consecutive failures (next probe in ~%v)",
+		e.Failures, e.RetryAfter.Round(time.Millisecond))
+}
+
+// BreakerStats is a snapshot of the breaker's counters.
+type BreakerStats struct {
+	// State renders the current state ("closed", "open", "half-open").
+	State string
+	// ConsecutiveFailures is the current consecutive-failure streak.
+	ConsecutiveFailures int
+	// Trips counts closed/half-open -> open transitions.
+	Trips int64
+	// Rejections counts Allow calls refused while open.
+	Rejections int64
+	// Failures and Successes count recorded outcomes.
+	Failures  int64
+	Successes int64
+}
+
+// Breaker is a consecutive-failure circuit breaker with a half-open probe
+// and exponential cooldown backoff. The engine puts one in front of JIT
+// compilation so repeated compile failures stop paying compile cost: once
+// tripped, compile attempts are rejected instantly (degrading queries to
+// the scalar path) until a cooldown passes; then a single probe is let
+// through, and its outcome either closes the breaker or re-opens it with
+// a doubled cooldown.
+//
+// A nil *Breaker is valid: Allow always permits, Success/Failure are
+// no-ops. Safe for concurrent use.
+type Breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       BreakerState
+	consecutive int
+	cooldown    time.Duration // current (possibly backed-off) cooldown
+	openUntil   time.Time
+	probing     bool // a half-open probe is in flight
+
+	trips      int64
+	rejections int64
+	failures   int64
+	successes  int64
+
+	now func() time.Time // test hook
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.normalized()
+	return &Breaker{cfg: cfg, cooldown: cfg.Cooldown, now: time.Now}
+}
+
+// SetConfig updates the breaker's tuning. The state machine is preserved
+// except that disabling resets it to closed.
+func (b *Breaker) SetConfig(cfg BreakerConfig) {
+	if b == nil {
+		return
+	}
+	cfg = cfg.normalized()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cfg = cfg
+	if cfg.Disabled {
+		b.state = BreakerClosed
+		b.consecutive = 0
+		b.probing = false
+	}
+	if b.cooldown < cfg.Cooldown {
+		b.cooldown = cfg.Cooldown
+	}
+	if b.cooldown > cfg.MaxCooldown {
+		b.cooldown = cfg.MaxCooldown
+	}
+}
+
+// Allow reports whether work may proceed. While open (and not yet cooled
+// down) it returns a *BreakerOpenError; when the cooldown has passed it
+// transitions to half-open and admits exactly one probe, rejecting
+// concurrent callers until that probe's outcome is recorded.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.Disabled {
+		return nil
+	}
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if rem := b.openUntil.Sub(b.now()); rem > 0 {
+			b.rejections++
+			return &BreakerOpenError{Failures: b.consecutive, RetryAfter: rem}
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			b.rejections++
+			return &BreakerOpenError{Failures: b.consecutive, RetryAfter: b.cooldown}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success records a successful outcome: the breaker closes and the
+// failure streak and backoff reset.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	b.consecutive = 0
+	b.probing = false
+	b.state = BreakerClosed
+	b.cooldown = b.cfg.Cooldown
+}
+
+// Failure records a failed outcome. In the closed state it trips the
+// breaker once the consecutive-failure threshold is reached; a failed
+// half-open probe re-opens with a doubled (capped) cooldown.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.consecutive++
+	if b.cfg.Disabled {
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.MaxCooldown {
+			b.cooldown = b.cfg.MaxCooldown
+		}
+		b.trip()
+	case BreakerClosed:
+		if b.consecutive >= b.cfg.FailureThreshold {
+			b.cooldown = b.cfg.Cooldown
+			b.trip()
+		}
+	case BreakerOpen:
+		// A failure recorded while open (e.g. an injected compile fault
+		// that bypassed Allow) extends the open window.
+		b.trip()
+	}
+	b.probing = false
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openUntil = b.now().Add(b.cooldown)
+	b.trips++
+}
+
+// State returns the current state (open flips to half-open lazily, on the
+// next Allow after the cooldown, so State may report "open" slightly past
+// openUntil).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats snapshots the breaker's counters.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: BreakerClosed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.consecutive,
+		Trips:               b.trips,
+		Rejections:          b.rejections,
+		Failures:            b.failures,
+		Successes:           b.successes,
+	}
+}

@@ -1,0 +1,442 @@
+// Package govern is the engine's resource-governance layer: the
+// mechanisms that keep a scan engine serving many concurrent clients
+// inside its resource envelope instead of collapsing when load exceeds it.
+//
+// The paper's fused scan wins by saturating memory bandwidth; once
+// concurrent scans oversubscribe that bandwidth (or the process's memory),
+// every query degrades together. This package provides the four guards the
+// engine wires in front of and inside query execution:
+//
+//   - Governor: an admission controller with a configurable concurrency
+//     limit and a bounded FIFO wait queue. When both are full it sheds
+//     load with a typed *OverloadedError (errors.Is(err, ErrOverloaded))
+//     carrying a retry-after hint, instead of letting every query slow
+//     every other query down.
+//   - Accountant: a per-query memory budget charged at materialization
+//     points (position lists, sort keys, projected rows). A query that
+//     would exceed its budget fails with a typed *MemoryBudgetError
+//     (errors.Is(err, ErrMemoryBudget)) instead of OOMing the process.
+//   - Breaker: a circuit breaker (see breaker.go) that stops paying JIT
+//     compile cost after repeated consecutive failures, with a half-open
+//     probe and exponential backoff.
+//   - Retry (see retry.go): bounded retry with backoff for transient
+//     faults, used for storage loads.
+//
+// All types are safe for concurrent use. The zero-ish Defaults()
+// configuration is fully permissive (no concurrency limit, no memory
+// budget, no default deadline) so embedding the engine costs nothing
+// until limits are opted into; the breaker alone defaults to enabled
+// because it only engages after repeated failures.
+package govern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fusedscan/internal/faultinject"
+)
+
+// Sentinel errors for errors.Is. The concrete returned types are
+// *OverloadedError and *MemoryBudgetError, which carry diagnostics.
+var (
+	// ErrOverloaded reports that admission control shed the query: the
+	// concurrency limit and wait queue were both full (or queue wait
+	// timed out).
+	ErrOverloaded = errors.New("govern: engine overloaded")
+	// ErrMemoryBudget reports that a query hit its memory budget at a
+	// materialization point.
+	ErrMemoryBudget = errors.New("govern: query memory budget exceeded")
+)
+
+// OverloadedError is the typed rejection admission control returns. It
+// satisfies errors.Is(err, ErrOverloaded).
+type OverloadedError struct {
+	// Running is the concurrency limit in force when the query was shed.
+	Running int
+	// Queued is how many queries were already waiting.
+	Queued int
+	// RetryAfter is a hint for when the caller should try again.
+	RetryAfter time.Duration
+	// Cause, when non-nil, records why the rejection happened beyond
+	// "full" (a queue-wait timeout, or an injected fault in tests).
+	Cause error
+}
+
+func (e *OverloadedError) Error() string {
+	msg := fmt.Sprintf("govern: engine overloaded (%d running, %d queued), retry in ~%v", e.Running, e.Queued, e.RetryAfter)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// Unwrap exposes the cause (if any) to errors.As / errors.Is.
+func (e *OverloadedError) Unwrap() error { return e.Cause }
+
+// MemoryBudgetError is the typed failure a query gets when a
+// materialization point would push it past its memory budget. It
+// satisfies errors.Is(err, ErrMemoryBudget).
+type MemoryBudgetError struct {
+	// BudgetBytes is the per-query budget in force.
+	BudgetBytes int64
+	// UsedBytes is what the query had already accounted for.
+	UsedBytes int64
+	// RequestedBytes is the charge that tripped the budget.
+	RequestedBytes int64
+}
+
+func (e *MemoryBudgetError) Error() string {
+	return fmt.Sprintf("govern: query memory budget exceeded (budget %d B, used %d B, requested %d B more)",
+		e.BudgetBytes, e.UsedBytes, e.RequestedBytes)
+}
+
+// Is makes errors.Is(err, ErrMemoryBudget) hold.
+func (e *MemoryBudgetError) Is(target error) bool { return target == ErrMemoryBudget }
+
+// Config holds every governance knob. The zero value of each field means
+// "disabled / unlimited" except where noted.
+type Config struct {
+	// MaxConcurrent caps how many queries execute simultaneously.
+	// 0 disables admission control entirely.
+	MaxConcurrent int
+	// MaxQueue bounds how many queries may wait for admission once
+	// MaxConcurrent are running. 0 means no queueing: excess queries are
+	// shed immediately.
+	MaxQueue int
+	// QueueWait bounds how long one query waits in the admission queue
+	// before being shed with ErrOverloaded. 0 means wait until the
+	// query's context expires.
+	QueueWait time.Duration
+	// DefaultQueryTimeout is the deadline applied to a query whose
+	// caller's context carries none. 0 applies no default.
+	DefaultQueryTimeout time.Duration
+	// MemBudgetBytes is the per-query memory budget charged at
+	// materialization points. 0 means unlimited.
+	MemBudgetBytes int64
+	// Breaker configures the JIT circuit breaker.
+	Breaker BreakerConfig
+	// LoadRetries is how many times a transient table-load fault is
+	// retried (0 = no retries).
+	LoadRetries int
+	// LoadRetryBackoff is the initial backoff between load retries,
+	// doubling per attempt. 0 uses 1ms.
+	LoadRetryBackoff time.Duration
+}
+
+// Defaults is the engine's out-of-the-box governance: fully permissive
+// admission (no limits, no default deadline, no memory budget) so the
+// seed's behaviour is unchanged, with the JIT breaker enabled (it only
+// engages after repeated compile failures) and two retries for transient
+// load faults.
+func Defaults() Config {
+	return Config{
+		MaxConcurrent:       0,
+		MaxQueue:            64,
+		QueueWait:           time.Second,
+		DefaultQueryTimeout: 0,
+		MemBudgetBytes:      0,
+		Breaker:             DefaultBreakerConfig(),
+		LoadRetries:         2,
+		LoadRetryBackoff:    5 * time.Millisecond,
+	}
+}
+
+// Stats is a point-in-time snapshot of the governor's counters.
+type Stats struct {
+	// Admitted counts queries that passed admission control.
+	Admitted int64
+	// Rejected counts queries shed with ErrOverloaded (including queue
+	// timeouts and injected admission faults).
+	Rejected int64
+	// QueueTimeouts counts rejections that happened after waiting the
+	// full QueueWait in the admission queue.
+	QueueTimeouts int64
+	// Running is the number of admitted queries currently executing.
+	Running int64
+	// Queued is the number of queries currently waiting for admission.
+	Queued int64
+	// MemBudgetDenials counts queries failed with ErrMemoryBudget.
+	MemBudgetDenials int64
+	// LoadRetries counts transient table-load faults that were retried.
+	LoadRetries int64
+}
+
+// Governor is the admission controller plus the factory for per-query
+// accountants. Safe for concurrent use.
+type Governor struct {
+	mu      sync.Mutex
+	cfg     Config
+	sem     chan struct{} // nil when MaxConcurrent == 0
+	queuedN int
+
+	admitted      atomic.Int64
+	rejected      atomic.Int64
+	queueTimeouts atomic.Int64
+	running       atomic.Int64
+	memDenials    atomic.Int64
+	loadRetries   atomic.Int64
+}
+
+// New creates a governor with the given configuration.
+func New(cfg Config) *Governor {
+	g := &Governor{}
+	g.SetConfig(cfg)
+	return g
+}
+
+// SetConfig swaps the governance configuration. Queries already admitted
+// (or already queued) finish under the semaphore they started with; the
+// new limits apply to subsequent Admit calls.
+func (g *Governor) SetConfig(cfg Config) {
+	if cfg.MaxConcurrent < 0 {
+		cfg.MaxConcurrent = 0
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cfg.MaxConcurrent != g.cfg.MaxConcurrent {
+		g.sem = nil
+		if cfg.MaxConcurrent > 0 {
+			g.sem = make(chan struct{}, cfg.MaxConcurrent)
+		}
+	}
+	g.cfg = cfg
+}
+
+// Config returns the current configuration.
+func (g *Governor) Config() Config {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg
+}
+
+// retryAfter is the hint attached to ErrOverloaded rejections.
+func retryAfter(queueWait time.Duration) time.Duration {
+	if queueWait > 0 {
+		return queueWait
+	}
+	return 100 * time.Millisecond
+}
+
+// Admit asks for permission to run one query. On success it returns a
+// release function that MUST be called exactly once when the query
+// finishes. When the engine is saturated (concurrency limit reached and
+// the wait queue full, or the queue wait times out) it returns a typed
+// *OverloadedError; when ctx expires while queued it returns ctx.Err().
+//
+// Admission is FIFO: queued queries acquire slots in the order they
+// blocked (Go's runtime serves blocked channel senders first-come,
+// first-served).
+func (g *Governor) Admit(ctx context.Context) (release func(), err error) {
+	g.mu.Lock()
+	sem := g.sem
+	maxQueue := g.cfg.MaxQueue
+	wait := g.cfg.QueueWait
+	g.mu.Unlock()
+
+	if ierr := faultinject.Hit(faultinject.SiteGovernAdmit); ierr != nil {
+		g.rejected.Add(1)
+		return nil, &OverloadedError{Running: cap(sem), Queued: g.queuedNow(), RetryAfter: retryAfter(wait), Cause: ierr}
+	}
+	if sem == nil { // admission control disabled
+		g.admitted.Add(1)
+		g.running.Add(1)
+		var once sync.Once
+		return func() { once.Do(func() { g.running.Add(-1) }) }, nil
+	}
+
+	grant := func() func() {
+		g.admitted.Add(1)
+		g.running.Add(1)
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				g.running.Add(-1)
+				<-sem
+			})
+		}
+	}
+
+	// Fast path: a slot is free.
+	select {
+	case sem <- struct{}{}:
+		return grant(), nil
+	default:
+	}
+
+	// Saturated: join the bounded wait queue, or shed.
+	g.mu.Lock()
+	if g.queuedN >= maxQueue {
+		queued := g.queuedN
+		g.mu.Unlock()
+		g.rejected.Add(1)
+		return nil, &OverloadedError{Running: cap(sem), Queued: queued, RetryAfter: retryAfter(wait)}
+	}
+	g.queuedN++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queuedN--
+		g.mu.Unlock()
+	}()
+
+	var timeout <-chan time.Time
+	if wait > 0 {
+		tm := time.NewTimer(wait)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	select {
+	case sem <- struct{}{}:
+		return grant(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timeout:
+		g.rejected.Add(1)
+		g.queueTimeouts.Add(1)
+		return nil, &OverloadedError{
+			Running:    cap(sem),
+			Queued:     g.queuedNow(),
+			RetryAfter: retryAfter(wait),
+			Cause:      fmt.Errorf("waited %v in the admission queue", wait),
+		}
+	}
+}
+
+func (g *Governor) queuedNow() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queuedN
+}
+
+// NewAccountant returns a fresh per-query memory accountant, or nil when
+// no memory budget is configured (callers skip context wiring then).
+func (g *Governor) NewAccountant() *Accountant {
+	g.mu.Lock()
+	budget := g.cfg.MemBudgetBytes
+	g.mu.Unlock()
+	if budget <= 0 {
+		return nil
+	}
+	return &Accountant{budget: budget, denials: &g.memDenials}
+}
+
+// NoteLoadRetries records n transient-load retries in the stats.
+func (g *Governor) NoteLoadRetries(n int64) {
+	if n > 0 {
+		g.loadRetries.Add(n)
+	}
+}
+
+// Snapshot returns the current counters.
+func (g *Governor) Snapshot() Stats {
+	return Stats{
+		Admitted:         g.admitted.Load(),
+		Rejected:         g.rejected.Load(),
+		QueueTimeouts:    g.queueTimeouts.Load(),
+		Running:          g.running.Load(),
+		Queued:           int64(g.queuedNow()),
+		MemBudgetDenials: g.memDenials.Load(),
+		LoadRetries:      g.loadRetries.Load(),
+	}
+}
+
+// Accountant is a per-query memory budget. Operators charge it at
+// materialization points (position-list growth, sort keys, projected
+// rows); the first charge that would exceed the budget returns a typed
+// *MemoryBudgetError and the query fails instead of the process OOMing.
+//
+// A nil *Accountant is valid and never denies — operators can charge
+// unconditionally.
+type Accountant struct {
+	budget  int64
+	used    atomic.Int64
+	denials *atomic.Int64 // owning governor's counter; may be nil
+}
+
+// NewAccountant creates a standalone accountant (tests and direct
+// embedders; the engine uses Governor.NewAccountant). budget <= 0 means
+// unlimited.
+func NewAccountant(budget int64) *Accountant {
+	return &Accountant{budget: budget}
+}
+
+// Charge accounts n more bytes of materialized state. It returns a
+// *MemoryBudgetError when the budget would be exceeded; the charge is
+// rolled back in that case so concurrent chargers see a consistent total.
+func (a *Accountant) Charge(n int64) error {
+	if a == nil || n <= 0 {
+		return nil
+	}
+	used := a.used.Add(n)
+	if a.budget > 0 && used > a.budget {
+		a.used.Add(-n)
+		if a.denials != nil {
+			a.denials.Add(1)
+		}
+		return &MemoryBudgetError{BudgetBytes: a.budget, UsedBytes: used - n, RequestedBytes: n}
+	}
+	return nil
+}
+
+// Release returns n bytes to the budget (an operator freeing an
+// intermediate).
+func (a *Accountant) Release(n int64) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.used.Add(-n)
+}
+
+// Used reports the bytes currently accounted.
+func (a *Accountant) Used() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.used.Load()
+}
+
+// Budget reports the configured budget (0 = unlimited).
+func (a *Accountant) Budget() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.budget
+}
+
+// acctKey keys the accountant in a context.
+type acctKey struct{}
+
+// WithAccountant attaches a query's accountant to its context, from which
+// operators deep in the plan retrieve it.
+func WithAccountant(ctx context.Context, a *Accountant) context.Context {
+	if a == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, acctKey{}, a)
+}
+
+// AccountantFrom returns the context's accountant, or nil (which charges
+// as a no-op) when none is attached.
+func AccountantFrom(ctx context.Context) *Accountant {
+	if ctx == nil {
+		return nil
+	}
+	a, _ := ctx.Value(acctKey{}).(*Accountant)
+	return a
+}
+
+// Charge is AccountantFrom(ctx).Charge(n) — a convenience for one-shot
+// charges; loops should hoist AccountantFrom out of the hot path.
+func Charge(ctx context.Context, n int64) error {
+	return AccountantFrom(ctx).Charge(n)
+}

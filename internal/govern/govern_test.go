@@ -1,0 +1,376 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fusedscan/internal/faultinject"
+)
+
+func TestAdmitUnlimitedByDefault(t *testing.T) {
+	g := New(Defaults())
+	var releases []func()
+	for i := 0; i < 100; i++ {
+		rel, err := g.Admit(context.Background())
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if got := g.Snapshot().Running; got != 100 {
+		t.Fatalf("Running = %d, want 100", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := g.Snapshot().Running; got != 0 {
+		t.Fatalf("Running after release = %d, want 0", got)
+	}
+}
+
+func TestAdmitShedsWhenSaturatedNoQueue(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 0})
+	rel1, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var ov *OverloadedError
+	if !errors.As(err, &ov) {
+		t.Fatalf("err = %T, want *OverloadedError", err)
+	}
+	if ov.Running != 1 || ov.RetryAfter <= 0 {
+		t.Errorf("OverloadedError = %+v, want Running=1 and a positive RetryAfter", ov)
+	}
+	rel1()
+	rel2, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	rel2()
+	st := g.Snapshot()
+	if st.Admitted != 2 || st.Rejected != 1 {
+		t.Errorf("stats = %+v, want 2 admitted / 1 rejected", st)
+	}
+}
+
+func TestAdmitQueuesUntilSlotFrees(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+	rel1, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan func(), 1)
+	go func() {
+		rel, err := g.Admit(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		admitted <- rel
+	}()
+	// The second query must be queued, not admitted.
+	waitFor(t, func() bool { return g.Snapshot().Queued == 1 })
+	select {
+	case <-admitted:
+		t.Fatal("second query admitted while the slot was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel1()
+	select {
+	case rel := <-admitted:
+		rel()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued query not admitted after release")
+	}
+}
+
+func TestAdmitQueueFullSheds(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 1, QueueWait: 5 * time.Second})
+	rel1, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel1()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx)
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.Snapshot().Queued == 1 })
+	// Queue is now full: a third query is shed immediately.
+	if _, err := g.Admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued admit after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestAdmitQueueWaitTimesOut(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 20 * time.Millisecond})
+	rel1, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel1()
+	_, err = g.Admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded after queue-wait timeout", err)
+	}
+	var ov *OverloadedError
+	if !errors.As(err, &ov) || ov.Cause == nil {
+		t.Fatalf("err = %v, want *OverloadedError with a timeout cause", err)
+	}
+	if st := g.Snapshot(); st.QueueTimeouts != 1 {
+		t.Errorf("QueueTimeouts = %d, want 1", st.QueueTimeouts)
+	}
+}
+
+func TestAdmitFaultInjected(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	g := New(Defaults())
+	faultinject.Arm(faultinject.SiteGovernAdmit, 1, faultinject.ModeError)
+	_, err := g.Admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want wrapped *faultinject.Error", err)
+	}
+	if rel, err := g.Admit(context.Background()); err != nil {
+		t.Fatalf("post-fault admit: %v", err)
+	} else {
+		rel()
+	}
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a second slot
+	rel2, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if _, err := g.Admit(context.Background()); !errors.Is(err, ErrOverloaded) && err != nil {
+		// MaxQueue defaults to 0 here, so the second admit must shed.
+		t.Fatalf("err = %v", err)
+	} else if err == nil {
+		t.Fatal("double release freed a phantom slot")
+	}
+}
+
+func TestAccountantChargesAndDenies(t *testing.T) {
+	a := NewAccountant(100)
+	if err := a.Charge(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge(40); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Charge(1)
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("err = %v, want ErrMemoryBudget", err)
+	}
+	var mb *MemoryBudgetError
+	if !errors.As(err, &mb) {
+		t.Fatalf("err = %T, want *MemoryBudgetError", err)
+	}
+	if mb.BudgetBytes != 100 || mb.UsedBytes != 100 || mb.RequestedBytes != 1 {
+		t.Errorf("MemoryBudgetError = %+v", mb)
+	}
+	// The denied charge rolled back.
+	if a.Used() != 100 {
+		t.Errorf("Used = %d, want 100", a.Used())
+	}
+	a.Release(50)
+	if err := a.Charge(50); err != nil {
+		t.Fatalf("charge after release: %v", err)
+	}
+}
+
+func TestAccountantNilAndContext(t *testing.T) {
+	var a *Accountant
+	if err := a.Charge(1 << 40); err != nil {
+		t.Fatalf("nil accountant denied: %v", err)
+	}
+	if err := Charge(context.Background(), 1<<40); err != nil {
+		t.Fatalf("accountant-less context denied: %v", err)
+	}
+	acct := NewAccountant(10)
+	ctx := WithAccountant(context.Background(), acct)
+	if got := AccountantFrom(ctx); got != acct {
+		t.Fatalf("AccountantFrom = %p, want %p", got, acct)
+	}
+	if err := Charge(ctx, 11); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("err = %v, want ErrMemoryBudget", err)
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a := NewAccountant(1 << 30)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if err := a.Charge(64); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Used(); got != 8*1000*64 {
+		t.Fatalf("Used = %d, want %d", got, 8*1000*64)
+	}
+}
+
+func TestBreakerTripsHalfOpensAndRecovers(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second, MaxCooldown: 8 * time.Second})
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time { return clock }
+
+	// Failures below the threshold keep the breaker closed.
+	b.Failure()
+	b.Failure()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow before threshold: %v", err)
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	err := b.Allow()
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("Allow while open = %v, want *BreakerOpenError", err)
+	}
+	if boe.Failures != 3 || boe.RetryAfter <= 0 {
+		t.Errorf("BreakerOpenError = %+v", boe)
+	}
+
+	// After the cooldown, exactly one probe is admitted.
+	clock = clock.Add(1100 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("second concurrent probe admitted during half-open")
+	}
+
+	// Probe failure re-opens with doubled cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	clock = clock.Add(1100 * time.Millisecond) // only 1.1s: doubled cooldown (2s) not yet over
+	if err := b.Allow(); err == nil {
+		t.Fatal("breaker closed before the backed-off cooldown expired")
+	}
+	clock = clock.Add(time.Second) // 2.1s total
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after doubled cooldown rejected: %v", err)
+	}
+
+	// Probe success closes the breaker and resets the streak and backoff.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after recovery: %v", err)
+	}
+	st := b.Stats()
+	if st.Trips != 2 || st.ConsecutiveFailures != 0 {
+		t.Errorf("stats = %+v, want 2 trips and a reset streak", st)
+	}
+}
+
+func TestBreakerDisabledAndNil(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Disabled: true})
+	for i := 0; i < 10; i++ {
+		b.Failure()
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("disabled breaker rejected: %v", err)
+	}
+	var nb *Breaker
+	nb.Failure()
+	nb.Success()
+	if err := nb.Allow(); err != nil {
+		t.Fatalf("nil breaker rejected: %v", err)
+	}
+	if st := nb.Stats(); st.State != "closed" {
+		t.Errorf("nil breaker state = %q", st.State)
+	}
+}
+
+func TestRetryTransient(t *testing.T) {
+	transientErr := errors.New("flaky")
+	calls := 0
+	attempts, err := Retry(context.Background(), 3, time.Microsecond,
+		func(err error) bool { return errors.Is(err, transientErr) },
+		func() error {
+			calls++
+			if calls < 3 {
+				return transientErr
+			}
+			return nil
+		})
+	if err != nil || attempts != 3 {
+		t.Fatalf("attempts = %d err = %v, want 3 attempts and success", attempts, err)
+	}
+}
+
+func TestRetryNonTransientFailsFast(t *testing.T) {
+	permanent := errors.New("corrupt")
+	calls := 0
+	attempts, err := Retry(context.Background(), 5, time.Microsecond,
+		func(error) bool { return false },
+		func() error { calls++; return permanent })
+	if !errors.Is(err, permanent) || attempts != 1 || calls != 1 {
+		t.Fatalf("attempts = %d calls = %d err = %v, want one non-retried failure", attempts, calls, err)
+	}
+}
+
+func TestRetryExhaustsAndKeepsLastError(t *testing.T) {
+	transientErr := fmt.Errorf("still down")
+	attempts, err := Retry(context.Background(), 2, time.Microsecond,
+		func(error) bool { return true },
+		func() error { return transientErr })
+	if !errors.Is(err, transientErr) || attempts != 3 {
+		t.Fatalf("attempts = %d err = %v, want 3 attempts ending in the last error", attempts, err)
+	}
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

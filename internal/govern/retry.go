@@ -1,0 +1,32 @@
+package govern
+
+import (
+	"context"
+	"time"
+)
+
+// Retry runs fn up to 1+retries times, sleeping backoff (doubling each
+// attempt) between tries. Only errors the transient classifier accepts
+// are retried; the first non-transient error — and the last error when
+// attempts are exhausted — is returned as-is so callers keep its type.
+// A nil transient classifier never retries.
+//
+// Retry returns how many attempts ran (>= 1). If ctx expires during a
+// backoff sleep, the last operation error is returned immediately.
+func Retry(ctx context.Context, retries int, backoff time.Duration, transient func(error) bool, fn func() error) (attempts int, err error) {
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= retries || transient == nil || !transient(err) {
+			return attempt + 1, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return attempt + 1, err
+		}
+		backoff *= 2
+	}
+}

@@ -1,0 +1,106 @@
+package jit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/faultinject"
+	"fusedscan/internal/govern"
+	"fusedscan/internal/mach"
+	"fusedscan/internal/scan"
+	"fusedscan/internal/vec"
+)
+
+// chainOf builds a one-predicate chain over the given values.
+func chainOf(t *testing.T, vals []int32) scan.Chain {
+	t.Helper()
+	space := mach.NewAddrSpace()
+	c := column.FromInt32s(space, "v", vals)
+	return scan.Chain{{Col: c, Op: expr.Eq, Value: expr.NewInt(expr.Int32, 5)}}
+}
+
+// TestCompilerBreakerTripsAfterConsecutiveFailures drives the breaker
+// through closed -> open -> half-open -> closed using injected compile
+// faults only.
+func TestCompilerBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	c := NewCompiler()
+	b := govern.NewBreaker(govern.BreakerConfig{FailureThreshold: 2, Cooldown: 30 * time.Millisecond, MaxCooldown: time.Second})
+	c.SetBreaker(b)
+	ch := chainOf(t, []int32{1, 2, 3, 4})
+	sig := SignatureOf(ch, vec.W512, vec.IsaAVX512)
+
+	// Two consecutive injected failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		faultinject.Arm(faultinject.SiteJITCompile, 1, faultinject.ModeError)
+		if _, err := c.Compile(sig); err == nil {
+			t.Fatalf("compile %d succeeded despite injected fault", i)
+		}
+	}
+	faultinject.Reset()
+	if got := b.State(); got != govern.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+
+	// While open, a fresh compile is rejected without running.
+	_, err := c.Compile(sig)
+	var boe *govern.BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("err = %v, want *BreakerOpenError", err)
+	}
+	if c.BreakerRejects() != 1 {
+		t.Errorf("BreakerRejects = %d, want 1", c.BreakerRejects())
+	}
+
+	// After the cooldown a probe compiles successfully and closes it.
+	time.Sleep(40 * time.Millisecond)
+	if _, err := c.Compile(sig); err != nil {
+		t.Fatalf("probe compile failed: %v", err)
+	}
+	if got := b.State(); got != govern.BreakerClosed {
+		t.Fatalf("breaker state after probe = %v, want closed", got)
+	}
+
+	// Cached program: served even if the breaker were open again.
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != govern.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	if _, err := c.Compile(sig); err != nil {
+		t.Fatalf("cache hit rejected by open breaker: %v", err)
+	}
+}
+
+// TestCompilerBreakerFaultInjected exercises the deterministic
+// jit.breaker site: the breaker-open path without real failures.
+func TestCompilerBreakerFaultInjected(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	c := NewCompiler()
+	ch := chainOf(t, []int32{9, 9, 9, 9})
+	sig := SignatureOf(ch, vec.W512, vec.IsaAVX512)
+
+	faultinject.Arm(faultinject.SiteJITBreaker, 1, faultinject.ModeError)
+	_, err := c.Compile(sig)
+	if err == nil {
+		t.Fatal("compile succeeded despite injected breaker rejection")
+	}
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) || fe.Site != faultinject.SiteJITBreaker {
+		t.Fatalf("err = %v, want wrapped jit.breaker fault", err)
+	}
+	if c.BreakerRejects() != 1 {
+		t.Errorf("BreakerRejects = %d, want 1", c.BreakerRejects())
+	}
+	// Next compile (fault consumed) succeeds — even with no breaker set.
+	if _, err := c.Compile(sig); err != nil {
+		t.Fatalf("post-fault compile: %v", err)
+	}
+}

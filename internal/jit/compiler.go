@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"fusedscan/internal/faultinject"
+	"fusedscan/internal/govern"
 	"fusedscan/internal/scan"
 	"fusedscan/internal/vec"
 )
@@ -46,17 +47,34 @@ func (p *Program) Bind(ch scan.Chain) (scan.Kernel, error) {
 // concurrent use: the program cache is mutex-guarded and the hit/miss
 // statistics are atomic, so many queries can compile (and share) operators
 // simultaneously.
+//
+// An optional circuit breaker (SetBreaker) guards fresh compiles: after
+// repeated consecutive compile failures the breaker trips and cache
+// misses are rejected instantly — callers degrade to the scalar path —
+// until a cooldown passes and a half-open probe compile succeeds. Cache
+// hits bypass the breaker entirely: a cached program costs nothing, which
+// is exactly what the breaker exists to protect.
 type Compiler struct {
-	mu    sync.Mutex
-	cache map[string]*Program
+	mu      sync.Mutex
+	cache   map[string]*Program
+	breaker *govern.Breaker // nil: no breaker
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits           atomic.Int64
+	misses         atomic.Int64
+	breakerRejects atomic.Int64
 }
 
-// NewCompiler returns an empty compiler cache.
+// NewCompiler returns an empty compiler cache with no breaker.
 func NewCompiler() *Compiler {
 	return &Compiler{cache: make(map[string]*Program)}
+}
+
+// SetBreaker installs (or removes, with nil) the circuit breaker that
+// guards fresh compiles.
+func (c *Compiler) SetBreaker(b *govern.Breaker) {
+	c.mu.Lock()
+	c.breaker = b
+	c.mu.Unlock()
 }
 
 // Compile returns the program for a signature, generating it on first use.
@@ -64,15 +82,29 @@ func (c *Compiler) Compile(sig Signature) (*Program, error) {
 	if err := sig.Validate(); err != nil {
 		return nil, err
 	}
-	if err := faultinject.Hit(faultinject.SiteJITCompile); err != nil {
-		return nil, fmt.Errorf("jit: compiling %s: %w", sig.Key(), err)
-	}
 	key := sig.Key()
+	if err := faultinject.Hit(faultinject.SiteJITCompile); err != nil {
+		c.mu.Lock()
+		b := c.breaker
+		c.mu.Unlock()
+		b.Failure()
+		return nil, fmt.Errorf("jit: compiling %s: %w", key, err)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p, ok := c.cache[key]; ok {
 		c.hits.Add(1)
 		return p, nil
+	}
+	// Cache miss: a real compile is about to pay its cost — consult the
+	// breaker first so repeated failures stop burning compile time.
+	if err := faultinject.Hit(faultinject.SiteJITBreaker); err != nil {
+		c.breakerRejects.Add(1)
+		return nil, fmt.Errorf("jit: compiling %s: circuit breaker open: %w", key, err)
+	}
+	if err := c.breaker.Allow(); err != nil {
+		c.breakerRejects.Add(1)
+		return nil, fmt.Errorf("jit: compiling %s: %w", key, err)
 	}
 	c.misses.Add(1)
 	src := GenerateSource(sig)
@@ -82,6 +114,7 @@ func (c *Compiler) Compile(sig Signature) (*Program, error) {
 		CompileMicros: (strings.Count(src, "\n") + 1) * compileMicrosPerLine,
 	}
 	c.cache[key] = p
+	c.breaker.Success()
 	return p, nil
 }
 
@@ -109,3 +142,6 @@ func (c *Compiler) Stats() (hits, misses, cached int) {
 	c.mu.Unlock()
 	return int(c.hits.Load()), int(c.misses.Load()), cached
 }
+
+// BreakerRejects reports how many compiles the circuit breaker refused.
+func (c *Compiler) BreakerRejects() int64 { return c.breakerRejects.Load() }

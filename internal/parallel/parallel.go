@@ -117,7 +117,13 @@ func ScanContext(ctx context.Context, params mach.Params, ch scan.Chain, build f
 	runMorsel := func(worker int, m morsel) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("parallel: morsel %d: panic: %v", m.idx, r)
+				// An error-typed panic value (e.g. *faultinject.Panic) is
+				// wrapped so errors.As still reaches it.
+				if cause, ok := r.(error); ok {
+					err = fmt.Errorf("parallel: morsel %d: panic: %w", m.idx, cause)
+				} else {
+					err = fmt.Errorf("parallel: morsel %d: panic: %v", m.idx, r)
+				}
 			}
 		}()
 		if err := faultinject.Hit(faultinject.SiteParallelMorsel); err != nil {

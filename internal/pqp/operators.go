@@ -8,6 +8,7 @@ import (
 
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
+	"fusedscan/internal/govern"
 	"fusedscan/internal/lqp"
 	"fusedscan/internal/mach"
 	"fusedscan/internal/scan"
@@ -38,6 +39,20 @@ func pollCtx(ctx context.Context, i int) error {
 	return ctx.Err()
 }
 
+// Memory-accounting cost estimates for the materializing operators. The
+// accountant (govern.Accountant, carried in the query context) is charged
+// at every materialization point so a query that would balloon fails with
+// a typed ErrMemoryBudget instead of OOMing the process. The estimates
+// cover the dominant allocations: position lists are 4 B/entry, sort
+// state holds a key value, a null flag and two index/position words, and
+// each projected row holds one expr.Value per column plus slice headers.
+const (
+	bytesPerPosition = 4
+	bytesPerSortKey  = 48
+	bytesPerRowBase  = 48
+	bytesPerRowCell  = 24
+)
+
 // positionSource is the internal dataflow interface: operators that
 // produce qualifying row positions. When countOnly is set, Positions may
 // be nil (the consumer only needs Count).
@@ -64,6 +79,9 @@ func (op *fullScanOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bo
 		return res, nil
 	}
 	if err := ctx.Err(); err != nil {
+		return scan.Result{}, err
+	}
+	if err := govern.Charge(ctx, int64(n)*bytesPerPosition); err != nil {
 		return scan.Result{}, err
 	}
 	res.Positions = make([]uint32, n)
@@ -100,7 +118,11 @@ func (op *scanOp) Describe() string { return fmt.Sprintf("%s on %s", op.name, op
 func (op *scanOp) table() *column.Table { return op.tbl }
 
 func (op *scanOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
-	if ctx.Done() == nil || op.build == nil {
+	// Chunked execution (semantically identical) engages when the scan
+	// must be interruptible — a cancellable context — or accountable — a
+	// memory budget charging position-list growth per chunk.
+	governed := ctx.Done() != nil || govern.AccountantFrom(ctx) != nil
+	if !governed || op.build == nil {
 		return op.kernel.Run(cpu, !countOnly), nil
 	}
 	return scan.RunChunkedContext(ctx, op.build, op.chain, execChunkRows, cpu, !countOnly)
@@ -145,6 +167,7 @@ func (op *filterOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool
 	col := op.pred.Col
 	size := col.Type().Size()
 	needle := op.pred.StoredBits()
+	acct := govern.AccountantFrom(ctx)
 	var out scan.Result
 	for i, pos := range in.Positions {
 		if err := pollCtx(ctx, i); err != nil {
@@ -157,6 +180,9 @@ func (op *filterOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool
 		if match {
 			out.Count++
 			if !countOnly {
+				if err := acct.Charge(bytesPerPosition); err != nil {
+					return scan.Result{}, err
+				}
 				out.Positions = append(out.Positions, pos)
 			}
 			cpu.Scalar(1)
@@ -337,6 +363,11 @@ func (op *sortOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) 
 	if err != nil || countOnly {
 		return in, err
 	}
+	// Sort state (keys, null flags, index and output permutations) is a
+	// per-position materialization: budget it before allocating.
+	if err := govern.Charge(ctx, int64(len(in.Positions))*bytesPerSortKey); err != nil {
+		return scan.Result{}, err
+	}
 	region := cpu.NewRandomRegion()
 	size := op.col.Type().Size()
 	keys := make([]expr.Value, len(in.Positions))
@@ -449,12 +480,17 @@ func (op *projectOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error
 			anyNullable = true
 		}
 	}
+	acct := govern.AccountantFrom(ctx)
+	rowBytes := int64(bytesPerRowBase + len(cols)*bytesPerRowCell)
 	out := QueryResult{Count: int64(res.Count), Columns: op.columns}
 	for pi, pos := range res.Positions {
 		if len(out.Rows) >= limit {
 			break
 		}
 		if err := pollCtx(ctx, pi); err != nil {
+			return QueryResult{}, err
+		}
+		if err := acct.Charge(rowBytes); err != nil {
 			return QueryResult{}, err
 		}
 		row := make(Row, len(cols))

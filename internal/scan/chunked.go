@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"fusedscan/internal/govern"
 	"fusedscan/internal/mach"
 )
 
@@ -22,9 +23,13 @@ func RunChunked(build func(Chain) (Kernel, error), ch Chain, chunkRows int, cpu 
 	return RunChunkedContext(context.Background(), build, ch, chunkRows, cpu, wantPositions)
 }
 
-// RunChunkedContext is RunChunked with cooperative cancellation: ctx is
-// checked between chunks, so a cancelled or deadline-exceeded context
-// aborts the scan within one chunk's worth of work and returns ctx.Err().
+// RunChunkedContext is RunChunked with cooperative cancellation and
+// memory accounting: ctx is checked between chunks, so a cancelled or
+// deadline-exceeded context aborts the scan within one chunk's worth of
+// work and returns ctx.Err(), and each chunk's position-list growth is
+// charged against the context's memory accountant (govern.Accountant), so
+// a scan whose result list would blow a query's budget fails with a typed
+// ErrMemoryBudget instead of allocating without bound.
 func RunChunkedContext(ctx context.Context, build func(Chain) (Kernel, error), ch Chain, chunkRows int, cpu *mach.CPU, wantPositions bool) (Result, error) {
 	if err := ch.Validate(); err != nil {
 		return Result{}, err
@@ -32,6 +37,7 @@ func RunChunkedContext(ctx context.Context, build func(Chain) (Kernel, error), c
 	if chunkRows <= 0 {
 		return Result{}, fmt.Errorf("scan: chunkRows must be positive, got %d", chunkRows)
 	}
+	acct := govern.AccountantFrom(ctx)
 	n := ch.Rows()
 	var total Result
 	for begin := 0; begin < n; begin += chunkRows {
@@ -53,6 +59,9 @@ func RunChunkedContext(ctx context.Context, build func(Chain) (Kernel, error), c
 		res := kern.Run(cpu, wantPositions)
 		total.Count += res.Count
 		if wantPositions {
+			if err := acct.Charge(int64(len(res.Positions)) * 4); err != nil {
+				return Result{}, err
+			}
 			for _, pos := range res.Positions {
 				total.Positions = append(total.Positions, pos+uint32(begin))
 			}

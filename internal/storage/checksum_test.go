@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/faultinject"
+	"fusedscan/internal/mach"
+)
+
+// oneColTable builds a table with a single int32 column "v" (optionally
+// with NULLs) so byte offsets into the serialized form are predictable.
+func oneColTable(t *testing.T, n int, withNulls bool) *column.Table {
+	t.Helper()
+	space := mach.NewAddrSpace()
+	tbl := column.NewTable(space, "tbl")
+	c := column.New(space, "v", expr.Int32, n)
+	for i := 0; i < n; i++ {
+		c.Set(i, expr.NewInt(expr.Int32, int64(i*7)))
+		if withNulls && i%5 == 0 {
+			c.SetNull(i)
+		}
+	}
+	tbl.MustAddColumn(c)
+	return tbl
+}
+
+func saveBytes(t *testing.T, tbl *column.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func loadBytes(raw []byte) (*column.Table, error) {
+	return ReadTable(bytes.NewReader(raw), mach.NewAddrSpace())
+}
+
+// TestChecksumDetectsFlippedDataByte is the tentpole's acceptance case:
+// flip one byte of a saved table's column data and the load must report
+// the failing column and block instead of returning silently wrong data.
+func TestChecksumDetectsFlippedDataByte(t *testing.T) {
+	raw := saveBytes(t, oneColTable(t, 100, false))
+	// Layout: ... | data (100*4 B) | dataCRC (4 B, file tail).
+	raw[len(raw)-5] ^= 0x01 // last data byte
+
+	_, err := loadBytes(raw)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *ChecksumError", err, err)
+	}
+	if ce.Column != "v" || ce.Block != "data" {
+		t.Errorf("ChecksumError names column %q block %q, want v/data", ce.Column, ce.Block)
+	}
+	if !strings.Contains(err.Error(), `"v"`) || !strings.Contains(err.Error(), "data block") || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("error message does not name the failing column/block: %v", err)
+	}
+}
+
+// TestChecksumDetectsCorruptStoredCRC flips a byte of the stored checksum
+// itself — also corruption, also detected.
+func TestChecksumDetectsCorruptStoredCRC(t *testing.T) {
+	raw := saveBytes(t, oneColTable(t, 64, false))
+	raw[len(raw)-1] ^= 0xFF // inside the trailing dataCRC
+
+	_, err := loadBytes(raw)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChecksumError", err)
+	}
+}
+
+// TestChecksumDetectsFlippedNullsByte corrupts the validity bitmap block
+// of a nullable column.
+func TestChecksumDetectsFlippedNullsByte(t *testing.T) {
+	raw := saveBytes(t, oneColTable(t, 100, true))
+	// Layout tail: ... | nulls (2 words = 16 B) | nullsCRC (4 B).
+	raw[len(raw)-6] ^= 0x80 // inside the nulls block
+
+	_, err := loadBytes(raw)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChecksumError", err)
+	}
+	if ce.Column != "v" || ce.Block != "nulls" {
+		t.Errorf("ChecksumError names column %q block %q, want v/nulls", ce.Column, ce.Block)
+	}
+}
+
+// TestChecksumEveryDataByteFlipDetected sweeps the whole data region of a
+// small file: any single-bit flip must fail the load.
+func TestChecksumEveryDataByteFlipDetected(t *testing.T) {
+	clean := saveBytes(t, oneColTable(t, 16, false))
+	// Header: 4 magic + 4 ver + (4+3) name + 8 rows + 4 cols = 27,
+	// column header: (4+1) name + 1 type + 1 hasNulls = 34.
+	dataStart := 34
+	dataEnd := dataStart + 16*4
+	for off := dataStart; off < dataEnd; off++ {
+		raw := append([]byte(nil), clean...)
+		raw[off] ^= 0x04
+		if _, err := loadBytes(raw); err == nil {
+			t.Fatalf("flip at offset %d loaded without error", off)
+		}
+	}
+}
+
+// TestChecksumFaultInjected drives the verification-failure path through
+// the deterministic storage.checksum site, no crafted corruption needed.
+func TestChecksumFaultInjected(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	raw := saveBytes(t, oneColTable(t, 10, false))
+
+	faultinject.Arm(faultinject.SiteStorageChecksum, 1, faultinject.ModeError)
+	_, err := loadBytes(raw)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChecksumError", err)
+	}
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) || fe.Site != faultinject.SiteStorageChecksum {
+		t.Fatalf("injected cause not preserved: %v", err)
+	}
+	// Checksum failures are corruption, not transient I/O: never retried.
+	if Transient(err) {
+		t.Error("Transient() = true for a checksum failure")
+	}
+	if _, err := loadBytes(raw); err != nil {
+		t.Fatalf("post-fault load failed: %v", err)
+	}
+}
+
+// writeLegacyV1 serializes a table in the seed's version-1 layout (no
+// checksums), byte-for-byte what the pre-checksum WriteTable produced.
+func writeLegacyV1(t *testing.T, w io.Writer, tbl *column.Table) {
+	t.Helper()
+	bw := bufio.NewWriter(w)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := bw.WriteString(magic)
+	check(err)
+	check(writeU32(bw, versionLegacy))
+	check(writeString(bw, tbl.Name()))
+	check(binary.Write(bw, binary.LittleEndian, uint64(tbl.Rows())))
+	check(writeU32(bw, uint32(len(tbl.Columns()))))
+	for _, c := range tbl.Columns() {
+		check(writeString(bw, c.Name()))
+		check(bw.WriteByte(byte(c.Type())))
+		hasNulls := byte(0)
+		if c.HasNulls() {
+			hasNulls = 1
+		}
+		check(bw.WriteByte(hasNulls))
+		_, err := bw.Write(c.Data())
+		check(err)
+		if c.HasNulls() {
+			_, err := bw.Write(validityWords(c))
+			check(err)
+		}
+	}
+	check(bw.Flush())
+}
+
+// TestLegacyV1FilesStillLoad is the compatibility guarantee: version-1
+// files written before checksums load unchanged (unverified).
+func TestLegacyV1FilesStillLoad(t *testing.T) {
+	want := buildTable(t, 50)
+	var buf bytes.Buffer
+	writeLegacyV1(t, &buf, want)
+
+	got, err := loadBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("legacy v1 load failed: %v", err)
+	}
+	if got.Name() != want.Name() || got.Rows() != want.Rows() || len(got.Columns()) != len(want.Columns()) {
+		t.Fatalf("legacy load: got %s/%d rows/%d cols", got.Name(), got.Rows(), len(got.Columns()))
+	}
+	for ci, wc := range want.Columns() {
+		gc := got.Columns()[ci]
+		if !bytes.Equal(gc.Data(), wc.Data()) {
+			t.Errorf("column %q data differs after legacy load", wc.Name())
+		}
+		for i := 0; i < wc.Len(); i++ {
+			if gc.Null(i) != wc.Null(i) {
+				t.Fatalf("column %q row %d null flag differs", wc.Name(), i)
+			}
+		}
+	}
+}
+
+// TestCorruptFileAlwaysDetectedViaFile exercises the full SaveFile /
+// LoadFile path with on-disk corruption, as an operator would hit it.
+func TestCorruptFileAlwaysDetectedViaFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.fscn")
+	if err := SaveFile(path, oneColTable(t, 1000, false)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-100] ^= 0x10 // somewhere in the data region
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile(path, mach.NewAddrSpace())
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChecksumError", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the file: %v", err)
+	}
+	if Transient(err) {
+		t.Error("corruption classified as transient")
+	}
+}

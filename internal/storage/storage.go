@@ -2,12 +2,15 @@
 // length-prefixed format, and imports CSV files. It exists so the CLI
 // tools and embedding applications can keep datasets across runs; the
 // format stores exactly what the engine needs — column names, the ten
-// fixed-width types, raw value bytes, and validity bitmaps.
+// fixed-width types, raw value bytes, and validity bitmaps — and, since
+// version 2, a CRC32-C (Castagnoli) checksum on every column block so
+// silent corruption of a stored table is detected at load time instead
+// of surfacing as wrong query results.
 //
 // Layout (all integers little-endian):
 //
 //	magic   "FSCN"            4 bytes
-//	version u32               currently 1
+//	version u32               currently 2 (1 accepted for legacy files)
 //	name    u32 len + bytes   table name
 //	rows    u64
 //	cols    u32
@@ -16,13 +19,21 @@
 //	  type     u8              expr.Type
 //	  hasNulls u8              0 or 1
 //	  data     rows*size bytes
+//	  dataCRC  u32             CRC32-C of data        (version >= 2)
 //	  nulls    ceil(rows/64)*8 bytes (present iff hasNulls)
+//	  nullsCRC u32             CRC32-C of nulls       (version >= 2, iff hasNulls)
+//
+// Version 1 files (no CRC fields) still load; they just load unverified.
+// A checksum mismatch is returned as a *ChecksumError naming the table,
+// the column and the block ("data" or "nulls") that failed.
 package storage
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -33,8 +44,11 @@ import (
 )
 
 const (
-	magic   = "FSCN"
-	version = 1
+	magic = "FSCN"
+	// version is the write version: 2 adds per-block CRC32-C checksums.
+	version = 2
+	// versionLegacy is the checksum-less seed format, still readable.
+	versionLegacy = 1
 	// maxNameLen bounds name fields so corrupt files cannot trigger huge
 	// allocations.
 	maxNameLen = 4096
@@ -44,6 +58,46 @@ const (
 	// maxCols bounds the column count.
 	maxCols = 1 << 16
 )
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64 — the same checksum iSCSI and ext4 use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumError reports a column block whose stored CRC32-C does not
+// match the bytes read — the file is corrupt (bit rot, truncation, a
+// partial overwrite). It names exactly which column and block failed so
+// operators can tell corruption from format errors.
+type ChecksumError struct {
+	Table  string
+	Column string
+	Block  string // "data" or "nulls"
+	Want   uint32 // CRC stored in the file
+	Got    uint32 // CRC computed over the bytes read
+	// Err is set when the failure was injected (faultinject) rather than
+	// computed from a real mismatch.
+	Err error
+}
+
+func (e *ChecksumError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("storage: table %q column %q: %s block checksum verification failed: %v",
+			e.Table, e.Column, e.Block, e.Err)
+	}
+	return fmt.Sprintf("storage: table %q column %q: %s block checksum mismatch (stored %08x, computed %08x): file is corrupt",
+		e.Table, e.Column, e.Block, e.Want, e.Got)
+}
+
+// Unwrap exposes an injected cause to errors.Is / errors.As.
+func (e *ChecksumError) Unwrap() error { return e.Err }
+
+// Transient reports whether a load failure is worth retrying: transient
+// I/O faults (modelled by the storage.load fault-injection site) are;
+// corruption (checksum mismatches) and format errors are deterministic
+// and are not.
+func Transient(err error) bool {
+	var fe *faultinject.Error
+	return errors.As(err, &fe) && fe.Site == faultinject.SiteStorageLoad
+}
 
 // WriteTable serializes a table.
 func WriteTable(w io.Writer, t *column.Table) error {
@@ -80,25 +134,38 @@ func WriteTable(w io.Writer, t *column.Table) error {
 		if _, err := bw.Write(c.Data()); err != nil {
 			return err
 		}
+		if err := writeU32(bw, crc32.Checksum(c.Data(), castagnoli)); err != nil {
+			return err
+		}
 		if c.HasNulls() {
-			words := (c.Len() + 63) / 64
-			buf := make([]byte, 8)
-			for wi := 0; wi < words; wi++ {
-				var word uint64
-				for b := 0; b < 64; b++ {
-					row := wi*64 + b
-					if row >= c.Len() || !c.Null(row) {
-						word |= 1 << uint(b)
-					}
-				}
-				binary.LittleEndian.PutUint64(buf, word)
-				if _, err := bw.Write(buf); err != nil {
-					return err
-				}
+			nulls := validityWords(c)
+			if _, err := bw.Write(nulls); err != nil {
+				return err
+			}
+			if err := writeU32(bw, crc32.Checksum(nulls, castagnoli)); err != nil {
+				return err
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// validityWords serializes the column's validity bitmap: one little-endian
+// u64 per 64 rows, bit set = valid (not NULL).
+func validityWords(c *column.Column) []byte {
+	words := (c.Len() + 63) / 64
+	out := make([]byte, words*8)
+	for wi := 0; wi < words; wi++ {
+		var word uint64
+		for b := 0; b < 64; b++ {
+			row := wi*64 + b
+			if row >= c.Len() || !c.Null(row) {
+				word |= 1 << uint(b)
+			}
+		}
+		binary.LittleEndian.PutUint64(out[wi*8:], word)
+	}
+	return out
 }
 
 // ReadTable deserializes a table, allocating its columns in space.
@@ -115,9 +182,10 @@ func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
-		return nil, fmt.Errorf("storage: unsupported version %d (want %d)", ver, version)
+	if ver != version && ver != versionLegacy {
+		return nil, fmt.Errorf("storage: unsupported version %d (want %d or legacy %d)", ver, version, versionLegacy)
 	}
+	checksummed := ver >= 2
 	name, err := readString(br)
 	if err != nil {
 		return nil, err
@@ -159,15 +227,25 @@ func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
 		if _, err := io.ReadFull(br, c.Data()); err != nil {
 			return nil, fmt.Errorf("storage: column %q data: %w", cname, err)
 		}
+		if checksummed {
+			if err := verifyBlock(br, name, cname, "data", c.Data()); err != nil {
+				return nil, err
+			}
+		}
 		if hasNulls == 1 {
 			c.EnsureNulls()
 			words := (int(rows) + 63) / 64
-			buf := make([]byte, 8)
-			for wi := 0; wi < words; wi++ {
-				if _, err := io.ReadFull(br, buf); err != nil {
-					return nil, fmt.Errorf("storage: column %q nulls: %w", cname, err)
+			nulls := make([]byte, words*8)
+			if _, err := io.ReadFull(br, nulls); err != nil {
+				return nil, fmt.Errorf("storage: column %q nulls: %w", cname, err)
+			}
+			if checksummed {
+				if err := verifyBlock(br, name, cname, "nulls", nulls); err != nil {
+					return nil, err
 				}
-				word := binary.LittleEndian.Uint64(buf)
+			}
+			for wi := 0; wi < words; wi++ {
+				word := binary.LittleEndian.Uint64(nulls[wi*8:])
 				for b := 0; b < 64; b++ {
 					row := wi*64 + b
 					if row >= int(rows) {
@@ -186,6 +264,23 @@ func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
 		}
 	}
 	return tbl, nil
+}
+
+// verifyBlock reads the stored CRC32-C that follows a column block and
+// compares it against the bytes just read, returning a *ChecksumError on
+// mismatch (or when the storage.checksum fault-injection site is armed).
+func verifyBlock(r io.Reader, table, col, block string, data []byte) error {
+	want, err := readU32(r)
+	if err != nil {
+		return fmt.Errorf("storage: column %q %s checksum: %w", col, block, err)
+	}
+	if ierr := faultinject.Hit(faultinject.SiteStorageChecksum); ierr != nil {
+		return &ChecksumError{Table: table, Column: col, Block: block, Err: ierr}
+	}
+	if got := crc32.Checksum(data, castagnoli); got != want {
+		return &ChecksumError{Table: table, Column: col, Block: block, Want: want, Got: got}
+	}
+	return nil
 }
 
 // SaveFile writes a table to path.
