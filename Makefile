@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race soak fuzz bench clean
+.PHONY: check build vet test race soak fuzz bench bench-smoke vuln clean
 
-check: build vet race soak
+check: build vet race soak bench-smoke vuln
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,24 @@ fuzz:
 
 bench:
 	$(GO) run ./cmd/fusedscan-bench -fig 1 -scale 0.01 -reps 1
+
+# Three-query smoke benchmark over the deterministic machine model. The
+# simulated metrics are byte-stable, so the run is diffed against the
+# checked-in baseline: a mismatch means a behaviour or cost-model change
+# that must be reviewed (regenerate with
+# `go run ./cmd/fusedscan-smoke -out BENCH_SMOKE.json`).
+bench-smoke:
+	$(GO) run ./cmd/fusedscan-smoke | diff -u BENCH_SMOKE.json - \
+		|| (echo "bench-smoke: simulated metrics drifted from BENCH_SMOKE.json (see diff above)"; exit 1)
+
+# Vulnerability scan, best-effort: this environment has no network, so
+# the tool is used only when already installed — never fetched.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (no network installs here)"; \
+	fi
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,166 @@
+// Command fusedscan-smoke runs a tiny fixed benchmark — three queries
+// over a deterministic generated table — and emits the simulated metrics
+// as JSON. Because the machine model is deterministic, the output is
+// byte-stable across runs: the checked-in BENCH_SMOKE.json acts as a
+// performance-regression baseline that `make bench-smoke` verifies.
+//
+//	fusedscan-smoke                  # print JSON to stdout
+//	fusedscan-smoke -out BENCH.json  # write the baseline file
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fusedscan"
+)
+
+const (
+	smokeRows = 1 << 18
+	smokeSeed = 1
+)
+
+// smokeQuery is one benchmark point: a statement run under a named
+// engine config.
+type smokeQuery struct {
+	Name   string `json:"name"`
+	Config string `json:"config"`
+	SQL    string `json:"sql"`
+}
+
+// queries covers the three pipeline shapes worth watching: a count-only
+// fused scan (no positions materialized), an aggregate over a fused
+// chain, and a LIMIT that must short-circuit the scan. The same
+// multi-predicate count also runs on the scalar path so the fused
+// speedup stays visible in the baseline.
+var queries = []smokeQuery{
+	{"count-3pred-fused", "avx512-512", "SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5 AND c = 5"},
+	{"count-3pred-sisd", "sisd", "SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5 AND c = 5"},
+	{"agg-sum-avg", "avx512-512", "SELECT SUM(d), AVG(d) FROM demo WHERE a = 5 AND b = 5"},
+	{"limit-short-circuit", "avx512-512", "SELECT a, d FROM demo WHERE a = 5 ORDER BY d LIMIT 10"},
+}
+
+// smokeResult is the JSON record for one query: only simulated,
+// deterministic quantities — never wall-clock — so the file is stable.
+type smokeResult struct {
+	Name            string  `json:"name"`
+	Config          string  `json:"config"`
+	SQL             string  `json:"sql"`
+	Count           int64   `json:"count"`
+	SimRuntimeMs    float64 `json:"sim_runtime_ms"`
+	SimGBs          float64 `json:"sim_gbs"`
+	Mispredicts     uint64  `json:"mispredicts"`
+	DRAMBytes       uint64  `json:"dram_bytes"`
+	PipelineBatches int64   `json:"pipeline_batches"`
+	ScanRowsOut     int64   `json:"scan_rows_out"`
+}
+
+type smokeReport struct {
+	Rows    int           `json:"rows"`
+	Seed    int64         `json:"seed"`
+	Results []smokeResult `json:"results"`
+}
+
+func buildDemo(eng *fusedscan.Engine) error {
+	rng := rand.New(rand.NewSource(smokeSeed))
+	a := make([]int32, smokeRows)
+	b := make([]int32, smokeRows)
+	c := make([]int32, smokeRows)
+	d := make([]int32, smokeRows)
+	pick := func(sel float64) int32 {
+		if rng.Float64() < sel {
+			return 5
+		}
+		return rng.Int31n(900) + 100
+	}
+	for i := 0; i < smokeRows; i++ {
+		a[i] = pick(0.5)
+		b[i] = pick(0.1)
+		c[i] = pick(0.01)
+		d[i] = rng.Int31n(1000)
+	}
+	tb := eng.CreateTable("demo")
+	tb.Int32("a", a)
+	tb.Int32("b", b)
+	tb.Int32("c", c)
+	tb.Int32("d", d)
+	return tb.Finish()
+}
+
+func configFor(name string) (fusedscan.Config, error) {
+	switch name {
+	case "avx512-512":
+		return fusedscan.Config{UseFused: true, RegisterWidth: 512}, nil
+	case "sisd":
+		return fusedscan.Config{UseFused: false, RegisterWidth: 512}, nil
+	}
+	return fusedscan.Config{}, fmt.Errorf("unknown config %q", name)
+}
+
+func run() (*smokeReport, error) {
+	eng := fusedscan.NewEngine()
+	if err := buildDemo(eng); err != nil {
+		return nil, err
+	}
+	rep := &smokeReport{Rows: smokeRows, Seed: smokeSeed}
+	for _, q := range queries {
+		cfg, err := configFor(q.Config)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.SetConfig(cfg); err != nil {
+			return nil, err
+		}
+		res, err := eng.QueryContext(context.Background(), q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		sr := smokeResult{
+			Name:         q.Name,
+			Config:       q.Config,
+			SQL:          q.SQL,
+			Count:        res.Count,
+			SimRuntimeMs: res.Report.RuntimeMs,
+			SimGBs:       res.Report.AchievedGBs,
+			Mispredicts:  res.Report.BranchMispredicts,
+			DRAMBytes:    res.Report.DRAMBytes,
+		}
+		for _, op := range res.Operators {
+			sr.PipelineBatches += op.Batches
+		}
+		if n := len(res.Operators); n > 0 {
+			// The scan is the deepest operator in the pipeline walk.
+			sr.ScanRowsOut = res.Operators[n-1].RowsOut
+		}
+		rep.Results = append(rep.Results, sr)
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+	rep, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fusedscan-smoke:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fusedscan-smoke:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fusedscan-smoke:", err)
+		os.Exit(1)
+	}
+}

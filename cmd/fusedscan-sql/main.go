@@ -65,6 +65,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-statement wall-clock limit (0 = none), e.g. 5s")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission limit: queries running at once (0 = unlimited)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query memory budget in bytes for materialized results (0 = unlimited)")
+	cores := flag.Int("cores", 1, "simulated cores for morsel-parallel scans (1 = the paper's single-core setting)")
+	morselRows := flag.Int("morsel", 0, "morsel size in rows for parallel scans (0 = one pipeline batch)")
 	flag.Parse()
 	stmtTimeout = *timeout
 	memBudgetBytes = *memBudget
@@ -101,6 +103,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.Cores = *cores
+	cfg.MorselRows = *morselRows
 	if err := eng.SetConfig(cfg); err != nil {
 		fatal(err)
 	}
@@ -144,8 +148,14 @@ func repl(eng *fusedscan.Engine) {
 	}
 }
 
-// handle runs one statement; an "explain" prefix switches to plan output.
+// handle runs one statement; an "explain" prefix switches to plan output,
+// and "explain analyze" executes the statement and prints the batch
+// pipeline with per-operator counters.
 func handle(eng *fusedscan.Engine, sql string) {
+	if rest, ok := cutPrefixFold(sql, "explain analyze"); ok {
+		analyzeOne(eng, strings.TrimSpace(rest))
+		return
+	}
 	if rest, ok := cutPrefixFold(sql, "explain"); ok {
 		explainOne(eng, strings.TrimSpace(rest))
 		return
@@ -224,21 +234,48 @@ func runOne(eng *fusedscan.Engine, sql string) {
 	defer cancel()
 	res, err := eng.QueryContext(ctx, sql)
 	if err != nil {
-		var oe *fusedscan.OverloadedError
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			fmt.Fprintf(os.Stderr, "error: statement exceeded -timeout %v and was cancelled\n", stmtTimeout)
-		case errors.As(err, &oe):
-			fmt.Fprintf(os.Stderr, "error: engine overloaded (%d queries already running), retry in ~%v or raise -max-concurrent\n",
-				oe.Running, oe.RetryAfter)
-		case errors.Is(err, fusedscan.ErrMemoryBudget):
-			fmt.Fprintf(os.Stderr, "error: statement exceeded the -mem-budget of %d bytes; narrow the result or raise the budget\n",
-				memBudgetBytes)
-		default:
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		}
+		reportErr(err)
 		return
 	}
+	printResult(res)
+}
+
+// analyzeOne executes the statement and prints the batch pipeline with
+// per-operator runtime counters before the result (EXPLAIN ANALYZE).
+func analyzeOne(eng *fusedscan.Engine, sql string) {
+	ctx, cancel := stmtContext()
+	defer cancel()
+	res, err := eng.QueryContext(ctx, sql)
+	if err != nil {
+		reportErr(err)
+		return
+	}
+	fmt.Println("batch pipeline:")
+	for depth, op := range res.Operators {
+		fmt.Printf("%s%s  [in=%d out=%d batches=%d %s]\n",
+			strings.Repeat("  ", depth+1), op.Name, op.RowsIn, op.RowsOut, op.Batches,
+			time.Duration(op.WallNs))
+	}
+	printResult(res)
+}
+
+func reportErr(err error) {
+	var oe *fusedscan.OverloadedError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "error: statement exceeded -timeout %v and was cancelled\n", stmtTimeout)
+	case errors.As(err, &oe):
+		fmt.Fprintf(os.Stderr, "error: engine overloaded (%d queries already running), retry in ~%v or raise -max-concurrent\n",
+			oe.Running, oe.RetryAfter)
+	case errors.Is(err, fusedscan.ErrMemoryBudget):
+		fmt.Fprintf(os.Stderr, "error: statement exceeded the -mem-budget of %d bytes; narrow the result or raise the budget\n",
+			memBudgetBytes)
+	default:
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	}
+}
+
+func printResult(res *fusedscan.Result) {
 	if res.Degraded {
 		fmt.Fprintf(os.Stderr, "note: degraded execution (%s)\n", res.DegradedReason)
 	}

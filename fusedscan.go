@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
@@ -56,6 +57,14 @@ type Config struct {
 	// AVX2 selects the paper's AVX2 backport dialect (requires
 	// RegisterWidth 128).
 	AVX2 bool
+	// Cores > 1 executes predicate-chain scans morsel-parallel on that
+	// many simulated cores (see internal/parallel), feeding one ordered
+	// batch stream into the rest of the plan. 0 or 1 means single-core —
+	// the paper's evaluation setting.
+	Cores int
+	// MorselRows is the morsel size for parallel scans (0 = one pipeline
+	// batch, 65536 rows).
+	MorselRows int
 }
 
 // DefaultConfig is the paper's best configuration: fused, AVX-512, 512-bit.
@@ -75,7 +84,13 @@ func (c Config) options() (pqp.Options, error) {
 			return pqp.Options{}, fmt.Errorf("fusedscan: the AVX2 dialect supports only 128-bit registers")
 		}
 	}
-	return pqp.Options{UseFused: c.UseFused, Width: w, ISA: isa}, nil
+	if c.Cores < 0 {
+		return pqp.Options{}, fmt.Errorf("fusedscan: cores must be >= 0, got %d", c.Cores)
+	}
+	return pqp.Options{
+		UseFused: c.UseFused, Width: w, ISA: isa,
+		Cores: c.Cores, MorselRows: c.MorselRows,
+	}, nil
 }
 
 // PerfReport summarizes the simulated hardware behaviour of one execution
@@ -119,14 +134,30 @@ func perfReport(r mach.Report, progs []*jit.Program, hits, cached int) PerfRepor
 	return pr
 }
 
+// OperatorStats is one physical operator's runtime counters from the
+// batch pipeline: how many qualifying rows it pulled from its child, how
+// many it handed to its parent, how many batches it emitted, and the
+// wall-clock time spent in it (inclusive of children). Entries are
+// ordered root first, matching the physical plan tree.
+type OperatorStats struct {
+	Name    string
+	RowsIn  int64
+	RowsOut int64
+	Batches int64
+	WallNs  int64
+}
+
 // Result is the outcome of Engine.Query.
 type Result struct {
-	Count   int64      // COUNT(*) value, or number of qualifying rows
+	Count   int64      // COUNT(*) value, or number of qualifying rows (capped at LIMIT n)
 	Sum     string     // rendered SUM(col) value; empty unless the query aggregates with SUM
 	Columns []string   // projected column names (nil for aggregates)
 	Rows    [][]string // rendered output rows (nil for aggregates)
 	Report  PerfReport
-	Fused   bool // whether a Fused Table Scan operator executed
+	// Operators holds per-operator pipeline counters, root first — the
+	// data behind EXPLAIN ANALYZE and the LIMIT short-circuit tests.
+	Operators []OperatorStats
+	Fused     bool // whether a Fused Table Scan operator executed
 	// Aggregate is set when the query computed aggregates; Rows then holds
 	// exactly one row of rendered aggregate values under Columns labels.
 	Aggregate bool
@@ -218,15 +249,18 @@ type EngineStats struct {
 	MemBudgetDenials int64 // queries failed with ErrMemoryBudget
 	LoadRetries      int64 // transient table-load faults that were retried
 	// JIT circuit breaker.
-	BreakerState       string // "closed", "open" or "half-open"
-	BreakerTrips       int64  // closed->open transitions
-	BreakerRejections  int64  // compile requests rejected while open
-	JITBreakerRejects  int64  // compiler-side rejection count (incl. injected)
+	BreakerState               string // "closed", "open" or "half-open"
+	BreakerTrips               int64  // closed->open transitions
+	BreakerRejections          int64  // compile requests rejected while open
+	JITBreakerRejects          int64  // compiler-side rejection count (incl. injected)
 	ConsecutiveCompileFailures int
 	// JIT operator cache.
 	JITCacheHits   int
 	JITCacheMisses int
 	JITCacheSize   int
+	// Batch pipeline (cumulative across queries).
+	PipelineBatches int64 // batches that flowed between pipeline operators
+	PipelineRows    int64 // qualifying rows delivered by plan roots
 }
 
 // Engine owns a catalog of tables, the JIT operator cache, the optimizer
@@ -251,6 +285,29 @@ type Engine struct {
 	mu     sync.RWMutex // guards tables and config
 	tables map[string]*column.Table
 	config Config
+
+	// Batch-pipeline counters (cumulative, for Stats).
+	pipeBatches atomic.Int64
+	pipeRows    atomic.Int64
+}
+
+// addCounters sums two counter sets field by field.
+func addCounters(a, b mach.Counters) mach.Counters {
+	a.ScalarInstrs += b.ScalarInstrs
+	a.VecInstrs += b.VecInstrs
+	a.GatherLanes += b.GatherLanes
+	a.Branches += b.Branches
+	a.Mispredicts += b.Mispredicts
+	a.L1Hits += b.L1Hits
+	a.L2Hits += b.L2Hits
+	a.L3Hits += b.L3Hits
+	a.DemandDRAMLines += b.DemandDRAMLines
+	a.PrefetchedLines += b.PrefetchedLines
+	a.UselessPrefetch += b.UselessPrefetch
+	a.CoveredByPf += b.CoveredByPf
+	a.ExposedLatencyCy += b.ExposedLatencyCy
+	a.ComputeCycles += b.ComputeCycles
+	return a
 }
 
 // NewEngine creates an engine with the paper's machine calibration and the
@@ -304,6 +361,8 @@ func (e *Engine) Stats() EngineStats {
 		JITCacheHits:               hits,
 		JITCacheMisses:             misses,
 		JITCacheSize:               cached,
+		PipelineBatches:            e.pipeBatches.Load(),
+		PipelineRows:               e.pipeRows.Load(),
 	}
 }
 
@@ -612,6 +671,7 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (res *Result, err
 	if err != nil {
 		return nil, err
 	}
+	opts.Params = e.params
 	phys, err := pqp.Translate(plan, e.compiler, opts)
 	if err != nil {
 		return nil, err
@@ -619,18 +679,46 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (res *Result, err
 
 	stage = stageExecute
 	cpu := mach.New(e.params)
-	qres, err := phys.Root.Run(ctx, cpu)
+	qres, err := phys.Run(ctx, cpu)
 	if err != nil {
 		return nil, err
 	}
 	hits, _, cached := e.compiler.Stats()
+	driver := cpu.Finish()
+	report := driver.Report(&e.params)
+	if perCore := phys.PerCore(); len(perCore) > 0 {
+		// Parallel scan: the counter totals are driver + workers, and the
+		// runtime comes from the shared-socket model over all cores (the
+		// driver's downstream work counts as one more core).
+		all := append(append([]mach.Counters{}, perCore...), driver)
+		totals := driver
+		for _, c := range perCore {
+			totals = addCounters(totals, c)
+		}
+		report = totals.Report(&e.params)
+		model := parallel.Combine(e.params, all)
+		report.RuntimeMs = model.RuntimeMs
+		report.RuntimeCycles = model.RuntimeMs * e.params.ClockGHz * 1e6
+		report.MemCycles = model.MemMs * e.params.ClockGHz * 1e6
+		report.AchievedGBs = model.AggregateGBs
+	}
 	res = &Result{
 		Count:          qres.Count,
 		Columns:        qres.Columns,
-		Report:         perfReport(cpu.Finish().Report(&e.params), phys.Programs, hits, cached),
+		Report:         perfReport(report, phys.Programs, hits, cached),
 		Fused:          len(phys.Programs) > 0,
 		Degraded:       phys.Degraded,
 		DegradedReason: phys.DegradedReason,
+	}
+	for _, os := range phys.OperatorStats() {
+		res.Operators = append(res.Operators, OperatorStats{
+			Name: os.Name, RowsIn: os.RowsIn, RowsOut: os.RowsOut,
+			Batches: os.Batches, WallNs: os.WallNs,
+		})
+		e.pipeBatches.Add(os.Batches)
+	}
+	if len(res.Operators) > 0 {
+		e.pipeRows.Add(res.Operators[0].RowsOut)
 	}
 	if qres.IsAggregate {
 		// Aggregates render as a one-row result set under their labels;

@@ -1,0 +1,91 @@
+package fusedscan
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResultOperators checks the per-operator runtime counters surfaced
+// by the batch pipeline: every operator reports its batches and row
+// flow, and the engine-wide totals accumulate.
+func TestResultOperators(t *testing.T) {
+	eng, want := buildTestEngine(t, 200_000, 0.1, 0.5)
+	res, err := eng.Query("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Operators) < 2 {
+		t.Fatalf("operators = %v, want at least aggregate over scan", res.Operators)
+	}
+	root := res.Operators[0]
+	if !strings.Contains(root.Name, "Aggregate") {
+		t.Errorf("root operator = %q, want an aggregate", root.Name)
+	}
+	scan := res.Operators[len(res.Operators)-1]
+	if !strings.Contains(scan.Name, "TableScan") {
+		t.Errorf("deepest operator = %q, want the table scan", scan.Name)
+	}
+	if scan.RowsIn != 200_000 {
+		t.Errorf("scan rows in = %d, want the full table", scan.RowsIn)
+	}
+	if scan.RowsOut != int64(want) {
+		t.Errorf("scan rows out = %d, want %d", scan.RowsOut, want)
+	}
+	wantBatches := int64((200_000 + (1<<16 - 1)) / (1 << 16))
+	if scan.Batches != wantBatches {
+		t.Errorf("scan batches = %d, want %d", scan.Batches, wantBatches)
+	}
+	for _, op := range res.Operators {
+		if op.WallNs < 0 {
+			t.Errorf("%s: negative wall time", op.Name)
+		}
+	}
+	st := eng.Stats()
+	if st.PipelineBatches == 0 || st.PipelineRows == 0 {
+		t.Errorf("engine stats did not accumulate pipeline counters: %+v", st)
+	}
+}
+
+// TestLimitShortCircuitTenMillionRows is the regression test for the
+// LIMIT pushdown: LIMIT 10 over a 10M-row table where every row
+// qualifies must stop after the first batch, on both the fused and the
+// scalar path — verified through the scan operator's own counters, not
+// timing.
+func TestLimitShortCircuitTenMillionRows(t *testing.T) {
+	const n = 10_000_000
+	av := make([]int32, n)
+	for i := range av {
+		av[i] = 5
+	}
+	eng := NewEngine()
+	tb := eng.CreateTable("big")
+	tb.Int32("a", av)
+	if err := tb.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{UseFused: true, RegisterWidth: 512},
+		{UseFused: false, RegisterWidth: 512},
+	} {
+		if err := eng.SetConfig(cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Query("SELECT a FROM big WHERE a = 5 LIMIT 10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 10 || res.Count != 10 {
+			t.Fatalf("fused=%v: rows=%d count=%d, want 10", cfg.UseFused, len(res.Rows), res.Count)
+		}
+		scan := res.Operators[len(res.Operators)-1]
+		if !strings.Contains(scan.Name, "TableScan") {
+			t.Fatalf("fused=%v: deepest operator = %q", cfg.UseFused, scan.Name)
+		}
+		if scan.Batches != 1 {
+			t.Errorf("fused=%v: scan ran %d batches, want 1 — LIMIT did not short-circuit", cfg.UseFused, scan.Batches)
+		}
+		if scan.RowsIn >= n/100 {
+			t.Errorf("fused=%v: scan consumed %d rows of %d — LIMIT did not short-circuit", cfg.UseFused, scan.RowsIn, n)
+		}
+	}
+}

@@ -263,3 +263,23 @@ func TestDictUnpackCodes(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsExactBoundsOnPeriodicData pins the min/max bounds to a full
+// scan: a strided sample whose step is a multiple of the data's period
+// (14336/1024 = 14, values i % 7) would see only zeros, and the
+// optimizer would then "prove" predicates like c = 5 unsatisfiable.
+func TestStatsExactBoundsOnPeriodicData(t *testing.T) {
+	space := mach.NewAddrSpace()
+	vals := make([]int32, 14336)
+	for i := range vals {
+		vals[i] = int32(i % 7)
+	}
+	c := FromInt32s(space, "c", vals)
+	st := ComputeStats(c)
+	if st.Min.Int() != 0 || st.Max.Int() != 6 {
+		t.Fatalf("min/max = %v/%v, want exact bounds 0/6", st.Min, st.Max)
+	}
+	if st.NullFraction != 0 {
+		t.Errorf("null fraction = %v, want 0", st.NullFraction)
+	}
+}

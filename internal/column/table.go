@@ -106,13 +106,18 @@ func (t *Table) Chunks(chunkRows int) []Chunk {
 }
 
 // Stats summarizes a column for the optimizer's selectivity estimation:
-// min/max and a sampled value histogram.
+// exact min/max and NULL fraction, plus a sampled value histogram.
 type Stats struct {
 	Type expr.Type
 	Rows int
-	// NullFraction is the sampled fraction of NULL rows.
+	// NullFraction is the exact fraction of NULL rows.
 	NullFraction float64
-	Min, Max     expr.Value
+	// Min and Max are the exact bounds over all non-NULL rows. They must
+	// be exact, not sampled: the optimizer proves predicates unsatisfiable
+	// against them, and a strided sample can alias with periodic data and
+	// miss whole value classes (e.g. stride 9765 over values i % 7 sees
+	// only zeros). Undefined when every row is NULL.
+	Min, Max expr.Value
 	// SampleSorted holds up to sampleCap sampled values (canonical Bits),
 	// sorted by the column's comparison order, for selectivity estimation.
 	SampleSorted []expr.Value
@@ -122,42 +127,44 @@ const sampleCap = 1024
 
 // ComputeStats scans the column once (no machine-model accounting; this is
 // the planner's offline statistics pass) and returns its statistics.
+// Min/max and the NULL fraction come from the full scan; only the
+// selectivity histogram is a strided sample.
 func ComputeStats(c *Column) Stats {
 	n := c.Len()
 	st := Stats{Type: c.Type(), Rows: n}
 	if n == 0 {
 		return st
 	}
-	st.Min = c.Value(0)
-	st.Max = c.Value(0)
 	step := n / sampleCap
 	if step == 0 {
 		step = 1
 	}
-	sampled, nulls := 0, 0
-	for i := 0; i < n; i += step {
-		sampled++
+	nulls, seen := 0, false
+	for i := 0; i < n; i++ {
 		if c.Null(i) {
 			nulls++
 			continue
 		}
 		v := c.Value(i)
-		if v.Compare(expr.Lt, st.Min) {
-			st.Min = v
+		if !seen {
+			st.Min, st.Max = v, v
+			seen = true
+		} else {
+			if v.Compare(expr.Lt, st.Min) {
+				st.Min = v
+			}
+			if v.Compare(expr.Gt, st.Max) {
+				st.Max = v
+			}
 		}
-		if v.Compare(expr.Gt, st.Max) {
-			st.Max = v
-		}
-		if len(st.SampleSorted) < sampleCap {
+		if i%step == 0 && len(st.SampleSorted) < sampleCap {
 			st.SampleSorted = append(st.SampleSorted, v)
 		}
 	}
 	sort.Slice(st.SampleSorted, func(i, j int) bool {
 		return st.SampleSorted[i].Compare(expr.Lt, st.SampleSorted[j])
 	})
-	if sampled > 0 {
-		st.NullFraction = float64(nulls) / float64(sampled)
-	}
+	st.NullFraction = float64(nulls) / float64(n)
 	return st
 }
 

@@ -55,6 +55,10 @@ func (n *Predicate) String() string {
 type FusedChain struct {
 	Input Node
 	Preds []expr.Predicate
+	// StopAfter, when > 0, is the LIMIT pushdown hint: the scan may stop
+	// producing once this many matches have been found (set only when no
+	// order-changing operator sits between the scan and the limit).
+	StopAfter int
 }
 
 // Child implements Node.
@@ -65,7 +69,11 @@ func (n *FusedChain) String() string {
 	for i, p := range n.Preds {
 		parts[i] = p.String()
 	}
-	return fmt.Sprintf("FusedTableScan[%s]", strings.Join(parts, " AND "))
+	s := fmt.Sprintf("FusedTableScan[%s]", strings.Join(parts, " AND "))
+	if n.StopAfter > 0 {
+		s += fmt.Sprintf(" (stop after %d)", n.StopAfter)
+	}
+	return s
 }
 
 // EmptyResult replaces a subtree proven to produce no rows (an
@@ -84,16 +92,23 @@ type Projection struct {
 	Input   Node
 	Star    bool
 	Columns []string
+	// MaxRows, when > 0, is the LIMIT pushdown hint: at most this many
+	// rows will ever be delivered, so materialization may stop there.
+	MaxRows int
 }
 
 // Child implements Node.
 func (n *Projection) Child() Node { return n.Input }
 
 func (n *Projection) String() string {
-	if n.Star {
-		return "Projection[*]"
+	s := "Projection[*]"
+	if !n.Star {
+		s = fmt.Sprintf("Projection[%s]", strings.Join(n.Columns, ", "))
 	}
-	return fmt.Sprintf("Projection[%s]", strings.Join(n.Columns, ", "))
+	if n.MaxRows > 0 {
+		s += fmt.Sprintf(" (limit hint %d)", n.MaxRows)
+	}
+	return s
 }
 
 // AggKind selects the aggregate function.

@@ -259,3 +259,121 @@ func TestOptimizerPrunesContradictions(t *testing.T) {
 		}
 	}
 }
+
+func TestPushLimitHints(t *testing.T) {
+	cat := makeCatalog(t)
+	plan, err := Build(parse(t, "SELECT a FROM t WHERE a = 5 AND b = 2 LIMIT 3"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewOptimizer().Optimize(plan)
+
+	lim, ok := plan.Root.(*Limit)
+	if !ok {
+		t.Fatalf("root = %T", plan.Root)
+	}
+	proj, ok := lim.Input.(*Projection)
+	if !ok {
+		t.Fatalf("limit input = %T", lim.Input)
+	}
+	if proj.MaxRows != 3 {
+		t.Errorf("Projection.MaxRows = %d, want 3", proj.MaxRows)
+	}
+	fc, ok := proj.Input.(*FusedChain)
+	if !ok {
+		t.Fatalf("projection input = %T", proj.Input)
+	}
+	if fc.StopAfter != 3 {
+		t.Errorf("FusedChain.StopAfter = %d, want 3", fc.StopAfter)
+	}
+	found := false
+	for _, r := range plan.AppliedRules {
+		if r == "PushDownLimitHint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rules = %v, want PushDownLimitHint", plan.AppliedRules)
+	}
+	if !strings.Contains(plan.Format(), "(stop after 3)") {
+		t.Errorf("plan:\n%s", plan.Format())
+	}
+}
+
+func TestPushLimitHintsBlockedBySort(t *testing.T) {
+	// ORDER BY between the scan and the limit: the first 3 rows in sort
+	// order are not the first 3 in table order, so the scan must not stop
+	// early. The projection cap is still safe (it materializes in sorted
+	// order).
+	cat := makeCatalog(t)
+	plan, err := Build(parse(t, "SELECT a FROM t WHERE a = 5 ORDER BY c LIMIT 3"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewOptimizer().Optimize(plan)
+
+	lim := plan.Root.(*Limit)
+	proj := lim.Input.(*Projection)
+	if proj.MaxRows != 3 {
+		t.Errorf("Projection.MaxRows = %d, want 3", proj.MaxRows)
+	}
+	srt, ok := proj.Input.(*Sort)
+	if !ok {
+		t.Fatalf("projection input = %T", proj.Input)
+	}
+	fc, ok := srt.Input.(*FusedChain)
+	if !ok {
+		t.Fatalf("sort input = %T", srt.Input)
+	}
+	if fc.StopAfter != 0 {
+		t.Errorf("FusedChain.StopAfter = %d, want 0 (sort blocks the scan hint)", fc.StopAfter)
+	}
+}
+
+func TestAggregateNotLimitHinted(t *testing.T) {
+	cat := makeCatalog(t)
+	plan, err := Build(parse(t, "SELECT COUNT(*) FROM t WHERE a = 5 LIMIT 1"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewOptimizer().Optimize(plan)
+	lim := plan.Root.(*Limit)
+	agg := lim.Input.(*Aggregate)
+	fc, ok := agg.Input.(*FusedChain)
+	if !ok {
+		t.Fatalf("aggregate input = %T", agg.Input)
+	}
+	if fc.StopAfter != 0 {
+		t.Errorf("FusedChain.StopAfter = %d, want 0 (aggregates need every row)", fc.StopAfter)
+	}
+}
+
+// TestNoFalsePruneOnPeriodicData guards the unsatisfiability pruner
+// against aliased statistics: with 14336 rows of i % 7, a strided
+// min/max sample (stride 14) would only ever see zeros and the pruner
+// would replace p = 5 with EmptyResult. Bounds are exact now, so the
+// plan must keep the predicate.
+func TestNoFalsePruneOnPeriodicData(t *testing.T) {
+	space := mach.NewAddrSpace()
+	n := 14336
+	pv := make([]int32, n)
+	for i := 0; i < n; i++ {
+		pv[i] = int32(i % 7)
+	}
+	tbl := column.NewTable(space, "p")
+	tbl.MustAddColumn(column.FromInt32s(space, "p", pv))
+	cat := testCatalog{"p": tbl}
+	plan, err := Build(parse(t, "SELECT COUNT(*) FROM p WHERE p = 5"), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewOptimizer().Optimize(plan)
+	for _, r := range plan.AppliedRules {
+		if r == "PruneUnsatisfiablePredicate" {
+			t.Fatalf("p = 5 was wrongly pruned as unsatisfiable: %s", plan.Format())
+		}
+	}
+	if strings.Contains(plan.Format(), "EmptyResult") {
+		t.Fatalf("plan contains EmptyResult:\n%s", plan.Format())
+	}
+}

@@ -36,6 +36,32 @@ func (o *Optimizer) Optimize(p *Plan) {
 	o.pruneUnsatisfiable(p)
 	o.reorderPredicates(p)
 	o.fuseChains(p)
+	o.pushLimitHints(p)
+}
+
+// pushLimitHints annotates the plan below a Limit with how many rows can
+// ever be delivered, so the batch-pipelined executor stops early: the
+// Projection learns its materialization cap, and — when the projection
+// reads the scan's output directly, i.e. no order-changing operator sits
+// between them — the FusedChain learns it may stop scanning after N
+// matches. Aggregates are never hinted (they need every qualifying row),
+// and a Sort below the projection blocks the scan hint (the first N rows
+// in sort order are not the first N in table order).
+func (o *Optimizer) pushLimitHints(p *Plan) {
+	lim, ok := p.Root.(*Limit)
+	if !ok || lim.N <= 0 {
+		return
+	}
+	proj, ok := lim.Input.(*Projection)
+	if !ok {
+		return
+	}
+	proj.MaxRows = lim.N
+	applied := "PushDownLimitHint"
+	if fc, ok := proj.Input.(*FusedChain); ok {
+		fc.StopAfter = lim.N
+	}
+	p.AppliedRules = append(p.AppliedRules, applied)
 }
 
 // pruneContradictions detects conjunctions on one column that no value can

@@ -31,11 +31,7 @@ package parallel
 import (
 	"context"
 	"errors"
-	"fmt"
-	"sort"
-	"sync"
 
-	"fusedscan/internal/faultinject"
 	"fusedscan/internal/mach"
 	"fusedscan/internal/scan"
 )
@@ -70,146 +66,48 @@ func Scan(params mach.Params, ch scan.Chain, build func(scan.Chain) (scan.Kernel
 // ctx.Err() is returned. All per-morsel failures (build errors and
 // recovered kernel panics) are aggregated with errors.Join rather than
 // keeping only the first.
+//
+// ScanContext is the drain-everything convenience over Stream: it pulls
+// every morsel, rebases positions to absolute row ids, and applies the
+// combined performance model. The batch pipeline (internal/pqp) consumes
+// Stream directly instead, morsel by morsel.
 func ScanContext(ctx context.Context, params mach.Params, ch scan.Chain, build func(scan.Chain) (scan.Kernel, error), cores, morselRows int, wantPositions bool) (*Result, error) {
-	if err := ch.Validate(); err != nil {
+	s, err := NewStream(ctx, params, ch, build, cores, morselRows, wantPositions)
+	if err != nil {
 		return nil, err
 	}
-	if cores < 1 {
-		return nil, fmt.Errorf("parallel: cores must be >= 1, got %d", cores)
-	}
-	if morselRows < 1 {
-		return nil, fmt.Errorf("parallel: morselRows must be >= 1, got %d", morselRows)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+	defer s.Close()
 
-	n := ch.Rows()
-	type morsel struct {
-		idx, begin, end int
-	}
-	var morsels []morsel
-	for begin, idx := 0, 0; begin < n; begin, idx = begin+morselRows, idx+1 {
-		end := begin + morselRows
-		if end > n {
-			end = n
-		}
-		morsels = append(morsels, morsel{idx: idx, begin: begin, end: end})
-	}
-
-	type morselResult struct {
-		idx   int
-		begin int
-		res   scan.Result
-	}
-
-	// Morsels are assigned round-robin so the *simulated* load is balanced
-	// deterministically across cores (a wall-clock work queue would balance
-	// the emulator's time, not the modelled machine's).
-	results := make([]morselResult, len(morsels))
-	cpus := make([]*mach.CPU, cores)
-	workerErrs := make([][]error, cores)
-	var wg sync.WaitGroup
-
-	// runMorsel builds and runs one morsel's kernel, converting a panic in
-	// either into an error: a poisoned morsel must fail the scan, not the
-	// process (worker goroutines are outside any caller's recover).
-	runMorsel := func(worker int, m morsel) (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				// An error-typed panic value (e.g. *faultinject.Panic) is
-				// wrapped so errors.As still reaches it.
-				if cause, ok := r.(error); ok {
-					err = fmt.Errorf("parallel: morsel %d: panic: %w", m.idx, cause)
-				} else {
-					err = fmt.Errorf("parallel: morsel %d: panic: %v", m.idx, r)
-				}
-			}
-		}()
-		if err := faultinject.Hit(faultinject.SiteParallelMorsel); err != nil {
-			return fmt.Errorf("parallel: morsel %d: %w", m.idx, err)
-		}
-		sub := make(scan.Chain, len(ch))
-		for i, p := range ch {
-			sub[i] = scan.Pred{Col: p.Col.Slice(m.begin, m.end), Kind: p.Kind, Op: p.Op, Value: p.Value}
-		}
-		kern, err := build(sub)
-		if err != nil {
-			return fmt.Errorf("parallel: morsel %d: %w", m.idx, err)
-		}
-		results[m.idx] = morselResult{
-			idx:   m.idx,
-			begin: m.begin,
-			res:   kern.Run(cpus[worker], wantPositions),
-		}
-		return nil
-	}
-
-	for c := 0; c < cores; c++ {
-		cpus[c] = mach.New(params)
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for mi := worker; mi < len(morsels); mi += cores {
-				if ctx.Err() != nil {
-					return
-				}
-				if err := runMorsel(worker, morsels[mi]); err != nil {
-					workerErrs[worker] = append(workerErrs[worker], err)
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+	out := &Result{Cores: cores}
 	var all []error
-	for _, errs := range workerErrs {
-		all = append(all, errs...)
+	for {
+		m, err := s.Next()
+		if err == EOS {
+			break
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			all = append(all, err)
+			continue
+		}
+		out.Count += m.Res.Count
+		if wantPositions {
+			for _, pos := range m.Res.Positions {
+				out.Positions = append(out.Positions, pos+uint32(m.Begin))
+			}
+		}
 	}
 	if err := errors.Join(all...); err != nil {
 		return nil, err
 	}
 
-	out := &Result{Cores: cores}
-	sort.Slice(results, func(i, j int) bool { return results[i].idx < results[j].idx })
-	for _, mr := range results {
-		out.Count += mr.res.Count
-		if wantPositions {
-			for _, pos := range mr.res.Positions {
-				out.Positions = append(out.Positions, pos+uint32(mr.begin))
-			}
-		}
-	}
-
-	// Combine the machine model across cores.
-	var maxComputeCy float64
-	var totalLines uint64
-	for _, cpu := range cpus {
-		c := cpu.Finish()
-		out.PerCore = append(out.PerCore, c)
-		compute := c.ComputeCycles + c.ExposedLatencyCy
-		if compute > maxComputeCy {
-			maxComputeCy = compute
-		}
-		totalLines += c.DRAMLines()
-	}
-	aggBW := params.StreamBandwidthGBs * float64(cores)
-	if aggBW > params.SocketBandwidthGBs {
-		aggBW = params.SocketBandwidthGBs
-	}
-	bytesTotal := float64(totalLines) * float64(params.LineBytes)
-	memCycles := bytesTotal / (aggBW / params.ClockGHz)
-	runtimeCycles := maxComputeCy
-	if memCycles > runtimeCycles {
-		runtimeCycles = memCycles
-	}
-	out.ComputeMs = maxComputeCy / (params.ClockGHz * 1e6)
-	out.MemMs = memCycles / (params.ClockGHz * 1e6)
-	out.RuntimeMs = runtimeCycles / (params.ClockGHz * 1e6)
-	if runtimeCycles > 0 {
-		out.AggregateGBs = bytesTotal / runtimeCycles * params.ClockGHz
-	}
+	out.PerCore = s.PerCore()
+	model := Combine(params, out.PerCore)
+	out.ComputeMs = model.ComputeMs
+	out.MemMs = model.MemMs
+	out.RuntimeMs = model.RuntimeMs
+	out.AggregateGBs = model.AggregateGBs
 	return out, nil
 }

@@ -1,0 +1,143 @@
+package pqp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"fusedscan/internal/expr"
+	"fusedscan/internal/govern"
+)
+
+// EOS is the sentinel error Operator.Next returns when the stream is
+// exhausted. Like io.EOF it signals normal termination, not failure.
+var EOS = errors.New("pqp: end of stream")
+
+// defaultBatchRows is the pipeline's batch capacity: one scan chunk. The
+// scan kernels produce chunk-relative position lists of at most this many
+// rows, which flow through the operator tree without ever being rebased
+// into a whole-table position list — peak memory is O(in-flight batches x
+// batch capacity) instead of O(qualifying rows).
+const defaultBatchRows = 1 << 16
+
+// Batch is the unit of dataflow between pipelined operators: a window of a
+// table's rows plus the selection vector of qualifying positions inside
+// it. It doubles as the streaming form of QueryResult — operators above
+// the projection carry materialized rows, and the aggregate sink delivers
+// its fold in a final batch — so the driver can assemble the public result
+// by concatenation alone.
+type Batch struct {
+	// Base is the table row id of the source chunk window's first row;
+	// the absolute position of Sel[i] is Base + Sel[i].
+	Base uint32
+	// Sel is the selection vector: qualifying positions relative to Base,
+	// ascending. Nil when the producer runs in count-only mode (Count is
+	// still exact) and for batches that carry only rows or aggregates.
+	Sel []uint32
+	// Count is the number of qualifying rows this batch represents. It can
+	// exceed len(Rows) when the projection's materialization cap clips
+	// output.
+	Count int
+	// Rows and RowNulls carry materialized output rows (projection
+	// onward). RowNulls, when non-nil, has the same shape as Rows.
+	Rows     []Row
+	RowNulls [][]bool
+	// Aggregates is set on the single final batch an aggregate sink emits.
+	Aggregates []expr.Value
+}
+
+// OperatorStats is a point-in-time snapshot of one operator's runtime
+// counters, for EXPLAIN ANALYZE-style output and regression tests. Times
+// are inclusive of children (the root's WallNs covers the whole pipeline).
+type OperatorStats struct {
+	// Name is the operator's Describe string.
+	Name string
+	// RowsIn counts qualifying rows pulled from the child — for the scan
+	// leaf it counts table rows consumed, so a short-circuited LIMIT scan
+	// is visible as RowsIn far below the table size. RowsOut counts
+	// qualifying rows handed to the parent.
+	RowsIn  int64
+	RowsOut int64
+	// Batches counts batches emitted.
+	Batches int64
+	// WallNs is wall-clock time spent in Next, inclusive of children.
+	WallNs int64
+}
+
+func (s OperatorStats) String() string {
+	return fmt.Sprintf("%s  [in=%d out=%d batches=%d %s]",
+		s.Name, s.RowsIn, s.RowsOut, s.Batches, time.Duration(s.WallNs))
+}
+
+// FormatStats renders per-operator counters for the whole tree, root
+// first, indented like Format.
+func FormatStats(stats []OperatorStats) string {
+	var sb strings.Builder
+	for depth, s := range stats {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// opStats is the embedded counter block every operator updates as batches
+// flow through it.
+type opStats struct {
+	rowsIn  int64
+	rowsOut int64
+	batches int64
+	ns      int64
+}
+
+// timed starts an inclusive wall-clock measurement of one Next call;
+// invoke the returned func on exit.
+func (s *opStats) timed() func() {
+	start := time.Now()
+	return func() { s.ns += time.Since(start).Nanoseconds() }
+}
+
+func (s *opStats) noteIn(b Batch)  { s.rowsIn += int64(b.Count) }
+func (s *opStats) noteOut(b Batch) { s.rowsOut += int64(b.Count); s.batches++ }
+
+// noteScanned records table rows consumed by a scan leaf (its RowsIn).
+func (s *opStats) noteScanned(n int) { s.rowsIn += int64(n) }
+
+func (s *opStats) snapshot(name string) OperatorStats {
+	return OperatorStats{Name: name, RowsIn: s.rowsIn, RowsOut: s.rowsOut, Batches: s.batches, WallNs: s.ns}
+}
+
+// batchCharger charges the query's memory accountant for transient batch
+// memory: each operator keeps at most one batch in flight, so the charge
+// for the previous batch is released when the next one is produced. Peak
+// accounted memory for the pipeline is therefore O(operators x batch
+// capacity), not O(qualifying rows). Retained memory (sort state,
+// projected result rows) is charged separately without release.
+type batchCharger struct {
+	acct     *govern.Accountant
+	inflight int64
+}
+
+// swap releases the previous in-flight charge and charges n bytes for the
+// batch about to be handed out.
+func (c *batchCharger) swap(n int64) error {
+	if c.acct == nil {
+		return nil
+	}
+	c.acct.Release(c.inflight)
+	c.inflight = 0
+	if err := c.acct.Charge(n); err != nil {
+		return err
+	}
+	c.inflight = n
+	return nil
+}
+
+// done releases whatever is still in flight (call from Close).
+func (c *batchCharger) done() {
+	if c.acct != nil {
+		c.acct.Release(c.inflight)
+	}
+	c.inflight = 0
+}

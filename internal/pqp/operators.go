@@ -11,6 +11,7 @@ import (
 	"fusedscan/internal/govern"
 	"fusedscan/internal/lqp"
 	"fusedscan/internal/mach"
+	"fusedscan/internal/parallel"
 	"fusedscan/internal/scan"
 )
 
@@ -19,14 +20,9 @@ import (
 // exhaust memory. Count is always exact.
 const maxMaterializedRows = 100000
 
-// execChunkRows is the horizontal partition size used when a scan must be
-// cancellable: the kernel runs chunk-at-a-time with a context check between
-// chunks, so cancellation latency is bounded by one chunk's work.
-const execChunkRows = 1 << 16
-
 // pollEvery is how many per-position iterations pass between context
-// checks in the materializing operators (filter, aggregate, sort keys,
-// projection). A power of two so the check is a mask test.
+// checks in the per-position operator loops (filter, aggregate fold, sort
+// keys, projection). A power of two so the check is a mask test.
 const pollEvery = 1 << 13
 
 // pollCtx returns ctx.Err() every pollEvery-th iteration i (and on i == 0),
@@ -39,13 +35,14 @@ func pollCtx(ctx context.Context, i int) error {
 	return ctx.Err()
 }
 
-// Memory-accounting cost estimates for the materializing operators. The
-// accountant (govern.Accountant, carried in the query context) is charged
-// at every materialization point so a query that would balloon fails with
-// a typed ErrMemoryBudget instead of OOMing the process. The estimates
-// cover the dominant allocations: position lists are 4 B/entry, sort
-// state holds a key value, a null flag and two index/position words, and
-// each projected row holds one expr.Value per column plus slice headers.
+// Memory-accounting cost estimates. The accountant (govern.Accountant,
+// carried in the query context) is charged per in-flight batch for
+// transient position memory (released as the pipeline advances) and
+// without release for retained state: sort keys live until the sort
+// drains, and projected rows live in the final QueryResult. The estimates
+// cover the dominant allocations: position entries are 4 B, sort state
+// holds a key value, a null flag and two index/position words, and each
+// projected row holds one expr.Value per column plus slice headers.
 const (
 	bytesPerPosition = 4
 	bytesPerSortKey  = 48
@@ -53,150 +50,288 @@ const (
 	bytesPerRowCell  = 24
 )
 
-// positionSource is the internal dataflow interface: operators that
-// produce qualifying row positions. When countOnly is set, Positions may
-// be nil (the consumer only needs Count).
-type positionSource interface {
-	positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error)
-	table() *column.Table
+// positionStream is the internal dataflow contract of operators that emit
+// position batches. In count-only mode a producer may omit Sel from its
+// batches (Count stays exact); consumers that need positions leave it off.
+type positionStream interface {
+	Operator
+	setCountOnly(bool)
 }
 
-// fullScanOp produces every row of a table (a scan with no predicates).
+// fullScanOp produces every row of a table (a scan with no predicates),
+// one batch per chunk window.
 type fullScanOp struct {
-	tbl *column.Table
+	tbl       *column.Table
+	batchRows int
+	countOnly bool
+
+	ctx     context.Context
+	cpu     *mach.CPU
+	cursor  int
+	charger batchCharger
+	stats   opStats
 }
 
-func newFullScan(tbl *column.Table) *fullScanOp { return &fullScanOp{tbl: tbl} }
+func newFullScan(tbl *column.Table, batchRows int) *fullScanOp {
+	return &fullScanOp{tbl: tbl, batchRows: batchRows}
+}
 
 func (op *fullScanOp) Describe() string { return fmt.Sprintf("TableScan(%s, all rows)", op.tbl.Name()) }
 
-func (op *fullScanOp) table() *column.Table { return op.tbl }
+func (op *fullScanOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
 
-func (op *fullScanOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
+func (op *fullScanOp) setCountOnly(v bool) { op.countOnly = v }
+
+func (op *fullScanOp) Open(ctx context.Context, cpu *mach.CPU) error {
+	op.ctx, op.cpu = ctx, cpu
+	op.cursor = 0
+	op.charger = batchCharger{acct: govern.AccountantFrom(ctx)}
+	return ctx.Err()
+}
+
+func (op *fullScanOp) Next() (Batch, error) {
+	defer op.stats.timed()()
 	n := op.tbl.Rows()
-	res := scan.Result{Count: n}
-	if countOnly {
-		return res, nil
+	if op.cursor >= n {
+		return Batch{}, EOS
 	}
-	if err := ctx.Err(); err != nil {
-		return scan.Result{}, err
+	if err := op.ctx.Err(); err != nil {
+		return Batch{}, err
 	}
-	if err := govern.Charge(ctx, int64(n)*bytesPerPosition); err != nil {
-		return scan.Result{}, err
+	begin := op.cursor
+	end := begin + op.batchRows
+	if end > n {
+		end = n
 	}
-	res.Positions = make([]uint32, n)
-	for i := range res.Positions {
-		res.Positions[i] = uint32(i)
+	op.cursor = end
+	op.stats.noteScanned(end - begin)
+	b := Batch{Base: uint32(begin), Count: end - begin}
+	if !op.countOnly {
+		if err := op.charger.swap(int64(b.Count) * bytesPerPosition); err != nil {
+			return Batch{}, err
+		}
+		b.Sel = make([]uint32, b.Count)
+		for i := range b.Sel {
+			b.Sel[i] = uint32(i)
+		}
+		op.cpu.Scalar(b.Count)
 	}
-	cpu.Scalar(n)
-	return res, nil
+	op.stats.noteOut(b)
+	return b, nil
 }
 
-func (op *fullScanOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.positions(ctx, cpu, true)
-	if err != nil {
-		return QueryResult{}, err
-	}
-	return QueryResult{Count: int64(res.Count)}, nil
+func (op *fullScanOp) Close() error {
+	op.charger.done()
+	return nil
 }
 
-// scanOp evaluates a predicate chain in a single kernel pass (fused or
-// scalar short-circuit). When the context is cancellable the pass runs
-// chunk-at-a-time (semantically identical) so cancellation is honoured at
-// chunk boundaries; otherwise the pre-built kernel scans the whole table
-// in one pass, exactly reproducing the paper's measurement discipline.
+// scanOp evaluates a predicate chain with a kernel pass per chunk window
+// (fused or scalar short-circuit), emitting each chunk's chunk-relative
+// position list as one batch — the kernel's register-resident position
+// lists feed the pipeline directly, never widening into a whole-table
+// position list. With Cores > 1 the chunks become morsels produced by
+// parallel workers (each with its own simulated CPU) and merged in morsel
+// order, so downstream operators consume an identical ordered stream.
 type scanOp struct {
-	tbl    *column.Table
-	chain  scan.Chain
-	kernel scan.Kernel
-	build  func(scan.Chain) (scan.Kernel, error)
-	name   string
+	tbl       *column.Table
+	chain     scan.Chain
+	kernel    scan.Kernel
+	build     func(scan.Chain) (scan.Kernel, error)
+	name      string
+	batchRows int
+	// stopAfter, when > 0, is the optimizer's LIMIT pushdown hint: stop
+	// producing once this many matches have been emitted (rounded up to a
+	// batch boundary).
+	stopAfter int
+	// cores/morselRows/params configure parallel batch production.
+	cores      int
+	morselRows int
+	params     mach.Params
+	countOnly  bool
+
+	ctx     context.Context
+	cpu     *mach.CPU
+	cursor  int
+	emitted int
+	stream  *parallel.Stream
+	perCore []mach.Counters
+	charger batchCharger
+	stats   opStats
 }
 
 func (op *scanOp) Describe() string { return fmt.Sprintf("%s on %s", op.name, op.tbl.Name()) }
 
-func (op *scanOp) table() *column.Table { return op.tbl }
+func (op *scanOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
 
-func (op *scanOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
-	// Chunked execution (semantically identical) engages when the scan
-	// must be interruptible — a cancellable context — or accountable — a
-	// memory budget charging position-list growth per chunk.
-	governed := ctx.Done() != nil || govern.AccountantFrom(ctx) != nil
-	if !governed || op.build == nil {
-		return op.kernel.Run(cpu, !countOnly), nil
+func (op *scanOp) setCountOnly(v bool) { op.countOnly = v }
+
+func (op *scanOp) Open(ctx context.Context, cpu *mach.CPU) error {
+	op.ctx, op.cpu = ctx, cpu
+	op.cursor, op.emitted = 0, 0
+	op.charger = batchCharger{acct: govern.AccountantFrom(ctx)}
+	if op.cores > 1 {
+		morselRows := op.morselRows
+		if morselRows <= 0 {
+			morselRows = op.batchRows
+		}
+		st, err := parallel.NewStream(ctx, op.params, op.chain, op.build, op.cores, morselRows, !op.countOnly)
+		if err != nil {
+			return err
+		}
+		op.stream = st
 	}
-	return scan.RunChunkedContext(ctx, op.build, op.chain, execChunkRows, cpu, !countOnly)
+	return ctx.Err()
 }
 
-func (op *scanOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.positions(ctx, cpu, true)
-	if err != nil {
-		return QueryResult{}, err
+func (op *scanOp) Next() (Batch, error) {
+	defer op.stats.timed()()
+	if op.stopAfter > 0 && op.emitted >= op.stopAfter {
+		return Batch{}, EOS
 	}
-	return QueryResult{Count: int64(res.Count)}, nil
+	if err := op.ctx.Err(); err != nil {
+		return Batch{}, err
+	}
+	var b Batch
+	if op.stream != nil {
+		m, err := op.stream.Next()
+		if err == parallel.EOS {
+			op.perCore = op.stream.PerCore()
+			return Batch{}, EOS
+		}
+		if err != nil {
+			return Batch{}, err
+		}
+		op.stats.noteScanned(m.Rows)
+		b = Batch{Base: uint32(m.Begin), Sel: m.Res.Positions, Count: m.Res.Count}
+	} else {
+		n := op.chain.Rows()
+		if op.cursor >= n {
+			return Batch{}, EOS
+		}
+		begin := op.cursor
+		end := begin + op.batchRows
+		if end > n {
+			end = n
+		}
+		op.cursor = end
+		op.stats.noteScanned(end - begin)
+		sub := make(scan.Chain, len(op.chain))
+		for i, p := range op.chain {
+			sub[i] = scan.Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value}
+		}
+		kern, err := op.build(sub)
+		if err != nil {
+			return Batch{}, fmt.Errorf("pqp: scan chunk [%d, %d): %w", begin, end, err)
+		}
+		res := kern.Run(op.cpu, !op.countOnly)
+		b = Batch{Base: uint32(begin), Sel: res.Positions, Count: res.Count}
+	}
+	if err := op.charger.swap(int64(len(b.Sel)) * bytesPerPosition); err != nil {
+		return Batch{}, err
+	}
+	op.emitted += b.Count
+	op.stats.noteOut(b)
+	return b, nil
 }
 
-// filterOp applies one predicate to an incoming, materialized position
-// list — the "regular query plan" of Figure 8, where every σ consumes and
-// produces intermediary position lists. This is the execution style the
-// fused operator exists to replace.
+func (op *scanOp) Close() error {
+	op.charger.done()
+	if op.stream != nil {
+		// Close cancels morsels not yet started — the LIMIT short-circuit
+		// path when the consumer stops pulling early. It must run before
+		// PerCore, which waits for the workers to wind down.
+		op.stream.Close()
+		if op.perCore == nil {
+			op.perCore = op.stream.PerCore()
+		}
+	}
+	return nil
+}
+
+// perCoreCounters exposes the parallel workers' counters to the plan-level
+// report (nil for single-core execution).
+func (op *scanOp) perCoreCounters() []mach.Counters { return op.perCore }
+
+// filterOp applies one predicate to incoming position batches — the
+// "regular query plan" of Figure 8, where every σ consumes and produces
+// position lists. The lists now stay batch-sized and chunk-relative
+// instead of materializing per operator; this execution style remains what
+// the fused operator replaces.
 type filterOp struct {
-	input  positionSource
-	pred   scan.Pred
-	region int
-	inited bool
+	input     positionStream
+	pred      scan.Pred
+	countOnly bool
+
+	ctx     context.Context
+	cpu     *mach.CPU
+	region  int
+	rowIdx  int
+	charger batchCharger
+	stats   opStats
 }
 
 func (op *filterOp) Describe() string {
-	return fmt.Sprintf("Filter[%s] (materialized position list)", op.pred)
+	return fmt.Sprintf("Filter[%s] (batched position stream)", op.pred)
 }
 
-func (op *filterOp) child() Operator { return op.input.(Operator) }
+func (op *filterOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
 
-func (op *filterOp) table() *column.Table { return op.input.table() }
+func (op *filterOp) child() Operator { return op.input }
 
-func (op *filterOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
-	in, err := op.input.positions(ctx, cpu, false)
+// setCountOnly affects only the filter's own output; its input always
+// carries full positions (the filter needs them to evaluate).
+func (op *filterOp) setCountOnly(v bool) { op.countOnly = v }
+
+func (op *filterOp) Open(ctx context.Context, cpu *mach.CPU) error {
+	if err := op.input.Open(ctx, cpu); err != nil {
+		return err
+	}
+	op.ctx, op.cpu = ctx, cpu
+	op.region = cpu.NewRandomRegion()
+	op.rowIdx = 0
+	op.charger = batchCharger{acct: govern.AccountantFrom(ctx)}
+	return nil
+}
+
+func (op *filterOp) Next() (Batch, error) {
+	defer op.stats.timed()()
+	in, err := op.input.Next()
 	if err != nil {
-		return scan.Result{}, err
+		return Batch{}, err
 	}
-	if !op.inited {
-		op.region = cpu.NewRandomRegion()
-		op.inited = true
-	}
+	op.stats.noteIn(in)
 	col := op.pred.Col
 	size := col.Type().Size()
 	needle := op.pred.StoredBits()
-	acct := govern.AccountantFrom(ctx)
-	var out scan.Result
-	for i, pos := range in.Positions {
-		if err := pollCtx(ctx, i); err != nil {
-			return scan.Result{}, err
+	out := Batch{Base: in.Base}
+	for _, rel := range in.Sel {
+		if err := pollCtx(op.ctx, op.rowIdx); err != nil {
+			return Batch{}, err
 		}
-		cpu.Scalar(2)
-		cpu.RandomRead(op.region, col.Addr(int(pos)), size)
-		match := expr.CompareBits(col.Type(), op.pred.Op, col.Raw(int(pos)), needle)
-		cpu.Branch(0x900+uint32(op.region), match)
+		op.rowIdx++
+		pos := int(in.Base) + int(rel)
+		op.cpu.Scalar(2)
+		op.cpu.RandomRead(op.region, col.Addr(pos), size)
+		match := expr.CompareBits(col.Type(), op.pred.Op, col.Raw(pos), needle)
+		op.cpu.Branch(0x900+uint32(op.region), match)
 		if match {
 			out.Count++
-			if !countOnly {
-				if err := acct.Charge(bytesPerPosition); err != nil {
-					return scan.Result{}, err
-				}
-				out.Positions = append(out.Positions, pos)
+			if !op.countOnly {
+				out.Sel = append(out.Sel, rel)
 			}
-			cpu.Scalar(1)
+			op.cpu.Scalar(1)
 		}
 	}
+	if err := op.charger.swap(int64(len(out.Sel)) * bytesPerPosition); err != nil {
+		return Batch{}, err
+	}
+	op.stats.noteOut(out)
 	return out, nil
 }
 
-func (op *filterOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.positions(ctx, cpu, true)
-	if err != nil {
-		return QueryResult{}, err
-	}
-	return QueryResult{Count: int64(res.Count)}, nil
+func (op *filterOp) Close() error {
+	op.charger.done()
+	return op.input.Close()
 }
 
 // aggItem is one aggregate computation bound to its column.
@@ -205,15 +340,33 @@ type aggItem struct {
 	col  *column.Column // nil for COUNT(*)
 }
 
-// aggOp computes one or more aggregates over the qualifying positions in a
-// single pass: non-count items gather their column's values (real random
-// reads) and fold them. NULL values are ignored, per SQL (an all-NULL
-// input yields 0 / no value rather than NULL — a documented
-// simplification).
+// aggState folds one item.
+type aggState struct {
+	sumI   int64
+	sumF   float64
+	minMax expr.Value
+	seen   bool
+	valid  int64
+}
+
+// aggOp is a consuming sink: it folds its input batch-at-a-time — non-count
+// items gather their column's values (real random reads) into running
+// states — and emits the result as a single final batch. NULL values are
+// ignored, per SQL (an all-NULL input yields 0 / no value rather than NULL
+// — a documented simplification).
 type aggOp struct {
-	input  positionSource
+	input  positionStream
 	items  []aggItem
 	labels []string
+
+	ctx     context.Context
+	cpu     *mach.CPU
+	regions []int
+	states  []aggState
+	total   int
+	rowIdx  int
+	done    bool
+	stats   opStats
 }
 
 func (op *aggOp) Describe() string {
@@ -228,53 +381,88 @@ func (op *aggOp) Describe() string {
 	return fmt.Sprintf("Aggregate[%s]", strings.Join(labels, ", "))
 }
 
-func (op *aggOp) child() Operator { return op.input.(Operator) }
+func (op *aggOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
 
-// aggState folds one item.
-type aggState struct {
-	sumI   int64
-	sumF   float64
-	minMax expr.Value
-	seen   bool
-	valid  int64
+func (op *aggOp) child() Operator { return op.input }
+
+// shape pre-sets the aggregate result frame so even an empty input yields
+// a labelled aggregate row.
+func (op *aggOp) shape(qr *QueryResult) {
+	qr.IsAggregate = true
+	qr.AggLabels = op.labels
 }
 
-func (op *aggOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
-	countOnly := true
+// countOnly reports whether every item is COUNT(*), in which case the
+// position stream below may run without materializing positions.
+func (op *aggOp) countOnly() bool {
 	for _, it := range op.items {
 		if it.col != nil {
-			countOnly = false
+			return false
 		}
 	}
-	res, err := op.input.positions(ctx, cpu, countOnly)
-	if err != nil {
-		return QueryResult{}, err
-	}
-	out := QueryResult{Count: int64(res.Count), IsAggregate: true, AggLabels: op.labels}
+	return true
+}
 
-	states := make([]aggState, len(op.items))
-	regions := make([]int, len(op.items))
+func (op *aggOp) Open(ctx context.Context, cpu *mach.CPU) error {
+	if err := op.input.Open(ctx, cpu); err != nil {
+		return err
+	}
+	op.ctx, op.cpu = ctx, cpu
+	op.states = make([]aggState, len(op.items))
+	op.regions = make([]int, len(op.items))
 	for i, it := range op.items {
 		if it.col != nil {
-			regions[i] = cpu.NewRandomRegion()
+			op.regions[i] = cpu.NewRandomRegion()
 		}
-		_ = it
 	}
-	for pi, pos := range res.Positions {
-		if err := pollCtx(ctx, pi); err != nil {
-			return QueryResult{}, err
+	op.total, op.rowIdx, op.done = 0, 0, false
+	return nil
+}
+
+func (op *aggOp) Next() (Batch, error) {
+	defer op.stats.timed()()
+	if op.done {
+		return Batch{}, EOS
+	}
+	for {
+		in, err := op.input.Next()
+		if err == EOS {
+			break
 		}
+		if err != nil {
+			return Batch{}, err
+		}
+		op.stats.noteIn(in)
+		op.total += in.Count
+		if err := op.fold(in); err != nil {
+			return Batch{}, err
+		}
+	}
+	op.done = true
+	out := Batch{Count: op.total, Aggregates: op.finish()}
+	op.stats.noteOut(out)
+	return out, nil
+}
+
+// fold applies one batch's positions to the aggregate states.
+func (op *aggOp) fold(in Batch) error {
+	for _, rel := range in.Sel {
+		if err := pollCtx(op.ctx, op.rowIdx); err != nil {
+			return err
+		}
+		op.rowIdx++
+		pos := int(in.Base) + int(rel)
 		for i, it := range op.items {
 			if it.col == nil {
 				continue
 			}
-			cpu.Scalar(2) // address computation + fold
-			cpu.RandomRead(regions[i], it.col.Addr(int(pos)), it.col.Type().Size())
-			if it.col.Null(int(pos)) {
+			op.cpu.Scalar(2) // address computation + fold
+			op.cpu.RandomRead(op.regions[i], it.col.Addr(pos), it.col.Type().Size())
+			if it.col.Null(pos) {
 				continue
 			}
-			v := it.col.Value(int(pos))
-			st := &states[i]
+			v := it.col.Value(pos)
+			st := &op.states[i]
 			st.valid++
 			t := it.col.Type()
 			switch it.kind {
@@ -300,13 +488,18 @@ func (op *aggOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
 			}
 		}
 	}
+	return nil
+}
 
+// finish renders the folded states into result values.
+func (op *aggOp) finish() []expr.Value {
+	out := make([]expr.Value, 0, len(op.items))
 	for i, it := range op.items {
-		st := states[i]
+		st := op.states[i]
 		var val expr.Value
 		switch {
 		case it.col == nil:
-			val = expr.NewInt(expr.Int64, int64(res.Count))
+			val = expr.NewInt(expr.Int64, int64(op.total))
 		case it.kind == lqp.AggSum:
 			if it.col.Type().Float() {
 				val = expr.NewFloat(expr.Float64, st.sumF)
@@ -332,18 +525,33 @@ func (op *aggOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
 				val = st.minMax
 			}
 		}
-		out.Aggregates = append(out.Aggregates, val)
+		out = append(out, val)
 	}
-	return out, nil
+	return out
 }
 
+func (op *aggOp) Close() error { return op.input.Close() }
+
 // sortOp orders the qualifying positions by one column's values (ORDER
-// BY). Keys are fetched with real random reads; the O(n log n) comparison
-// work is charged as scalar instructions.
+// BY). Sorting is a pipeline barrier: the sink folds its input
+// batch-at-a-time into retained sort state (keys fetched with real random
+// reads, charged to the memory accountant), sorts once, then streams the
+// ordered positions back out in batches. In count-only mode it passes
+// batches straight through — counting needs no order.
 type sortOp struct {
-	input positionSource
-	col   *column.Column
-	desc  bool
+	input     positionStream
+	col       *column.Column
+	desc      bool
+	batchRows int
+	countOnly bool
+
+	ctx     context.Context
+	cpu     *mach.CPU
+	drained bool
+	sorted  []uint32
+	cursor  int
+	rowIdx  int
+	stats   opStats
 }
 
 func (op *sortOp) Describe() string {
@@ -354,36 +562,96 @@ func (op *sortOp) Describe() string {
 	return fmt.Sprintf("Sort[%s %s]", op.col.Name(), dir)
 }
 
-func (op *sortOp) child() Operator { return op.input.(Operator) }
+func (op *sortOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
 
-func (op *sortOp) table() *column.Table { return op.input.table() }
+func (op *sortOp) child() Operator { return op.input }
 
-func (op *sortOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) (scan.Result, error) {
-	in, err := op.input.positions(ctx, cpu, countOnly)
-	if err != nil || countOnly {
-		return in, err
+func (op *sortOp) setCountOnly(v bool) {
+	op.countOnly = v
+	op.input.setCountOnly(v)
+}
+
+func (op *sortOp) Open(ctx context.Context, cpu *mach.CPU) error {
+	if err := op.input.Open(ctx, cpu); err != nil {
+		return err
 	}
-	// Sort state (keys, null flags, index and output permutations) is a
-	// per-position materialization: budget it before allocating.
-	if err := govern.Charge(ctx, int64(len(in.Positions))*bytesPerSortKey); err != nil {
-		return scan.Result{}, err
+	op.ctx, op.cpu = ctx, cpu
+	op.drained, op.sorted, op.cursor, op.rowIdx = false, nil, 0, 0
+	return nil
+}
+
+func (op *sortOp) Next() (Batch, error) {
+	defer op.stats.timed()()
+	if op.countOnly {
+		b, err := op.input.Next()
+		if err != nil {
+			return Batch{}, err
+		}
+		op.stats.noteIn(b)
+		op.stats.noteOut(b)
+		return b, nil
 	}
-	region := cpu.NewRandomRegion()
+	if !op.drained {
+		if err := op.drain(); err != nil {
+			return Batch{}, err
+		}
+		op.drained = true
+	}
+	if op.cursor >= len(op.sorted) {
+		return Batch{}, EOS
+	}
+	begin := op.cursor
+	end := begin + op.batchRows
+	if end > len(op.sorted) {
+		end = len(op.sorted)
+	}
+	op.cursor = end
+	out := Batch{Base: 0, Sel: op.sorted[begin:end], Count: end - begin}
+	op.stats.noteOut(out)
+	return out, nil
+}
+
+// drain consumes the whole input, fetches sort keys and produces the
+// ordered position permutation.
+func (op *sortOp) drain() error {
+	region := op.cpu.NewRandomRegion()
 	size := op.col.Type().Size()
-	keys := make([]expr.Value, len(in.Positions))
-	nulls := make([]bool, len(in.Positions))
-	for i, pos := range in.Positions {
-		if err := pollCtx(ctx, i); err != nil {
-			return scan.Result{}, err
+	var positions []uint32
+	var keys []expr.Value
+	var nulls []bool
+	for {
+		in, err := op.input.Next()
+		if err == EOS {
+			break
 		}
-		cpu.Scalar(2)
-		cpu.RandomRead(region, op.col.Addr(int(pos)), size)
-		nulls[i] = op.col.Null(int(pos))
-		if !nulls[i] {
-			keys[i] = op.col.Value(int(pos))
+		if err != nil {
+			return err
+		}
+		op.stats.noteIn(in)
+		// Sort state (key, null flag, index and position words) is retained
+		// until the sort drains: budget it batch-at-a-time as it accrues.
+		if err := govern.Charge(op.ctx, int64(in.Count)*bytesPerSortKey); err != nil {
+			return err
+		}
+		for _, rel := range in.Sel {
+			if err := pollCtx(op.ctx, op.rowIdx); err != nil {
+				return err
+			}
+			op.rowIdx++
+			pos := int(in.Base) + int(rel)
+			op.cpu.Scalar(2)
+			op.cpu.RandomRead(region, op.col.Addr(pos), size)
+			isNull := op.col.Null(pos)
+			positions = append(positions, uint32(pos))
+			nulls = append(nulls, isNull)
+			if isNull {
+				keys = append(keys, expr.Value{})
+			} else {
+				keys = append(keys, op.col.Value(pos))
+			}
 		}
 	}
-	idx := make([]int, len(in.Positions))
+	idx := make([]int, len(positions))
 	for i := range idx {
 		idx[i] = i
 	}
@@ -409,131 +677,206 @@ func (op *sortOp) positions(ctx context.Context, cpu *mach.CPU, countOnly bool) 
 		for v := n; v > 1; v >>= 1 {
 			logN++
 		}
-		cpu.Scalar(2 * n * logN)
+		op.cpu.Scalar(2 * n * logN)
 	}
-	out := scan.Result{Count: in.Count, Positions: make([]uint32, len(idx))}
+	op.sorted = make([]uint32, len(idx))
 	for o, i := range idx {
-		out.Positions[o] = in.Positions[i]
+		op.sorted[o] = positions[i]
 	}
-	return out, nil
+	return nil
 }
 
-func (op *sortOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.positions(ctx, cpu, true)
-	if err != nil {
-		return QueryResult{}, err
-	}
-	return QueryResult{Count: int64(res.Count)}, nil
-}
+func (op *sortOp) Close() error { return op.input.Close() }
 
-// emptyOp is the physical form of an optimizer-pruned plan.
+// emptyOp is the physical form of an optimizer-pruned plan: an immediately
+// exhausted stream.
 type emptyOp struct {
 	reason string
+	stats  opStats
 }
 
 func (op *emptyOp) Describe() string { return fmt.Sprintf("EmptyResult(%s)", op.reason) }
 
-func (op *emptyOp) Run(context.Context, *mach.CPU) (QueryResult, error) { return QueryResult{}, nil }
+func (op *emptyOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
 
-func (op *emptyOp) positions(context.Context, *mach.CPU, bool) (scan.Result, error) {
-	return scan.Result{}, nil
-}
+func (op *emptyOp) setCountOnly(bool) {}
 
-func (op *emptyOp) table() *column.Table { return nil }
+func (op *emptyOp) Open(context.Context, *mach.CPU) error { return nil }
 
-// projectOp materializes the selected columns for qualifying positions.
+func (op *emptyOp) Next() (Batch, error) { return Batch{}, EOS }
+
+func (op *emptyOp) Close() error { return nil }
+
+// projectOp materializes the selected columns for qualifying positions,
+// batch-at-a-time, up to its materialization cap (the LIMIT pushdown hint
+// or maxMaterializedRows). Count passes through uncapped so the qualifying
+// total stays exact for the batches it consumes.
 type projectOp struct {
-	input   positionSource
+	input   positionStream
 	tbl     *column.Table
 	columns []string
-	cap     int // max rows to materialize
+	cap     int // max rows to materialize (0 = maxMaterializedRows)
+
+	ctx         context.Context
+	cpu         *mach.CPU
+	cols        []*column.Column
+	regions     []int
+	anyNullable bool
+	remaining   int
+	rowIdx      int
+	stats       opStats
 }
 
 func (op *projectOp) Describe() string {
 	return fmt.Sprintf("Projection[%s]", strings.Join(op.columns, ", "))
 }
 
-func (op *projectOp) child() Operator { return op.input.(Operator) }
+func (op *projectOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
 
-func (op *projectOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.input.positions(ctx, cpu, false)
-	if err != nil {
-		return QueryResult{}, err
+func (op *projectOp) child() Operator { return op.input }
+
+// shape pre-sets the projected column names so empty results keep their
+// header.
+func (op *projectOp) shape(qr *QueryResult) { qr.Columns = op.columns }
+
+func (op *projectOp) Open(ctx context.Context, cpu *mach.CPU) error {
+	if err := op.input.Open(ctx, cpu); err != nil {
+		return err
 	}
-	cols := make([]*column.Column, len(op.columns))
-	regions := make([]int, len(op.columns))
+	op.ctx, op.cpu = ctx, cpu
+	op.cols = make([]*column.Column, len(op.columns))
+	op.regions = make([]int, len(op.columns))
+	op.anyNullable = false
 	for i, name := range op.columns {
 		c, err := op.tbl.Column(name)
 		if err != nil {
-			return QueryResult{}, err
+			return err
 		}
-		cols[i] = c
-		regions[i] = cpu.NewRandomRegion()
-	}
-	limit := op.cap
-	if limit <= 0 || limit > maxMaterializedRows {
-		limit = maxMaterializedRows
-	}
-	anyNullable := false
-	for _, c := range cols {
+		op.cols[i] = c
+		op.regions[i] = cpu.NewRandomRegion()
 		if c.HasNulls() {
-			anyNullable = true
+			op.anyNullable = true
 		}
 	}
-	acct := govern.AccountantFrom(ctx)
-	rowBytes := int64(bytesPerRowBase + len(cols)*bytesPerRowCell)
-	out := QueryResult{Count: int64(res.Count), Columns: op.columns}
-	for pi, pos := range res.Positions {
-		if len(out.Rows) >= limit {
+	op.remaining = op.cap
+	if op.remaining <= 0 || op.remaining > maxMaterializedRows {
+		op.remaining = maxMaterializedRows
+	}
+	op.rowIdx = 0
+	return nil
+}
+
+func (op *projectOp) Next() (Batch, error) {
+	defer op.stats.timed()()
+	in, err := op.input.Next()
+	if err != nil {
+		return Batch{}, err
+	}
+	op.stats.noteIn(in)
+	out := Batch{Base: in.Base, Count: in.Count}
+	rowBytes := int64(bytesPerRowBase + len(op.cols)*bytesPerRowCell)
+	for _, rel := range in.Sel {
+		if op.remaining <= 0 {
 			break
 		}
-		if err := pollCtx(ctx, pi); err != nil {
-			return QueryResult{}, err
+		if err := pollCtx(op.ctx, op.rowIdx); err != nil {
+			return Batch{}, err
 		}
-		if err := acct.Charge(rowBytes); err != nil {
-			return QueryResult{}, err
+		op.rowIdx++
+		pos := int(in.Base) + int(rel)
+		// Projected rows are retained in the final result: charge without
+		// release.
+		if err := govern.Charge(op.ctx, rowBytes); err != nil {
+			return Batch{}, err
 		}
-		row := make(Row, len(cols))
+		row := make(Row, len(op.cols))
 		var nullRow []bool
-		if anyNullable {
-			nullRow = make([]bool, len(cols))
+		if op.anyNullable {
+			nullRow = make([]bool, len(op.cols))
 		}
-		for i, c := range cols {
-			cpu.Scalar(2)
-			cpu.RandomRead(regions[i], c.Addr(int(pos)), c.Type().Size())
-			row[i] = c.Value(int(pos))
-			if anyNullable && c.Null(int(pos)) {
+		for i, c := range op.cols {
+			op.cpu.Scalar(2)
+			op.cpu.RandomRead(op.regions[i], c.Addr(pos), c.Type().Size())
+			row[i] = c.Value(pos)
+			if op.anyNullable && c.Null(pos) {
 				nullRow[i] = true
 			}
 		}
 		out.Rows = append(out.Rows, row)
-		if anyNullable {
+		if op.anyNullable {
 			out.RowNulls = append(out.RowNulls, nullRow)
 		}
+		op.remaining--
 	}
+	op.stats.noteOut(out)
 	return out, nil
 }
 
-// limitOp caps the number of materialized rows.
+func (op *projectOp) Close() error { return op.input.Close() }
+
+// limitOp caps a row stream at n rows and — the pipelined executor's whole
+// point — stops pulling from its child once satisfied, so upstream scan
+// chunks (and parallel morsels) beyond the first qualifying ones never
+// run. Over an aggregate stream it is a pass-through (one row). Under a
+// LIMIT the delivered Count is capped at n.
 type limitOp struct {
 	input Operator
 	n     int
+	// overRows is set when the child streams materialized rows (a
+	// projection); only then does row counting terminate the stream.
+	overRows bool
+
+	emitted int
+	stats   opStats
 }
 
 func (op *limitOp) Describe() string { return fmt.Sprintf("Limit[%d]", op.n) }
 
+func (op *limitOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
+
 func (op *limitOp) child() Operator { return op.input }
 
-func (op *limitOp) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
-	res, err := op.input.Run(ctx, cpu)
-	if err != nil {
-		return QueryResult{}, err
+// shape delegates to the child so headers survive the wrapper.
+func (op *limitOp) shape(qr *QueryResult) {
+	if s, ok := op.input.(resultShaper); ok {
+		s.shape(qr)
 	}
-	if len(res.Rows) > op.n {
-		res.Rows = res.Rows[:op.n]
-	}
-	if len(res.RowNulls) > op.n {
-		res.RowNulls = res.RowNulls[:op.n]
-	}
-	return res, nil
 }
+
+func (op *limitOp) Open(ctx context.Context, cpu *mach.CPU) error {
+	op.emitted = 0
+	return op.input.Open(ctx, cpu)
+}
+
+func (op *limitOp) Next() (Batch, error) {
+	defer op.stats.timed()()
+	if op.overRows && op.emitted >= op.n {
+		// Satisfied: end the stream without pulling the child again — the
+		// short-circuit that cancels upstream work.
+		return Batch{}, EOS
+	}
+	b, err := op.input.Next()
+	if err != nil {
+		return Batch{}, err
+	}
+	op.stats.noteIn(b)
+	if op.overRows {
+		take := op.n - op.emitted
+		if take < 0 {
+			take = 0
+		}
+		if len(b.Rows) > take {
+			b.Rows = b.Rows[:take]
+			if len(b.RowNulls) > take {
+				b.RowNulls = b.RowNulls[:take]
+			}
+		}
+		op.emitted += len(b.Rows)
+		// Under a LIMIT the delivered count is the rows handed out.
+		b.Count = len(b.Rows)
+	}
+	op.stats.noteOut(b)
+	return b, nil
+}
+
+func (op *limitOp) Close() error { return op.input.Close() }

@@ -3,6 +3,16 @@
 // invoking the JIT compiler for every FusedChain tag (the paper's drop-in
 // replacement for consecutive scans), and the executor runs the operator
 // tree against the machine model.
+//
+// Execution is batch-pipelined (Volcano-with-vectors): operators implement
+// Open/Next/Close and exchange Batch values — bounded, chunk-relative
+// selection vectors — instead of materializing whole-table position lists
+// between operators. The scan kernels' per-chunk results feed the pipeline
+// directly, LIMIT stops pulling (cancelling remaining parallel morsels),
+// and peak memory is O(in-flight batches x chunk), extending the paper's
+// "never materialize intermediates" principle from the fused kernel to the
+// whole plan. Drive drains the root into a QueryResult, so the public
+// engine API is unchanged.
 package pqp
 
 import (
@@ -29,11 +39,31 @@ type Options struct {
 	Width vec.Width
 	// ISA is the instruction-set dialect for fused operators.
 	ISA vec.ISA
+	// Cores > 1 turns predicate-chain scans into morsel-driven parallel
+	// batch producers (see internal/parallel); each worker gets its own
+	// simulated CPU built from Params. Downstream operators still consume
+	// one ordered stream.
+	Cores int
+	// MorselRows is the morsel size for parallel scans; defaults to
+	// BatchRows.
+	MorselRows int
+	// Params is the machine calibration for parallel workers' CPUs.
+	Params mach.Params
+	// BatchRows overrides the pipeline batch capacity (default one scan
+	// chunk, 1<<16). Tests use small values to exercise batch boundaries.
+	BatchRows int
 }
 
 // DefaultOptions is the paper's best configuration: AVX-512 at 512 bits.
 func DefaultOptions() Options {
 	return Options{UseFused: true, Width: vec.W512, ISA: vec.IsaAVX512}
+}
+
+func (o Options) batchRows() int {
+	if o.BatchRows > 0 {
+		return o.BatchRows
+	}
+	return defaultBatchRows
 }
 
 // Row is one materialized output row.
@@ -42,7 +72,9 @@ type Row []expr.Value
 // QueryResult is the output of executing a physical plan.
 type QueryResult struct {
 	// Count is the COUNT(*) value for aggregate queries, and the number
-	// of qualifying rows otherwise.
+	// of qualifying rows otherwise (capped at LIMIT n when one applies —
+	// the pipeline stops early, so rows beyond the limit are never
+	// counted).
 	Count int64
 	// Aggregates holds one value per aggregate item when IsAggregate is
 	// set (Int64 for integer SUM/COUNT — wrapping on overflow like the
@@ -60,15 +92,30 @@ type QueryResult struct {
 	RowNulls [][]bool
 }
 
-// Operator is one physical operator.
+// Operator is one physical operator in the batch pipeline.
+//
+// Lifecycle: Open prepares the operator (and its children) for a run;
+// Next returns the next batch or EOS when the stream is exhausted; Close
+// releases resources and cascades to children. Close must be safe to call
+// after a failed Open or mid-stream (the LIMIT short-circuit path), and
+// cancels any outstanding upstream work (parallel morsels). Execution
+// honours ctx: operators check for cancellation at batch boundaries and
+// every few thousand rows in per-position loops, returning ctx.Err().
 type Operator interface {
 	// Describe renders the operator for EXPLAIN output.
 	Describe() string
-	// Run executes the operator tree on a CPU. Execution honours ctx:
-	// operators check for cancellation at chunk boundaries (table scans)
-	// and every few thousand rows (per-position loops), returning ctx.Err()
-	// when the context is cancelled or past its deadline.
-	Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error)
+	Open(ctx context.Context, cpu *mach.CPU) error
+	Next() (Batch, error)
+	Close() error
+	// Stats snapshots the operator's runtime counters (EXPLAIN ANALYZE).
+	Stats() OperatorStats
+}
+
+// resultShaper is implemented by operators that determine the result
+// frame (column headers, aggregate labels) so the driver can shape even
+// an empty result correctly before any batch flows.
+type resultShaper interface {
+	shape(*QueryResult)
 }
 
 // Plan is an executable physical plan.
@@ -100,6 +147,76 @@ func (p *Plan) Format() string {
 	return sb.String()
 }
 
+// Run executes the plan: it drives the batch pipeline and assembles the
+// public QueryResult.
+func (p *Plan) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
+	return Drive(ctx, p.Root, cpu)
+}
+
+// OperatorStats snapshots every operator's runtime counters, root first
+// (same order as Format, one entry per tree depth).
+func (p *Plan) OperatorStats() []OperatorStats {
+	var out []OperatorStats
+	op := p.Root
+	for op != nil {
+		out = append(out, op.Stats())
+		c, ok := op.(interface{ child() Operator })
+		if !ok || c.child() == nil {
+			break
+		}
+		op = c.child()
+	}
+	return out
+}
+
+// PerCore returns the parallel scan workers' counters after a run with
+// Options.Cores > 1 (nil when the plan ran single-core).
+func (p *Plan) PerCore() []mach.Counters {
+	op := p.Root
+	for op != nil {
+		if pc, ok := op.(interface{ perCoreCounters() []mach.Counters }); ok {
+			return pc.perCoreCounters()
+		}
+		c, ok := op.(interface{ child() Operator })
+		if !ok || c.child() == nil {
+			break
+		}
+		op = c.child()
+	}
+	return nil
+}
+
+// Drive is the thin driver at the top of the pipeline: it opens the root,
+// drains batches until EOS, concatenates them into a QueryResult and
+// closes the tree (which cancels any upstream work still outstanding).
+func Drive(ctx context.Context, root Operator, cpu *mach.CPU) (QueryResult, error) {
+	var qr QueryResult
+	if s, ok := root.(resultShaper); ok {
+		s.shape(&qr)
+	}
+	if err := root.Open(ctx, cpu); err != nil {
+		root.Close()
+		return QueryResult{}, err
+	}
+	defer root.Close()
+	for {
+		b, err := root.Next()
+		if err == EOS {
+			break
+		}
+		if err != nil {
+			return QueryResult{}, err
+		}
+		qr.Count += int64(b.Count)
+		if b.Aggregates != nil {
+			qr.Aggregates = b.Aggregates
+		}
+		qr.Rows = append(qr.Rows, b.Rows...)
+		qr.RowNulls = append(qr.RowNulls, b.RowNulls...)
+	}
+	return qr, nil
+}
+
 // Translate lowers an optimized logical plan into a physical plan,
 // compiling fused operators through the given JIT compiler.
 func Translate(lp *lqp.Plan, comp *jit.Compiler, opts Options) (*Plan, error) {
@@ -118,7 +235,7 @@ func Translate(lp *lqp.Plan, comp *jit.Compiler, opts Options) (*Plan, error) {
 func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Options, p *Plan) (Operator, error) {
 	switch t := n.(type) {
 	case *lqp.StoredTable:
-		return newFullScan(t.Table), nil
+		return newFullScan(t.Table, opts.batchRows()), nil
 
 	case *lqp.EmptyResult:
 		return &emptyOp{reason: t.Reason}, nil
@@ -131,13 +248,20 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if err != nil {
 			return nil, err
 		}
+		mk := func(kern scan.Kernel, build func(scan.Chain) (scan.Kernel, error), name string) *scanOp {
+			return &scanOp{
+				tbl: tbl, chain: ch, kernel: kern, build: build, name: name,
+				batchRows: opts.batchRows(), stopAfter: t.StopAfter,
+				cores: opts.Cores, morselRows: opts.MorselRows, params: opts.Params,
+			}
+		}
 		sisdBuild := func(sub scan.Chain) (scan.Kernel, error) { return scan.NewSISD(sub) }
 		if !opts.UseFused {
 			kern, err := scan.NewSISD(ch)
 			if err != nil {
 				return nil, err
 			}
-			return &scanOp{tbl: tbl, chain: ch, kernel: kern, build: sisdBuild, name: "TableScan(SISD)"}, nil
+			return mk(kern, sisdBuild, "TableScan(SISD)"), nil
 		}
 		kern, prog, err := comp.CompileChain(ch, opts.Width, opts.ISA)
 		if err != nil {
@@ -151,27 +275,24 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 			}
 			p.Degraded = true
 			p.DegradedReason = fmt.Sprintf("jit unavailable, using scalar scan: %v", err)
-			return &scanOp{tbl: tbl, chain: ch, kernel: skern, build: sisdBuild, name: "TableScan(SISD, degraded)"}, nil
+			return mk(skern, sisdBuild, "TableScan(SISD, degraded)"), nil
 		}
 		p.Programs = append(p.Programs, prog)
 		fusedBuild := func(sub scan.Chain) (scan.Kernel, error) {
 			k, _, err := comp.CompileChain(sub, opts.Width, opts.ISA)
 			return k, err
 		}
-		return &scanOp{
-			tbl: tbl, chain: ch, kernel: kern, build: fusedBuild,
-			name: fmt.Sprintf("FusedTableScan[%s]", prog.Sig.Key()),
-		}, nil
+		return mk(kern, fusedBuild, fmt.Sprintf("FusedTableScan[%s]", prog.Sig.Key())), nil
 
 	case *lqp.Predicate:
 		// An untagged predicate (optimizer not run): a filter over the
-		// materialized position list of whatever sits below — the regular
-		// query plan the fused operator replaces.
+		// position stream of whatever sits below — the regular query plan
+		// the fused operator replaces, now exchanging bounded batches.
 		child, err := translateNode(t.Input, tbl, comp, opts, p)
 		if err != nil {
 			return nil, err
 		}
-		src, ok := child.(positionSource)
+		src, ok := child.(positionStream)
 		if !ok {
 			return nil, fmt.Errorf("pqp: predicate over non-positional input %T", child)
 		}
@@ -190,7 +311,7 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if err != nil {
 			return nil, err
 		}
-		src, ok := child.(positionSource)
+		src, ok := child.(positionStream)
 		if !ok {
 			return nil, fmt.Errorf("pqp: aggregate over non-positional input %T", child)
 		}
@@ -207,6 +328,11 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 			}
 			op.items = append(op.items, ai)
 		}
+		if op.countOnly() {
+			// All items are COUNT(*): the stream below never needs position
+			// vectors, only exact per-batch counts.
+			src.setCountOnly(true)
+		}
 		return op, nil
 
 	case *lqp.Projection:
@@ -214,7 +340,7 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if err != nil {
 			return nil, err
 		}
-		src, ok := child.(positionSource)
+		src, ok := child.(positionStream)
 		if !ok {
 			return nil, fmt.Errorf("pqp: projection over non-positional input %T", child)
 		}
@@ -222,14 +348,14 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if t.Star {
 			cols = tbl.ColumnNames()
 		}
-		return &projectOp{input: src, tbl: tbl, columns: cols}, nil
+		return &projectOp{input: src, tbl: tbl, columns: cols, cap: t.MaxRows}, nil
 
 	case *lqp.Sort:
 		child, err := translateNode(t.Input, tbl, comp, opts, p)
 		if err != nil {
 			return nil, err
 		}
-		src, ok := child.(positionSource)
+		src, ok := child.(positionStream)
 		if !ok {
 			return nil, fmt.Errorf("pqp: sort over non-positional input %T", child)
 		}
@@ -237,17 +363,23 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if err != nil {
 			return nil, err
 		}
-		return &sortOp{input: src, col: col, desc: t.Desc}, nil
+		return &sortOp{input: src, col: col, desc: t.Desc, batchRows: opts.batchRows()}, nil
 
 	case *lqp.Limit:
 		child, err := translateNode(t.Input, tbl, comp, opts, p)
 		if err != nil {
 			return nil, err
 		}
+		lim := &limitOp{input: child, n: t.N}
 		if proj, ok := child.(*projectOp); ok {
-			proj.cap = t.N
+			lim.overRows = true
+			// Unoptimized plans carry no MaxRows hint; cap the projection
+			// here so it stops materializing at the limit either way.
+			if proj.cap == 0 || t.N < proj.cap {
+				proj.cap = t.N
+			}
 		}
-		return &limitOp{input: child, n: t.N}, nil
+		return lim, nil
 
 	default:
 		return nil, fmt.Errorf("pqp: cannot translate %T", n)

@@ -82,7 +82,7 @@ func TestTranslateAndRunFused(t *testing.T) {
 	if !strings.Contains(pp.Format(), "FusedTableScan") {
 		t.Errorf("plan:\n%s", pp.Format())
 	}
-	res, err := pp.Root.Run(context.Background(), mach.New(mach.Default()))
+	res, err := pp.Run(context.Background(), mach.New(mach.Default()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestTranslateUnfusedOption(t *testing.T) {
 	if !strings.Contains(pp.Format(), "TableScan(SISD)") {
 		t.Errorf("plan:\n%s", pp.Format())
 	}
-	res, err := pp.Root.Run(context.Background(), mach.New(mach.Default()))
+	res, err := pp.Run(context.Background(), mach.New(mach.Default()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestUnoptimizedPlanUsesMaterializedFilters(t *testing.T) {
 	if strings.Count(f, "Filter[") != 2 {
 		t.Fatalf("expected two filters:\n%s", f)
 	}
-	res, err := pp.Root.Run(context.Background(), mach.New(mach.Default()))
+	res, err := pp.Run(context.Background(), mach.New(mach.Default()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestMaterializedPlanIsSlowerThanFused(t *testing.T) {
 			t.Fatal(err)
 		}
 		cpu := mach.New(p)
-		if _, err := pp.Root.Run(context.Background(), cpu); err != nil {
+		if _, err := pp.Run(context.Background(), cpu); err != nil {
 			t.Fatal(err)
 		}
 		return cpu.Finish().Report(&p).RuntimeMs
@@ -168,7 +168,7 @@ func TestProjectionAndLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := pp.Root.Run(context.Background(), mach.New(mach.Default()))
+	res, err := pp.Run(context.Background(), mach.New(mach.Default()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestSelectStarProjectsAllColumns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := pp.Root.Run(context.Background(), mach.New(mach.Default()))
+	res, err := pp.Run(context.Background(), mach.New(mach.Default()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestEmptyResultTranslation(t *testing.T) {
 	if !strings.Contains(pp.Format(), "EmptyResult") {
 		t.Fatalf("plan:\n%s", pp.Format())
 	}
-	res, err := pp.Root.Run(context.Background(), mach.New(mach.Default()))
+	res, err := pp.Run(context.Background(), mach.New(mach.Default()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestFullScanCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := pp.Root.Run(context.Background(), mach.New(mach.Default()))
+	res, err := pp.Run(context.Background(), mach.New(mach.Default()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestResultsAgreeWithReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := pp.Root.Run(context.Background(), mach.New(mach.Default()))
+	res, err := pp.Run(context.Background(), mach.New(mach.Default()))
 	if err != nil {
 		t.Fatal(err)
 	}
