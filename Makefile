@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race soak fuzz bench bench-smoke vuln clean
+.PHONY: check build vet test race soak fuzz bench bench-smoke bench-native bench-native-check generate vuln clean
 
-check: build vet race soak bench-smoke vuln
+check: build vet race soak bench-smoke bench-native-check vuln
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,24 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/fusedscan-smoke | diff -u BENCH_SMOKE.json - \
 		|| (echo "bench-smoke: simulated metrics drifted from BENCH_SMOKE.json (see diff above)"; exit 1)
+
+# Wall-clock benchmarks of the native turbo path: Go micro-benchmarks for
+# the SWAR kernels plus the end-to-end native-vs-emulated comparison.
+# Regenerate the checked-in baseline with
+# `go run ./cmd/fusedscan-smoke -native -out BENCH_NATIVE.json`.
+bench-native:
+	$(GO) test -run=NONE -bench='Native|Emulated' -benchmem ./internal/scan
+	$(GO) run ./cmd/fusedscan-smoke -native
+
+# Regression gate over BENCH_NATIVE.json: counts and prune statistics must
+# match exactly; the native wall-clock may not regress by more than 20%
+# and the native-vs-emulated speedup must stay above the 10x floor.
+bench-native-check:
+	$(GO) run ./cmd/fusedscan-smoke -native -check BENCH_NATIVE.json -tol 0.20
+
+# Re-emit the generated SWAR kernels (internal/scan/native_kernels_gen.go).
+generate:
+	$(GO) generate ./internal/scan
 
 # Vulnerability scan, best-effort: this environment has no network, so
 # the tool is used only when already installed — never fetched.

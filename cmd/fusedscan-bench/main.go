@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fusedscan-bench [-fig all|1|2|4|5|6|7|ablations] [-scale f] [-reps n] [-seed s]
+//	fusedscan-bench [-fig all|1|2|4|5|6|7|ablations|parallel|native] [-scale f] [-reps n] [-seed s]
 //
 // -scale multiplies the paper's table sizes: 1.0 runs the full sizes (the
 // largest configuration scans 132M rows per column and takes minutes);
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment to run: all, 1, 2, 4, 5, 6, 7, ablations, parallel")
+	fig := flag.String("fig", "all", "which experiment to run: all, 1, 2, 4, 5, 6, 7, ablations, parallel, native")
 	scale := flag.Float64("scale", 1.0/16, "table-size scale factor (1.0 = paper sizes)")
 	reps := flag.Int("reps", 3, "repetitions per configuration (median reported)")
 	seed := flag.Int64("seed", 42, "base data seed")
@@ -99,6 +99,10 @@ func main() {
 	}
 	if has("parallel") {
 		run("parallel", func() { bench.ExtensionParallel(cfg) })
+		any = true
+	}
+	if has("native") {
+		run("native", func() { bench.ExtensionNative(cfg) })
 		any = true
 	}
 	if has("ablations") {

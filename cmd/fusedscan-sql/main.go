@@ -57,7 +57,7 @@ func pick(rng *rand.Rand, sel float64) int32 {
 func main() {
 	rows := flag.Int("rows", 1_000_000, "rows in the generated demo table")
 	seed := flag.Int64("seed", 1, "data seed")
-	config := flag.String("config", "avx512-512", "execution config: avx512-512, avx512-256, avx512-128, avx2-128, sisd")
+	config := flag.String("config", "avx512-512", "execution config: avx512-512, avx512-256, avx512-128, avx2-128, sisd, native")
 	csvSpec := flag.String("csv", "", "import a CSV file as name=path (header fields are name:type)")
 	loadPath := flag.String("load", "", "load a binary table file (.fscn)")
 	savePath := flag.String("save", "", "after running, save a table as name=path")
@@ -173,15 +173,19 @@ func cutPrefixFold(s, prefix string) (string, bool) {
 func parseConfig(s string) (fusedscan.Config, error) {
 	switch s {
 	case "avx512-512":
-		return fusedscan.Config{UseFused: true, RegisterWidth: 512}, nil
+		return fusedscan.Config{Simulate: true, UseFused: true, RegisterWidth: 512}, nil
 	case "avx512-256":
-		return fusedscan.Config{UseFused: true, RegisterWidth: 256}, nil
+		return fusedscan.Config{Simulate: true, UseFused: true, RegisterWidth: 256}, nil
 	case "avx512-128":
-		return fusedscan.Config{UseFused: true, RegisterWidth: 128}, nil
+		return fusedscan.Config{Simulate: true, UseFused: true, RegisterWidth: 128}, nil
 	case "avx2-128":
-		return fusedscan.Config{UseFused: true, RegisterWidth: 128, AVX2: true}, nil
+		return fusedscan.Config{Simulate: true, UseFused: true, RegisterWidth: 128, AVX2: true}, nil
 	case "sisd":
-		return fusedscan.Config{UseFused: false, RegisterWidth: 512}, nil
+		return fusedscan.Config{Simulate: true, UseFused: false, RegisterWidth: 512}, nil
+	case "native":
+		// Real wall-clock execution through the generated SWAR kernels; no
+		// simulated counter report.
+		return fusedscan.NativeConfig(), nil
 	}
 	return fusedscan.Config{}, fmt.Errorf("unknown config %q", s)
 }
@@ -252,9 +256,13 @@ func analyzeOne(eng *fusedscan.Engine, sql string) {
 	}
 	fmt.Println("batch pipeline:")
 	for depth, op := range res.Operators {
-		fmt.Printf("%s%s  [in=%d out=%d batches=%d %s]\n",
+		extra := ""
+		if op.Path != "" {
+			extra = fmt.Sprintf(" path=%s pruned=%d", op.Path, op.ChunksPruned)
+		}
+		fmt.Printf("%s%s  [in=%d out=%d batches=%d %s%s]\n",
 			strings.Repeat("  ", depth+1), op.Name, op.RowsIn, op.RowsOut, op.Batches,
-			time.Duration(op.WallNs))
+			time.Duration(op.WallNs), extra)
 	}
 	printResult(res)
 }
@@ -294,6 +302,11 @@ func printResult(res *fusedscan.Result) {
 		fmt.Printf("(%d of %d qualifying rows shown)\n", len(res.Rows), res.Count)
 	}
 	r := res.Report
+	if r == nil {
+		// Native configs execute for real and carry no simulated counters.
+		fmt.Println("-- native scan: wall-clock execution, no simulated counter report")
+		return
+	}
 	fmt.Printf("-- %s scan: %.3f ms simulated, %.1f GB/s, %d mispredicts, %d useless prefetches, %d B DRAM\n",
 		scanKind(res.Fused), r.RuntimeMs, r.AchievedGBs, r.BranchMispredicts, r.UselessPrefetches, r.DRAMBytes)
 	if res.Fused {

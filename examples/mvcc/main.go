@@ -70,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.SetConfig(fusedscan.Config{UseFused: false, RegisterWidth: 512}); err != nil {
+	if err := eng.SetConfig(fusedscan.Config{Simulate: true, UseFused: false, RegisterWidth: 512}); err != nil {
 		log.Fatal(err)
 	}
 	sisd, err := eng.Query(query)

@@ -70,7 +70,7 @@ func main() {
 	}
 
 	run("SISD scalar scan — compute-bound, scales with cores",
-		fusedscan.Config{UseFused: false, RegisterWidth: 512})
+		fusedscan.Config{Simulate: true, UseFused: false, RegisterWidth: 512})
 	run("Fused Table Scan — memory-bound, saturates the socket",
 		fusedscan.DefaultConfig())
 }

@@ -51,7 +51,7 @@ func main() {
 	}
 
 	// Scalar tuple-at-a-time baseline (the paper's Section II loop).
-	if err := eng.SetConfig(fusedscan.Config{UseFused: false, RegisterWidth: 512}); err != nil {
+	if err := eng.SetConfig(fusedscan.Config{Simulate: true, UseFused: false, RegisterWidth: 512}); err != nil {
 		log.Fatal(err)
 	}
 	sisd, err := eng.Query(query)

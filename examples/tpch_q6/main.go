@@ -65,11 +65,11 @@ func main() {
 		name string
 		cfg  fusedscan.Config
 	}{
-		{"SISD (tuple-at-a-time)", fusedscan.Config{UseFused: false, RegisterWidth: 512}},
-		{"AVX2 Fused (128)", fusedscan.Config{UseFused: true, RegisterWidth: 128, AVX2: true}},
-		{"AVX-512 Fused (128)", fusedscan.Config{UseFused: true, RegisterWidth: 128}},
-		{"AVX-512 Fused (256)", fusedscan.Config{UseFused: true, RegisterWidth: 256}},
-		{"AVX-512 Fused (512)", fusedscan.Config{UseFused: true, RegisterWidth: 512}},
+		{"SISD (tuple-at-a-time)", fusedscan.Config{Simulate: true, UseFused: false, RegisterWidth: 512}},
+		{"AVX2 Fused (128)", fusedscan.Config{Simulate: true, UseFused: true, RegisterWidth: 128, AVX2: true}},
+		{"AVX-512 Fused (128)", fusedscan.Config{Simulate: true, UseFused: true, RegisterWidth: 128}},
+		{"AVX-512 Fused (256)", fusedscan.Config{Simulate: true, UseFused: true, RegisterWidth: 256}},
+		{"AVX-512 Fused (512)", fusedscan.Config{Simulate: true, UseFused: true, RegisterWidth: 512}},
 	}
 
 	fmt.Printf("%-26s %12s %14s %16s\n", "implementation", "sim runtime", "DRAM traffic", "mispredictions")

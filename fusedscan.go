@@ -49,8 +49,17 @@ import (
 
 // Config selects the execution strategy for predicate chains.
 type Config struct {
+	// Simulate selects the emulated AVX-512/AVX2 execution path and the
+	// machine model: queries run the paper's instruction-level emulation
+	// and Result.Report carries the simulated hardware counters. When
+	// false, predicate chains execute on the native turbo path — generated
+	// SWAR kernels over the raw column bytes, an order of magnitude faster
+	// in wall-clock terms — and Result.Report is nil (there is nothing to
+	// simulate). Results are bit-identical either way.
+	Simulate bool
 	// UseFused enables the JIT-compiled Fused Table Scan (default). When
-	// false, chains execute as scalar short-circuit scans.
+	// false, chains execute as scalar short-circuit scans. Ignored on the
+	// native path (Simulate false).
 	UseFused bool
 	// RegisterWidth is the vector width in bits: 128, 256 or 512.
 	RegisterWidth int
@@ -67,9 +76,20 @@ type Config struct {
 	MorselRows int
 }
 
-// DefaultConfig is the paper's best configuration: fused, AVX-512, 512-bit.
+// DefaultConfig is the paper's best configuration: fused, AVX-512, 512-bit,
+// with the machine model on (Result.Report populated). Callers that want
+// raw wall-clock speed instead of simulated counters set Simulate to false
+// (or use NativeConfig).
 func DefaultConfig() Config {
-	return Config{UseFused: true, RegisterWidth: 512}
+	return Config{Simulate: true, UseFused: true, RegisterWidth: 512}
+}
+
+// NativeConfig is the turbo configuration: predicate chains run on the
+// generated SWAR kernels with zone-map chunk pruning and no machine-model
+// emulation. Result.Report is nil; results are bit-identical to
+// DefaultConfig.
+func NativeConfig() Config {
+	return Config{Simulate: false, UseFused: true, RegisterWidth: 512}
 }
 
 func (c Config) options() (pqp.Options, error) {
@@ -88,7 +108,7 @@ func (c Config) options() (pqp.Options, error) {
 		return pqp.Options{}, fmt.Errorf("fusedscan: cores must be >= 0, got %d", c.Cores)
 	}
 	return pqp.Options{
-		UseFused: c.UseFused, Width: w, ISA: isa,
+		Native: !c.Simulate, UseFused: c.UseFused, Width: w, ISA: isa,
 		Cores: c.Cores, MorselRows: c.MorselRows,
 	}, nil
 }
@@ -145,6 +165,12 @@ type OperatorStats struct {
 	RowsOut int64
 	Batches int64
 	WallNs  int64
+	// ChunksPruned counts scan chunks skipped by zone-map pruning (scan
+	// leaves only).
+	ChunksPruned int64
+	// Path names the execution path a scan leaf used: "native", "emulated",
+	// "scalar" or "scalar-fallback". Empty for non-scan operators.
+	Path string
 }
 
 // Result is the outcome of Engine.Query.
@@ -153,7 +179,9 @@ type Result struct {
 	Sum     string     // rendered SUM(col) value; empty unless the query aggregates with SUM
 	Columns []string   // projected column names (nil for aggregates)
 	Rows    [][]string // rendered output rows (nil for aggregates)
-	Report  PerfReport
+	// Report carries the simulated hardware counters when the query ran
+	// with Config.Simulate; nil on the native path (nothing is simulated).
+	Report *PerfReport
 	// Operators holds per-operator pipeline counters, root first — the
 	// data behind EXPLAIN ANALYZE and the LIMIT short-circuit tests.
 	Operators []OperatorStats
@@ -667,7 +695,8 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (res *Result, err
 	e.optimizer.Optimize(plan)
 
 	stage = stageTranslate
-	opts, err := e.Config().options()
+	cfg := e.Config()
+	opts, err := cfg.options()
 	if err != nil {
 		return nil, err
 	}
@@ -683,37 +712,41 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (res *Result, err
 	if err != nil {
 		return nil, err
 	}
-	hits, _, cached := e.compiler.Stats()
-	driver := cpu.Finish()
-	report := driver.Report(&e.params)
-	if perCore := phys.PerCore(); len(perCore) > 0 {
-		// Parallel scan: the counter totals are driver + workers, and the
-		// runtime comes from the shared-socket model over all cores (the
-		// driver's downstream work counts as one more core).
-		all := append(append([]mach.Counters{}, perCore...), driver)
-		totals := driver
-		for _, c := range perCore {
-			totals = addCounters(totals, c)
-		}
-		report = totals.Report(&e.params)
-		model := parallel.Combine(e.params, all)
-		report.RuntimeMs = model.RuntimeMs
-		report.RuntimeCycles = model.RuntimeMs * e.params.ClockGHz * 1e6
-		report.MemCycles = model.MemMs * e.params.ClockGHz * 1e6
-		report.AchievedGBs = model.AggregateGBs
-	}
 	res = &Result{
 		Count:          qres.Count,
 		Columns:        qres.Columns,
-		Report:         perfReport(report, phys.Programs, hits, cached),
-		Fused:          len(phys.Programs) > 0,
+		Fused:          len(phys.Programs) > 0 || phys.NativeScans > 0,
 		Degraded:       phys.Degraded,
 		DegradedReason: phys.DegradedReason,
+	}
+	if cfg.Simulate {
+		hits, _, cached := e.compiler.Stats()
+		driver := cpu.Finish()
+		report := driver.Report(&e.params)
+		if perCore := phys.PerCore(); len(perCore) > 0 {
+			// Parallel scan: the counter totals are driver + workers, and the
+			// runtime comes from the shared-socket model over all cores (the
+			// driver's downstream work counts as one more core).
+			all := append(append([]mach.Counters{}, perCore...), driver)
+			totals := driver
+			for _, c := range perCore {
+				totals = addCounters(totals, c)
+			}
+			report = totals.Report(&e.params)
+			model := parallel.Combine(e.params, all)
+			report.RuntimeMs = model.RuntimeMs
+			report.RuntimeCycles = model.RuntimeMs * e.params.ClockGHz * 1e6
+			report.MemCycles = model.MemMs * e.params.ClockGHz * 1e6
+			report.AchievedGBs = model.AggregateGBs
+		}
+		pr := perfReport(report, phys.Programs, hits, cached)
+		res.Report = &pr
 	}
 	for _, os := range phys.OperatorStats() {
 		res.Operators = append(res.Operators, OperatorStats{
 			Name: os.Name, RowsIn: os.RowsIn, RowsOut: os.RowsOut,
 			Batches: os.Batches, WallNs: os.WallNs,
+			ChunksPruned: os.ChunksPruned, Path: os.Path,
 		})
 		e.pipeBatches.Add(os.Batches)
 	}
@@ -811,7 +844,12 @@ func (e *Engine) ExplainQuery(sql string) (ex *Explain, err error) {
 type ScanResult struct {
 	Count     int
 	Positions []uint32
-	Report    PerfReport
+	// Report carries the simulated hardware counters when the engine runs
+	// with Config.Simulate; nil on the native path.
+	Report *PerfReport
+	// ChunksPruned counts chunks skipped by zone-map pruning (chunked and
+	// native executions; a whole-table simulated pass has no chunks).
+	ChunksPruned int
 	// Degraded is set when JIT compilation failed and the scan fell back
 	// to the scalar kernel; DegradedReason records why.
 	Degraded       bool
@@ -917,6 +955,9 @@ func (s *Scan) RunParallelContext(ctx context.Context, cores, morselRows int) (*
 	}
 	deg := newDegradation()
 	build := func(ch scan.Chain) (scan.Kernel, error) {
+		if opts.Native {
+			return scan.NewNative(ch)
+		}
 		if !opts.UseFused {
 			return scan.NewSISD(ch)
 		}
@@ -1013,7 +1054,8 @@ func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 	if acct := s.eng.gov.NewAccountant(); acct != nil {
 		ctx = govern.WithAccountant(ctx, acct)
 	}
-	opts, err := s.eng.Config().options()
+	cfg := s.eng.Config()
+	opts, err := cfg.options()
 	if err != nil {
 		return nil, err
 	}
@@ -1021,6 +1063,9 @@ func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 	var progs []*jit.Program
 	deg := newDegradation()
 	build := func(ch scan.Chain) (scan.Kernel, error) {
+		if opts.Native {
+			return scan.NewNative(ch)
+		}
 		if !opts.UseFused {
 			return scan.NewSISD(ch)
 		}
@@ -1038,19 +1083,22 @@ func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 		return k, nil
 	}
 
+	simulate := cfg.Simulate
 	cpu := mach.New(s.eng.params)
 	var res scan.Result
+	var cstats scan.ChunkedStats
 	switch {
 	case s.chunkRows > 0:
-		res, err = scan.RunChunkedContext(ctx, build, s.chain, s.chunkRows, cpu, true)
+		res, cstats, err = scan.RunChunkedPruned(ctx, build, s.chain, s.chunkRows, cpu, true)
 		if err != nil {
 			return nil, err
 		}
-	case ctx.Done() != nil || govern.AccountantFrom(ctx) != nil:
-		// Cancellable or budgeted execution: chunk-at-a-time with a context
-		// check and memory accounting between chunks (same results as a
-		// whole-table pass).
-		res, err = scan.RunChunkedContext(ctx, build, s.chain, cancellableChunkRows, cpu, true)
+	case opts.Native || ctx.Done() != nil || govern.AccountantFrom(ctx) != nil:
+		// Cancellable, budgeted or native execution: chunk-at-a-time with a
+		// context check, memory accounting and zone-map pruning between
+		// chunks (same results as a whole-table pass). The native path is
+		// always chunked so it prunes and cancels by default.
+		res, cstats, err = scan.RunChunkedPruned(ctx, build, s.chain, cancellableChunkRows, cpu, true)
 		if err != nil {
 			return nil, err
 		}
@@ -1061,15 +1109,20 @@ func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 		}
 		res = kern.Run(cpu, true)
 	}
-	hits, _, cached := s.eng.compiler.Stats()
 	degraded, reason := deg.state()
-	return &ScanResult{
+	out := &ScanResult{
 		Count:          res.Count,
 		Positions:      res.Positions,
-		Report:         perfReport(cpu.Finish().Report(&s.eng.params), progs, hits, cached),
+		ChunksPruned:   cstats.ChunksPruned,
 		Degraded:       degraded,
 		DegradedReason: reason,
-	}, nil
+	}
+	if simulate {
+		hits, _, cached := s.eng.compiler.Stats()
+		pr := perfReport(cpu.Finish().Report(&s.eng.params), progs, hits, cached)
+		out.Report = &pr
+	}
+	return out, nil
 }
 
 // cancellableChunkRows is the horizontal partition size RunContext uses for

@@ -64,8 +64,9 @@ func TestLimitShortCircuitTenMillionRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, cfg := range []Config{
-		{UseFused: true, RegisterWidth: 512},
-		{UseFused: false, RegisterWidth: 512},
+		{Simulate: true, UseFused: true, RegisterWidth: 512},
+		{Simulate: true, UseFused: false, RegisterWidth: 512},
+		NativeConfig(),
 	} {
 		if err := eng.SetConfig(cfg); err != nil {
 			t.Fatal(err)

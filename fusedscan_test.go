@@ -62,11 +62,12 @@ func TestQueryCountStar(t *testing.T) {
 func TestQueryResultsIdenticalAcrossConfigs(t *testing.T) {
 	eng, want := buildTestEngine(t, 30000, 0.2, 0.3)
 	configs := []Config{
-		{UseFused: true, RegisterWidth: 512},
-		{UseFused: true, RegisterWidth: 256},
-		{UseFused: true, RegisterWidth: 128},
-		{UseFused: true, RegisterWidth: 128, AVX2: true},
-		{UseFused: false, RegisterWidth: 512},
+		{Simulate: true, UseFused: true, RegisterWidth: 512},
+		{Simulate: true, UseFused: true, RegisterWidth: 256},
+		{Simulate: true, UseFused: true, RegisterWidth: 128},
+		{Simulate: true, UseFused: true, RegisterWidth: 128, AVX2: true},
+		{Simulate: true, UseFused: false, RegisterWidth: 512},
+		NativeConfig(),
 	}
 	for _, cfg := range configs {
 		if err := eng.SetConfig(cfg); err != nil {
@@ -328,7 +329,7 @@ func TestTableBuilderColumnTypes(t *testing.T) {
 
 func TestPerfReportPlausibility(t *testing.T) {
 	eng, _ := buildTestEngine(t, 100000, 0.5, 0.5)
-	if err := eng.SetConfig(Config{UseFused: false, RegisterWidth: 512}); err != nil {
+	if err := eng.SetConfig(Config{Simulate: true, UseFused: false, RegisterWidth: 512}); err != nil {
 		t.Fatal(err)
 	}
 	sisd, err := eng.Query("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2")

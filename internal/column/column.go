@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"fusedscan/internal/expr"
 	"fusedscan/internal/mach"
@@ -29,6 +30,12 @@ type Column struct {
 	nulls    []uint64 // validity bitmap, 1 = valid; nil = no NULLs
 	nullOff  int      // row offset into nulls (for views)
 	nullBase uint64   // simulated base address of the bitmap
+
+	// Lazily built zone maps keyed by rowsPerZone (see zonemap.go). Views
+	// created by Slice start with an empty cache of their own; pruning
+	// always consults the base column.
+	zmMu     sync.Mutex
+	zoneMaps map[int]*ZoneMap
 }
 
 // New allocates a zeroed column with n rows, registering its address range

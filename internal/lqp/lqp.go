@@ -59,6 +59,11 @@ type FusedChain struct {
 	// producing once this many matches have been found (set only when no
 	// order-changing operator sits between the scan and the limit).
 	StopAfter int
+	// EstSel is the optimizer's estimate of the fraction of rows surviving
+	// the whole conjunction (product of the per-predicate estimates, i.e.
+	// assuming independence). Physical scans use it to pre-size position
+	// lists; 0 means "no estimate".
+	EstSel float64
 }
 
 // Child implements Node.

@@ -280,11 +280,12 @@ func (o *Optimizer) fuseChains(p *Plan) {
 		// (e.g. a pruned plan leaves predicates over an EmptyResult).
 		return
 	}
-	fc := &FusedChain{Input: run[len(run)-1].Input}
+	fc := &FusedChain{Input: run[len(run)-1].Input, EstSel: 1}
 	// The chain lists predicates in evaluation order: innermost (deepest σ,
 	// applied first) leads, so it drives the sequential block scan.
 	for i := len(run) - 1; i >= 0; i-- {
 		fc.Preds = append(fc.Preds, run[i].Pred)
+		fc.EstSel *= run[i].EstSel
 	}
 	setChild(p, parent, fc)
 	p.AppliedRules = append(p.AppliedRules, "FuseConsecutiveScans")

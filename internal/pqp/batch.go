@@ -63,11 +63,32 @@ type OperatorStats struct {
 	Batches int64
 	// WallNs is wall-clock time spent in Next, inclusive of children.
 	WallNs int64
+	// ChunksPruned counts scan chunks skipped by zone-map pruning (scan
+	// leaves only; pruned chunks do not count toward RowsIn).
+	ChunksPruned int64
+	// Path names the execution path a scan leaf used: PathNative,
+	// PathEmulated, PathScalar or PathScalarFallback. Empty for non-scan
+	// operators.
+	Path string
 }
 
+// Execution-path labels reported in scan OperatorStats.
+const (
+	PathNative         = "native"          // generated SWAR kernels, no machine model
+	PathEmulated       = "emulated"        // JIT-compiled fused kernel on the emulated AVX path
+	PathScalar         = "scalar"          // SISD short-circuit scan (UseFused off)
+	PathScalarFallback = "scalar-fallback" // SISD after a JIT failure (degraded plan)
+)
+
 func (s OperatorStats) String() string {
-	return fmt.Sprintf("%s  [in=%d out=%d batches=%d %s]",
-		s.Name, s.RowsIn, s.RowsOut, s.Batches, time.Duration(s.WallNs))
+	out := fmt.Sprintf("%s  [in=%d out=%d batches=%d %s", s.Name, s.RowsIn, s.RowsOut, s.Batches, time.Duration(s.WallNs))
+	if s.Path != "" {
+		out += fmt.Sprintf(" path=%s", s.Path)
+	}
+	if s.Path != "" || s.ChunksPruned > 0 {
+		out += fmt.Sprintf(" pruned=%d", s.ChunksPruned)
+	}
+	return out + "]"
 }
 
 // FormatStats renders per-operator counters for the whole tree, root

@@ -134,7 +134,14 @@ func TestEmptyBatches(t *testing.T) {
 	n := 1000
 	av := make([]int32, n)
 	for i := 0; i < n; i++ {
-		av[i] = 1
+		// Alternate below/above the needle so every chunk's [min, max]
+		// straddles 42: zone-map pruning cannot skip any chunk, and the
+		// leading batches genuinely flow empty.
+		if i%2 == 0 {
+			av[i] = 1
+		} else {
+			av[i] = 100
+		}
 	}
 	for i := 990; i < n; i++ {
 		av[i] = 42 // matches only in the tail
@@ -162,6 +169,9 @@ func TestEmptyBatches(t *testing.T) {
 	scanStats := stats[len(stats)-1]
 	if scanStats.Batches != int64((n+63)/64) {
 		t.Errorf("scan batches = %d, want %d", scanStats.Batches, (n+63)/64)
+	}
+	if scanStats.ChunksPruned != 0 {
+		t.Errorf("ChunksPruned = %d, want 0 (every chunk straddles the needle)", scanStats.ChunksPruned)
 	}
 }
 

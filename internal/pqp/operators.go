@@ -148,6 +148,11 @@ type scanOp struct {
 	morselRows int
 	params     mach.Params
 	countOnly  bool
+	// path labels the execution path for operator stats (PathNative etc.).
+	path string
+	// estSel is the optimizer's selectivity estimate for the whole chain,
+	// used to pre-size per-chunk position lists (0 = no estimate).
+	estSel float64
 
 	ctx     context.Context
 	cpu     *mach.CPU
@@ -156,19 +161,36 @@ type scanOp struct {
 	stream  *parallel.Stream
 	perCore []mach.Counters
 	charger batchCharger
-	stats   opStats
+	// pruner skips chunks the columns' zone maps prove empty (single-core
+	// path; the parallel morsel stream does not prune yet). pruned counts
+	// the skipped chunks.
+	pruner *scan.Pruner
+	pruned int64
+	stats  opStats
 }
 
 func (op *scanOp) Describe() string { return fmt.Sprintf("%s on %s", op.name, op.tbl.Name()) }
 
-func (op *scanOp) Stats() OperatorStats { return op.stats.snapshot(op.Describe()) }
+func (op *scanOp) Stats() OperatorStats {
+	st := op.stats.snapshot(op.Describe())
+	st.ChunksPruned = op.pruned
+	st.Path = op.path
+	return st
+}
 
 func (op *scanOp) setCountOnly(v bool) { op.countOnly = v }
 
 func (op *scanOp) Open(ctx context.Context, cpu *mach.CPU) error {
 	op.ctx, op.cpu = ctx, cpu
 	op.cursor, op.emitted = 0, 0
+	op.pruned = 0
 	op.charger = batchCharger{acct: govern.AccountantFrom(ctx)}
+	if op.cores <= 1 {
+		// Zone maps are built lazily per column and cached, so the first
+		// query over a table pays one stats pass per predicate column and
+		// later queries prune for free.
+		op.pruner = scan.NewPruner(op.chain, op.batchRows)
+	}
 	if op.cores > 1 {
 		morselRows := op.morselRows
 		if morselRows <= 0 {
@@ -205,26 +227,44 @@ func (op *scanOp) Next() (Batch, error) {
 		b = Batch{Base: uint32(m.Begin), Sel: m.Res.Positions, Count: m.Res.Count}
 	} else {
 		n := op.chain.Rows()
-		if op.cursor >= n {
-			return Batch{}, EOS
+		for {
+			if op.cursor >= n {
+				return Batch{}, EOS
+			}
+			begin := op.cursor
+			end := begin + op.batchRows
+			if end > n {
+				end = n
+			}
+			op.cursor = end
+			if op.pruner.Prune(begin, end) {
+				// Zone maps prove this chunk empty: skip it without touching
+				// its bytes. Pruned rows do not count as scanned.
+				op.pruned++
+				continue
+			}
+			op.stats.noteScanned(end - begin)
+			sub := make(scan.Chain, len(op.chain))
+			for i, p := range op.chain {
+				sub[i] = scan.Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value}
+			}
+			kern, err := op.build(sub)
+			if err != nil {
+				return Batch{}, fmt.Errorf("pqp: scan chunk [%d, %d): %w", begin, end, err)
+			}
+			if !op.countOnly && op.estSel > 0 {
+				if sh, ok := kern.(scan.SizeHinter); ok {
+					hint := int(op.estSel*float64(end-begin)) + 16
+					if hint > end-begin {
+						hint = end - begin
+					}
+					sh.SetSizeHint(hint)
+				}
+			}
+			res := kern.Run(op.cpu, !op.countOnly)
+			b = Batch{Base: uint32(begin), Sel: res.Positions, Count: res.Count}
+			break
 		}
-		begin := op.cursor
-		end := begin + op.batchRows
-		if end > n {
-			end = n
-		}
-		op.cursor = end
-		op.stats.noteScanned(end - begin)
-		sub := make(scan.Chain, len(op.chain))
-		for i, p := range op.chain {
-			sub[i] = scan.Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value}
-		}
-		kern, err := op.build(sub)
-		if err != nil {
-			return Batch{}, fmt.Errorf("pqp: scan chunk [%d, %d): %w", begin, end, err)
-		}
-		res := kern.Run(op.cpu, !op.countOnly)
-		b = Batch{Base: uint32(begin), Sel: res.Positions, Count: res.Count}
 	}
 	if err := op.charger.swap(int64(len(b.Sel)) * bytesPerPosition); err != nil {
 		return Batch{}, err

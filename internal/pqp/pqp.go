@@ -31,6 +31,12 @@ import (
 
 // Options configure physical plan generation.
 type Options struct {
+	// Native selects the native turbo path for predicate chains: generated
+	// SWAR kernels over the typed column bytes, no emulated instructions,
+	// no machine-model accounting. It takes precedence over UseFused and is
+	// chosen by the engine whenever the caller does not request simulated
+	// hardware counters (Config.Simulate == false).
+	Native bool
 	// UseFused selects the JIT-generated Fused Table Scan for predicate
 	// chains; when false, chains run on the scalar SISD operator (the
 	// "regular query plan" of Figure 8).
@@ -129,6 +135,9 @@ type Plan struct {
 	// query. DegradedReason records why.
 	Degraded       bool
 	DegradedReason string
+	// NativeScans counts scan leaves using the native SWAR path. Such scans
+	// fuse the predicate chain like the JIT path but produce no Programs.
+	NativeScans int
 }
 
 // Format renders the physical operator tree.
@@ -248,12 +257,22 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if err != nil {
 			return nil, err
 		}
-		mk := func(kern scan.Kernel, build func(scan.Chain) (scan.Kernel, error), name string) *scanOp {
+		mk := func(kern scan.Kernel, build func(scan.Chain) (scan.Kernel, error), name, path string) *scanOp {
 			return &scanOp{
 				tbl: tbl, chain: ch, kernel: kern, build: build, name: name,
+				path: path, estSel: t.EstSel,
 				batchRows: opts.batchRows(), stopAfter: t.StopAfter,
 				cores: opts.Cores, morselRows: opts.MorselRows, params: opts.Params,
 			}
+		}
+		if opts.Native {
+			kern, err := scan.NewNative(ch)
+			if err != nil {
+				return nil, err
+			}
+			nativeBuild := func(sub scan.Chain) (scan.Kernel, error) { return scan.NewNative(sub) }
+			p.NativeScans++
+			return mk(kern, nativeBuild, "NativeTableScan(SWAR)", PathNative), nil
 		}
 		sisdBuild := func(sub scan.Chain) (scan.Kernel, error) { return scan.NewSISD(sub) }
 		if !opts.UseFused {
@@ -261,7 +280,7 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 			if err != nil {
 				return nil, err
 			}
-			return mk(kern, sisdBuild, "TableScan(SISD)"), nil
+			return mk(kern, sisdBuild, "TableScan(SISD)", PathScalar), nil
 		}
 		kern, prog, err := comp.CompileChain(ch, opts.Width, opts.ISA)
 		if err != nil {
@@ -275,14 +294,14 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 			}
 			p.Degraded = true
 			p.DegradedReason = fmt.Sprintf("jit unavailable, using scalar scan: %v", err)
-			return mk(skern, sisdBuild, "TableScan(SISD, degraded)"), nil
+			return mk(skern, sisdBuild, "TableScan(SISD, degraded)", PathScalarFallback), nil
 		}
 		p.Programs = append(p.Programs, prog)
 		fusedBuild := func(sub scan.Chain) (scan.Kernel, error) {
 			k, _, err := comp.CompileChain(sub, opts.Width, opts.ISA)
 			return k, err
 		}
-		return mk(kern, fusedBuild, fmt.Sprintf("FusedTableScan[%s]", prog.Sig.Key())), nil
+		return mk(kern, fusedBuild, fmt.Sprintf("FusedTableScan[%s]", prog.Sig.Key()), PathEmulated), nil
 
 	case *lqp.Predicate:
 		// An untagged predicate (optimizer not run): a filter over the

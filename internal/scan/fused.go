@@ -2,6 +2,7 @@ package scan
 
 import (
 	"fmt"
+	"sync"
 
 	"fusedscan/internal/expr"
 	"fusedscan/internal/faultinject"
@@ -37,9 +38,10 @@ import (
 // into lane-count-sized groups and the follow-up predicate runs once per
 // group — the index-list splitting the paper's JIT section describes.
 type Fused struct {
-	chain Chain
-	width vec.Width
-	isa   vec.ISA
+	chain    Chain
+	width    vec.Width
+	isa      vec.ISA
+	sizeHint int
 }
 
 // NewFused builds the fused kernel for a validated chain at the given
@@ -74,6 +76,10 @@ func (f *Fused) Width() vec.Width { return f.width }
 // ISA returns the kernel's instruction-set dialect.
 func (f *Fused) ISA() vec.ISA { return f.isa }
 
+// SetSizeHint implements SizeHinter: rows is the expected number of
+// qualifying positions, used to pre-size the position list.
+func (f *Fused) SetSizeHint(rows int) { f.sizeHint = rows }
+
 // fusedRun is the per-execution state of the fused kernel.
 type fusedRun struct {
 	cpu  *mach.CPU
@@ -100,24 +106,63 @@ type fusedRun struct {
 	res Result
 }
 
+// fusedRunPool recycles fusedRun state (needle registers, per-stage
+// accumulators, gather-offset scratch) across executions so the steady
+// state of a chunked scan performs no per-chunk allocations beyond the
+// position list that escapes to the caller.
+var fusedRunPool = sync.Pool{New: func() any { return new(fusedRun) }}
+
+// reset prepares pooled state for a new execution, reusing slice capacity.
+func (r *fusedRun) reset(cpu *mach.CPU, f *Fused, wantPositions bool) {
+	k := len(f.chain)
+	r.cpu = cpu
+	r.w = f.width
+	r.isa = f.isa
+	r.ch = f.chain
+	r.p = f.width.Lanes(4)
+	r.want = wantPositions
+	r.needles = resizeRegs(r.needles, k)
+	r.regions = resizeInts(r.regions, k)
+	r.nullStream = 0
+	r.nullRegions = resizeInts(r.nullRegions, k)
+	r.acc = resizeRegs(r.acc, k)
+	r.alen = resizeInts(r.alen, k)
+	r.res = Result{}
+	if wantPositions && f.sizeHint > 0 {
+		// The position list escapes to the caller and is never pooled; the
+		// hint only pre-sizes it.
+		r.res.Positions = make([]uint32, 0, f.sizeHint)
+	}
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeRegs(s []vec.Reg, n int) []vec.Reg {
+	if cap(s) < n {
+		return make([]vec.Reg, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = vec.Reg{}
+	}
+	return s
+}
+
 // Run executes the fused scan on the given CPU.
 func (f *Fused) Run(cpu *mach.CPU, wantPositions bool) Result {
 	faultinject.MaybePanic(faultinject.SiteKernelRun)
 	ch := f.chain
-	k := len(ch)
-	r := &fusedRun{
-		cpu:     cpu,
-		w:       f.width,
-		isa:     f.isa,
-		ch:      ch,
-		p:       f.width.Lanes(4),
-		want:    wantPositions,
-		needles: make([]vec.Reg, k),
-		regions: make([]int, k),
-		acc:     make([]vec.Reg, k),
-		alen:    make([]int, k),
-	}
-	r.nullRegions = make([]int, k)
+	r := fusedRunPool.Get().(*fusedRun)
+	r.reset(cpu, f, wantPositions)
 	for j, pr := range ch {
 		r.needles[j] = vec.Set1(f.width, pr.Col.Type().Size(), pr.StoredBits())
 		cpu.Vec(f.isa, vec.OpSet1, f.width) // hoisted out of the loop
@@ -135,7 +180,11 @@ func (f *Fused) Run(cpu *mach.CPU, wantPositions bool) Result {
 
 	r.scanFirstColumn()
 	r.flush()
-	return r.res
+	res := r.res
+	r.res = Result{} // the position list escapes; never retain it in the pool
+	r.ch = nil
+	fusedRunPool.Put(r)
+	return res
 }
 
 // scanFirstColumn drives stage 0: the sequential block scan of the first

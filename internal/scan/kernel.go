@@ -15,6 +15,14 @@ type Kernel interface {
 	Run(cpu *mach.CPU, wantPositions bool) Result
 }
 
+// SizeHinter is implemented by kernels that can pre-size their position
+// list from the optimizer's cardinality estimate (expected number of
+// qualifying rows), avoiding repeated append growth on high-selectivity
+// scans. The hint is advisory: results are identical with or without it.
+type SizeHinter interface {
+	SetSizeHint(rows int)
+}
+
 // Impl names a benchmark configuration (the legend entries of Figures 4-7).
 type Impl uint8
 

@@ -1,0 +1,214 @@
+package scan
+
+//go:generate go run ./gen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/faultinject"
+	"fusedscan/internal/mach"
+)
+
+// Native is the turbo execution path: it evaluates a fused predicate chain
+// directly over the typed column bytes with generated SWAR kernels
+// (native_kernels_gen.go) instead of the emulated AVX-512 interpreter.
+//
+// The structure mirrors the paper's fused kernel at 64-row block
+// granularity: the first compare predicate produces a match bitmap for the
+// whole block (branch-free, eight 1-byte lanes per word on the SWAR fast
+// path), later predicates refine only the surviving bits via
+// bits.TrailingZeros64, and positions are emitted from the final bitmap.
+// Counts and position lists are bit-identical to Fused/SISD/Reference —
+// enforced by the differential fuzzer in native_test.go.
+//
+// Native does not touch the machine model: the cpu argument is accepted to
+// satisfy Kernel and ignored, so results carry no simulated PerfReport
+// (the Config.Simulate contract in the public API).
+type Native struct {
+	ch       Chain
+	needles  []uint64
+	masks    []nativeMaskFunc   // nil for NULL-test predicates
+	refines  []nativeRefineFunc // nil for NULL-test predicates
+	sizeHint int
+}
+
+// NewNative builds the native kernel for a validated chain. All ten types
+// and six comparators have generated kernels, so this only fails on an
+// invalid chain.
+func NewNative(ch Chain) (*Native, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	k := &Native{
+		ch:      ch,
+		needles: make([]uint64, len(ch)),
+		masks:   make([]nativeMaskFunc, len(ch)),
+		refines: make([]nativeRefineFunc, len(ch)),
+	}
+	for i, p := range ch {
+		if p.Kind != expr.PredCompare {
+			continue
+		}
+		mf := nativeMaskFuncs[p.Col.Type()][p.Op]
+		rf := nativeRefineFuncs[p.Col.Type()][p.Op]
+		if mf == nil || rf == nil {
+			return nil, fmt.Errorf("scan: no native kernel for %s %s", p.Col.Type(), p.Op)
+		}
+		k.needles[i] = p.StoredBits()
+		k.masks[i] = mf
+		k.refines[i] = rf
+	}
+	return k, nil
+}
+
+// Name implements Kernel.
+func (k *Native) Name() string { return "Native (SWAR)" }
+
+// SetSizeHint implements SizeHinter: rows is the expected number of
+// qualifying positions, used to pre-size the position list.
+func (k *Native) SetSizeHint(rows int) { k.sizeHint = rows }
+
+// Run implements Kernel. The machine model is not consulted; cpu may be
+// nil. A count-only run performs zero heap allocations.
+func (k *Native) Run(cpu *mach.CPU, wantPositions bool) Result {
+	faultinject.MaybePanic(faultinject.SiteKernelRun)
+	n := k.ch.Rows()
+	var res Result
+	if wantPositions && k.sizeHint > 0 {
+		res.Positions = make([]uint32, 0, k.sizeHint)
+	}
+	for b := 0; b < n; b += 64 {
+		cnt := n - b
+		if cnt > 64 {
+			cnt = 64
+		}
+		var m uint64
+		first := true
+		for j := range k.ch {
+			p := &k.ch[j]
+			switch {
+			case k.masks[j] == nil:
+				// NULL test: the block mask is the validity polarity.
+				bm := p.BlockMask(b, cnt)
+				if first {
+					m = bm
+					first = false
+				} else {
+					m &= bm
+				}
+			case first:
+				m = k.masks[j](p.Col.Data(), b, cnt, k.needles[j])
+				if p.Col.HasNulls() {
+					m &= p.Col.ValidMask(b, cnt)
+				}
+				first = false
+			default:
+				m = k.refines[j](p.Col.Data(), b, m, k.needles[j])
+				if p.Col.HasNulls() {
+					m &= p.Col.ValidMask(b, cnt)
+				}
+			}
+			if m == 0 {
+				break
+			}
+		}
+		if m == 0 {
+			continue
+		}
+		res.Count += bits.OnesCount64(m)
+		if wantPositions {
+			for r := m; r != 0; r &= r - 1 {
+				res.Positions = append(res.Positions, uint32(b+bits.TrailingZeros64(r)))
+			}
+		}
+	}
+	return res
+}
+
+// NativeDict is the native counterpart of DictScan: the predicate is
+// rewritten into code space against the sorted dictionary
+// (column.CodePredicate) and evaluated as a plain uint32 compare over the
+// unpacked codes — no emulated unpack pipeline, no machine model.
+type NativeDict struct {
+	dict *column.DictColumn
+	op   expr.CmpOp
+	code uint32
+	sat  bool
+}
+
+// NewNativeDict builds the kernel for "col op value" over an encoded
+// column.
+func NewNativeDict(d *column.DictColumn, op expr.CmpOp, value expr.Value) (*NativeDict, error) {
+	cop, code, sat, err := d.CodePredicate(op, value)
+	if err != nil {
+		return nil, err
+	}
+	return &NativeDict{dict: d, op: cop, code: code, sat: sat}, nil
+}
+
+// Name implements Kernel.
+func (s *NativeDict) Name() string {
+	return fmt.Sprintf("Native Dict (SWAR, %d-bit codes)", s.dict.CodeBits())
+}
+
+// Run implements Kernel. cpu may be nil.
+func (s *NativeDict) Run(cpu *mach.CPU, wantPositions bool) Result {
+	faultinject.MaybePanic(faultinject.SiteKernelRun)
+	var res Result
+	if !s.sat {
+		return res
+	}
+	d, n := s.dict, s.dict.Len()
+	switch s.op {
+	case expr.Eq:
+		for i := 0; i < n; i++ {
+			if d.Code(i) == s.code {
+				res.Count++
+				if wantPositions {
+					res.Positions = append(res.Positions, uint32(i))
+				}
+			}
+		}
+	case expr.Ne:
+		for i := 0; i < n; i++ {
+			if d.Code(i) != s.code {
+				res.Count++
+				if wantPositions {
+					res.Positions = append(res.Positions, uint32(i))
+				}
+			}
+		}
+	case expr.Lt:
+		for i := 0; i < n; i++ {
+			if d.Code(i) < s.code {
+				res.Count++
+				if wantPositions {
+					res.Positions = append(res.Positions, uint32(i))
+				}
+			}
+		}
+	case expr.Ge:
+		for i := 0; i < n; i++ {
+			if d.Code(i) >= s.code {
+				res.Count++
+				if wantPositions {
+					res.Positions = append(res.Positions, uint32(i))
+				}
+			}
+		}
+	default:
+		// CodePredicate only emits Eq/Ne/Lt/Ge, but stay total.
+		for i := 0; i < n; i++ {
+			if expr.CompareBits(expr.Uint32, s.op, uint64(d.Code(i)), uint64(s.code)) {
+				res.Count++
+				if wantPositions {
+					res.Positions = append(res.Positions, uint32(i))
+				}
+			}
+		}
+	}
+	return res
+}

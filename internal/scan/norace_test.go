@@ -1,0 +1,5 @@
+//go:build !race
+
+package scan
+
+const raceEnabled = false

@@ -1,0 +1,121 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
+	"fusedscan/internal/govern"
+	"fusedscan/internal/mach"
+)
+
+// Pruner decides whether a chunk of rows can be skipped entirely because
+// the columns' zone maps prove no row in it satisfies every compare
+// predicate of a conjunctive chain (NULL tests never prune: zone maps
+// track value bounds, and a compare predicate already rejects NULL rows,
+// so any compare conjunct proven empty empties the conjunction).
+//
+// A Pruner is built against the base (unsliced) chain and queried with
+// absolute row ranges, so one Pruner serves every chunk of a scan. A nil
+// Pruner never prunes.
+type Pruner struct {
+	preds []prunerPred
+}
+
+type prunerPred struct {
+	zm     *column.ZoneMap
+	op     expr.CmpOp
+	needle uint64
+}
+
+// NewPruner builds (or fetches cached) zone maps at rowsPerZone
+// granularity for every compare predicate of the chain.
+func NewPruner(ch Chain, rowsPerZone int) *Pruner {
+	pr := &Pruner{}
+	for _, p := range ch {
+		if p.Kind != expr.PredCompare {
+			continue
+		}
+		pr.preds = append(pr.preds, prunerPred{
+			zm:     p.Col.ZoneMap(rowsPerZone),
+			op:     p.Op,
+			needle: p.StoredBits(),
+		})
+	}
+	return pr
+}
+
+// Prune reports whether rows [begin, end) provably contain no qualifying
+// row: true when any compare predicate cannot match anywhere in the range.
+func (pr *Pruner) Prune(begin, end int) bool {
+	if pr == nil {
+		return false
+	}
+	for _, p := range pr.preds {
+		if !p.zm.MayMatch(begin, end, p.op, p.needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// ChunkedStats reports how chunked execution went: how many chunks the
+// table split into and how many were skipped by zone-map pruning.
+type ChunkedStats struct {
+	Chunks       int
+	ChunksPruned int
+}
+
+// RunChunkedPruned is RunChunkedContext plus zone-map data skipping: a
+// Pruner at chunkRows granularity is consulted before building each
+// chunk's kernel, and chunks proven empty are skipped without touching
+// their column bytes. Results are identical to RunChunkedContext (pruning
+// is a proof, never a heuristic); the returned ChunkedStats reports the
+// skip count for operator stats and regression tests.
+func RunChunkedPruned(ctx context.Context, build func(Chain) (Kernel, error), ch Chain, chunkRows int, cpu *mach.CPU, wantPositions bool) (Result, ChunkedStats, error) {
+	var stats ChunkedStats
+	if err := ch.Validate(); err != nil {
+		return Result{}, stats, err
+	}
+	if chunkRows <= 0 {
+		return Result{}, stats, fmt.Errorf("scan: chunkRows must be positive, got %d", chunkRows)
+	}
+	pruner := NewPruner(ch, chunkRows)
+	acct := govern.AccountantFrom(ctx)
+	n := ch.Rows()
+	var total Result
+	for begin := 0; begin < n; begin += chunkRows {
+		if err := ctx.Err(); err != nil {
+			return Result{}, stats, err
+		}
+		end := begin + chunkRows
+		if end > n {
+			end = n
+		}
+		stats.Chunks++
+		if pruner.Prune(begin, end) {
+			stats.ChunksPruned++
+			continue
+		}
+		sub := make(Chain, len(ch))
+		for i, p := range ch {
+			sub[i] = Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value}
+		}
+		kern, err := build(sub)
+		if err != nil {
+			return Result{}, stats, fmt.Errorf("scan: chunk [%d, %d): %w", begin, end, err)
+		}
+		res := kern.Run(cpu, wantPositions)
+		total.Count += res.Count
+		if wantPositions {
+			if err := acct.Charge(int64(len(res.Positions)) * 4); err != nil {
+				return Result{}, stats, err
+			}
+			for _, pos := range res.Positions {
+				total.Positions = append(total.Positions, pos+uint32(begin))
+			}
+		}
+	}
+	return total, stats, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package scan
+
+// raceEnabled reports whether the race detector is on: sync.Pool
+// intentionally drops items at random under -race, so pooled code paths
+// allocate there by design.
+const raceEnabled = true

@@ -27,7 +27,8 @@ const (
 // prefetcher speculatively loads the next column's value whenever a match
 // is predicted — both effects the machine model reproduces.
 type SISD struct {
-	chain Chain
+	chain    Chain
+	sizeHint int
 }
 
 // NewSISD builds the scalar kernel for a validated chain.
@@ -40,6 +41,10 @@ func NewSISD(ch Chain) (*SISD, error) {
 
 // Name implements Kernel.
 func (s *SISD) Name() string { return "SISD (no vec)" }
+
+// SetSizeHint implements SizeHinter: rows is the expected number of
+// qualifying positions, used to pre-size the position list.
+func (s *SISD) SetSizeHint(rows int) { s.sizeHint = rows }
 
 // Run executes the scan on the given CPU.
 func (s *SISD) Run(cpu *mach.CPU, wantPositions bool) Result {
@@ -114,6 +119,9 @@ func (s *SISD) Run(cpu *mach.CPU, wantPositions bool) Result {
 	}
 
 	var res Result
+	if wantPositions && s.sizeHint > 0 {
+		res.Positions = make([]uint32, 0, s.sizeHint)
+	}
 	for i := 0; i < n; i++ {
 		// Loop bookkeeping: index increment, bound check, address
 		// computation, value load.

@@ -1,0 +1,36 @@
+package vec
+
+// SWAR (SIMD-within-a-register) helpers for the native execution path.
+//
+// Unlike the rest of this package, these functions are not emulations of
+// AVX instructions charged to the machine model — they are real 64-bit
+// word tricks the native kernels (internal/scan's generated SWAR kernels)
+// use to compare eight 1-byte lanes per instruction on actual hardware.
+
+// BroadcastByte replicates b into all eight byte lanes of a word
+// (the SWAR analogue of _mm_set1_epi8).
+func BroadcastByte(b byte) uint64 {
+	return 0x0101010101010101 * uint64(b)
+}
+
+// EqByteMask compares the eight byte lanes of word against the eight byte
+// lanes of pat and returns the movemask: bit i is set when byte i (the
+// i-th least significant byte) of word equals byte i of pat.
+//
+// The zero-byte detection is the exact per-byte formulation: for each
+// byte x of word^pat, ((x&0x7f)+0x7f)|x has its high bit clear iff
+// x == 0. The classic (v-0x01..)&^v&0x80.. trick is NOT used because its
+// borrow propagation produces false positives in bytes above a zero byte.
+// The per-byte adds here cannot carry across lanes (both addends have
+// their high bit masked off), so the result is exact.
+func EqByteMask(word, pat uint64) uint8 {
+	x := word ^ pat
+	t := ((x & 0x7f7f7f7f7f7f7f7f) + 0x7f7f7f7f7f7f7f7f) | x | 0x7f7f7f7f7f7f7f7f
+	z := ^t & 0x8080808080808080
+	// Gather the eight indicator bits (at positions 8i+7, shifted down to
+	// 8i) into the top byte: the multiply sums z>>7 shifted by 7i for each
+	// lane i, and bit 56+i of the product receives exactly the (i, 7-i)
+	// term — all other terms land on distinct lower bits or truncate past
+	// bit 63.
+	return uint8(((z >> 7) * 0x0102040810204080) >> 56)
+}

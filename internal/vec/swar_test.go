@@ -1,0 +1,58 @@
+package vec
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestEqByteMaskExhaustiveLanes checks EqByteMask against a per-byte
+// reference on adversarial words: every pair of byte values in one lane
+// with random context in the others, plus the classic false-positive
+// patterns of the carry-propagating zero test (a zero byte below a 0x01
+// or 0x00 byte).
+func TestEqByteMaskExhaustiveLanes(t *testing.T) {
+	ref := func(word, pat uint64) uint8 {
+		var m uint8
+		for i := 0; i < 8; i++ {
+			if byte(word>>(8*i)) == byte(pat>>(8*i)) {
+				m |= 1 << i
+			}
+		}
+		return m
+	}
+	rng := rand.New(rand.NewSource(7))
+	var buf [8]byte
+	for lane := 0; lane < 8; lane++ {
+		for v := 0; v < 256; v += 5 {
+			for n := 0; n < 256; n += 7 {
+				rng.Read(buf[:])
+				word := binary.LittleEndian.Uint64(buf[:])
+				word = word&^(0xff<<(8*lane)) | uint64(v)<<(8*lane)
+				pat := BroadcastByte(byte(n))
+				if got, want := EqByteMask(word, pat), ref(word, pat); got != want {
+					t.Fatalf("EqByteMask(%#x, %#x) = %08b, want %08b", word, pat, got, want)
+				}
+			}
+		}
+	}
+	// Borrow-propagation false positives of the naive trick: byte 0 equal,
+	// byte 1 one-greater-than-needle.
+	for _, word := range []uint64{0x0100, 0x0001_0100, ^uint64(0), 0, 0x8080808080808080, 0x0101010101010100} {
+		for _, n := range []byte{0, 1, 0x7f, 0x80, 0xff} {
+			pat := BroadcastByte(n)
+			if got, want := EqByteMask(word, pat), ref(word, pat); got != want {
+				t.Fatalf("EqByteMask(%#x, %#x) = %08b, want %08b", word, pat, got, want)
+			}
+		}
+	}
+}
+
+func TestBroadcastByte(t *testing.T) {
+	if got := BroadcastByte(0xab); got != 0xabababababababab {
+		t.Fatalf("BroadcastByte(0xab) = %#x", got)
+	}
+	if got := BroadcastByte(0); got != 0 {
+		t.Fatalf("BroadcastByte(0) = %#x", got)
+	}
+}
