@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race soak fuzz bench bench-smoke bench-native bench-native-check generate vuln clean
+.PHONY: check build vet test race soak fuzz bench bench-smoke bench-native bench-native-check serve-check generate vuln clean
 
-check: build vet race soak bench-smoke bench-native-check vuln
+check: build vet race soak bench-smoke bench-native-check serve-check vuln
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ bench-native:
 # and the native-vs-emulated speedup must stay above the 10x floor.
 bench-native-check:
 	$(GO) run ./cmd/fusedscan-smoke -native -check BENCH_NATIVE.json -tol 0.20
+
+# End-to-end check of the HTTP query service: starts an ephemeral server
+# on a loopback port and drives a scripted smoke client through ad-hoc
+# queries (byte-checked against a direct engine), prepared statements
+# (plan-cache miss then hits, asserted via /varz), admission shedding
+# (a real 429 with Retry-After under load) and a streamed 1M-row result.
+serve-check:
+	$(GO) run ./cmd/fusedscan-server -selfcheck
 
 # Re-emit the generated SWAR kernels (internal/scan/native_kernels_gen.go).
 generate:

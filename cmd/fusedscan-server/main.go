@@ -1,0 +1,195 @@
+// Command fusedscan-server serves the engine over HTTP/JSON: ad-hoc
+// queries, sessions, prepared statements backed by the shared plan cache,
+// chunked ndjson streaming for large result sets, and the engine's
+// governance surfaced as structured errors (429 + Retry-After on overload,
+// 422 on a blown memory budget, 504 on deadline).
+//
+//	fusedscan-server -addr :8080 -rows 2000000 -max-concurrent 8
+//	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5"}'
+//	curl -s localhost:8080/varz
+//
+// -selfcheck starts the server on an ephemeral port, runs the scripted
+// smoke client against it (ad-hoc queries, prepared hit/miss, overload
+// shedding, a streamed 1M-row result, plan-cache hit rate) and exits
+// non-zero on any failure; `make serve-check` wires this into `make check`.
+// -smoke URL runs the same client against an already-running server.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fusedscan"
+	"fusedscan/internal/server"
+)
+
+func buildDemo(eng *fusedscan.Engine, rows int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int32, rows)
+	b := make([]int32, rows)
+	c := make([]int32, rows)
+	d := make([]int32, rows)
+	for i := 0; i < rows; i++ {
+		a[i] = pick(rng, 0.5)
+		b[i] = pick(rng, 0.1)
+		c[i] = pick(rng, 0.01)
+		d[i] = rng.Int31n(1000)
+	}
+	tb := eng.CreateTable("demo")
+	tb.Int32("a", a)
+	tb.Int32("b", b)
+	tb.Int32("c", c)
+	tb.Int32("d", d)
+	return tb.Finish()
+}
+
+func pick(rng *rand.Rand, sel float64) int32 {
+	if rng.Float64() < sel {
+		return 5
+	}
+	return rng.Int31n(900) + 100
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	rows := flag.Int("rows", 1_000_000, "rows in the generated demo table")
+	seed := flag.Int64("seed", 1, "data seed")
+	noDemo := flag.Bool("nodemo", false, "skip generating the demo table")
+	csvSpec := flag.String("csv", "", "import a CSV file as name=path (header fields are name:type)")
+	loadPath := flag.String("load", "", "load a binary table file (.fscn)")
+	config := flag.String("config", "default", "engine execution config: default (simulated counters) or native (SWAR turbo)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission limit: queries running at once (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue depth beyond the concurrency limit")
+	memBudget := flag.Int64("mem-budget", 0, "per-query memory budget in bytes (0 = unlimited)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query wall-clock limit (0 = none)")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle longer than this")
+	maxSessions := flag.Int("max-sessions", 1024, "concurrent session limit")
+	maxConns := flag.Int("max-conns", 0, "concurrent connection limit (0 = unlimited)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before in-flight queries are cancelled")
+	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run the scripted smoke client, exit")
+	smokeURL := flag.String("smoke", "", "run the smoke client against a running server at this base URL and exit")
+	flag.Parse()
+
+	if *smokeURL != "" {
+		if err := smoke(strings.TrimRight(*smokeURL, "/"), smokeOpts{}); err != nil {
+			fatal(err)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	eng := fusedscan.NewEngine()
+	if *maxConcurrent > 0 || *memBudget > 0 {
+		g := fusedscan.DefaultGovernance()
+		g.MaxConcurrent = *maxConcurrent
+		g.MaxQueue = *maxQueue
+		g.MemBudgetBytes = *memBudget
+		eng.SetGovernance(g)
+	}
+	switch *config {
+	case "default", "":
+	case "native":
+		if err := eng.SetConfig(fusedscan.NativeConfig()); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -config %q (want default or native)", *config))
+	}
+	if !*noDemo {
+		if err := buildDemo(eng, *rows, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvSpec != "" {
+		name, path, ok := strings.Cut(*csvSpec, "=")
+		if !ok {
+			fatal(fmt.Errorf("-csv wants name=path, got %q", *csvSpec))
+		}
+		if err := eng.LoadCSVFile(path, name); err != nil {
+			fatal(err)
+		}
+	}
+	if *loadPath != "" {
+		name, err := eng.LoadTable(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded table %q from %s\n", name, *loadPath)
+	}
+
+	srv := server.New(eng, server.Options{
+		DefaultTimeout: *timeout,
+		IdleSessionTTL: *sessionTTL,
+		MaxSessions:    *maxSessions,
+		MaxConns:       *maxConns,
+		DrainTimeout:   *drain,
+	})
+
+	if *selfcheck {
+		if err := runSelfcheck(eng, srv); err != nil {
+			fatal(err)
+		}
+		fmt.Println("selfcheck: ok")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fusedscan-server: listening on %s (tables %v)\n", ln.Addr(), eng.TableNames())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case <-sig:
+		fmt.Println("fusedscan-server: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+	}
+}
+
+// runSelfcheck serves on an ephemeral loopback port and drives the full
+// smoke script against it, including the overload-shedding leg (the
+// governance limit is tightened for that step and restored afterwards).
+func runSelfcheck(eng *fusedscan.Engine, srv *server.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+	smokeErr := smoke(url, smokeOpts{eng: eng, want429: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	return smokeErr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fusedscan-server:", err)
+	os.Exit(1)
+}

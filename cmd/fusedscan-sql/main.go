@@ -67,9 +67,25 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "per-query memory budget in bytes for materialized results (0 = unlimited)")
 	cores := flag.Int("cores", 1, "simulated cores for morsel-parallel scans (1 = the paper's single-core setting)")
 	morselRows := flag.Int("morsel", 0, "morsel size in rows for parallel scans (0 = one pipeline batch)")
+	remote := flag.String("remote", "", "send statements to a running fusedscan-server at this base URL (e.g. http://localhost:8080) instead of a local engine")
 	flag.Parse()
 	stmtTimeout = *timeout
 	memBudgetBytes = *memBudget
+
+	if *remote != "" {
+		c := newRemoteClient(*remote)
+		if err := c.check(); err != nil {
+			fatal(err)
+		}
+		if flag.NArg() > 0 {
+			for _, sql := range flag.Args() {
+				c.handle(sql)
+			}
+		} else {
+			remoteRepl(c)
+		}
+		return
+	}
 
 	eng := fusedscan.NewEngine()
 	if *maxConcurrent > 0 || *memBudget > 0 {

@@ -1,0 +1,206 @@
+package main
+
+// -remote mode: statements go to a running fusedscan-server over HTTP/JSON
+// instead of a local engine. PREPARE/EXECUTE map onto the server's
+// prepared-statement endpoints through a REPL-managed session:
+//
+//	fusedscan-sql -remote http://localhost:8080
+//	> SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5
+//	> prepare SELECT COUNT(*) FROM demo WHERE a = $1 AND b = $2
+//	prepared s1 (2 parameters)
+//	> execute s1 5 5
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"fusedscan/internal/server"
+)
+
+// remoteClient is the REPL's connection state: base URL plus the lazily
+// created server session that owns prepared statements.
+type remoteClient struct {
+	base    string
+	http    *http.Client
+	session string
+}
+
+func newRemoteClient(base string) *remoteClient {
+	return &remoteClient{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// check verifies the server answers /healthz before the REPL starts.
+func (c *remoteClient) check() error {
+	var health struct {
+		OK     bool `json:"ok"`
+		Tables int  `json:"tables"`
+	}
+	if err := c.get("/healthz", &health); err != nil {
+		return fmt.Errorf("cannot reach %s: %w", c.base, err)
+	}
+	if !health.OK {
+		return fmt.Errorf("server at %s reports not ok", c.base)
+	}
+	return nil
+}
+
+func (c *remoteClient) tables() ([]string, error) {
+	var resp struct {
+		Tables []string `json:"tables"`
+	}
+	err := c.get("/tables", &resp)
+	return resp.Tables, err
+}
+
+// handle runs one REPL line remotely: plain SQL, "prepare SELECT ...", or
+// "execute <stmt> [args...]".
+func (c *remoteClient) handle(line string) {
+	if rest, ok := cutPrefixFold(line, "prepare "); ok {
+		c.prepare(strings.TrimSpace(rest))
+		return
+	}
+	if rest, ok := cutPrefixFold(line, "execute "); ok {
+		c.execute(strings.Fields(strings.TrimSpace(rest)))
+		return
+	}
+	var resp server.QueryResponse
+	if err := c.post("/query", server.QueryRequest{SQL: line, Session: c.session}, &resp); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	printRemote(resp)
+}
+
+func (c *remoteClient) prepare(sql string) {
+	var resp server.PrepareResponse
+	if err := c.post("/prepare", server.PrepareRequest{SQL: sql, Session: c.session}, &resp); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	c.session = resp.Session
+	fmt.Printf("prepared %s (%d parameter(s), shape %s)\n", resp.Stmt, resp.NumParams, resp.Shape)
+}
+
+func (c *remoteClient) execute(words []string) {
+	if len(words) == 0 {
+		fmt.Fprintln(os.Stderr, "error: execute wants a statement handle, e.g. \"execute s1 5 5\"")
+		return
+	}
+	if c.session == "" {
+		fmt.Fprintln(os.Stderr, "error: no prepared statements in this session yet")
+		return
+	}
+	var resp server.QueryResponse
+	req := server.ExecuteRequest{Session: c.session, Stmt: words[0], Args: words[1:]}
+	if err := c.post("/execute", req, &resp); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	printRemote(resp)
+}
+
+// printRemote renders a wire response like the local printResult.
+func printRemote(res server.QueryResponse) {
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "note: degraded execution (%s)\n", res.DegradedReason)
+	}
+	switch {
+	case res.Aggregate:
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		if len(res.Rows) > 0 {
+			fmt.Println(strings.Join(res.Rows[0], "\t"))
+		}
+		fmt.Printf("(over %d qualifying rows)\n", res.Count)
+	case res.Columns == nil:
+		fmt.Printf("%d qualifying rows\n", res.Count)
+	default:
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			fmt.Println(strings.Join(row, "\t"))
+		}
+		fmt.Printf("(%d of %d qualifying rows shown)\n", len(res.Rows), res.Count)
+	}
+	if res.Report != nil {
+		fmt.Printf("-- remote: %.3f ms simulated, %d mispredicts, %d B DRAM (%.1f ms round trip)\n",
+			res.Report.RuntimeMs, res.Report.BranchMispredicts, res.Report.DRAMBytes,
+			float64(res.ElapsedMicros)/1000)
+	} else {
+		fmt.Printf("-- remote: native scan, %.1f ms round trip\n", float64(res.ElapsedMicros)/1000)
+	}
+}
+
+// remoteRepl is the REPL loop in -remote mode.
+func remoteRepl(c *remoteClient) {
+	tables, err := c.tables()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	}
+	fmt.Printf("fusedscan-sql (remote %s): tables %v. Enter SQL, \"prepare SELECT ...\", \"execute s1 args...\", \\tables, or \\q.\n",
+		c.base, tables)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\tables`:
+			if tables, err := c.tables(); err == nil {
+				fmt.Println(strings.Join(tables, "\n"))
+			} else {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		default:
+			c.handle(line)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func (c *remoteClient) get(path string, into any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeRemote(resp, into)
+}
+
+func (c *remoteClient) post(path string, req, into any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeRemote(resp, into)
+}
+
+func decodeRemote(resp *http.Response, into any) error {
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		b, _ := io.ReadAll(resp.Body)
+		if json.Unmarshal(b, &er) == nil && er.Error != "" {
+			if er.RetryAfterMillis > 0 {
+				return fmt.Errorf("%s (%s; retry in ~%dms)", er.Error, er.Code, er.RetryAfterMillis)
+			}
+			return fmt.Errorf("%s (%s)", er.Error, er.Code)
+		}
+		return fmt.Errorf("server status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

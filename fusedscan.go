@@ -29,7 +29,6 @@ import (
 	"os"
 	"runtime/debug"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -289,6 +288,18 @@ type EngineStats struct {
 	// Batch pipeline (cumulative across queries).
 	PipelineBatches int64 // batches that flowed between pipeline operators
 	PipelineRows    int64 // qualifying rows delivered by plan roots
+	// Prepared-statement plan cache (see Engine.Prepare). A hit means parse
+	// and optimize were skipped for that execution; invalidations count
+	// entries dropped because Register/DropTable/SetConfig bumped the
+	// catalog/config epoch.
+	PlanCacheHits          int64
+	PlanCacheMisses        int64
+	PlanCacheSize          int
+	PlanCacheEvictions     int64
+	PlanCacheInvalidations int64
+	// CatalogEpoch is the current catalog/config epoch; it increases on
+	// every Register, DropTable and SetConfig.
+	CatalogEpoch uint64
 }
 
 // Engine owns a catalog of tables, the JIT operator cache, the optimizer
@@ -313,6 +324,13 @@ type Engine struct {
 	mu     sync.RWMutex // guards tables and config
 	tables map[string]*column.Table
 	config Config
+
+	// epoch is the catalog/config generation: bumped by Register, DropTable
+	// and SetConfig so cached prepared plans keyed under an older epoch can
+	// never be served against a changed catalog or configuration.
+	epoch atomic.Uint64
+	// plans is the shared prepared-statement plan cache (see Prepare).
+	plans *planCache
 
 	// Batch-pipeline counters (cumulative, for Stats).
 	pipeBatches atomic.Int64
@@ -351,6 +369,7 @@ func NewEngine() *Engine {
 		gov:       govern.New(gcfg),
 		breaker:   govern.NewBreaker(gcfg.Breaker),
 		config:    DefaultConfig(),
+		plans:     newPlanCache(0),
 	}
 	e.compiler.SetBreaker(e.breaker)
 	return e
@@ -373,6 +392,7 @@ func (e *Engine) Stats() EngineStats {
 	gs := e.gov.Snapshot()
 	bs := e.breaker.Stats()
 	hits, misses, cached := e.compiler.Stats()
+	ps := e.plans.stats()
 	return EngineStats{
 		Admitted:                   gs.Admitted,
 		Rejected:                   gs.Rejected,
@@ -391,11 +411,26 @@ func (e *Engine) Stats() EngineStats {
 		JITCacheSize:               cached,
 		PipelineBatches:            e.pipeBatches.Load(),
 		PipelineRows:               e.pipeRows.Load(),
+		PlanCacheHits:              ps.hits,
+		PlanCacheMisses:            ps.misses,
+		PlanCacheSize:              ps.size,
+		PlanCacheEvictions:         ps.evictions,
+		PlanCacheInvalidations:     ps.invalidations,
+		CatalogEpoch:               e.epoch.Load(),
 	}
 }
 
+// bumpEpoch advances the catalog/config epoch and invalidates every cached
+// prepared plan: subsequent lookups miss and replan against the current
+// catalog and configuration.
+func (e *Engine) bumpEpoch() {
+	e.epoch.Add(1)
+	e.plans.purge()
+}
+
 // SetConfig changes the execution strategy for subsequent queries. Queries
-// already running keep the configuration they started with.
+// already running keep the configuration they started with. Cached
+// prepared plans are invalidated (the catalog/config epoch is bumped).
 func (e *Engine) SetConfig(c Config) error {
 	if _, err := c.options(); err != nil {
 		return err
@@ -403,6 +438,7 @@ func (e *Engine) SetConfig(c Config) error {
 	e.mu.Lock()
 	e.config = c
 	e.mu.Unlock()
+	e.bumpEpoch()
 	return nil
 }
 
@@ -437,15 +473,37 @@ func (e *Engine) TableNames() []string {
 }
 
 // Register adds an existing table to the catalog. The table must not be
-// mutated afterwards (see the Engine concurrency contract).
+// mutated afterwards (see the Engine concurrency contract). A successful
+// registration bumps the catalog epoch, invalidating cached prepared plans
+// so a statement prepared against a dropped-and-re-registered table name
+// can never execute a stale plan.
 func (e *Engine) Register(t *column.Table) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, dup := e.tables[t.Name()]; dup {
+		e.mu.Unlock()
 		return fmt.Errorf("fusedscan: table %q already exists", t.Name())
 	}
 	e.tables[t.Name()] = t
+	e.mu.Unlock()
+	e.bumpEpoch()
 	return nil
+}
+
+// DropTable removes a table from the catalog, reporting whether it was
+// registered. Queries already running against the table finish normally
+// (tables are immutable and the plan holds its own reference); new queries
+// and cached prepared plans see the updated catalog — the drop bumps the
+// catalog epoch. Dropping and re-registering under the same name is how a
+// table is replaced.
+func (e *Engine) DropTable(name string) bool {
+	e.mu.Lock()
+	_, ok := e.tables[name]
+	delete(e.tables, name)
+	e.mu.Unlock()
+	if ok {
+		e.bumpEpoch()
+	}
+	return ok
 }
 
 // Space returns the engine's simulated address space (for constructing
@@ -658,127 +716,7 @@ func recoverStage(stage *string, sql string, res **Result, err *error) {
 // projected rows) charge it and the query fails with ErrMemoryBudget
 // instead of allocating without bound.
 func (e *Engine) QueryContext(ctx context.Context, sql string) (res *Result, err error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if cerr := ctx.Err(); cerr != nil {
-		return nil, cerr
-	}
-	gcfg := e.gov.Config()
-	if gcfg.DefaultQueryTimeout > 0 {
-		if _, has := ctx.Deadline(); !has {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, gcfg.DefaultQueryTimeout)
-			defer cancel()
-		}
-	}
-	release, aerr := e.gov.Admit(ctx)
-	if aerr != nil {
-		return nil, aerr
-	}
-	defer release()
-	if acct := e.gov.NewAccountant(); acct != nil {
-		ctx = govern.WithAccountant(ctx, acct)
-	}
-	stage := stageParse
-	defer recoverStage(&stage, sql, &res, &err)
-
-	sel, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	stage = stagePlan
-	plan, err := lqp.Build(sel, e)
-	if err != nil {
-		return nil, err
-	}
-	e.optimizer.Optimize(plan)
-
-	stage = stageTranslate
-	cfg := e.Config()
-	opts, err := cfg.options()
-	if err != nil {
-		return nil, err
-	}
-	opts.Params = e.params
-	phys, err := pqp.Translate(plan, e.compiler, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	stage = stageExecute
-	cpu := mach.New(e.params)
-	qres, err := phys.Run(ctx, cpu)
-	if err != nil {
-		return nil, err
-	}
-	res = &Result{
-		Count:          qres.Count,
-		Columns:        qres.Columns,
-		Fused:          len(phys.Programs) > 0 || phys.NativeScans > 0,
-		Degraded:       phys.Degraded,
-		DegradedReason: phys.DegradedReason,
-	}
-	if cfg.Simulate {
-		hits, _, cached := e.compiler.Stats()
-		driver := cpu.Finish()
-		report := driver.Report(&e.params)
-		if perCore := phys.PerCore(); len(perCore) > 0 {
-			// Parallel scan: the counter totals are driver + workers, and the
-			// runtime comes from the shared-socket model over all cores (the
-			// driver's downstream work counts as one more core).
-			all := append(append([]mach.Counters{}, perCore...), driver)
-			totals := driver
-			for _, c := range perCore {
-				totals = addCounters(totals, c)
-			}
-			report = totals.Report(&e.params)
-			model := parallel.Combine(e.params, all)
-			report.RuntimeMs = model.RuntimeMs
-			report.RuntimeCycles = model.RuntimeMs * e.params.ClockGHz * 1e6
-			report.MemCycles = model.MemMs * e.params.ClockGHz * 1e6
-			report.AchievedGBs = model.AggregateGBs
-		}
-		pr := perfReport(report, phys.Programs, hits, cached)
-		res.Report = &pr
-	}
-	for _, os := range phys.OperatorStats() {
-		res.Operators = append(res.Operators, OperatorStats{
-			Name: os.Name, RowsIn: os.RowsIn, RowsOut: os.RowsOut,
-			Batches: os.Batches, WallNs: os.WallNs,
-			ChunksPruned: os.ChunksPruned, Path: os.Path,
-		})
-		e.pipeBatches.Add(os.Batches)
-	}
-	if len(res.Operators) > 0 {
-		e.pipeRows.Add(res.Operators[0].RowsOut)
-	}
-	if qres.IsAggregate {
-		// Aggregates render as a one-row result set under their labels;
-		// Sum keeps the single-SUM convenience value.
-		res.Aggregate = true
-		res.Columns = qres.AggLabels
-		row := make([]string, len(qres.Aggregates))
-		for i, v := range qres.Aggregates {
-			row[i] = v.String()
-			if strings.HasPrefix(qres.AggLabels[i], "sum(") && res.Sum == "" {
-				res.Sum = v.String()
-			}
-		}
-		res.Rows = [][]string{row}
-	}
-	for ri, row := range qres.Rows {
-		out := make([]string, len(row))
-		for i, v := range row {
-			if qres.RowNulls != nil && qres.RowNulls[ri][i] {
-				out[i] = "NULL"
-				continue
-			}
-			out[i] = v.String()
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return res, nil
+	return e.execute(ctx, sql, nil, execOpts{})
 }
 
 // Explain describes how a statement would execute: the logical plan before

@@ -213,14 +213,25 @@ type Predicate struct {
 	Kind   PredKind
 	Op     CmpOp
 	Value  Value
+	// Param, when > 0, marks the comparison value as the $Param
+	// prepared-statement parameter: Value is meaningless until a plan
+	// skeleton is bound with arguments (see lqp.Plan.Bind). Bound and
+	// ad-hoc predicates have Param 0.
+	Param int
 }
 
+// Bound reports whether the predicate's value is usable: NULL tests carry
+// no value, and comparisons must not be awaiting a parameter.
+func (p Predicate) Bound() bool { return p.Kind != PredCompare || p.Param == 0 }
+
 func (p Predicate) String() string {
-	switch p.Kind {
-	case PredIsNull:
+	switch {
+	case p.Kind == PredIsNull:
 		return fmt.Sprintf("%s IS NULL", p.Column)
-	case PredIsNotNull:
+	case p.Kind == PredIsNotNull:
 		return fmt.Sprintf("%s IS NOT NULL", p.Column)
+	case p.Param > 0:
+		return fmt.Sprintf("%s %s $%d", p.Column, p.Op, p.Param)
 	default:
 		return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Value)
 	}

@@ -1,0 +1,109 @@
+package lqp
+
+import (
+	"fmt"
+
+	"fusedscan/internal/expr"
+)
+
+// Clone deep-copies the plan tree so a cached skeleton can be bound and
+// executed without mutating the shared copy. Plans are linear operator
+// chains (every node has at most one child), so the copy walks top-down.
+// The *column.Table leaves are shared — registered tables are immutable.
+func (p *Plan) Clone() *Plan {
+	out := &Plan{
+		Table:        p.Table,
+		AppliedRules: append([]string(nil), p.AppliedRules...),
+		NumParams:    p.NumParams,
+	}
+	out.Root = cloneNode(p.Root)
+	return out
+}
+
+func cloneNode(n Node) Node {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *StoredTable:
+		c := *t
+		return &c
+	case *EmptyResult:
+		c := *t
+		return &c
+	case *Predicate:
+		c := *t
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *FusedChain:
+		c := *t
+		c.Preds = append([]expr.Predicate(nil), t.Preds...)
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *Projection:
+		c := *t
+		c.Columns = append([]string(nil), t.Columns...)
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *Aggregate:
+		c := *t
+		c.Items = append([]AggItem(nil), t.Items...)
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *Sort:
+		c := *t
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *Limit:
+		c := *t
+		c.Input = cloneNode(t.Input)
+		return &c
+	default:
+		panic(fmt.Sprintf("lqp: cannot clone %T", n))
+	}
+}
+
+// Bind fills every $n parameter slot in the plan with the corresponding
+// argument literal, parsed against the predicate column's type. args[i]
+// binds $i+1. After a successful Bind the plan carries no parameter slots
+// and is ready for translation. Bind mutates the plan — bind a Clone of a
+// cached skeleton, never the skeleton itself.
+func (p *Plan) Bind(args []string) error {
+	if len(args) != p.NumParams {
+		return fmt.Errorf("lqp: plan wants %d parameter(s), got %d", p.NumParams, len(args))
+	}
+	bind := func(pred *expr.Predicate) error {
+		if pred.Kind != expr.PredCompare || pred.Param == 0 {
+			return nil
+		}
+		if pred.Param > len(args) {
+			return fmt.Errorf("lqp: plan references $%d but only %d argument(s) were bound", pred.Param, len(args))
+		}
+		col, err := p.Table.Column(pred.Column)
+		if err != nil {
+			return err
+		}
+		v, err := expr.ParseValue(col.Type(), args[pred.Param-1])
+		if err != nil {
+			return fmt.Errorf("binding $%d to %q: %v", pred.Param, pred.Column, err)
+		}
+		pred.Value = v
+		pred.Param = 0
+		return nil
+	}
+	for n := p.Root; n != nil; n = n.Child() {
+		switch t := n.(type) {
+		case *Predicate:
+			if err := bind(&t.Pred); err != nil {
+				return err
+			}
+		case *FusedChain:
+			for i := range t.Preds {
+				if err := bind(&t.Preds[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	p.NumParams = 0
+	return nil
+}

@@ -211,6 +211,11 @@ type Plan struct {
 	Root         Node
 	Table        *column.Table
 	AppliedRules []string
+	// NumParams is the number of $n parameters the plan awaits. A plan with
+	// NumParams > 0 is a skeleton: it must be Cloned and Bound with argument
+	// values before translation (the prepared-statement plan cache stores
+	// such skeletons and binds per execution).
+	NumParams int
 }
 
 // Format renders the plan tree top-down, one operator per line.
@@ -253,25 +258,31 @@ func Build(sel *sqlparse.Select, cat Catalog) (*Plan, error) {
 			}
 			continue
 		}
-		val, err := expr.ParseValue(col.Type(), cmp.Literal)
-		if err != nil {
-			return nil, fmt.Errorf("predicate on %q: %v", cmp.Column, err)
+		pred := expr.Predicate{Column: cmp.Column, Op: cmp.Op, Param: cmp.Param}
+		if cmp.Param == 0 {
+			pred.Value, err = expr.ParseValue(col.Type(), cmp.Literal)
+			if err != nil {
+				return nil, fmt.Errorf("predicate on %q: %v", cmp.Column, err)
+			}
 		}
 		node = &Predicate{
 			Input:  node,
-			Pred:   expr.Predicate{Column: cmp.Column, Op: cmp.Op, Value: val},
+			Pred:   pred,
 			EstSel: 1, // estimated by the optimizer's statistics rule
 		}
 		if cmp.IsBetween {
 			// Desugar BETWEEN: the >= predicate was added above; stack the
 			// <= upper bound as a second conjunct.
-			hi, err := expr.ParseValue(col.Type(), cmp.BetweenHi)
-			if err != nil {
-				return nil, fmt.Errorf("BETWEEN upper bound on %q: %v", cmp.Column, err)
+			hiPred := expr.Predicate{Column: cmp.Column, Op: expr.Le, Param: cmp.HiParam}
+			if cmp.HiParam == 0 {
+				hiPred.Value, err = expr.ParseValue(col.Type(), cmp.BetweenHi)
+				if err != nil {
+					return nil, fmt.Errorf("BETWEEN upper bound on %q: %v", cmp.Column, err)
+				}
 			}
 			node = &Predicate{
 				Input:  node,
-				Pred:   expr.Predicate{Column: cmp.Column, Op: expr.Le, Value: hi},
+				Pred:   hiPred,
 				EstSel: 1,
 			}
 		}
@@ -324,5 +335,5 @@ func Build(sel *sqlparse.Select, cat Catalog) (*Plan, error) {
 	if sel.Limit >= 0 {
 		node = &Limit{Input: node, N: sel.Limit}
 	}
-	return &Plan{Root: node, Table: tbl}, nil
+	return &Plan{Root: node, Table: tbl, NumParams: sel.NumParams}, nil
 }

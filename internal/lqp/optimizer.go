@@ -98,6 +98,11 @@ func (o *Optimizer) pruneContradictions(p *Plan) {
 		default:
 			// A comparison also implies IS NOT NULL.
 			b.notNull = true
+			if pr.Pred.Param > 0 {
+				// An unbound parameter has no value to intersect; the NOT
+				// NULL implication above still holds for any binding.
+				continue
+			}
 			v := pr.Pred.Value
 			switch pr.Pred.Op {
 			case expr.Eq:
@@ -176,11 +181,17 @@ func (o *Optimizer) estimateSelectivities(p *Plan) {
 			continue
 		}
 		if st, ok := o.colStats(p.Table, pred.Pred.Column); ok {
-			switch pred.Pred.Kind {
-			case expr.PredIsNull:
+			switch {
+			case pred.Pred.Kind == expr.PredIsNull:
 				pred.EstSel = st.NullFraction
-			case expr.PredIsNotNull:
+			case pred.Pred.Kind == expr.PredIsNotNull:
 				pred.EstSel = 1 - st.NullFraction
+			case pred.Pred.Param > 0:
+				// Unbound parameter: no value to estimate against. Keep the
+				// neutral default so parameterized predicates preserve their
+				// source order under the (stable) selectivity reorder — the
+				// skeleton is optimized once and reused for every binding.
+				continue
 			default:
 				pred.EstSel = st.EstimateSelectivity(pred.Pred.Op, pred.Pred.Value)
 			}
@@ -202,6 +213,9 @@ func (o *Optimizer) pruneUnsatisfiable(p *Plan) {
 		}
 		if pred.Pred.Kind != expr.PredCompare {
 			continue // NULL tests are never pruned by min/max bounds
+		}
+		if pred.Pred.Param > 0 {
+			continue // an unbound parameter may bind to any value
 		}
 		st, ok := o.colStats(p.Table, pred.Pred.Column)
 		if !ok || st.Rows == 0 {

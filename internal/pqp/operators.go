@@ -3,6 +3,7 @@ package pqp
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -756,6 +757,10 @@ type projectOp struct {
 	tbl     *column.Table
 	columns []string
 	cap     int // max rows to materialize (0 = maxMaterializedRows)
+	// unbounded lifts the default cap (Options.UnboundedRows): a streaming
+	// driver is consuming batches as they are produced, so the full result
+	// never accumulates in memory. An explicit LIMIT cap still applies.
+	unbounded bool
 
 	ctx         context.Context
 	cpu         *mach.CPU
@@ -799,8 +804,11 @@ func (op *projectOp) Open(ctx context.Context, cpu *mach.CPU) error {
 		}
 	}
 	op.remaining = op.cap
-	if op.remaining <= 0 || op.remaining > maxMaterializedRows {
+	if op.remaining <= 0 || (!op.unbounded && op.remaining > maxMaterializedRows) {
 		op.remaining = maxMaterializedRows
+		if op.unbounded {
+			op.remaining = math.MaxInt
+		}
 	}
 	op.rowIdx = 0
 	return nil

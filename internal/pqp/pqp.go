@@ -58,6 +58,11 @@ type Options struct {
 	// BatchRows overrides the pipeline batch capacity (default one scan
 	// chunk, 1<<16). Tests use small values to exercise batch boundaries.
 	BatchRows int
+	// UnboundedRows lifts the projection's default materialization cap
+	// (LIMIT pushdown still applies). Streaming drivers set it: rows leave
+	// through a BatchSink batch-by-batch, so materializing the full result
+	// never holds more than one batch in memory.
+	UnboundedRows bool
 }
 
 // DefaultOptions is the paper's best configuration: AVX-512 at 512 bits.
@@ -162,6 +167,22 @@ func (p *Plan) Run(ctx context.Context, cpu *mach.CPU) (QueryResult, error) {
 	return Drive(ctx, p.Root, cpu)
 }
 
+// RunTo executes the plan streaming row batches into sink (see DriveTo).
+func (p *Plan) RunTo(ctx context.Context, cpu *mach.CPU, sink BatchSink) (QueryResult, error) {
+	return DriveTo(ctx, p.Root, cpu, sink)
+}
+
+// Shape returns the result frame the plan will produce — column headers,
+// aggregate labels — without executing anything. Streaming drivers use it
+// to emit the header before the first batch arrives.
+func (p *Plan) Shape() QueryResult {
+	var qr QueryResult
+	if s, ok := p.Root.(resultShaper); ok {
+		s.shape(&qr)
+	}
+	return qr
+}
+
 // OperatorStats snapshots every operator's runtime counters, root first
 // (same order as Format, one entry per tree depth).
 func (p *Plan) OperatorStats() []OperatorStats {
@@ -199,6 +220,23 @@ func (p *Plan) PerCore() []mach.Counters {
 // drains batches until EOS, concatenates them into a QueryResult and
 // closes the tree (which cancels any upstream work still outstanding).
 func Drive(ctx context.Context, root Operator, cpu *mach.CPU) (QueryResult, error) {
+	return DriveTo(ctx, root, cpu, nil)
+}
+
+// BatchSink receives each batch as it leaves the plan root during a
+// streaming drive. A batch is only valid for the duration of the call; a
+// non-nil return aborts the drive with that error (after closing the tree,
+// which cancels outstanding upstream work).
+type BatchSink func(Batch) error
+
+// DriveTo is Drive with batch-by-batch delivery: when sink is non-nil,
+// materialized rows are handed to the sink as each batch arrives instead of
+// being accumulated in the QueryResult — the returned result then carries
+// the exact Count, columns and aggregates but no Rows, and peak memory
+// stays O(one batch) no matter how large the result set is. This is what
+// the query service's chunked HTTP streaming drives. A nil sink reduces to
+// Drive.
+func DriveTo(ctx context.Context, root Operator, cpu *mach.CPU, sink BatchSink) (QueryResult, error) {
 	var qr QueryResult
 	if s, ok := root.(resultShaper); ok {
 		s.shape(&qr)
@@ -219,6 +257,12 @@ func Drive(ctx context.Context, root Operator, cpu *mach.CPU) (QueryResult, erro
 		qr.Count += int64(b.Count)
 		if b.Aggregates != nil {
 			qr.Aggregates = b.Aggregates
+		}
+		if sink != nil {
+			if err := sink(b); err != nil {
+				return QueryResult{}, err
+			}
+			continue
 		}
 		qr.Rows = append(qr.Rows, b.Rows...)
 		qr.RowNulls = append(qr.RowNulls, b.RowNulls...)
@@ -315,6 +359,9 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if !ok {
 			return nil, fmt.Errorf("pqp: predicate over non-positional input %T", child)
 		}
+		if !t.Pred.Bound() {
+			return nil, fmt.Errorf("pqp: predicate %s has an unbound parameter; bind the plan before translating", t.Pred)
+		}
 		col, err := tbl.Column(t.Pred.Column)
 		if err != nil {
 			return nil, err
@@ -367,7 +414,7 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if t.Star {
 			cols = tbl.ColumnNames()
 		}
-		return &projectOp{input: src, tbl: tbl, columns: cols, cap: t.MaxRows}, nil
+		return &projectOp{input: src, tbl: tbl, columns: cols, cap: t.MaxRows, unbounded: opts.UnboundedRows}, nil
 
 	case *lqp.Sort:
 		child, err := translateNode(t.Input, tbl, comp, opts, p)
@@ -406,10 +453,14 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 }
 
 // buildChain resolves logical predicates to a scan.Chain over the table's
-// columns.
+// columns. Every predicate must be bound: a plan skeleton still awaiting
+// $n parameters (see lqp.Plan.Bind) cannot be lowered to kernels.
 func buildChain(tbl *column.Table, preds []expr.Predicate) (scan.Chain, error) {
 	var ch scan.Chain
 	for _, p := range preds {
+		if !p.Bound() {
+			return nil, fmt.Errorf("pqp: predicate %s has an unbound parameter; bind the plan before translating", p)
+		}
 		col, err := tbl.Column(p.Column)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,562 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fusedscan"
+)
+
+// Options configures the query service.
+type Options struct {
+	// DefaultTimeout caps queries that carry no explicit timeout (request
+	// or session level). 0 means no service-level cap (the engine's
+	// governance DefaultQueryTimeout still applies).
+	DefaultTimeout time.Duration
+	// IdleSessionTTL evicts sessions idle longer than this (default 15m).
+	IdleSessionTTL time.Duration
+	// MaxSessions bounds concurrent sessions (default 1024).
+	MaxSessions int
+	// MaxConns bounds concurrently accepted connections; excess callers
+	// block in the kernel accept queue. 0 means unlimited.
+	MaxConns int
+	// DrainTimeout bounds graceful shutdown: after it expires, in-flight
+	// queries are cancelled through their contexts and connections are
+	// force-closed. 0 waits for a clean drain indefinitely (bounded only by
+	// the caller's Shutdown context).
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP query service over one Engine. It implements
+// http.Handler, so it composes with httptest and any outer mux.
+type Server struct {
+	eng      *fusedscan.Engine
+	opts     Options
+	sessions *sessionManager
+	mux      *http.ServeMux
+	start    time.Time
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	requests     atomic.Int64
+	errorsN      atomic.Int64
+	overloaded   atomic.Int64
+	streamedRows atomic.Int64
+	active       atomic.Int64
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+}
+
+// New builds a query service over eng.
+func New(eng *fusedscan.Engine, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		eng:        eng,
+		opts:       opts,
+		sessions:   newSessionManager(opts.IdleSessionTTL, opts.MaxSessions),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /execute", s.handleExecute)
+	s.mux.HandleFunc("POST /session", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /session/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDrop)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("GET /tables", s.handleTables)
+	return s
+}
+
+// ServeHTTP dispatches one request with counting and panic containment.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			// The engine isolates its own panics; this guards the HTTP
+			// decode/encode layer. Headers may already be out on a stream —
+			// best effort only.
+			s.writeError(w, http.StatusInternalServerError, ErrorResponse{
+				Error: fmt.Sprintf("internal error: %v", rec), Code: "internal",
+			})
+		}
+	}()
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Serve accepts connections on ln until Shutdown, honouring MaxConns.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.opts.MaxConns > 0 {
+		ln = &limitListener{Listener: ln, sem: make(chan struct{}, s.opts.MaxConns)}
+	}
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
+	}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains gracefully: the listener closes, idle connections close,
+// and in-flight queries get DrainTimeout to finish before being cancelled
+// through their request contexts. The session janitor stops either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	defer s.sessions.close()
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		s.cancelBase()
+		return nil
+	}
+	dctx := ctx
+	if s.opts.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, s.opts.DrainTimeout)
+		defer cancel()
+	}
+	err := srv.Shutdown(dctx)
+	if err != nil {
+		// Drain budget exhausted: cancel every in-flight query (their
+		// contexts derive from baseCtx) and force-close connections.
+		s.cancelBase()
+		cerr := srv.Close()
+		if cerr != nil {
+			return fmt.Errorf("forced close after drain timeout (%v): %w", err, cerr)
+		}
+		return err
+	}
+	s.cancelBase()
+	return nil
+}
+
+// limitListener bounds concurrently open connections with a semaphore
+// (x/net/netutil's idea, restated locally — no external deps).
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: c, sem: l.sem}, nil
+}
+
+type limitConn struct {
+	net.Conn
+	sem  chan struct{}
+	once sync.Once
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() { <-c.sem })
+	return err
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"tables":         len(s.eng.TableNames()),
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.eng.TableNames()})
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	n, created, evicted := s.sessions.stats()
+	writeJSON(w, http.StatusOK, VarzResponse{
+		Engine: s.eng.Stats(),
+		Server: ServerStats{
+			Requests:        s.requests.Load(),
+			Errors:          s.errorsN.Load(),
+			Overloaded:      s.overloaded.Load(),
+			StreamedRows:    s.streamedRows.Load(),
+			ActiveRequests:  s.active.Load(),
+			Sessions:        n,
+			SessionsCreated: created,
+			SessionsEvicted: evicted,
+			UptimeSeconds:   int64(time.Since(s.start).Seconds()),
+		},
+	})
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sess, err := s.sessions.create(req.Config, time.Duration(req.TimeoutMillis)*time.Millisecond)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_request"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.snapshot(time.Now()))
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: "unknown session", Code: "unknown_session"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.snapshot(time.Now()))
+}
+
+func (s *Server) handleSessionDrop(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.drop(r.PathValue("id")) {
+		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: "unknown session", Code: "unknown_session"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req PrepareRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var sess *Session
+	if req.Session != "" {
+		var ok bool
+		if sess, ok = s.sessions.get(req.Session); !ok {
+			s.writeError(w, http.StatusNotFound, ErrorResponse{Error: "unknown session", Code: "unknown_session"})
+			return
+		}
+	} else {
+		var err error
+		sess, err = s.sessions.create(req.Config, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_request"})
+			return
+		}
+	}
+	prep, err := s.eng.Prepare(req.SQL)
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PrepareResponse{
+		Session:   sess.ID,
+		Stmt:      sess.addStmt(prep),
+		NumParams: prep.NumParams(),
+		Shape:     prep.Shape(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var sess *Session
+	if req.Session != "" {
+		var ok bool
+		if sess, ok = s.sessions.get(req.Session); !ok {
+			s.writeError(w, http.StatusNotFound, ErrorResponse{Error: "unknown session", Code: "unknown_session"})
+			return
+		}
+	}
+	cfg, timeout, errResp := s.resolve(req.Config, req.TimeoutMillis, sess)
+	if errResp != nil {
+		s.writeError(w, http.StatusBadRequest, *errResp)
+		return
+	}
+	qo := fusedscan.QueryOptions{Config: cfg, Args: req.Args, UsePlanCache: req.UsePlanCache}
+	s.runQuery(w, r, sess, timeout, req.Stream, func(ctx context.Context, stream func([]string, [][]string) error) (*fusedscan.Result, error) {
+		qo.Stream = stream
+		return s.eng.QueryWith(ctx, req.SQL, qo)
+	})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req ExecuteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Session == "" {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "execute requires a session", Code: "bad_request"})
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: "unknown session", Code: "unknown_session"})
+		return
+	}
+	prep, ok := sess.stmt(req.Stmt)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown statement %q", req.Stmt), Code: "unknown_stmt"})
+		return
+	}
+	cfg, timeout, _ := s.resolve("", req.TimeoutMillis, sess)
+	s.runQuery(w, r, sess, timeout, req.Stream, func(ctx context.Context, stream func([]string, [][]string) error) (*fusedscan.Result, error) {
+		return prep.ExecuteWith(ctx, fusedscan.QueryOptions{Config: cfg, Args: req.Args, Stream: stream})
+	})
+}
+
+// resolve merges the request-level config/timeout with the session and
+// service defaults. Precedence: request, then session, then server.
+func (s *Server) resolve(cfgName string, timeoutMillis int64, sess *Session) (*fusedscan.Config, time.Duration, *ErrorResponse) {
+	var cfg *fusedscan.Config
+	var timeout time.Duration
+	if sess != nil {
+		cfg, timeout = sess.configuration()
+	}
+	if cfgName != "" {
+		c, err := parseConfigName(cfgName)
+		if err != nil {
+			return nil, 0, &ErrorResponse{Error: err.Error(), Code: "bad_request"}
+		}
+		cfg = c
+	}
+	if timeoutMillis > 0 {
+		timeout = time.Duration(timeoutMillis) * time.Millisecond
+	}
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	return cfg, timeout, nil
+}
+
+// runQuery executes one statement through the shared response machinery:
+// timeout wiring, plain-JSON vs ndjson streaming, error taxonomy, session
+// accounting.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, sess *Session, timeout time.Duration, stream bool, run func(ctx context.Context, sink func([]string, [][]string) error) (*fusedscan.Result, error)) {
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	started := time.Now()
+	note := func(res *fusedscan.Result, err error) {
+		if sess == nil {
+			return
+		}
+		var rows int64
+		if res != nil {
+			rows = res.Count
+		}
+		sess.note(rows, err != nil)
+	}
+
+	if !stream {
+		res, err := run(ctx, nil)
+		note(res, err)
+		if err != nil {
+			s.replyError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toResponse(res, time.Since(started)))
+		return
+	}
+
+	// ndjson streaming: header once (lazily, when the first batch arrives),
+	// then row batches, then a trailer carrying the count — or the error,
+	// since the 200 status is already on the wire by then.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	headerOut := false
+	var sinkErr error
+	sink := func(columns []string, rows [][]string) error {
+		if !headerOut {
+			if err := enc.Encode(StreamHeader{Columns: columns}); err != nil {
+				sinkErr = err
+				return err
+			}
+			headerOut = true
+		}
+		if err := enc.Encode(StreamBatch{Rows: rows}); err != nil {
+			sinkErr = err
+			return err
+		}
+		s.streamedRows.Add(int64(len(rows)))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	res, err := run(ctx, sink)
+	note(res, err)
+	if err != nil && sinkErr == nil && !headerOut {
+		// Nothing on the wire yet: a clean structured error response.
+		s.replyError(w, err)
+		return
+	}
+	if !headerOut {
+		var cols []string
+		if res != nil {
+			cols = res.Columns
+		}
+		if eerr := enc.Encode(StreamHeader{Columns: cols}); eerr != nil {
+			return
+		}
+	}
+	trailer := StreamTrailer{Done: err == nil, ElapsedMicros: time.Since(started).Microseconds()}
+	if res != nil {
+		trailer.Count = res.Count
+	}
+	if err != nil {
+		s.errorsN.Add(1)
+		trailer.Error = err.Error()
+		var qe *fusedscan.QueryError
+		if errors.As(err, &qe) {
+			trailer.Stage = qe.Stage
+		}
+	}
+	enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// toResponse renders an engine Result on the wire.
+func toResponse(res *fusedscan.Result, elapsed time.Duration) QueryResponse {
+	out := QueryResponse{
+		Count:          res.Count,
+		Columns:        res.Columns,
+		Rows:           res.Rows,
+		Sum:            res.Sum,
+		Aggregate:      res.Aggregate,
+		Fused:          res.Fused,
+		Degraded:       res.Degraded,
+		DegradedReason: res.DegradedReason,
+		ElapsedMicros:  elapsed.Microseconds(),
+	}
+	if res.Report != nil {
+		out.Report = &PerfSummary{
+			RuntimeMs:         res.Report.RuntimeMs,
+			Instructions:      res.Report.Instructions,
+			BranchMispredicts: res.Report.BranchMispredicts,
+			DRAMBytes:         res.Report.DRAMBytes,
+			CompiledOperators: res.Report.CompiledOperators,
+			OperatorCacheHits: res.Report.OperatorCacheHits,
+		}
+	}
+	return out
+}
+
+// classify maps engine failures onto the HTTP error taxonomy (DESIGN.md
+// §11): governance rejections and budget denials are typed, stage-tagged
+// QueryErrors split client mistakes from internal faults, and everything
+// else from the parse/plan layers is a client error.
+func classify(err error) (int, ErrorResponse) {
+	var oe *fusedscan.OverloadedError
+	if errors.As(err, &oe) {
+		return http.StatusTooManyRequests, ErrorResponse{
+			Error: err.Error(), Code: "overloaded",
+			RetryAfterMillis: oe.RetryAfter.Milliseconds(),
+		}
+	}
+	if errors.Is(err, fusedscan.ErrMemoryBudget) {
+		return http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), Code: "memory_budget", Stage: "execute"}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout, ErrorResponse{Error: err.Error(), Code: "timeout", Stage: "execute"}
+	}
+	if errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Code: "canceled"}
+	}
+	var qe *fusedscan.QueryError
+	if errors.As(err, &qe) {
+		if qe.Panicked || qe.Stage == "translate" || qe.Stage == "execute" {
+			return http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Code: "internal", Stage: qe.Stage}
+		}
+		return http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "invalid_query", Stage: qe.Stage}
+	}
+	// Raw parse/plan errors (bad SQL, unknown table or column, argument
+	// arity): the client's statement is at fault.
+	resp := ErrorResponse{Error: err.Error(), Code: "invalid_query"}
+	if strings.HasPrefix(err.Error(), "sql:") {
+		resp.Stage = "parse"
+	}
+	return http.StatusBadRequest, resp
+}
+
+// replyError classifies err and writes the structured response (with a
+// Retry-After header for overload shedding).
+func (s *Server) replyError(w http.ResponseWriter, err error) {
+	status, resp := classify(err)
+	if status == http.StatusTooManyRequests {
+		s.overloaded.Add(1)
+		secs := (resp.RetryAfterMillis + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	s.writeError(w, status, resp)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, resp ErrorResponse) {
+	s.errorsN.Add(1)
+	writeJSON(w, status, resp)
+}
+
+// decode reads a JSON request body, answering 400 on malformed input.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(into); err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("malformed request body: %v", err), Code: "bad_request",
+		})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,428 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fusedscan"
+)
+
+// newTestEngine builds an engine with a small deterministic table.
+func newTestEngine(t *testing.T) *fusedscan.Engine {
+	t.Helper()
+	eng := fusedscan.NewEngine()
+	const n = 5000
+	av := make([]int32, n)
+	bv := make([]int32, n)
+	for i := 0; i < n; i++ {
+		av[i] = int32(i % 10)
+		bv[i] = int32(i % 100)
+	}
+	tb := eng.CreateTable("t")
+	tb.Int32("a", av)
+	tb.Int32("b", bv)
+	if err := tb.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func post(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+func TestHealthzAndTables(t *testing.T) {
+	s := New(newTestEngine(t), Options{})
+	defer s.Shutdown(context.Background())
+	w := get(t, s, "/healthz")
+	if w.Code != 200 {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+	var health struct {
+		OK     bool `json:"ok"`
+		Tables int  `json:"tables"`
+	}
+	health = decode[struct {
+		OK     bool `json:"ok"`
+		Tables int  `json:"tables"`
+	}](t, w)
+	if !health.OK || health.Tables != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	var tl struct {
+		Tables []string `json:"tables"`
+	}
+	tl = decode[struct {
+		Tables []string `json:"tables"`
+	}](t, get(t, s, "/tables"))
+	if !reflect.DeepEqual(tl.Tables, []string{"t"}) {
+		t.Fatalf("tables = %v", tl.Tables)
+	}
+}
+
+func TestAdHocQueryMatchesEngine(t *testing.T) {
+	eng := newTestEngine(t)
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+	const sql = "SELECT a, b FROM t WHERE a = 5 AND b < 40 ORDER BY b LIMIT 8"
+	w := post(t, s, "/query", QueryRequest{SQL: sql})
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	got := decode[QueryResponse](t, w)
+	want, err := eng.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count || !reflect.DeepEqual(got.Rows, want.Rows) || !reflect.DeepEqual(got.Columns, want.Columns) {
+		t.Fatalf("server %+v diverges from engine count=%d rows=%v", got, want.Count, want.Rows)
+	}
+	if got.Report == nil || got.Report.RuntimeMs <= 0 {
+		t.Fatalf("expected a simulated report on the default config, got %+v", got.Report)
+	}
+
+	// Config override per request: the native path has no report.
+	w = post(t, s, "/query", QueryRequest{SQL: sql, Config: "native"})
+	nat := decode[QueryResponse](t, w)
+	if w.Code != 200 || nat.Report != nil {
+		t.Fatalf("native: status %d report %+v", w.Code, nat.Report)
+	}
+	if !reflect.DeepEqual(nat.Rows, want.Rows) {
+		t.Fatal("native rows diverge from simulated rows")
+	}
+}
+
+func TestSessionLifecycleAndPrepared(t *testing.T) {
+	eng := newTestEngine(t)
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+
+	sess := decode[SessionResponse](t, post(t, s, "/session", SessionRequest{Config: "native"}))
+	if sess.Session == "" {
+		t.Fatal("no session id")
+	}
+	prep := decode[PrepareResponse](t, post(t, s, "/prepare", PrepareRequest{
+		SQL: "SELECT COUNT(*) FROM t WHERE a = $1 AND b = $2", Session: sess.Session,
+	}))
+	if prep.Session != sess.Session || prep.NumParams != 2 {
+		t.Fatalf("prepare = %+v", prep)
+	}
+	if !strings.Contains(prep.Shape, "$1") || !strings.Contains(prep.Shape, "$2") {
+		t.Fatalf("shape %q does not look normalized", prep.Shape)
+	}
+	ex := decode[QueryResponse](t, post(t, s, "/execute", ExecuteRequest{
+		Session: sess.Session, Stmt: prep.Stmt, Args: []string{"5", "25"},
+	}))
+	want, err := eng.Query("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Count != want.Count {
+		t.Fatalf("execute count %d, engine says %d", ex.Count, want.Count)
+	}
+	// The native session config applies to executes: no simulated report.
+	if ex.Report != nil {
+		t.Fatalf("native session execute returned a report: %+v", ex.Report)
+	}
+
+	// Session stats accumulate.
+	snap := decode[SessionResponse](t, get(t, s, "/session/"+sess.Session))
+	if snap.Queries != 1 || snap.Prepared != 1 {
+		t.Fatalf("session snapshot %+v", snap)
+	}
+
+	// Unknown handles are typed 404s.
+	if w := post(t, s, "/execute", ExecuteRequest{Session: sess.Session, Stmt: "nope"}); w.Code != 404 {
+		t.Fatalf("unknown stmt: status %d", w.Code)
+	}
+	if w := post(t, s, "/execute", ExecuteRequest{Session: "nope", Stmt: prep.Stmt}); w.Code != 404 {
+		t.Fatalf("unknown session: status %d", w.Code)
+	}
+
+	// Delete, then the session is gone.
+	if w := httptest.NewRecorder(); true {
+		req := httptest.NewRequest(http.MethodDelete, "/session/"+sess.Session, nil)
+		s.ServeHTTP(w, req)
+		if w.Code != 200 {
+			t.Fatalf("delete session: status %d", w.Code)
+		}
+	}
+	if w := get(t, s, "/session/"+sess.Session); w.Code != 404 {
+		t.Fatalf("deleted session still answers: %d", w.Code)
+	}
+}
+
+func TestPlanCacheVisibleInVarz(t *testing.T) {
+	eng := newTestEngine(t)
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+	before := decode[VarzResponse](t, get(t, s, "/varz"))
+	prep := decode[PrepareResponse](t, post(t, s, "/prepare", PrepareRequest{SQL: "SELECT COUNT(*) FROM t WHERE b = $1"}))
+	for i := 0; i < 2; i++ {
+		if w := post(t, s, "/execute", ExecuteRequest{Session: prep.Session, Stmt: prep.Stmt, Args: []string{"33"}}); w.Code != 200 {
+			t.Fatalf("execute: %d %s", w.Code, w.Body.String())
+		}
+	}
+	after := decode[VarzResponse](t, get(t, s, "/varz"))
+	if after.Engine.PlanCacheMisses != before.Engine.PlanCacheMisses+1 {
+		t.Fatalf("misses %d -> %d, want +1", before.Engine.PlanCacheMisses, after.Engine.PlanCacheMisses)
+	}
+	if after.Engine.PlanCacheHits != before.Engine.PlanCacheHits+2 {
+		t.Fatalf("hits %d -> %d, want +2", before.Engine.PlanCacheHits, after.Engine.PlanCacheHits)
+	}
+	if after.Server.Requests <= before.Server.Requests {
+		t.Fatal("server request counter did not advance")
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	eng := newTestEngine(t)
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+
+	// Malformed body.
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("{not json"))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != 400 || decode[ErrorResponse](t, w).Code != "bad_request" {
+		t.Fatalf("malformed body: %d %s", w.Code, w.Body.String())
+	}
+
+	// Parse error carries the stage.
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT FROM WHERE"})
+	er := decode[ErrorResponse](t, w)
+	if w.Code != 400 || er.Code != "invalid_query" || er.Stage != "parse" {
+		t.Fatalf("parse error: %d %+v", w.Code, er)
+	}
+
+	// Unknown table is a client error.
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM missing WHERE a = 1"})
+	if w.Code != 400 || decode[ErrorResponse](t, w).Code != "invalid_query" {
+		t.Fatalf("unknown table: %d %s", w.Code, w.Body.String())
+	}
+
+	// Unbound parameters in ad-hoc SQL.
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = $1"})
+	if w.Code != 400 {
+		t.Fatalf("unbound params: %d %s", w.Code, w.Body.String())
+	}
+
+	// Bad config name.
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1", Config: "quantum"})
+	if w.Code != 400 || decode[ErrorResponse](t, w).Code != "bad_request" {
+		t.Fatalf("bad config: %d %s", w.Code, w.Body.String())
+	}
+
+	// Deadline: a 1ns budget cannot finish a scan.
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25", TimeoutMillis: 1})
+	// Tiny but nonzero — the query may still win the race occasionally, so
+	// accept either a 200 or the typed 504.
+	if w.Code != 200 {
+		er := decode[ErrorResponse](t, w)
+		if w.Code != 504 || er.Code != "timeout" {
+			t.Fatalf("deadline: %d %+v", w.Code, er)
+		}
+	}
+}
+
+// TestClassify pins the full error -> (status, code) mapping, including
+// legs that are awkward to provoke through real execution.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{&fusedscan.OverloadedError{Running: 2, Queued: 1, RetryAfter: 50 * time.Millisecond}, 429, "overloaded"},
+		{&fusedscan.MemoryBudgetError{BudgetBytes: 10, UsedBytes: 8, RequestedBytes: 4}, 422, "memory_budget"},
+		{context.DeadlineExceeded, 504, "timeout"},
+		{context.Canceled, 503, "canceled"},
+		{&fusedscan.QueryError{Stage: "parse", Query: "x", Err: errors.New("nope")}, 400, "invalid_query"},
+		{&fusedscan.QueryError{Stage: "execute", Query: "x", Err: errors.New("boom"), Panicked: true}, 500, "internal"},
+		{errors.New("sql: unexpected thing (at position 3)"), 400, "invalid_query"},
+		{errors.New("fusedscan: unknown table \"z\""), 400, "invalid_query"},
+	}
+	for _, tc := range cases {
+		status, resp := classify(tc.err)
+		if status != tc.status || resp.Code != tc.code {
+			t.Errorf("classify(%v) = %d/%s, want %d/%s", tc.err, status, resp.Code, tc.status, tc.code)
+		}
+	}
+	if _, resp := classify(errors.New("sql: bad (at position 1)")); resp.Stage != "parse" {
+		t.Errorf("raw sql error not tagged with parse stage: %+v", resp)
+	}
+	if _, resp := classify(&fusedscan.OverloadedError{RetryAfter: 1500 * time.Millisecond}); resp.RetryAfterMillis != 1500 {
+		t.Errorf("retry-after hint lost: %+v", resp)
+	}
+}
+
+func TestStreamingNdjson(t *testing.T) {
+	eng := newTestEngine(t)
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+	const sql = "SELECT a, b FROM t WHERE a = 3 ORDER BY b LIMIT 50"
+	want, err := eng.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := post(t, s, "/query", QueryRequest{SQL: sql, Stream: true})
+	if w.Code != 200 {
+		t.Fatalf("stream status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(w.Body)
+	var rows [][]string
+	var header StreamHeader
+	var trailer StreamTrailer
+	line := 0
+	for sc.Scan() {
+		switch {
+		case line == 0:
+			if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+				t.Fatalf("header: %v", err)
+			}
+		default:
+			var batch StreamBatch
+			if err := json.Unmarshal(sc.Bytes(), &batch); err == nil && batch.Rows != nil {
+				rows = append(rows, batch.Rows...)
+				break
+			}
+			if err := json.Unmarshal(sc.Bytes(), &trailer); err != nil {
+				t.Fatalf("line %d: %v (%s)", line, err, sc.Text())
+			}
+		}
+		line++
+	}
+	if !trailer.Done || trailer.Error != "" {
+		t.Fatalf("trailer %+v", trailer)
+	}
+	if !reflect.DeepEqual(header.Columns, want.Columns) || !reflect.DeepEqual(rows, want.Rows) {
+		t.Fatalf("streamed %v/%v, want %v/%v", header.Columns, rows, want.Columns, want.Rows)
+	}
+	if trailer.Count != want.Count {
+		t.Fatalf("trailer count %d, want %d", trailer.Count, want.Count)
+	}
+
+	// Zero-row streams still frame header + trailer.
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT a FROM t WHERE a = 77 AND b = 3", Stream: true})
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("zero-row stream framed %d lines: %q", len(lines), lines)
+	}
+}
+
+func TestSessionIdleEviction(t *testing.T) {
+	m := newSessionManager(50*time.Millisecond, 10)
+	defer m.close()
+	sess, err := m.create("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.get(sess.ID); !ok {
+		t.Fatal("fresh session missing")
+	}
+	m.evictIdle(time.Now().Add(200 * time.Millisecond))
+	if _, ok := m.get(sess.ID); ok {
+		t.Fatal("idle session survived eviction")
+	}
+	if _, created, evicted := m.stats(); created != 1 || evicted != 1 {
+		t.Fatalf("created=%d evicted=%d", created, evicted)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	m := newSessionManager(time.Minute, 2)
+	defer m.close()
+	for i := 0; i < 2; i++ {
+		if _, err := m.create("", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.create("", 0); err == nil {
+		t.Fatal("session limit not enforced")
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	eng := newTestEngine(t)
+	s := New(eng, Options{DrainTimeout: 2 * time.Second})
+	srv := httptest.NewServer(s)
+	// One real request through the live server, then shut down.
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"sql":"SELECT COUNT(*) FROM t WHERE a = 1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	srv.Close()
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	s := New(newTestEngine(t), Options{MaxBodyBytes: 64})
+	defer s.Shutdown(context.Background())
+	big, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = " + strings.Repeat("1", 500)})
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(big))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != 400 {
+		t.Fatalf("oversized body: status %d", w.Code)
+	}
+}
+
+func TestVarzIsValidJSONOverHTTP(t *testing.T) {
+	s := New(newTestEngine(t), Options{})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v VarzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Server.UptimeSeconds < 0 {
+		t.Fatal("negative uptime")
+	}
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"fusedscan"
+)
+
+// Session is one client's server-side state: an execution configuration,
+// a per-query deadline, the prepared statements it owns, and cumulative
+// usage counters. Sessions are safe for concurrent use (one client may
+// pipeline requests over several connections) and are evicted after
+// sitting idle past the manager's TTL.
+type Session struct {
+	ID string
+
+	mu       sync.Mutex
+	config   *fusedscan.Config // nil = inherit engine config
+	cfgName  string
+	timeout  time.Duration
+	stmts    map[string]*fusedscan.Prepared
+	nextStmt int
+	created  time.Time
+	lastUsed time.Time
+	queries  int64
+	rows     int64
+	errors   int64
+}
+
+// touch marks the session used now (called on every request that names it).
+func (s *Session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastUsed = now
+	s.mu.Unlock()
+}
+
+// note accumulates one finished query into the session counters.
+func (s *Session) note(rows int64, failed bool) {
+	s.mu.Lock()
+	s.queries++
+	s.rows += rows
+	if failed {
+		s.errors++
+	}
+	s.mu.Unlock()
+}
+
+// snapshot renders the session for GET /session/{id} and POST /session.
+func (s *Session) snapshot(now time.Time) SessionResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionResponse{
+		Session:   s.ID,
+		Config:    s.cfgName,
+		Queries:   s.queries,
+		Rows:      s.rows,
+		Errors:    s.errors,
+		Prepared:  len(s.stmts),
+		CreatedMs: s.created.UnixMilli(),
+		IdleMs:    now.Sub(s.lastUsed).Milliseconds(),
+	}
+}
+
+// configuration returns the session's config override (nil = engine
+// default) and per-query timeout.
+func (s *Session) configuration() (*fusedscan.Config, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.config, s.timeout
+}
+
+// addStmt registers a prepared statement and returns its handle ("s1",
+// "s2", ...).
+func (s *Session) addStmt(p *fusedscan.Prepared) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextStmt++
+	name := fmt.Sprintf("s%d", s.nextStmt)
+	s.stmts[name] = p
+	return name
+}
+
+// stmt looks up a prepared statement by handle.
+func (s *Session) stmt(name string) (*fusedscan.Prepared, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.stmts[name]
+	return p, ok
+}
+
+// parseConfigName maps the wire config names onto engine configurations.
+func parseConfigName(name string) (*fusedscan.Config, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "default", "simulate", "simulated":
+		c := fusedscan.DefaultConfig()
+		return &c, nil
+	case "native", "turbo":
+		c := fusedscan.NativeConfig()
+		return &c, nil
+	default:
+		return nil, fmt.Errorf("unknown config %q (want \"default\" or \"native\")", name)
+	}
+}
+
+// sessionManager owns the session table and the idle-eviction janitor.
+type sessionManager struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	ttl      time.Duration
+	maxN     int
+	created  int64
+	evicted  int64
+	stop     chan struct{}
+	stopped  sync.Once
+}
+
+func newSessionManager(ttl time.Duration, maxSessions int) *sessionManager {
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	if maxSessions <= 0 {
+		maxSessions = 1024
+	}
+	m := &sessionManager{
+		sessions: make(map[string]*Session),
+		ttl:      ttl,
+		maxN:     maxSessions,
+		stop:     make(chan struct{}),
+	}
+	go m.janitor()
+	return m
+}
+
+// janitor sweeps idle sessions every ttl/4 until close.
+func (m *sessionManager) janitor() {
+	tick := time.NewTicker(m.ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-tick.C:
+			m.evictIdle(now)
+		}
+	}
+}
+
+func (m *sessionManager) evictIdle(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, s := range m.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed)
+		s.mu.Unlock()
+		if idle > m.ttl {
+			delete(m.sessions, id)
+			m.evicted++
+		}
+	}
+}
+
+func (m *sessionManager) close() { m.stopped.Do(func() { close(m.stop) }) }
+
+// newID returns a 16-hex-char random session id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: cannot read randomness: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// create builds and registers a new session.
+func (m *sessionManager) create(cfgName string, timeout time.Duration) (*Session, error) {
+	cfg, err := parseConfigName(cfgName)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	s := &Session{
+		ID:       newID(),
+		config:   cfg,
+		cfgName:  cfgName,
+		timeout:  timeout,
+		stmts:    make(map[string]*fusedscan.Prepared),
+		created:  now,
+		lastUsed: now,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.sessions) >= m.maxN {
+		return nil, fmt.Errorf("session limit reached (%d)", m.maxN)
+	}
+	m.sessions[s.ID] = s
+	m.created++
+	return s, nil
+}
+
+// get returns the session and touches it.
+func (m *sessionManager) get(id string) (*Session, bool) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if ok {
+		s.touch(time.Now())
+	}
+	return s, ok
+}
+
+// drop removes a session, reporting whether it existed.
+func (m *sessionManager) drop(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.sessions[id]
+	delete(m.sessions, id)
+	return ok
+}
+
+func (m *sessionManager) stats() (n int, created, evicted int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions), m.created, m.evicted
+}

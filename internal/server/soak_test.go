@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fusedscan"
+)
+
+// TestConcurrentClientSoak drives many concurrent clients through a
+// tightly-governed server: mixed ad-hoc, prepared, native-config and
+// streamed queries against MaxConcurrent=2. Every response must be either
+// a correct 200 — byte-identical to an ungoverned oracle engine over the
+// same data — or a typed 429 with a Retry-After hint. Run under -race this
+// doubles as the data-race gate for the serving layer.
+func TestConcurrentClientSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	eng := newTestEngine(t)
+	g := fusedscan.DefaultGovernance()
+	g.MaxConcurrent = 2
+	g.MaxQueue = 1
+	eng.SetGovernance(g)
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	oracle := newTestEngine(t) // same deterministic data, no limits
+
+	queries := []string{
+		"SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25",
+		"SELECT a, b FROM t WHERE a = 3 AND b < 40 ORDER BY b LIMIT 8",
+		"SELECT SUM(b) FROM t WHERE a = 7",
+		"SELECT b FROM t WHERE a = 2 AND b > 90 LIMIT 5",
+	}
+	type expect struct {
+		count int64
+		rows  [][]string
+		cols  []string
+	}
+	want := make(map[string]expect, len(queries))
+	for _, q := range queries {
+		res, err := oracle.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = expect{count: res.Count, rows: res.Rows, cols: res.Columns}
+	}
+
+	// One shared prepared statement (its own session).
+	prepBody, _ := json.Marshal(PrepareRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = $1 AND b = $2"})
+	resp, err := http.Post(srv.URL+"/prepare", "application/json", bytes.NewReader(prepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prep PrepareResponse
+	if err := json.NewDecoder(resp.Body).Decode(&prep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	prepWant := want["SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25"]
+
+	const clients, iters = 8, 12
+	var ok200, shed429 atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, clients*iters)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := srv.Client()
+			for i := 0; i < iters; i++ {
+				mode := (c + i) % 4
+				var err error
+				switch mode {
+				case 0, 1: // ad-hoc, alternating config
+					q := queries[(c+i)%len(queries)]
+					cfg := ""
+					if mode == 1 {
+						cfg = "native"
+					}
+					err = soakQuery(client, srv.URL, q, cfg, want[q], &ok200, &shed429)
+				case 2: // prepared execute
+					err = soakExecute(client, srv.URL, prep, prepWant, &ok200, &shed429)
+				case 3: // streamed
+					q := "SELECT a, b FROM t WHERE a = 3 AND b < 40 ORDER BY b LIMIT 8"
+					err = soakStream(client, srv.URL, q, want[q], &ok200, &shed429)
+				}
+				if err != nil {
+					errc <- fmt.Errorf("client %d iter %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no query succeeded under load")
+	}
+	t.Logf("soak: %d ok, %d shed with 429", ok200.Load(), shed429.Load())
+
+	// Shed responses surfaced as typed 429s, visible in /varz too.
+	if shed429.Load() > 0 {
+		r, err := http.Get(srv.URL + "/varz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var v VarzResponse
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Server.Overloaded == 0 || v.Engine.Rejected == 0 {
+			t.Errorf("shed %d requests but varz shows overloaded=%d rejected=%d",
+				shed429.Load(), v.Server.Overloaded, v.Engine.Rejected)
+		}
+	}
+}
+
+// check429 validates a shed response: typed body, Retry-After header.
+func check429(resp *http.Response) error {
+	if resp.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("429 without Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return fmt.Errorf("429 body: %w", err)
+	}
+	if er.Code != "overloaded" {
+		return fmt.Errorf("429 code %q", er.Code)
+	}
+	return nil
+}
+
+func soakQuery(client *http.Client, base, sql, cfg string, want struct {
+	count int64
+	rows  [][]string
+	cols  []string
+}, ok200, shed *atomic.Int64) error {
+	body, _ := json.Marshal(QueryRequest{SQL: sql, Config: cfg})
+	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		shed.Add(1)
+		return check429(resp)
+	case http.StatusOK:
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return err
+		}
+		if qr.Count != want.count || !reflect.DeepEqual(qr.Rows, want.rows) {
+			return fmt.Errorf("%q: got count=%d rows=%v, want count=%d rows=%v", sql, qr.Count, qr.Rows, want.count, want.rows)
+		}
+		ok200.Add(1)
+		return nil
+	default:
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%q: status %d: %s", sql, resp.StatusCode, b)
+	}
+}
+
+func soakExecute(client *http.Client, base string, prep PrepareResponse, want struct {
+	count int64
+	rows  [][]string
+	cols  []string
+}, ok200, shed *atomic.Int64) error {
+	body, _ := json.Marshal(ExecuteRequest{Session: prep.Session, Stmt: prep.Stmt, Args: []string{"5", "25"}})
+	resp, err := client.Post(base+"/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		shed.Add(1)
+		return check429(resp)
+	case http.StatusOK:
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return err
+		}
+		if qr.Count != want.count {
+			return fmt.Errorf("execute: count %d, want %d", qr.Count, want.count)
+		}
+		ok200.Add(1)
+		return nil
+	default:
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("execute: status %d: %s", resp.StatusCode, b)
+	}
+}
+
+func soakStream(client *http.Client, base, sql string, want struct {
+	count int64
+	rows  [][]string
+	cols  []string
+}, ok200, shed *atomic.Int64) error {
+	body, _ := json.Marshal(QueryRequest{SQL: sql, Stream: true})
+	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		shed.Add(1)
+		return check429(resp)
+	case http.StatusOK:
+	default:
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("stream: status %d: %s", resp.StatusCode, b)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var rows [][]string
+	var trailer StreamTrailer
+	line := 0
+	for sc.Scan() {
+		if line == 0 {
+			var hdr StreamHeader
+			if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+				return fmt.Errorf("stream header: %w", err)
+			}
+			if !reflect.DeepEqual(hdr.Columns, want.cols) {
+				return fmt.Errorf("stream header %v, want %v", hdr.Columns, want.cols)
+			}
+			line++
+			continue
+		}
+		var batch StreamBatch
+		if err := json.Unmarshal(sc.Bytes(), &batch); err == nil && batch.Rows != nil {
+			rows = append(rows, batch.Rows...)
+			line++
+			continue
+		}
+		if err := json.Unmarshal(sc.Bytes(), &trailer); err != nil {
+			return fmt.Errorf("stream line %d: %w", line, err)
+		}
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if trailer.Error != "" {
+		// Admission happens before the first byte, so a shed streamed query
+		// arrives as a plain 429 above; an error in the trailer is a real
+		// mid-stream failure.
+		return fmt.Errorf("stream failed mid-flight: %+v", trailer)
+	}
+	if !trailer.Done || trailer.Count != want.count || !reflect.DeepEqual(rows, want.rows) {
+		return fmt.Errorf("stream: trailer %+v rows %v, want count=%d rows=%v", trailer, rows, want.count, want.rows)
+	}
+	ok200.Add(1)
+	return nil
+}

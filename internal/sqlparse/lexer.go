@@ -9,6 +9,10 @@
 // OP is one of =, <>, !=, <, <=, >, >=. Conjunctions only: the fused scan
 // is defined over predicate chains; a disjunction is a parse-time error
 // with a clear message rather than a silent fallback.
+//
+// Anywhere a literal may appear in WHERE, a $n parameter placeholder may
+// appear instead (prepared statements; see Normalize for the canonical
+// statement shape the plan cache keys on).
 package sqlparse
 
 import (
@@ -26,6 +30,7 @@ const (
 	tokNumber
 	tokSymbol  // ( ) , *
 	tokCompare // = <> != < <= > >=
+	tokParam   // $1 $2 ... (prepared-statement parameter placeholders)
 )
 
 type token struct {
@@ -70,6 +75,10 @@ func lex(src string) ([]token, error) {
 			l.pos++
 		case c == '=' || c == '<' || c == '>' || c == '!':
 			if err := l.lexCompare(); err != nil {
+				return nil, err
+			}
+		case c == '$':
+			if err := l.lexParam(); err != nil {
 				return nil, err
 			}
 		case c == ';':
@@ -139,6 +148,22 @@ done:
 		return fmt.Errorf("sql: malformed number %q at position %d", text, start)
 	}
 	l.emit(tokNumber, text, start)
+	return nil
+}
+
+// lexParam scans a $n parameter placeholder. The digits after '$' are the
+// 1-based parameter index.
+func (l *lexer) lexParam() error {
+	start := l.pos
+	l.pos++ // consume '$'
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if text == "$" {
+		return fmt.Errorf("sql: '$' must be followed by a parameter number at position %d", start)
+	}
+	l.emit(tokParam, text, start)
 	return nil
 }
 

@@ -1,0 +1,109 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Slot is one literal position in a normalized statement shape. Either the
+// value came from the original statement text (Literal, Param == 0) or it
+// must be supplied by the caller at EXECUTE time ($Param in the original,
+// Param > 0).
+type Slot struct {
+	Param   int
+	Literal string
+}
+
+// Normalize renders a parsed statement as its canonical shape: every WHERE
+// literal and every $n placeholder is replaced by a fresh placeholder
+// numbered left to right, keywords are uppercased, and BETWEEN is desugared
+// into its two comparisons. Statements that differ only in WHERE constants
+// therefore share one shape — the plan-cache key — while the returned slots
+// record how to reassemble the full argument list for execution (captured
+// literals verbatim, caller parameters by index).
+//
+// The shape is itself a valid statement for Parse: re-parsing it yields a
+// fully parameterized Select with NumParams == len(slots), which is how a
+// cached plan skeleton is rebuilt after invalidation.
+func Normalize(sel *Select) (shape string, slots []Slot) {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	switch {
+	case len(sel.Aggs) > 0:
+		for i, a := range sel.Aggs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	case sel.Star:
+		sb.WriteByte('*')
+	default:
+		sb.WriteString(strings.Join(sel.Columns, ", "))
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(sel.Table)
+
+	if len(sel.Where) > 0 {
+		sb.WriteString(" WHERE ")
+		first := true
+		and := func() {
+			if !first {
+				sb.WriteString(" AND ")
+			}
+			first = false
+		}
+		slot := func(param int, literal string) string {
+			slots = append(slots, Slot{Param: param, Literal: literal})
+			return fmt.Sprintf("$%d", len(slots))
+		}
+		for _, cmp := range sel.Where {
+			switch {
+			case cmp.NullTest != 0: // PredIsNull or PredIsNotNull
+				and()
+				sb.WriteString(cmp.String())
+			case cmp.IsBetween:
+				// Desugar: the shape of "x BETWEEN a AND b" is identical to
+				// "x >= a AND x <= b", so both spellings share a cached plan.
+				and()
+				fmt.Fprintf(&sb, "%s >= %s", cmp.Column, slot(cmp.Param, cmp.Literal))
+				and()
+				fmt.Fprintf(&sb, "%s <= %s", cmp.Column, slot(cmp.HiParam, cmp.BetweenHi))
+			default:
+				and()
+				fmt.Fprintf(&sb, "%s %s %s", cmp.Column, cmp.Op, slot(cmp.Param, cmp.Literal))
+			}
+		}
+	}
+
+	if sel.OrderBy != "" {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(sel.OrderBy)
+		if sel.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", sel.Limit)
+	}
+	return sb.String(), slots
+}
+
+// BindSlots assembles the full positional argument list for a normalized
+// shape: captured literals are passed through, caller parameters are taken
+// from args (args[i] binds $i+1 of the *original* statement). It returns an
+// error when args has the wrong arity for the statement's NumParams.
+func BindSlots(slots []Slot, numParams int, args []string) ([]string, error) {
+	if len(args) != numParams {
+		return nil, fmt.Errorf("sql: statement wants %d parameter(s), got %d", numParams, len(args))
+	}
+	out := make([]string, len(slots))
+	for i, s := range slots {
+		if s.Param > 0 {
+			out[i] = args[s.Param-1]
+			continue
+		}
+		out[i] = s.Literal
+	}
+	return out, nil
+}

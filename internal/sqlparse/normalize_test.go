@@ -1,0 +1,137 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseParams(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM t WHERE a = $1 AND b BETWEEN $2 AND $3 AND c < 7")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sel.NumParams != 3 {
+		t.Fatalf("NumParams = %d, want 3", sel.NumParams)
+	}
+	if sel.Where[0].Param != 1 {
+		t.Errorf("first comparison Param = %d, want 1", sel.Where[0].Param)
+	}
+	if sel.Where[1].Param != 2 || sel.Where[1].HiParam != 3 || !sel.Where[1].IsBetween {
+		t.Errorf("BETWEEN params = (%d, %d), want (2, 3)", sel.Where[1].Param, sel.Where[1].HiParam)
+	}
+	if sel.Where[2].Param != 0 || sel.Where[2].Literal != "7" {
+		t.Errorf("literal comparison parsed as %+v", sel.Where[2])
+	}
+}
+
+func TestParseParamErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT * FROM t WHERE a = $",           // dangling $
+		"SELECT * FROM t WHERE a = $0",          // parameters start at $1
+		"SELECT * FROM t WHERE a = $2",          // gap: $1 missing
+		"SELECT * FROM t WHERE a = $1 AND b=$3", // gap: $2 missing
+		"SELECT * FROM t WHERE a = $99999",      // over the limit
+		"SELECT $1 FROM t",                      // placeholders are literals only
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseFlippedParam(t *testing.T) {
+	sel, err := Parse("SELECT * FROM t WHERE $1 < a")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// "$1 < a" normalizes to "a > $1".
+	if got := sel.Where[0]; got.Column != "a" || got.Param != 1 || got.Op.String() != ">" {
+		t.Errorf("flipped param comparison = %+v", got)
+	}
+}
+
+func TestNormalizeSharesShape(t *testing.T) {
+	variants := []string{
+		"SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 7",
+		"select count(*) from demo where a=  9 and b = -3",
+		"SELECT COUNT(*) FROM demo WHERE a = $1 AND b = $2",
+	}
+	shapes := make([]string, len(variants))
+	for i, src := range variants {
+		sel, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		shape, slots := Normalize(sel)
+		shapes[i] = shape
+		if len(slots) != 2 {
+			t.Errorf("Normalize(%q) produced %d slots, want 2", src, len(slots))
+		}
+	}
+	if shapes[0] != shapes[1] || shapes[0] != shapes[2] {
+		t.Errorf("variants did not share a shape: %q vs %q vs %q", shapes[0], shapes[1], shapes[2])
+	}
+}
+
+func TestNormalizeBetweenDesugars(t *testing.T) {
+	a, _ := Parse("SELECT * FROM t WHERE x BETWEEN 3 AND 9")
+	b, _ := Parse("SELECT * FROM t WHERE x >= 3 AND x <= 9")
+	sa, slotsA := Normalize(a)
+	sb, slotsB := Normalize(b)
+	if sa != sb {
+		t.Errorf("BETWEEN shape %q != comparison shape %q", sa, sb)
+	}
+	if !reflect.DeepEqual(slotsA, slotsB) {
+		t.Errorf("slots differ: %+v vs %+v", slotsA, slotsB)
+	}
+}
+
+func TestNormalizeRoundTrips(t *testing.T) {
+	for _, src := range []string{
+		"SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5",
+		"SELECT a, b FROM t WHERE a >= 1 AND b <= 2 AND c <> 3",
+		"SELECT * FROM t WHERE b IS NULL",
+		"SELECT a FROM t WHERE b IS NOT NULL ORDER BY a DESC LIMIT 10",
+		"SELECT SUM(price), AVG(price) FROM orders WHERE qty < $1",
+		"SELECT a FROM t WHERE f = -0.5 LIMIT 0",
+		"SELECT * FROM t WHERE x BETWEEN $1 AND $2 ORDER BY x",
+		"SELECT COUNT(*) FROM t",
+	} {
+		sel, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		shape, slots := Normalize(sel)
+		resel, err := Parse(shape)
+		if err != nil {
+			t.Fatalf("shape %q of %q does not re-parse: %v", shape, src, err)
+		}
+		if resel.NumParams != len(slots) {
+			t.Errorf("shape %q has NumParams %d, want %d slots", shape, resel.NumParams, len(slots))
+		}
+		// Normalizing the shape must be a fixed point.
+		reshape, _ := Normalize(resel)
+		if reshape != shape {
+			t.Errorf("normalization not idempotent: %q -> %q", shape, reshape)
+		}
+	}
+}
+
+func TestBindSlots(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM t WHERE a = $1 AND b = 42 AND c BETWEEN $2 AND 9")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	_, slots := Normalize(sel)
+	got, err := BindSlots(slots, sel.NumParams, []string{"5", "3"})
+	if err != nil {
+		t.Fatalf("BindSlots: %v", err)
+	}
+	want := []string{"5", "42", "3", "9"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BindSlots = %v, want %v", got, want)
+	}
+	if _, err := BindSlots(slots, sel.NumParams, []string{"5"}); err == nil {
+		t.Errorf("BindSlots with wrong arity succeeded")
+	}
+}

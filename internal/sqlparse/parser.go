@@ -44,6 +44,10 @@ type Select struct {
 	OrderBy string       // ORDER BY column ("" when absent)
 	Desc    bool         // ORDER BY ... DESC
 	Limit   int          // -1 when absent
+	// NumParams is the number of $n prepared-statement parameters the
+	// statement references. Parameters must be numbered contiguously from
+	// $1; a statement with no placeholders has NumParams 0.
+	NumParams int
 }
 
 // Comparison is one WHERE term: Column Op Literal. The literal is kept
@@ -62,18 +66,39 @@ type Comparison struct {
 	// NullTest marks "col IS NULL" (PredIsNull) or "col IS NOT NULL"
 	// (PredIsNotNull); PredCompare means an ordinary comparison.
 	NullTest expr.PredKind
+	// Param, when > 0, marks the comparison's literal as the $Param
+	// prepared-statement placeholder (Literal is then empty until EXECUTE
+	// binds it). HiParam does the same for the BETWEEN upper bound.
+	Param   int
+	HiParam int
+}
+
+// loText renders the lower-bound literal (or its $n placeholder).
+func (c Comparison) loText() string {
+	if c.Param > 0 {
+		return fmt.Sprintf("$%d", c.Param)
+	}
+	return c.Literal
+}
+
+// hiText renders the BETWEEN upper-bound literal (or its $n placeholder).
+func (c Comparison) hiText() string {
+	if c.HiParam > 0 {
+		return fmt.Sprintf("$%d", c.HiParam)
+	}
+	return c.BetweenHi
 }
 
 func (c Comparison) String() string {
 	switch {
 	case c.IsBetween:
-		return fmt.Sprintf("%s BETWEEN %s AND %s", c.Column, c.Literal, c.BetweenHi)
+		return fmt.Sprintf("%s BETWEEN %s AND %s", c.Column, c.loText(), c.hiText())
 	case c.NullTest == expr.PredIsNull:
 		return fmt.Sprintf("%s IS NULL", c.Column)
 	case c.NullTest == expr.PredIsNotNull:
 		return fmt.Sprintf("%s IS NOT NULL", c.Column)
 	default:
-		return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Literal)
+		return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.loText())
 	}
 }
 
@@ -96,7 +121,37 @@ func Parse(src string) (*Select, error) {
 	if !p.at(tokEOF) {
 		return nil, p.errorf("unexpected %q after end of statement", p.cur().text)
 	}
+	if err := resolveParams(sel); err != nil {
+		return nil, err
+	}
 	return sel, nil
+}
+
+// resolveParams records how many $n placeholders the statement uses and
+// checks they are numbered contiguously from $1 (so EXECUTE can bind a
+// plain argument list positionally).
+func resolveParams(sel *Select) error {
+	seen := make(map[int]bool)
+	max := 0
+	note := func(n int) {
+		if n > 0 {
+			seen[n] = true
+			if n > max {
+				max = n
+			}
+		}
+	}
+	for _, cmp := range sel.Where {
+		note(cmp.Param)
+		note(cmp.HiParam)
+	}
+	for i := 1; i <= max; i++ {
+		if !seen[i] {
+			return fmt.Errorf("sql: statement references $%d but not $%d; parameters must be numbered contiguously from $1", max, i)
+		}
+	}
+	sel.NumParams = max
+	return nil
 }
 
 func (p *parser) cur() token { return p.toks[p.i] }
@@ -277,9 +332,28 @@ func (p *parser) parseAggTerm() (AggTerm, error) {
 	return term, nil
 }
 
+// parseParam consumes a $n token and returns its 1-based index.
+func (p *parser) parseParam() (int, error) {
+	text := p.advance().text // "$<digits>"
+	var n int
+	if _, err := fmt.Sscanf(text[1:], "%d", &n); err != nil || n <= 0 {
+		return 0, p.errorf("invalid parameter %q (parameters are $1, $2, ...)", text)
+	}
+	if n > maxParams {
+		return 0, p.errorf("parameter %q exceeds the %d-parameter limit", text, maxParams)
+	}
+	return n, nil
+}
+
+// maxParams bounds $n indices; a SELECT in this grammar cannot meaningfully
+// use more (it guards against pathological inputs, not real statements).
+const maxParams = 1 << 10
+
 // parseComparison accepts "col OP literal", the flipped "literal OP col"
 // (normalized so the column is on the left), and "col BETWEEN lo AND hi"
 // (desugared by the caller into two predicates via the Between fields).
+// Everywhere a literal may appear, a $n parameter placeholder may appear
+// instead (prepared statements).
 func (p *parser) parseComparison() (Comparison, error) {
 	var cmp Comparison
 	flipped := false
@@ -289,6 +363,13 @@ func (p *parser) parseComparison() (Comparison, error) {
 		cmp.Column = p.advance().text
 	case p.at(tokNumber):
 		cmp.Literal = p.advance().text
+		flipped = true
+	case p.at(tokParam):
+		n, err := p.parseParam()
+		if err != nil {
+			return cmp, err
+		}
+		cmp.Param = n
 		flipped = true
 	default:
 		return cmp, p.errorf("expected predicate, found %q", p.cur().text)
@@ -309,18 +390,34 @@ func (p *parser) parseComparison() (Comparison, error) {
 
 	if !flipped && p.atKeyword("between") {
 		p.advance()
-		if !p.at(tokNumber) {
+		cmp.Op = expr.Ge
+		switch {
+		case p.at(tokNumber):
+			cmp.Literal = p.advance().text
+		case p.at(tokParam):
+			n, err := p.parseParam()
+			if err != nil {
+				return cmp, err
+			}
+			cmp.Param = n
+		default:
 			return cmp, p.errorf("expected BETWEEN lower bound, found %q", p.cur().text)
 		}
-		cmp.Op = expr.Ge
-		cmp.Literal = p.advance().text
 		if err := p.expectKeyword("and"); err != nil {
 			return cmp, err
 		}
-		if !p.at(tokNumber) {
+		switch {
+		case p.at(tokNumber):
+			cmp.BetweenHi = p.advance().text
+		case p.at(tokParam):
+			n, err := p.parseParam()
+			if err != nil {
+				return cmp, err
+			}
+			cmp.HiParam = n
+		default:
 			return cmp, p.errorf("expected BETWEEN upper bound, found %q", p.cur().text)
 		}
-		cmp.BetweenHi = p.advance().text
 		cmp.IsBetween = true
 		return cmp, nil
 	}
@@ -341,10 +438,18 @@ func (p *parser) parseComparison() (Comparison, error) {
 		cmp.Column = p.advance().text
 		cmp.Op = op.Flip()
 	} else {
-		if !p.at(tokNumber) {
+		switch {
+		case p.at(tokNumber):
+			cmp.Literal = p.advance().text
+		case p.at(tokParam):
+			n, err := p.parseParam()
+			if err != nil {
+				return cmp, err
+			}
+			cmp.Param = n
+		default:
 			return cmp, p.errorf("expected literal, found %q (only column-vs-literal predicates are supported)", p.cur().text)
 		}
-		cmp.Literal = p.advance().text
 	}
 	return cmp, nil
 }
