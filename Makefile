@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race soak fuzz bench bench-smoke bench-native bench-native-check serve-check generate vuln clean
+.PHONY: check build vet test race soak fuzz fuzz-storage bench bench-smoke bench-native bench-native-check serve-check crash-check generate vuln clean
 
-check: build vet race soak bench-smoke bench-native-check serve-check vuln
+check: build vet race soak bench-smoke bench-native-check serve-check crash-check vuln
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ soak:
 # Short coverage-guided fuzz of the SQL parser.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse
+
+# Coverage-guided fuzz of the binary table decoder and the streaming
+# checksum verifier (hostile-input hardening; see DESIGN.md §12).
+fuzz-storage:
+	$(GO) test -run=NONE -fuzz=FuzzReadTable -fuzztime=30s ./internal/storage
+	$(GO) test -run=NONE -fuzz=FuzzVerifyTable -fuzztime=30s ./internal/storage
 
 bench:
 	$(GO) run ./cmd/fusedscan-bench -fig 1 -scale 0.01 -reps 1
@@ -65,6 +71,15 @@ bench-native-check:
 # (a real 429 with Retry-After under load) and a streamed 1M-row result.
 serve-check:
 	$(GO) run ./cmd/fusedscan-server -selfcheck
+
+# Crash-recovery harness: spawns fault-injected child servers on a
+# durable data directory, SIGKILL-equivalently crashes them mid-DDL at
+# each durability fault site (WAL append, snapshot rename, mid-snapshot
+# write), restarts on the same directory and asserts every acknowledged
+# table recovers byte-identically; a corruption leg then flips a snapshot
+# byte and asserts the quarantine taxonomy. Deterministic via -seed.
+crash-check:
+	$(GO) run ./cmd/fusedscan-server -crashcheck -crash-cycles 3 -seed 1
 
 # Re-emit the generated SWAR kernels (internal/scan/native_kernels_gen.go).
 generate:

@@ -13,6 +13,19 @@
 // shedding, a streamed 1M-row result, plan-cache hit rate) and exits
 // non-zero on any failure; `make serve-check` wires this into `make check`.
 // -smoke URL runs the same client against an already-running server.
+//
+// -data DIR makes the engine durable: DDL (table create/drop, config
+// changes) is write-ahead logged and snapshotted under DIR, recovered on
+// the next start, and re-verified by a throttled background scrubber. A
+// corrupt snapshot quarantines its table (503 "quarantined") without
+// taking the process down.
+//
+// -crashcheck runs the crash-recovery harness: it spawns fault-injected
+// child servers (-fault site:n:crash makes the n-th hit of a durability
+// fault site exit like SIGKILL), drives DDL over HTTP until the child
+// dies mid-operation, restarts on the same directory and asserts every
+// acknowledged table recovers with identical contents; `make crash-check`
+// wires this into `make check`.
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"time"
 
 	"fusedscan"
+	"fusedscan/internal/faultinject"
 	"fusedscan/internal/server"
 )
 
@@ -76,6 +90,13 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before in-flight queries are cancelled")
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run the scripted smoke client, exit")
 	smokeURL := flag.String("smoke", "", "run the smoke client against a running server at this base URL and exit")
+	dataDir := flag.String("data", "", "durable data directory: recover on start, WAL + snapshot every DDL")
+	scrubEvery := flag.Duration("scrub-interval", time.Minute, "background snapshot-scrub cadence (negative disables; needs -data)")
+	scrubRate := flag.Int64("scrub-rate", 64<<20, "scrub read throttle in bytes/sec (negative = unthrottled)")
+	faultSpec := flag.String("fault", "", "arm a fault-injection site as site:n[:mode], mode error|panic|crash (testing)")
+	portFile := flag.String("portfile", "", "write the bound listen address to this file once serving")
+	crashCheck := flag.Bool("crashcheck", false, "run the crash-recovery harness (spawns fault-injected children) and exit")
+	crashCycles := flag.Int("crash-cycles", 3, "crash/recover cycles per fault site in -crashcheck")
 	flag.Parse()
 
 	if *smokeURL != "" {
@@ -85,8 +106,38 @@ func main() {
 		fmt.Println("smoke: ok")
 		return
 	}
+	if *crashCheck {
+		if err := runCrashCheck(*crashCycles, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Println("crashcheck: ok")
+		return
+	}
+	if *faultSpec != "" {
+		if err := faultinject.ArmSpec(*faultSpec); err != nil {
+			fatal(err)
+		}
+	}
 
-	eng := fusedscan.NewEngine()
+	var eng *fusedscan.Engine
+	if *dataDir != "" {
+		var err error
+		eng, err = fusedscan.OpenWithOptions(*dataDir, fusedscan.OpenOptions{
+			ScrubInterval:    *scrubEvery,
+			ScrubBytesPerSec: *scrubRate,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if q := eng.QuarantinedTables(); len(q) > 0 {
+			for name, qe := range q {
+				fmt.Fprintf(os.Stderr, "fusedscan-server: recovery quarantined table %q: %v\n", name, qe.Err)
+			}
+		}
+	} else {
+		eng = fusedscan.NewEngine()
+	}
+	defer eng.Close()
 	if *maxConcurrent > 0 || *memBudget > 0 {
 		g := fusedscan.DefaultGovernance()
 		g.MaxConcurrent = *maxConcurrent
@@ -103,7 +154,8 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -config %q (want default or native)", *config))
 	}
-	if !*noDemo {
+	if !*noDemo && !hasTable(eng, "demo") {
+		// The demo table may already be recovered from the data directory.
 		if err := buildDemo(eng, *rows, *seed); err != nil {
 			fatal(err)
 		}
@@ -145,6 +197,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("fusedscan-server: listening on %s (tables %v)\n", ln.Addr(), eng.TableNames())
 
 	done := make(chan error, 1)
@@ -163,7 +220,20 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fatal(fmt.Errorf("shutdown: %w", err))
 		}
+		if err := eng.Close(); err != nil {
+			fatal(fmt.Errorf("closing data directory: %w", err))
+		}
 	}
+}
+
+// hasTable reports whether name is registered (quarantined counts: the
+// demo generator must not fight a recovered-but-corrupt table).
+func hasTable(eng *fusedscan.Engine, name string) bool {
+	if _, err := eng.Table(name); err == nil {
+		return true
+	}
+	_, quarantined := eng.QuarantinedTables()[name]
+	return quarantined
 }
 
 // runSelfcheck serves on an ephemeral loopback port and drives the full

@@ -1,0 +1,329 @@
+package fusedscan
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fusedscan/internal/storage"
+)
+
+// noScrub opens dir with the background scrubber disabled so tests fully
+// control when verification runs.
+func noScrub(t *testing.T, dir string) *Engine {
+	t.Helper()
+	eng, err := OpenWithOptions(dir, OpenOptions{ScrubInterval: -1, ScrubBytesPerSec: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func registerInts(t *testing.T, eng *Engine, name string, vals []int32) {
+	t.Helper()
+	if err := eng.CreateTable(name).Int32("a", vals).Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func intsOf(t *testing.T, eng *Engine, name string) []int32 {
+	t.Helper()
+	tbl, err := eng.Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tbl.Column("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, c.Len())
+	for i := range out {
+		out[i] = int32(c.Value(i).Int())
+	}
+	return out
+}
+
+func seq(n int) []int32 {
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(i * 7 % 101)
+	}
+	return v
+}
+
+// TestOpenRegisterReopen is the basic durability contract: registered
+// tables and the configuration survive a clean close and reopen with
+// identical contents.
+func TestOpenRegisterReopen(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "alpha", seq(1000))
+	registerInts(t, eng, "beta", seq(64))
+	cfg := NativeConfig()
+	cfg.Cores = 2
+	if err := eng.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if !st.Durable || st.SnapshotsWritten != 2 || st.WALAppends != 3 {
+		t.Fatalf("stats = %+v, want durable with 2 snapshots and 3 wal appends", st)
+	}
+	want := intsOf(t, eng, "alpha")
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	if got := eng2.Config(); got.Simulate || got.Cores != 2 {
+		t.Fatalf("config not recovered: %+v", got)
+	}
+	names := eng2.TableNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("tables = %v", names)
+	}
+	got := intsOf(t, eng2, "alpha")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alpha[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// The recovered engine answers queries.
+	res, err := eng2.Query("SELECT COUNT(*) FROM alpha WHERE a >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1000 {
+		t.Fatalf("count = %d", res.Count)
+	}
+}
+
+// TestReopenReplaysWALTail abandons the engine without Close — the crash
+// shape — and asserts the next Open rebuilds the catalog from the WAL
+// tail alone (no compaction ever ran), then compacts it away.
+func TestReopenReplaysWALTail(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "alpha", seq(128))
+	if !eng.DropTable("alpha") {
+		t.Fatal("drop failed")
+	}
+	registerInts(t, eng, "alpha", seq(256))
+	registerInts(t, eng, "gamma", seq(32))
+	// No Close: the WAL holds 4 records and there is no manifest.
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	st := eng2.Stats()
+	if st.WALRecordsReplayed != 4 {
+		t.Fatalf("replayed %d records, want 4", st.WALRecordsReplayed)
+	}
+	if st.WALCompactions < 1 {
+		t.Fatal("recovery did not compact the replayed tail")
+	}
+	if got := intsOf(t, eng2, "alpha"); len(got) != 256 {
+		t.Fatalf("alpha has %d rows, want the re-registered 256", len(got))
+	}
+	if _, err := eng2.Table("gamma"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third open starts from the compacted manifest: nothing to replay.
+	eng2.Close()
+	eng3 := noScrub(t, dir)
+	defer eng3.Close()
+	if st := eng3.Stats(); st.WALRecordsReplayed != 0 {
+		t.Fatalf("after compaction reopen replayed %d records", st.WALRecordsReplayed)
+	}
+}
+
+// corruptSnapshot flips one byte in the middle of a table's snapshot
+// file, returning the original bytes for later repair.
+func corruptSnapshot(t *testing.T, dir, table string) []byte {
+	t.Helper()
+	path := filepath.Join(dir, storage.TablesDir, storage.SnapshotFileName(table))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), orig...)
+	bad[len(bad)/2] ^= 0x20
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return orig
+}
+
+// TestCorruptSnapshotQuarantinesOnlyItsTable is the recovery degradation
+// contract: a flipped byte in one snapshot quarantines that table with a
+// typed error naming the failing column and block, while every other
+// table loads and serves.
+func TestCorruptSnapshotQuarantinesOnlyItsTable(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "good", seq(500))
+	registerInts(t, eng, "bad", seq(500))
+	eng.Close()
+	corruptSnapshot(t, dir, "bad")
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	_, err := eng2.Table("bad")
+	var qe *QuarantineError
+	if !errors.As(err, &qe) {
+		t.Fatalf("Table(bad) err = %v, want *QuarantineError", err)
+	}
+	if qe.Table != "bad" || qe.Column == "" || qe.Block == "" {
+		t.Fatalf("quarantine does not name the corrupt column/block: %+v", qe)
+	}
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("quarantine cause %v does not wrap *ChecksumError", err)
+	}
+	// SQL against the quarantined table fails with the same typed error.
+	if _, err := eng2.Query("SELECT COUNT(*) FROM bad WHERE a = 1"); !errors.As(err, &qe) {
+		t.Fatalf("query err = %v, want quarantine", err)
+	}
+	// The healthy table is unaffected.
+	res, err := eng2.Query("SELECT COUNT(*) FROM good WHERE a >= 0")
+	if err != nil || res.Count != 500 {
+		t.Fatalf("good table broken: count=%v err=%v", res, err)
+	}
+	q := eng2.QuarantinedTables()
+	if len(q) != 1 || q["bad"] == nil {
+		t.Fatalf("quarantined set = %v", q)
+	}
+	if st := eng2.Stats(); st.TablesQuarantined != 1 || st.BlocksQuarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined table and block", st)
+	}
+	// TableNames lists only serving tables.
+	if names := eng2.TableNames(); len(names) != 1 || names[0] != "good" {
+		t.Fatalf("TableNames = %v", names)
+	}
+}
+
+// TestScrubQuarantinesAndRestores corrupts a snapshot under a running
+// engine: the scrub pass must detect it (the in-memory copy is fine, the
+// durable copy is not), quarantine the table, and — after the file is
+// repaired — a later pass must restore it to service.
+func TestScrubQuarantinesAndRestores(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	defer eng.Close()
+	registerInts(t, eng, "tbl", seq(500))
+
+	rep, err := eng.ScrubAll()
+	if err != nil || len(rep.Quarantined) != 0 || rep.Blocks == 0 {
+		t.Fatalf("clean scrub: %+v err=%v", rep, err)
+	}
+
+	orig := corruptSnapshot(t, dir, "tbl")
+	rep, err = eng.ScrubAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "tbl" {
+		t.Fatalf("scrub did not quarantine: %+v", rep)
+	}
+	var qe *QuarantineError
+	if _, err := eng.Table("tbl"); !errors.As(err, &qe) || qe.Column == "" {
+		t.Fatalf("Table after scrub = %v", err)
+	}
+
+	// Repair the file; the next pass restores the table.
+	path := filepath.Join(dir, storage.TablesDir, storage.SnapshotFileName("tbl"))
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = eng.ScrubAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Restored) != 1 || rep.Restored[0] != "tbl" {
+		t.Fatalf("scrub did not restore: %+v", rep)
+	}
+	if got := intsOf(t, eng, "tbl"); len(got) != 500 {
+		t.Fatalf("restored table has %d rows", len(got))
+	}
+	st := eng.Stats()
+	if st.ScrubPasses != 3 || st.ScrubBlocksVerified == 0 || st.BlocksQuarantined != 1 {
+		t.Fatalf("scrub stats = %+v", st)
+	}
+}
+
+// TestRegisterOverQuarantineReplaces: re-registering a quarantined name
+// writes a fresh snapshot and lifts the quarantine durably.
+func TestRegisterOverQuarantineReplaces(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "tbl", seq(100))
+	eng.Close()
+	corruptSnapshot(t, dir, "tbl")
+
+	eng2 := noScrub(t, dir)
+	if _, err := eng2.Table("tbl"); err == nil {
+		t.Fatal("corrupt table served")
+	}
+	registerInts(t, eng2, "tbl", seq(42))
+	if got := intsOf(t, eng2, "tbl"); len(got) != 42 {
+		t.Fatalf("replacement has %d rows", len(got))
+	}
+	eng2.Close()
+
+	eng3 := noScrub(t, dir)
+	defer eng3.Close()
+	if len(eng3.QuarantinedTables()) != 0 {
+		t.Fatal("quarantine survived replacement")
+	}
+	if got := intsOf(t, eng3, "tbl"); len(got) != 42 {
+		t.Fatalf("recovered replacement has %d rows", len(got))
+	}
+}
+
+// TestDropQuarantined: dropping a quarantined table discards it durably.
+func TestDropQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "tbl", seq(100))
+	eng.Close()
+	corruptSnapshot(t, dir, "tbl")
+
+	eng2 := noScrub(t, dir)
+	if ok, err := eng2.Drop("tbl"); !ok || err != nil {
+		t.Fatalf("drop quarantined: ok=%v err=%v", ok, err)
+	}
+	if len(eng2.QuarantinedTables()) != 0 {
+		t.Fatal("quarantine survived drop")
+	}
+	eng2.Close()
+
+	eng3 := noScrub(t, dir)
+	defer eng3.Close()
+	if _, err := eng3.Table("tbl"); err == nil {
+		t.Fatal("dropped table recovered")
+	}
+	if st := eng3.Stats(); st.TablesQuarantined != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestEphemeralEngineUnchanged: a NewEngine carries no durability — the
+// scrub API refuses, Close is a no-op, stats stay zero.
+func TestEphemeralEngineUnchanged(t *testing.T) {
+	eng := NewEngine()
+	registerInts(t, eng, "tbl", seq(10))
+	if _, err := eng.ScrubAll(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("ScrubAll on ephemeral engine: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Durable || st.WALAppends != 0 || st.SnapshotsWritten != 0 {
+		t.Fatalf("ephemeral stats carry durability: %+v", st)
+	}
+	if eng.DataDir() != "" {
+		t.Fatal("ephemeral engine has a data dir")
+	}
+}

@@ -300,6 +300,19 @@ type EngineStats struct {
 	// CatalogEpoch is the current catalog/config epoch; it increases on
 	// every Register, DropTable and SetConfig.
 	CatalogEpoch uint64
+	// Durability (all zero unless the engine was opened on a data
+	// directory with Open; see durable.go).
+	Durable             bool
+	WALAppends          int64 // DDL records committed (written + fsynced)
+	WALFsyncs           int64 // fsync calls issued by the WAL
+	WALSizeBytes        int64 // current WAL size
+	WALRecordsReplayed  int64 // records replayed by the last Open
+	WALCompactions      int64 // manifest compactions (WAL resets)
+	SnapshotsWritten    int64 // table snapshots atomically published
+	ScrubPasses         int64 // completed background/manual scrub passes
+	ScrubBlocksVerified int64 // column blocks whose checksums re-verified
+	BlocksQuarantined   int64 // checksum-mismatched blocks found (ever)
+	TablesQuarantined   int64 // tables currently out of service
 }
 
 // Engine owns a catalog of tables, the JIT operator cache, the optimizer
@@ -321,9 +334,18 @@ type Engine struct {
 	gov       *govern.Governor
 	breaker   *govern.Breaker
 
-	mu     sync.RWMutex // guards tables and config
+	mu     sync.RWMutex // guards tables, quarantined and config
 	tables map[string]*column.Table
-	config Config
+	// quarantined holds tables taken out of service because their durable
+	// snapshot failed verification (see durable.go). Always empty on
+	// ephemeral engines.
+	quarantined map[string]*QuarantineError
+	config      Config
+
+	// dur is the durability sidecar: non-nil only for engines opened on a
+	// data directory with Open/OpenWithOptions. Nil costs nothing — the
+	// scan hot path never touches it.
+	dur *durability
 
 	// epoch is the catalog/config generation: bumped by Register, DropTable
 	// and SetConfig so cached prepared plans keyed under an older epoch can
@@ -361,15 +383,16 @@ func addCounters(a, b mach.Counters) mach.Counters {
 func NewEngine() *Engine {
 	gcfg := govern.Defaults()
 	e := &Engine{
-		params:    mach.Default(),
-		space:     mach.NewAddrSpace(),
-		tables:    make(map[string]*column.Table),
-		compiler:  jit.NewCompiler(),
-		optimizer: lqp.NewOptimizer(),
-		gov:       govern.New(gcfg),
-		breaker:   govern.NewBreaker(gcfg.Breaker),
-		config:    DefaultConfig(),
-		plans:     newPlanCache(0),
+		params:      mach.Default(),
+		space:       mach.NewAddrSpace(),
+		tables:      make(map[string]*column.Table),
+		quarantined: make(map[string]*QuarantineError),
+		compiler:    jit.NewCompiler(),
+		optimizer:   lqp.NewOptimizer(),
+		gov:         govern.New(gcfg),
+		breaker:     govern.NewBreaker(gcfg.Breaker),
+		config:      DefaultConfig(),
+		plans:       newPlanCache(0),
 	}
 	e.compiler.SetBreaker(e.breaker)
 	return e
@@ -393,7 +416,7 @@ func (e *Engine) Stats() EngineStats {
 	bs := e.breaker.Stats()
 	hits, misses, cached := e.compiler.Stats()
 	ps := e.plans.stats()
-	return EngineStats{
+	st := EngineStats{
 		Admitted:                   gs.Admitted,
 		Rejected:                   gs.Rejected,
 		QueueTimeouts:              gs.QueueTimeouts,
@@ -418,6 +441,23 @@ func (e *Engine) Stats() EngineStats {
 		PlanCacheInvalidations:     ps.invalidations,
 		CatalogEpoch:               e.epoch.Load(),
 	}
+	e.mu.RLock()
+	st.TablesQuarantined = int64(len(e.quarantined))
+	e.mu.RUnlock()
+	if d := e.dur; d != nil {
+		ws := d.wal.Stats()
+		st.Durable = true
+		st.WALAppends = ws.Appends
+		st.WALFsyncs = ws.Fsyncs
+		st.WALSizeBytes = ws.Size
+		st.WALRecordsReplayed = d.replayed
+		st.WALCompactions = d.compactions.Load()
+		st.SnapshotsWritten = d.snapshots.Load()
+		st.ScrubPasses = d.scrubPasses.Load()
+		st.ScrubBlocksVerified = d.scrubBlocks.Load()
+		st.BlocksQuarantined = d.blocksQuarantined.Load()
+	}
+	return st
 }
 
 // bumpEpoch advances the catalog/config epoch and invalidates every cached
@@ -431,9 +471,14 @@ func (e *Engine) bumpEpoch() {
 // SetConfig changes the execution strategy for subsequent queries. Queries
 // already running keep the configuration they started with. Cached
 // prepared plans are invalidated (the catalog/config epoch is bumped).
+// On a durable engine the change is logged to the WAL and fsynced before
+// it applies, so it survives a crash.
 func (e *Engine) SetConfig(c Config) error {
 	if _, err := c.options(); err != nil {
 		return err
+	}
+	if e.dur != nil {
+		return e.dur.setConfig(e, c)
 	}
 	e.mu.Lock()
 	e.config = c
@@ -449,12 +494,18 @@ func (e *Engine) Config() Config {
 	return e.config
 }
 
-// Table implements the planner catalog.
+// Table implements the planner catalog. A quarantined table — one whose
+// durable snapshot failed verification — returns its *QuarantineError,
+// distinguishing "out of service, data intact elsewhere" from "unknown".
 func (e *Engine) Table(name string) (*column.Table, error) {
 	e.mu.RLock()
 	t, ok := e.tables[name]
+	qe := e.quarantined[name]
 	e.mu.RUnlock()
 	if !ok {
+		if qe != nil {
+			return nil, qe
+		}
 		return nil, fmt.Errorf("fusedscan: unknown table %q", name)
 	}
 	return t, nil
@@ -477,13 +528,35 @@ func (e *Engine) TableNames() []string {
 // registration bumps the catalog epoch, invalidating cached prepared plans
 // so a statement prepared against a dropped-and-re-registered table name
 // can never execute a stale plan.
+//
+// On a durable engine, Register writes the table's snapshot and fsyncs a
+// WAL record before it returns: a nil error means the table survives any
+// crash. Registering over a quarantined name replaces the corrupt
+// snapshot and lifts the quarantine.
 func (e *Engine) Register(t *column.Table) error {
+	return e.registerAs(t, storage.RecordRegister)
+}
+
+// registerAs routes a registration to the durable path (snapshot + WAL
+// under the given record kind) or the plain in-memory path.
+func (e *Engine) registerAs(t *column.Table, kind storage.RecordKind) error {
+	if e.dur != nil {
+		return e.dur.register(e, t, kind)
+	}
+	return e.registerMem(t)
+}
+
+// registerMem is the in-memory half of registration: catalog insert,
+// quarantine lift, epoch bump. Durable registration calls it only after
+// the snapshot and WAL record are on disk.
+func (e *Engine) registerMem(t *column.Table) error {
 	e.mu.Lock()
 	if _, dup := e.tables[t.Name()]; dup {
 		e.mu.Unlock()
 		return fmt.Errorf("fusedscan: table %q already exists", t.Name())
 	}
 	e.tables[t.Name()] = t
+	delete(e.quarantined, t.Name())
 	e.mu.Unlock()
 	e.bumpEpoch()
 	return nil
@@ -495,7 +568,23 @@ func (e *Engine) Register(t *column.Table) error {
 // and cached prepared plans see the updated catalog — the drop bumps the
 // catalog epoch. Dropping and re-registering under the same name is how a
 // table is replaced.
+//
+// On a durable engine the drop is WAL-logged and fsynced before it
+// applies; a persistence failure leaves the table registered and returns
+// false. Use Drop to distinguish that failure from "not registered".
 func (e *Engine) DropTable(name string) bool {
+	ok, _ := e.Drop(name)
+	return ok
+}
+
+// Drop is DropTable with the persistence error surfaced: ok reports
+// whether the table was registered (or quarantined) and is now gone; a
+// non-nil error means the durable drop could not be logged and nothing
+// changed. Dropping a quarantined table discards its corrupt snapshot.
+func (e *Engine) Drop(name string) (bool, error) {
+	if e.dur != nil {
+		return e.dur.drop(e, name)
+	}
 	e.mu.Lock()
 	_, ok := e.tables[name]
 	delete(e.tables, name)
@@ -503,7 +592,7 @@ func (e *Engine) DropTable(name string) bool {
 	if ok {
 		e.bumpEpoch()
 	}
-	return ok
+	return ok, nil
 }
 
 // Space returns the engine's simulated address space (for constructing
@@ -547,7 +636,7 @@ func (e *Engine) LoadTableContext(ctx context.Context, path string) (string, err
 	if err != nil {
 		return "", err
 	}
-	if err := e.Register(t); err != nil {
+	if err := e.registerAs(t, storage.RecordLoad); err != nil {
 		return "", err
 	}
 	return t.Name(), nil

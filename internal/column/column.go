@@ -58,6 +58,27 @@ func New(space *mach.AddrSpace, name string, t expr.Type, n int) *Column {
 	}
 }
 
+// NewFromBytes wraps an existing little-endian value buffer as a column
+// without copying; len(data) must be a whole number of t.Size() lanes.
+// The storage decoder uses this so untrusted streams are read into
+// incrementally-grown buffers instead of one header-sized allocation.
+func NewFromBytes(space *mach.AddrSpace, name string, t expr.Type, data []byte) *Column {
+	if !t.Valid() {
+		panic(fmt.Sprintf("column: invalid type %d", uint8(t)))
+	}
+	if len(data)%t.Size() != 0 {
+		panic(fmt.Sprintf("column %s: %d bytes is not a whole number of %d-byte lanes", name, len(data), t.Size()))
+	}
+	return &Column{
+		name:  name,
+		typ:   t,
+		n:     len(data) / t.Size(),
+		data:  data,
+		base:  space.Alloc(len(data)),
+		space: space,
+	}
+}
+
 // Name returns the column name.
 func (c *Column) Name() string { return c.name }
 

@@ -14,6 +14,9 @@ package faultinject
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -26,11 +29,24 @@ const (
 	ModeError Mode = iota
 	// ModePanic makes Hit (and MaybePanic) panic with a *Panic value.
 	ModePanic
+	// ModeCrash makes Hit terminate the process immediately with
+	// os.Exit(CrashExitCode) — no deferred functions, no buffered writes,
+	// no fsyncs. Behaviourally equivalent to SIGKILL at that instruction,
+	// which is exactly what the crash-recovery harness needs to prove that
+	// acknowledged DDL survives an unclean death at any fault site.
+	ModeCrash
 )
 
+// CrashExitCode is the exit status a ModeCrash fault dies with, so the
+// crash harness can tell an injected crash apart from an ordinary failure.
+const CrashExitCode = 86
+
 func (m Mode) String() string {
-	if m == ModePanic {
+	switch m {
+	case ModePanic:
 		return "panic"
+	case ModeCrash:
+		return "crash"
 	}
 	return "error"
 }
@@ -61,6 +77,22 @@ const (
 	// storage.ReadTable (drives the corruption-detection path without
 	// crafting a corrupt file).
 	SiteStorageChecksum = "storage.checksum"
+	// SiteWALAppend fails (or crashes) a DDL write-ahead-log append before
+	// the record reaches the disk — the DDL must then never be
+	// acknowledged, and recovery must not surface it.
+	SiteWALAppend = "storage.wal.append"
+	// SiteSnapshotRename fails (or crashes) an atomic table-snapshot
+	// publish between writing the temp file and renaming it into place —
+	// the previous snapshot, if any, must survive intact.
+	SiteSnapshotRename = "storage.snapshot.rename"
+	// SiteScrub forces the background scrubber's checksum verification to
+	// report corruption (drives the quarantine path without flipping real
+	// bytes on disk).
+	SiteScrub = "storage.scrub"
+	// SiteWriteColumn fails (or crashes) mid-way through serializing a
+	// table — after some columns are out but before the write completes —
+	// leaving a torn file for the atomic-save machinery to contain.
+	SiteWriteColumn = "storage.write.column"
 )
 
 // Error is the injected failure returned by Hit in ModeError.
@@ -158,10 +190,43 @@ func Hit(site string) error {
 	if f.hits != f.n {
 		return nil
 	}
-	if f.mode == ModePanic {
+	switch f.mode {
+	case ModePanic:
 		panic(&Panic{Site: site, N: f.hits})
+	case ModeCrash:
+		os.Exit(CrashExitCode)
 	}
 	return &Error{Site: site, N: f.hits}
+}
+
+// ArmSpec arms one site from a "site:n[:mode]" spec string, e.g.
+// "storage.wal.append:1:crash". n is the 1-based hit to trigger on; mode
+// is "error" (default), "panic" or "crash". The server's -fault flag and
+// the crash-recovery harness use this to arm faults in a child process.
+func ArmSpec(spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" {
+		return fmt.Errorf("faultinject: bad spec %q (want site:n[:mode])", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return fmt.Errorf("faultinject: bad hit count in spec %q", spec)
+	}
+	mode := ModeError
+	if len(parts) == 3 {
+		switch parts[2] {
+		case "error":
+			mode = ModeError
+		case "panic":
+			mode = ModePanic
+		case "crash":
+			mode = ModeCrash
+		default:
+			return fmt.Errorf("faultinject: bad mode %q in spec %q (want error, panic or crash)", parts[2], spec)
+		}
+	}
+	Arm(parts[0], n, mode)
+	return nil
 }
 
 // MaybePanic is Hit for sites with no error return (e.g. inside a scan

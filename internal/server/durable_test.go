@@ -1,0 +1,219 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"fusedscan"
+	"fusedscan/internal/storage"
+)
+
+// newDurableServer opens a durable engine on a temp data directory (no
+// background scrubber — tests drive scrubs through the endpoint).
+func newDurableServer(t *testing.T) (*Server, *fusedscan.Engine, string) {
+	t.Helper()
+	dir := t.TempDir()
+	eng, err := fusedscan.OpenWithOptions(dir, fusedscan.OpenOptions{ScrubInterval: -1, ScrubBytesPerSec: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return New(eng, Options{}), eng, dir
+}
+
+func del(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodDelete, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func createTable(t *testing.T, s *Server, name string, n int) {
+	t.Helper()
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = strconv.Itoa(i % 97)
+	}
+	w := post(t, s, "/tables", CreateTableRequest{
+		Name:    name,
+		Columns: []ColumnSpec{{Name: "a", Values: vals}},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("create %s: %d %s", name, w.Code, w.Body.String())
+	}
+}
+
+func TestTableCreateQueryDrop(t *testing.T) {
+	s, _, _ := newDurableServer(t)
+	defer s.Shutdown(context.Background())
+	createTable(t, s, "orders", 500)
+
+	w := post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM orders WHERE a >= 0", Config: "native"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", w.Code, w.Body.String())
+	}
+	if resp := decode[QueryResponse](t, w); resp.Count != 500 {
+		t.Fatalf("count = %d", resp.Count)
+	}
+
+	// Duplicate name conflicts.
+	vals := []string{"1"}
+	w = post(t, s, "/tables", CreateTableRequest{Name: "orders", Columns: []ColumnSpec{{Name: "a", Values: vals}}})
+	if w.Code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d %s", w.Code, w.Body.String())
+	}
+	if resp := decode[ErrorResponse](t, w); resp.Code != "conflict" {
+		t.Fatalf("code = %q", resp.Code)
+	}
+
+	// Bad column type is a client error.
+	w = post(t, s, "/tables", CreateTableRequest{Name: "x", Columns: []ColumnSpec{{Name: "a", Type: "varchar", Values: vals}}})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad type: %d", w.Code)
+	}
+
+	if w := del(t, s, "/tables/orders"); w.Code != http.StatusOK {
+		t.Fatalf("drop: %d %s", w.Code, w.Body.String())
+	}
+	if w := del(t, s, "/tables/orders"); w.Code != http.StatusNotFound {
+		t.Fatalf("double drop: %d", w.Code)
+	}
+}
+
+// TestCreateAcknowledgedSurvivesReopen: the HTTP 200 from POST /tables is
+// a durability acknowledgement — a fresh engine over the same directory
+// serves the table.
+func TestCreateAcknowledgedSurvivesReopen(t *testing.T) {
+	s, eng, dir := newDurableServer(t)
+	createTable(t, s, "persisted", 128)
+	s.Shutdown(context.Background())
+	eng.Close()
+
+	eng2, err := fusedscan.OpenWithOptions(dir, fusedscan.OpenOptions{ScrubInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	s2 := New(eng2, Options{})
+	defer s2.Shutdown(context.Background())
+	w := post(t, s2, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM persisted WHERE a >= 0", Config: "native"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("query after reopen: %d %s", w.Code, w.Body.String())
+	}
+	if resp := decode[QueryResponse](t, w); resp.Count != 128 {
+		t.Fatalf("count = %d", resp.Count)
+	}
+}
+
+// TestScrubEndpointQuarantineTaxonomy drives the full corruption story
+// over HTTP: scrub clean, corrupt the snapshot, scrub again (503 naming
+// the quarantine), query the table (503), verify /healthz stays 200 and
+// /tables lists the casualty, repair, scrub, back in service.
+func TestScrubEndpointQuarantineTaxonomy(t *testing.T) {
+	s, _, dir := newDurableServer(t)
+	defer s.Shutdown(context.Background())
+	createTable(t, s, "vuln", 400)
+	createTable(t, s, "healthy", 100)
+
+	w := post(t, s, "/tables/vuln/scrub", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("clean scrub: %d %s", w.Code, w.Body.String())
+	}
+	if resp := decode[ScrubResponse](t, w); !resp.OK || resp.Blocks == 0 {
+		t.Fatalf("scrub response: %+v", resp)
+	}
+
+	// Corrupt the snapshot on disk.
+	path := filepath.Join(dir, storage.TablesDir, storage.SnapshotFileName("vuln"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x08
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w = post(t, s, "/tables/vuln/scrub", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("corrupt scrub: %d %s", w.Code, w.Body.String())
+	}
+	if resp := decode[ErrorResponse](t, w); resp.Code != "quarantined" {
+		t.Fatalf("code = %q", resp.Code)
+	}
+
+	// Queries against the quarantined table get the same taxonomy.
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM vuln WHERE a = 1", Config: "native"})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query quarantined: %d %s", w.Code, w.Body.String())
+	}
+
+	// The service stays healthy and other tables serve.
+	w = get(t, s, "/healthz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM healthy WHERE a >= 0", Config: "native"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthy table: %d %s", w.Code, w.Body.String())
+	}
+
+	// /tables reports the quarantine set; /varz counts it.
+	tl := decode[TablesResponse](t, get(t, s, "/tables"))
+	if len(tl.Tables) != 1 || tl.Tables[0] != "healthy" || tl.Quarantined["vuln"] == "" {
+		t.Fatalf("tables = %+v", tl)
+	}
+	vz := decode[VarzResponse](t, get(t, s, "/varz"))
+	if !vz.Engine.Durable || vz.Engine.TablesQuarantined != 1 || vz.Engine.BlocksQuarantined == 0 {
+		t.Fatalf("varz durability: %+v", vz.Engine)
+	}
+	if vz.Engine.WALAppends == 0 || vz.Engine.SnapshotsWritten != 2 {
+		t.Fatalf("varz wal/snapshots: %+v", vz.Engine)
+	}
+
+	// Repair and rescrub: the table returns to service.
+	data[len(data)/2] ^= 0x08
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if w := post(t, s, "/tables/vuln/scrub", nil); w.Code != http.StatusOK {
+		t.Fatalf("repair scrub: %d %s", w.Code, w.Body.String())
+	}
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM vuln WHERE a >= 0", Config: "native"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("restored query: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestScrubEndpointEdgeCases(t *testing.T) {
+	// Unknown table on a durable engine.
+	s, _, _ := newDurableServer(t)
+	defer s.Shutdown(context.Background())
+	if w := post(t, s, "/tables/nope/scrub", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown table scrub: %d", w.Code)
+	}
+
+	// Scrub on an ephemeral engine refuses with a clear code.
+	se := New(newTestEngine(t), Options{})
+	defer se.Shutdown(context.Background())
+	w := post(t, se, "/tables/t/scrub", nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("ephemeral scrub: %d %s", w.Code, w.Body.String())
+	}
+	if resp := decode[ErrorResponse](t, w); resp.Code != "not_durable" {
+		t.Fatalf("code = %q", resp.Code)
+	}
+
+	// DDL endpoints still work on an ephemeral engine (just not durable).
+	createTable(t, se, "mem", 10)
+	resp := decode[TableOpResponse](t, del(t, se, "/tables/mem"))
+	if !resp.OK || resp.Durable {
+		t.Fatalf("ephemeral drop: %+v", resp)
+	}
+}

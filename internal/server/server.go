@@ -83,6 +83,9 @@ func New(eng *fusedscan.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
+	s.mux.HandleFunc("POST /tables", s.handleTableCreate)
+	s.mux.HandleFunc("DELETE /tables/{name}", s.handleTableDrop)
+	s.mux.HandleFunc("POST /tables/{name}/scrub", s.handleTableScrub)
 	return s
 }
 
@@ -201,15 +204,97 @@ func (c *limitConn) Close() error {
 // ---- handlers ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Quarantined tables do not fail health: the process serves every
+	// healthy table and reports the casualties here and in /varz.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":             true,
 		"tables":         len(s.eng.TableNames()),
+		"quarantined":    len(s.eng.QuarantinedTables()),
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 	})
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"tables": s.eng.TableNames()})
+	resp := TablesResponse{Tables: s.eng.TableNames()}
+	if q := s.eng.QuarantinedTables(); len(q) > 0 {
+		resp.Quarantined = make(map[string]string, len(q))
+		for name, qe := range q {
+			resp.Quarantined[name] = qe.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTableCreate registers a table from JSON columns. On a durable
+// engine the 200 is an acknowledgement in the WAL sense: the snapshot and
+// log record are fsynced before the response leaves.
+func (s *Server) handleTableCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateTableRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" || len(req.Columns) == 0 {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "table needs a name and at least one column", Code: "bad_request"})
+		return
+	}
+	tb := s.eng.CreateTable(req.Name)
+	for _, c := range req.Columns {
+		typ := c.Type
+		if typ == "" {
+			typ = "int32"
+		}
+		tb.Column(c.Name, typ, c.Values)
+		if len(c.NullRows) > 0 {
+			tb.NullsAt(c.Name, c.NullRows)
+		}
+	}
+	if err := tb.Finish(); err != nil {
+		if strings.Contains(err.Error(), "already exists") {
+			s.writeError(w, http.StatusConflict, ErrorResponse{Error: err.Error(), Code: "conflict"})
+			return
+		}
+		s.replyError(w, err)
+		return
+	}
+	rows := 0
+	if t, err := s.eng.Table(req.Name); err == nil {
+		rows = t.Rows()
+	}
+	writeJSON(w, http.StatusOK, TableOpResponse{OK: true, Table: req.Name, Rows: rows, Durable: s.eng.DataDir() != ""})
+}
+
+func (s *Server) handleTableDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ok, err := s.eng.Drop(name)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Code: "internal"})
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown table %q", name), Code: "unknown_table"})
+		return
+	}
+	writeJSON(w, http.StatusOK, TableOpResponse{OK: true, Table: name, Durable: s.eng.DataDir() != ""})
+}
+
+// handleTableScrub re-verifies one table's snapshot checksums on demand.
+// A verification failure answers with the quarantine taxonomy (503); a
+// clean pass over a previously-quarantined table restores it.
+func (s *Server) handleTableScrub(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	blocks, err := s.eng.ScrubTable(name)
+	switch {
+	case errors.Is(err, fusedscan.ErrNotDurable):
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "not_durable"})
+		return
+	case err != nil && strings.Contains(err.Error(), "unknown table"):
+		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: err.Error(), Code: "unknown_table"})
+		return
+	case err != nil:
+		s.replyError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScrubResponse{OK: true, Table: name, Blocks: blocks})
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
@@ -491,6 +576,13 @@ func toResponse(res *fusedscan.Result, elapsed time.Duration) QueryResponse {
 // QueryErrors split client mistakes from internal faults, and everything
 // else from the parse/plan layers is a client error.
 func classify(err error) (int, ErrorResponse) {
+	var que *fusedscan.QuarantineError
+	if errors.As(err, &que) {
+		// The table exists but its durable copy failed verification: the
+		// request is well-formed, the service is healthy, this one resource
+		// is out of service until repaired or replaced.
+		return http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Code: "quarantined", Stage: "plan"}
+	}
 	var oe *fusedscan.OverloadedError
 	if errors.As(err, &oe) {
 		return http.StatusTooManyRequests, ErrorResponse{

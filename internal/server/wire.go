@@ -130,12 +130,58 @@ type StreamTrailer struct {
 	ElapsedMicros int64  `json:"elapsed_us"`
 }
 
+// TablesResponse answers GET /tables: serving tables plus the quarantine
+// set (tables whose durable snapshot failed verification, with the typed
+// reason rendered).
+type TablesResponse struct {
+	Tables      []string          `json:"tables"`
+	Quarantined map[string]string `json:"quarantined,omitempty"`
+}
+
+// CreateTableRequest is the body of POST /tables: build and register a
+// table column by column. On a durable engine the 200 acknowledgement
+// means the table's snapshot and WAL record are fsynced.
+type CreateTableRequest struct {
+	Name    string       `json:"name"`
+	Columns []ColumnSpec `json:"columns"`
+}
+
+// ColumnSpec is one column of CreateTableRequest.
+type ColumnSpec struct {
+	Name string `json:"name"`
+	// Type is any supported column type (int8..int64, uint8..uint64,
+	// float32, float64); empty defaults to int32.
+	Type   string   `json:"type,omitempty"`
+	Values []string `json:"values"`
+	// NullRows marks these row indexes NULL.
+	NullRows []int `json:"null_rows,omitempty"`
+}
+
+// TableOpResponse answers POST /tables and DELETE /tables/{name}.
+type TableOpResponse struct {
+	OK    bool   `json:"ok"`
+	Table string `json:"table"`
+	Rows  int    `json:"rows,omitempty"`
+	// Durable reports whether the operation was persisted (engine opened
+	// on a data directory).
+	Durable bool `json:"durable,omitempty"`
+}
+
+// ScrubResponse answers POST /tables/{name}/scrub after a clean pass.
+// A failed verification answers 503 code "quarantined" instead.
+type ScrubResponse struct {
+	OK     bool   `json:"ok"`
+	Table  string `json:"table"`
+	Blocks int    `json:"blocks"`
+}
+
 // ErrorResponse is the structured failure body for non-2xx responses.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable class: "overloaded",
 	// "memory_budget", "timeout", "invalid_query", "unknown_session",
-	// "unknown_stmt", "bad_request", "internal".
+	// "unknown_stmt", "unknown_table", "bad_request", "conflict",
+	// "quarantined", "not_durable", "internal".
 	Code string `json:"code"`
 	// Stage is where query processing failed ("parse", "plan", "translate",
 	// "execute") when known.

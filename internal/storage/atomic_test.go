@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fusedscan/internal/faultinject"
+	"fusedscan/internal/mach"
+)
+
+// TestSaveFileAtomicSurvivesRenameFault simulates a crash between writing
+// the temp file and publishing it: the previous snapshot must remain fully
+// loadable and no temp debris may accumulate unnoticed.
+func TestSaveFileAtomicSurvivesRenameFault(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.fscn")
+
+	old := buildTable(t, 50)
+	if err := SaveFile(path, old); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.SiteSnapshotRename, 1, faultinject.ModeError)
+	err = SaveFile(path, buildTable(t, 500))
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) || fe.Site != faultinject.SiteSnapshotRename {
+		t.Fatalf("err = %v, want injected snapshot.rename error", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed save modified the published file")
+	}
+	if _, err := LoadFile(path, mach.NewAddrSpace()); err != nil {
+		t.Fatalf("previous snapshot unreadable after failed save: %v", err)
+	}
+	if ms, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(ms) != 0 {
+		t.Fatalf("temp debris left behind: %v", ms)
+	}
+}
+
+// TestSaveFileAtomicSurvivesTornWrite fails WriteTable mid-column (the
+// torn-write crash signature): the published file must stay intact.
+func TestSaveFileAtomicSurvivesTornWrite(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.fscn")
+	if err := SaveFile(path, buildTable(t, 50)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.ReadFile(path)
+
+	// Fail on the 3rd column: some columns are already serialized.
+	faultinject.Arm(faultinject.SiteWriteColumn, 3, faultinject.ModeError)
+	if err := SaveFile(path, buildTable(t, 500)); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Fatal("torn write corrupted the published file")
+	}
+	if _, err := LoadFile(path, mach.NewAddrSpace()); err != nil {
+		t.Fatalf("snapshot unreadable after torn write: %v", err)
+	}
+}
+
+// TestSaveFileInPlaceTearsOnCrash documents why the in-place path is the
+// fallback only: the same mid-write failure destroys the only copy.
+func TestSaveFileInPlaceTearsOnCrash(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "t.fscn")
+	if err := SaveFileInPlace(path, buildTable(t, 50)); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SiteWriteColumn, 3, faultinject.ModeError)
+	if err := SaveFileInPlace(path, buildTable(t, 500)); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if _, err := LoadFile(path, mach.NewAddrSpace()); err == nil {
+		t.Fatal("in-place torn write left a loadable file — expected the tear to be visible")
+	}
+}
+
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"a.fscn.tmp-123", "MANIFEST.tmp-9", "keep.fscn"} {
+		os.WriteFile(filepath.Join(dir, n), []byte("x"), 0o644)
+	}
+	if got := RemoveStaleTemps(dir); got != 2 {
+		t.Fatalf("removed %d, want 2", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "keep.fscn")); err != nil {
+		t.Fatal("non-temp file removed")
+	}
+}
+
+// TestVerifyFile exercises the streaming scrub verifier: a clean file
+// verifies every block; each flipped byte in the payload region surfaces
+// as a *ChecksumError naming a column and block.
+func TestVerifyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.fscn")
+	tbl := buildTable(t, 300)
+	if err := SaveFile(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten typed columns, one of which (int32) carries a nulls block.
+	if want := len(tbl.Columns()) + 1; blocks != want {
+		t.Fatalf("verified %d blocks, want %d", blocks, want)
+	}
+
+	// Flip one byte somewhere in the middle of the data region.
+	data, _ := os.ReadFile(path)
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	os.WriteFile(path, corrupt, 0o644)
+	_, err = VerifyFile(path)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChecksumError", err)
+	}
+	if ce.Column == "" || ce.Block == "" {
+		t.Fatalf("checksum error does not name column/block: %+v", ce)
+	}
+}
+
+func TestVerifyFileScrubFaultInjected(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "t.fscn")
+	if err := SaveFile(path, buildTable(t, 64)); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SiteScrub, 2, faultinject.ModeError)
+	_, err := VerifyFile(path)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want injected *ChecksumError", err)
+	}
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) || fe.Site != faultinject.SiteScrub {
+		t.Fatalf("err = %v, want storage.scrub in the chain", err)
+	}
+}
+
+// TestReadTableTypedErrors asserts the satellite contract: every decode
+// failure is a typed, wrapped error — *FormatError for structure,
+// *ChecksumError for corruption — never a panic or silent misparse.
+func TestReadTableTypedErrors(t *testing.T) {
+	tbl := buildTable(t, 20)
+	var err error
+	path := filepath.Join(t.TempDir(), "t.fscn")
+	if err = SaveFile(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	good, _ := os.ReadFile(path)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("FS")},
+		{"bad magic", []byte("NOPE12345678")},
+		{"header only", good[:8]},
+		{"mid name", good[:10]},
+		{"mid data", good[:len(good)/3]},
+		{"mid checksum", good[:len(good)-2]},
+	}
+	for _, tc := range cases {
+		_, rerr := ReadTable(strings.NewReader(string(tc.data)), mach.NewAddrSpace())
+		if rerr == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var fe *FormatError
+		var ce *ChecksumError
+		if !errors.As(rerr, &fe) && !errors.As(rerr, &ce) {
+			t.Errorf("%s: untyped error %v", tc.name, rerr)
+		}
+	}
+
+	// A header that lies about the row count must fail on truncation, not
+	// attempt the giant allocation it claims.
+	lying := append([]byte(nil), good...)
+	// rows u64 sits after magic(4) + version(4) + nameLen(4)+name. Claim
+	// ~5e11 rows — under maxRows, so the decoder must hit truncation while
+	// reading the (absent) data, not reject the count outright.
+	rowsOff := 12 + len(tbl.Name())
+	copy(lying[rowsOff:rowsOff+8], []byte{0xff, 0xff, 0xff, 0xff, 0x7f, 0x00, 0x00, 0x00})
+	_, rerr := ReadTable(strings.NewReader(string(lying)), mach.NewAddrSpace())
+	var fe *FormatError
+	if !errors.As(rerr, &fe) {
+		t.Fatalf("lying row count: err = %v, want *FormatError", rerr)
+	}
+}

@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fusedscan/internal/mach"
+)
+
+// FuzzReadTable drives the storage decoder with arbitrary bytes (seeded
+// with real serialized tables and targeted mutations). The contract under
+// fuzz: never panic, never allocate unboundedly off a lying header, and
+// fail only with the typed error taxonomy — *FormatError for structure,
+// *ChecksumError for corruption.
+func FuzzReadTable(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, makeTable(70)); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("FSCN"))
+	f.Add(good[:len(good)/2])
+	// One flipped byte in the data region (checksum path).
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-6] ^= 0x01
+	f.Add(flipped)
+	// Version 1 prefix (legacy, checksum-less decode path).
+	legacy := append([]byte(nil), good...)
+	legacy[4] = 1
+	f.Add(legacy)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := ReadTable(bytes.NewReader(data), mach.NewAddrSpace())
+		if err != nil {
+			var fe *FormatError
+			var ce *ChecksumError
+			if !errors.As(err, &fe) && !errors.As(err, &ce) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		// Accepted input must be self-consistent.
+		for _, c := range tbl.Columns() {
+			if c.Len() != tbl.Rows() {
+				t.Fatalf("accepted table with ragged column %q: %d rows vs %d", c.Name(), c.Len(), tbl.Rows())
+			}
+		}
+		// And the verifier must agree with the loader.
+		if _, verr := VerifyTable(bytes.NewReader(data)); verr != nil {
+			t.Fatalf("ReadTable accepted what VerifyTable rejects: %v", verr)
+		}
+	})
+}
+
+// FuzzVerifyTable gives the streaming verifier the same hostile diet.
+func FuzzVerifyTable(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, makeTable(70)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("FSWL junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := VerifyTable(bytes.NewReader(data)); err != nil {
+			var fe *FormatError
+			var ce *ChecksumError
+			if !errors.As(err, &fe) && !errors.As(err, &ce) {
+				t.Fatalf("untyped verify error %T: %v", err, err)
+			}
+		}
+	})
+}

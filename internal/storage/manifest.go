@@ -1,0 +1,133 @@
+// The data directory's manifest: the atomically-replaced root metadata
+// file that names every table snapshot the directory holds. Recovery reads
+// the manifest, loads the snapshots it names, then replays the WAL tail on
+// top; compaction folds the WAL into a fresh manifest and resets the log.
+// The manifest is always written to a temp file, fsynced and renamed into
+// place, so a crash mid-compaction leaves the previous manifest (plus the
+// not-yet-reset WAL) — a state recovery handles by construction, because
+// replaying already-applied records is idempotent.
+
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Data-directory layout, relative to the root:
+//
+//	MANIFEST        — this file (JSON, atomically replaced)
+//	wal.log         — the DDL write-ahead log
+//	tables/*.fscn   — one atomic snapshot per table
+const (
+	ManifestFile = "MANIFEST"
+	WALFile      = "wal.log"
+	TablesDir    = "tables"
+)
+
+// manifestVersion is bumped on incompatible manifest schema changes.
+const manifestVersion = 1
+
+// Manifest is the root metadata of a data directory.
+type Manifest struct {
+	Version int `json:"version"`
+	// Epoch is the catalog epoch at the time the manifest was written
+	// (recovery restores it so prepared-plan invalidation keys keep
+	// advancing monotonically across restarts).
+	Epoch uint64 `json:"epoch"`
+	// Config is the engine configuration, JSON-encoded by the engine
+	// (opaque here).
+	Config json.RawMessage `json:"config,omitempty"`
+	// Tables names every snapshot in the directory.
+	Tables []ManifestTable `json:"tables"`
+}
+
+// ManifestTable is one table entry: the catalog name and its snapshot
+// filename relative to tables/.
+type ManifestTable struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+}
+
+// ReadManifest loads the manifest at path. A missing file returns
+// (nil, nil): an empty data directory is valid, not an error.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("storage: manifest %s: %w", path, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("storage: manifest %s: unsupported version %d (want %d)", path, m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// WriteManifest atomically replaces the manifest at path: temp file in
+// the same directory, fsync, rename, directory fsync.
+func WriteManifest(path string, m *Manifest) error {
+	m.Version = manifestVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ManifestFile+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// SnapshotFileName maps a table name onto a filesystem-safe snapshot
+// filename, deterministically and collision-free: short names made of
+// portable characters keep their spelling; anything else becomes a
+// truncated content hash of the name.
+func SnapshotFileName(table string) string {
+	if len(table) > 0 && len(table) <= 100 && safeFileChars(table) {
+		return table + ".fscn"
+	}
+	sum := sha256.Sum256([]byte(table))
+	return fmt.Sprintf("h%x.fscn", sum[:16])
+}
+
+func safeFileChars(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

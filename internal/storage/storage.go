@@ -25,7 +25,17 @@
 //
 // Version 1 files (no CRC fields) still load; they just load unverified.
 // A checksum mismatch is returned as a *ChecksumError naming the table,
-// the column and the block ("data" or "nulls") that failed.
+// the column and the block ("data" or "nulls") that failed. Every other
+// decode failure — truncation, garbage headers, implausible sizes — is a
+// *FormatError naming the field that failed; the decoder never panics and
+// never allocates more than a bounded chunk beyond the bytes actually
+// present, no matter what the header claims.
+//
+// The package also provides the durable-data-directory primitives the
+// engine's crash-recovery layer (fusedscan.Open) is built from: atomic
+// snapshot publication (SaveFile: temp file + fsync + rename), a DDL
+// write-ahead log (wal.go) and an atomically-replaced manifest
+// (manifest.go).
 package storage
 
 import (
@@ -36,6 +46,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
@@ -57,6 +68,11 @@ const (
 	maxRows = 1 << 40
 	// maxCols bounds the column count.
 	maxCols = 1 << 16
+	// blobChunk bounds how much a single allocation step of a column blob
+	// may grow: a lying header that claims terabytes of data fails with a
+	// truncation error after at most one chunk beyond the bytes actually
+	// in the stream, instead of attempting the giant allocation upfront.
+	blobChunk = 4 << 20
 )
 
 // castagnoli is the CRC32-C polynomial table (hardware-accelerated on
@@ -90,6 +106,27 @@ func (e *ChecksumError) Error() string {
 // Unwrap exposes an injected cause to errors.Is / errors.As.
 func (e *ChecksumError) Unwrap() error { return e.Err }
 
+// FormatError reports a structurally invalid table stream: truncation,
+// garbage headers, implausible sizes, unknown types. Field names the part
+// of the layout that failed ("magic", "rows", `column "x" data`, ...) and
+// Err carries the underlying cause (io.ErrUnexpectedEOF for short reads).
+type FormatError struct {
+	Field string
+	Err   error
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("storage: invalid table file: %s: %v", e.Field, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *FormatError) Unwrap() error { return e.Err }
+
+// formatErrf builds a *FormatError with a formatted cause.
+func formatErrf(field, format string, args ...any) error {
+	return &FormatError{Field: field, Err: fmt.Errorf(format, args...)}
+}
+
 // Transient reports whether a load failure is worth retrying: transient
 // I/O faults (modelled by the storage.load fault-injection site) are;
 // corruption (checksum mismatches) and format errors are deterministic
@@ -118,6 +155,14 @@ func WriteTable(w io.Writer, t *column.Table) error {
 		return err
 	}
 	for _, c := range t.Columns() {
+		// Crash/fault site for the "torn write" failure mode: a process
+		// death here leaves some columns serialized and the rest missing.
+		// The atomic SaveFile path contains the damage to a temp file; the
+		// in-place path is what this site exists to demonstrate against.
+		if err := faultinject.Hit(faultinject.SiteWriteColumn); err != nil {
+			bw.Flush() // make the tear visible on disk, as a real crash would
+			return fmt.Errorf("storage: writing column %q: %w", c.Name(), err)
+		}
 		if err := writeString(bw, c.Name()); err != nil {
 			return err
 		}
@@ -168,79 +213,110 @@ func validityWords(c *column.Column) []byte {
 	return out
 }
 
-// ReadTable deserializes a table, allocating its columns in space.
-func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
-	br := bufio.NewReader(r)
+// tableHeader is the parsed fixed prelude shared by ReadTable and
+// VerifyTable.
+type tableHeader struct {
+	name        string
+	rows        uint64
+	cols        uint32
+	checksummed bool
+}
+
+// readHeader parses and validates the magic/version/name/rows/cols
+// prelude. Every failure is a *FormatError.
+func readHeader(br *bufio.Reader) (tableHeader, error) {
+	var h tableHeader
 	var mg [4]byte
 	if _, err := io.ReadFull(br, mg[:]); err != nil {
-		return nil, fmt.Errorf("storage: reading magic: %w", err)
+		return h, &FormatError{Field: "magic", Err: err}
 	}
 	if string(mg[:]) != magic {
-		return nil, fmt.Errorf("storage: bad magic %q (not a fusedscan table file)", mg)
+		return h, formatErrf("magic", "bad magic %q (not a fusedscan table file)", mg)
 	}
-	ver, err := readU32(br)
+	ver, err := readU32(br, "version")
 	if err != nil {
-		return nil, err
+		return h, err
 	}
 	if ver != version && ver != versionLegacy {
-		return nil, fmt.Errorf("storage: unsupported version %d (want %d or legacy %d)", ver, version, versionLegacy)
+		return h, formatErrf("version", "unsupported version %d (want %d or legacy %d)", ver, version, versionLegacy)
 	}
-	checksummed := ver >= 2
-	name, err := readString(br)
-	if err != nil {
-		return nil, err
+	h.checksummed = ver >= 2
+	if h.name, err = readString(br, "table name"); err != nil {
+		return h, err
 	}
-	var rows uint64
-	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
-		return nil, err
+	if err := binary.Read(br, binary.LittleEndian, &h.rows); err != nil {
+		return h, &FormatError{Field: "rows", Err: noEOF(err)}
 	}
-	if rows > maxRows {
-		return nil, fmt.Errorf("storage: implausible row count %d", rows)
+	if h.rows > maxRows {
+		return h, formatErrf("rows", "implausible row count %d", h.rows)
 	}
-	ncols, err := readU32(br)
-	if err != nil {
-		return nil, err
+	if h.cols, err = readU32(br, "cols"); err != nil {
+		return h, err
 	}
-	if ncols > maxCols {
-		return nil, fmt.Errorf("storage: implausible column count %d", ncols)
+	if h.cols > maxCols {
+		return h, formatErrf("cols", "implausible column count %d", h.cols)
 	}
+	return h, nil
+}
 
-	tbl := column.NewTable(space, name)
-	for ci := uint32(0); ci < ncols; ci++ {
-		cname, err := readString(br)
+// columnHeader parses one column's name/type/nulls prelude.
+func readColumnHeader(br *bufio.Reader) (cname string, typ expr.Type, hasNulls bool, err error) {
+	if cname, err = readString(br, "column name"); err != nil {
+		return
+	}
+	tb, err := br.ReadByte()
+	if err != nil {
+		return cname, 0, false, &FormatError{Field: fmt.Sprintf("column %q type", cname), Err: noEOF(err)}
+	}
+	typ = expr.Type(tb)
+	if !typ.Valid() {
+		return cname, 0, false, formatErrf(fmt.Sprintf("column %q type", cname), "invalid type %d", tb)
+	}
+	nb, err := br.ReadByte()
+	if err != nil {
+		return cname, 0, false, &FormatError{Field: fmt.Sprintf("column %q null flag", cname), Err: noEOF(err)}
+	}
+	if nb > 1 {
+		return cname, 0, false, formatErrf(fmt.Sprintf("column %q null flag", cname), "invalid null flag %d", nb)
+	}
+	return cname, typ, nb == 1, nil
+}
+
+// ReadTable deserializes a table, allocating its columns in space. The
+// decoder is hardened against hostile input: a header claiming more bytes
+// than the stream holds fails with a typed *FormatError after bounded
+// incremental allocation, never an upfront multi-gigabyte make().
+func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
+	br := bufio.NewReader(r)
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	tbl := column.NewTable(space, h.name)
+	for ci := uint32(0); ci < h.cols; ci++ {
+		cname, typ, hasNulls, err := readColumnHeader(br)
 		if err != nil {
 			return nil, err
 		}
-		tb, err := br.ReadByte()
+		data, err := readBlob(br, int64(h.rows)*int64(typ.Size()), fmt.Sprintf("column %q data", cname))
 		if err != nil {
 			return nil, err
 		}
-		typ := expr.Type(tb)
-		if !typ.Valid() {
-			return nil, fmt.Errorf("storage: column %q has invalid type %d", cname, tb)
-		}
-		hasNulls, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		c := column.New(space, cname, typ, int(rows))
-		if _, err := io.ReadFull(br, c.Data()); err != nil {
-			return nil, fmt.Errorf("storage: column %q data: %w", cname, err)
-		}
-		if checksummed {
-			if err := verifyBlock(br, name, cname, "data", c.Data()); err != nil {
+		c := column.NewFromBytes(space, cname, typ, data)
+		if h.checksummed {
+			if err := verifyBlock(br, h.name, cname, "data", c.Data()); err != nil {
 				return nil, err
 			}
 		}
-		if hasNulls == 1 {
+		if hasNulls {
 			c.EnsureNulls()
-			words := (int(rows) + 63) / 64
-			nulls := make([]byte, words*8)
-			if _, err := io.ReadFull(br, nulls); err != nil {
-				return nil, fmt.Errorf("storage: column %q nulls: %w", cname, err)
+			words := (int(h.rows) + 63) / 64
+			nulls, err := readBlob(br, int64(words)*8, fmt.Sprintf("column %q nulls", cname))
+			if err != nil {
+				return nil, err
 			}
-			if checksummed {
-				if err := verifyBlock(br, name, cname, "nulls", nulls); err != nil {
+			if h.checksummed {
+				if err := verifyBlock(br, h.name, cname, "nulls", nulls); err != nil {
 					return nil, err
 				}
 			}
@@ -248,7 +324,7 @@ func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
 				word := binary.LittleEndian.Uint64(nulls[wi*8:])
 				for b := 0; b < 64; b++ {
 					row := wi*64 + b
-					if row >= int(rows) {
+					if row >= int(h.rows) {
 						break
 					}
 					if word&(1<<uint(b)) == 0 {
@@ -256,23 +332,122 @@ func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
 					}
 				}
 			}
-		} else if hasNulls != 0 {
-			return nil, fmt.Errorf("storage: column %q has invalid null flag %d", cname, hasNulls)
 		}
 		if err := tbl.AddColumn(c); err != nil {
-			return nil, err
+			return nil, &FormatError{Field: fmt.Sprintf("column %q", cname), Err: err}
 		}
 	}
 	return tbl, nil
+}
+
+// VerifyTable reads a serialized table from r, checking structure and
+// every block checksum without materializing columns — the streaming
+// verification pass behind the background scrubber. It returns the number
+// of checksummed blocks verified. Corruption surfaces as a
+// *ChecksumError naming the column and block; structural damage as a
+// *FormatError. Legacy v1 streams (no checksums) verify structurally only
+// and report zero blocks.
+func VerifyTable(r io.Reader) (blocks int, err error) {
+	br := bufio.NewReader(r)
+	h, err := readHeader(br)
+	if err != nil {
+		return 0, err
+	}
+	for ci := uint32(0); ci < h.cols; ci++ {
+		cname, typ, hasNulls, err := readColumnHeader(br)
+		if err != nil {
+			return blocks, err
+		}
+		n, err := verifyStreamBlock(br, h, cname, "data", int64(h.rows)*int64(typ.Size()))
+		if err != nil {
+			return blocks, err
+		}
+		blocks += n
+		if hasNulls {
+			words := (int64(h.rows) + 63) / 64
+			n, err := verifyStreamBlock(br, h, cname, "nulls", words*8)
+			if err != nil {
+				return blocks, err
+			}
+			blocks += n
+		}
+	}
+	return blocks, nil
+}
+
+// verifyStreamBlock streams size bytes through a CRC32-C and compares the
+// result against the stored checksum that follows (version >= 2). The
+// storage.scrub fault-injection site forces a verification failure here,
+// so the quarantine path can be driven without flipping real bytes.
+func verifyStreamBlock(br *bufio.Reader, h tableHeader, cname, block string, size int64) (int, error) {
+	field := fmt.Sprintf("column %q %s", cname, block)
+	crc := crc32.New(castagnoli)
+	if _, err := io.CopyN(crc, br, size); err != nil {
+		return 0, &FormatError{Field: field, Err: noEOF(err)}
+	}
+	if !h.checksummed {
+		return 0, nil
+	}
+	want, err := readU32(br, field+" checksum")
+	if err != nil {
+		return 0, err
+	}
+	if ierr := faultinject.Hit(faultinject.SiteScrub); ierr != nil {
+		return 0, &ChecksumError{Table: h.name, Column: cname, Block: block, Err: ierr}
+	}
+	if got := crc.Sum32(); got != want {
+		return 0, &ChecksumError{Table: h.name, Column: cname, Block: block, Want: want, Got: got}
+	}
+	return 1, nil
+}
+
+// VerifyFile is VerifyTable over a file path.
+func VerifyFile(path string) (blocks int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	blocks, err = VerifyTable(f)
+	if err != nil {
+		return blocks, fmt.Errorf("storage: verifying %s: %w", path, err)
+	}
+	return blocks, nil
+}
+
+// readBlob reads exactly n bytes, growing the buffer in bounded chunks so
+// truncated input fails fast with a typed error instead of allocating what
+// a lying header claims.
+func readBlob(r io.Reader, n int64, field string) ([]byte, error) {
+	if n < 0 {
+		return nil, formatErrf(field, "negative size %d", n)
+	}
+	capHint := n
+	if capHint > blobChunk {
+		capHint = blobChunk
+	}
+	buf := make([]byte, 0, capHint)
+	for int64(len(buf)) < n {
+		chunk := n - int64(len(buf))
+		if chunk > blobChunk {
+			chunk = blobChunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, &FormatError{Field: field, Err: noEOF(err)}
+		}
+	}
+	return buf, nil
 }
 
 // verifyBlock reads the stored CRC32-C that follows a column block and
 // compares it against the bytes just read, returning a *ChecksumError on
 // mismatch (or when the storage.checksum fault-injection site is armed).
 func verifyBlock(r io.Reader, table, col, block string, data []byte) error {
-	want, err := readU32(r)
+	want, err := readU32(r, fmt.Sprintf("column %q %s checksum", col, block))
 	if err != nil {
-		return fmt.Errorf("storage: column %q %s checksum: %w", col, block, err)
+		return err
 	}
 	if ierr := faultinject.Hit(faultinject.SiteStorageChecksum); ierr != nil {
 		return &ChecksumError{Table: table, Column: col, Block: block, Err: ierr}
@@ -283,8 +458,52 @@ func verifyBlock(r io.Reader, table, col, block string, data []byte) error {
 	return nil
 }
 
-// SaveFile writes a table to path.
+// SaveFile writes a table to path atomically: the bytes go to a temp file
+// in the same directory, are fsynced, and only then renamed over path, so
+// a crash at any instant leaves either the complete previous file or the
+// complete new one — never a torn hybrid. The directory is fsynced after
+// the rename (best effort) so the new name itself survives a power cut.
 func SaveFile(path string, t *column.Table) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := WriteTable(tmp, t); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Crash/fault site for the publish step: dying here must leave the
+	// previous snapshot (if any) fully intact and only temp debris behind.
+	if err := faultinject.Hit(faultinject.SiteSnapshotRename); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: publishing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// SaveFileInPlace is the legacy writer: it truncates and rewrites path
+// directly, with no temp file, fsync or rename — a crash mid-write tears
+// the only copy. It remains only as the WAL-less fallback for callers that
+// explicitly accept that risk (and for the tests that demonstrate it).
+func SaveFileInPlace(path string, t *column.Table) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -294,6 +513,36 @@ func SaveFile(path string, t *column.Table) error {
 		return err
 	}
 	return f.Close()
+}
+
+// tmpSuffix marks in-flight temp files (CreateTemp appends random digits
+// to the "*"). RemoveStaleTemps matches them during recovery.
+const tmpSuffix = ".tmp-*"
+
+// RemoveStaleTemps deletes leftover atomic-write temp files in dir —
+// debris from crashes between temp-write and rename. It returns how many
+// were removed.
+func RemoveStaleTemps(dir string) int {
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	removed := 0
+	for _, m := range matches {
+		if os.Remove(m) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best effort: some platforms/filesystems reject directory fsync, and the
+// rename itself is still atomic there.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // LoadFile reads a table from path. Errors are wrapped with the file path
@@ -314,14 +563,25 @@ func LoadFile(path string, space *mach.AddrSpace) (*column.Table, error) {
 	return t, nil
 }
 
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF: inside a table
+// stream, running out of bytes mid-structure is always a truncation.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
 func writeU32(w io.Writer, v uint32) error {
 	return binary.Write(w, binary.LittleEndian, v)
 }
 
-func readU32(r io.Reader) (uint32, error) {
+func readU32(r io.Reader, field string) (uint32, error) {
 	var v uint32
-	err := binary.Read(r, binary.LittleEndian, &v)
-	return v, err
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return 0, &FormatError{Field: field, Err: noEOF(err)}
+	}
+	return v, nil
 }
 
 func writeString(w io.Writer, s string) error {
@@ -335,17 +595,17 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
-func readString(r io.Reader) (string, error) {
-	n, err := readU32(r)
+func readString(r io.Reader, field string) (string, error) {
+	n, err := readU32(r, field+" length")
 	if err != nil {
 		return "", err
 	}
 	if n > maxNameLen {
-		return "", fmt.Errorf("storage: name length %d exceeds limit", n)
+		return "", formatErrf(field, "length %d exceeds limit", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+		return "", &FormatError{Field: field, Err: noEOF(err)}
 	}
 	return string(buf), nil
 }

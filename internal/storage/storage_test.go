@@ -15,6 +15,11 @@ import (
 
 func buildTable(t *testing.T, n int) *column.Table {
 	t.Helper()
+	return makeTable(n)
+}
+
+// makeTable is buildTable without the *testing.T, usable from fuzz seeds.
+func makeTable(n int) *column.Table {
 	rng := rand.New(rand.NewSource(4))
 	space := mach.NewAddrSpace()
 	tbl := column.NewTable(space, "mytable")

@@ -1,0 +1,324 @@
+// The DDL write-ahead log: the durable record of every catalog mutation
+// (Register / Load / Drop / SetConfig) in a data directory. Records are
+// length-prefixed and CRC32-C framed, and every append is fsynced before
+// the DDL is acknowledged, so an acknowledged mutation survives any crash.
+// Replay tolerates a torn final record — the signature of a crash mid-
+// append — by truncating the log back to the last intact record; nothing
+// after a tear can have been acknowledged, because acknowledgement
+// requires the fsync that never completed.
+//
+// Log layout (all integers little-endian):
+//
+//	magic   "FSWL"      4 bytes
+//	version u32         currently 1
+//	record*:
+//	  payloadLen u32    bounded by maxWALRecord
+//	  payloadCRC u32    CRC32-C of payload
+//	  payload:
+//	    kind    u8      RecordKind
+//	    nameLen u32 + bytes
+//	    blobLen u32 + bytes   (snapshot filename, config JSON, ...)
+
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"fusedscan/internal/faultinject"
+)
+
+const (
+	walMagic   = "FSWL"
+	walVersion = 1
+	// walHeaderSize is the byte offset of the first record.
+	walHeaderSize = 8
+	// maxWALRecord bounds one record's payload so a corrupt length prefix
+	// cannot trigger a huge allocation during replay.
+	maxWALRecord = 1 << 20
+)
+
+// RecordKind identifies a DDL operation in the write-ahead log.
+type RecordKind uint8
+
+const (
+	// RecordRegister: a table was registered; Name is the table, Blob the
+	// snapshot filename (relative to the data directory's tables/).
+	RecordRegister RecordKind = 1
+	// RecordLoad: a table was loaded from an external file and registered;
+	// encoded like RecordRegister (the snapshot in Blob is the durable
+	// copy, not the external source).
+	RecordLoad RecordKind = 2
+	// RecordDrop: the table in Name was dropped.
+	RecordDrop RecordKind = 3
+	// RecordSetConfig: the engine configuration changed; Blob is the
+	// JSON-encoded configuration (opaque to this package).
+	RecordSetConfig RecordKind = 4
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case RecordRegister:
+		return "register"
+	case RecordLoad:
+		return "load"
+	case RecordDrop:
+		return "drop"
+	case RecordSetConfig:
+		return "setconfig"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one WAL entry.
+type Record struct {
+	Kind RecordKind
+	Name string // table name (empty for setconfig)
+	Blob []byte // snapshot filename or config JSON, per Kind
+}
+
+// encode renders the record payload (everything the CRC covers).
+func (r Record) encode() ([]byte, error) {
+	if len(r.Name) > maxNameLen {
+		return nil, fmt.Errorf("storage: wal record name too long (%d bytes)", len(r.Name))
+	}
+	if 9+len(r.Name)+len(r.Blob) > maxWALRecord {
+		return nil, fmt.Errorf("storage: wal record too large (%d blob bytes)", len(r.Blob))
+	}
+	buf := make([]byte, 0, 9+len(r.Name)+len(r.Blob))
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Name)))
+	buf = append(buf, r.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Blob)))
+	buf = append(buf, r.Blob...)
+	return buf, nil
+}
+
+// decodeRecord parses a payload back into a Record.
+func decodeRecord(payload []byte) (Record, error) {
+	var rec Record
+	if len(payload) < 9 {
+		return rec, fmt.Errorf("storage: wal payload too short (%d bytes)", len(payload))
+	}
+	rec.Kind = RecordKind(payload[0])
+	p := payload[1:]
+	nameLen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint64(nameLen) > uint64(len(p)) {
+		return rec, fmt.Errorf("storage: wal name length %d exceeds payload", nameLen)
+	}
+	rec.Name = string(p[:nameLen])
+	p = p[nameLen:]
+	if len(p) < 4 {
+		return rec, fmt.Errorf("storage: wal blob length missing")
+	}
+	blobLen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint64(blobLen) != uint64(len(p)) {
+		return rec, fmt.Errorf("storage: wal blob length %d does not match payload remainder %d", blobLen, len(p))
+	}
+	rec.Blob = append([]byte(nil), p...)
+	return rec, nil
+}
+
+// WAL is an open DDL write-ahead log. Safe for concurrent use; appends
+// are serialized and each one is fsynced before returning.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64
+	appends int64
+	fsyncs  int64
+}
+
+// WALStats snapshots the log's counters for the durability dashboard.
+type WALStats struct {
+	Appends int64 // records successfully committed (written + fsynced)
+	Fsyncs  int64 // fsync calls issued
+	Size    int64 // current log size in bytes, header included
+}
+
+// OpenWAL opens (creating if needed) the log at path, replays every
+// intact committed record, truncates a torn tail, and returns the WAL
+// positioned for append. truncated reports whether a tear was cut off.
+func OpenWAL(path string) (w *WAL, records []Record, truncated bool, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	if fi.Size() == 0 {
+		// Fresh log: write the header.
+		var hdr [walHeaderSize]byte
+		copy(hdr[:4], walMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+		return &WAL{f: f, path: path, size: walHeaderSize}, nil, false, nil
+	}
+
+	records, good, readErr := replayWAL(f)
+	if readErr != nil {
+		f.Close()
+		return nil, nil, false, readErr
+	}
+	if good < fi.Size() {
+		// Torn or corrupt tail: everything after the last intact record was
+		// never acknowledged (its fsync did not complete), so cut it off and
+		// continue from the consistent prefix.
+		truncated = true
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("storage: truncating torn wal tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	return &WAL{f: f, path: path, size: good}, records, truncated, nil
+}
+
+// replayWAL scans the log from the start, returning every intact record
+// and the byte offset just past the last one. A short read, bad length or
+// CRC mismatch ends the scan (the tail is torn); a bad header is an error.
+func replayWAL(f *os.File) (records []Record, good int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	br := bufio.NewReader(f)
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("storage: wal header: %w", noEOF(err))
+	}
+	if string(hdr[:4]) != walMagic {
+		return nil, 0, fmt.Errorf("storage: bad wal magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != walVersion {
+		return nil, 0, fmt.Errorf("storage: unsupported wal version %d (want %d)", v, walVersion)
+	}
+	good = walHeaderSize
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return records, good, nil // clean EOF or torn length prefix
+		}
+		payloadLen := binary.LittleEndian.Uint32(frame[:4])
+		wantCRC := binary.LittleEndian.Uint32(frame[4:])
+		if payloadLen > maxWALRecord {
+			return records, good, nil // corrupt tail
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return records, good, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return records, good, nil // corrupt tail
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return records, good, nil // structurally bad despite CRC: stop
+		}
+		records = append(records, rec)
+		good += 8 + int64(payloadLen)
+	}
+}
+
+// Append commits one record: frame, write, fsync. The record is durable
+// when Append returns nil — only then may the DDL be acknowledged. The
+// storage.wal.append fault-injection site fires before any bytes are
+// written, modelling a failure (or crash) where the mutation never
+// reaches the disk.
+func (w *WAL) Append(rec Record) error {
+	payload, err := rec.encode()
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := faultinject.Hit(faultinject.SiteWALAppend); err != nil {
+		return fmt.Errorf("storage: wal append %s %q: %w", rec.Kind, rec.Name, err)
+	}
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	n, werr := w.f.Write(frame)
+	if werr != nil {
+		// A partial frame may be on disk: wind back so the log stays a
+		// clean prefix of intact records (replay would cut it anyway).
+		w.f.Truncate(w.size)
+		w.f.Seek(w.size, io.SeekStart)
+		return fmt.Errorf("storage: wal append %s %q: wrote %d of %d bytes: %w", rec.Kind, rec.Name, n, len(frame), werr)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Truncate(w.size)
+		w.f.Seek(w.size, io.SeekStart)
+		return fmt.Errorf("storage: wal fsync: %w", err)
+	}
+	w.size += int64(len(frame))
+	w.appends++
+	w.fsyncs++
+	return nil
+}
+
+// Size returns the log's current size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Stats snapshots the counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{Appends: w.appends, Fsyncs: w.fsyncs, Size: w.size}
+}
+
+// Reset truncates the log back to an empty header — called after a
+// snapshot compaction has folded every logged mutation into the manifest.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(walHeaderSize); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs++
+	w.size = walHeaderSize
+	return nil
+}
+
+// Close closes the underlying file. The log needs no shutdown protocol —
+// every committed record is already fsynced.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

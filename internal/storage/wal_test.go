@@ -1,0 +1,272 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fusedscan/internal/faultinject"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	path := walPath(t)
+	w, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || truncated {
+		t.Fatalf("fresh wal: %d records, truncated=%v", len(recs), truncated)
+	}
+	want := []Record{
+		{Kind: RecordRegister, Name: "orders", Blob: []byte("orders.fscn")},
+		{Kind: RecordSetConfig, Blob: []byte(`{"Simulate":false}`)},
+		{Kind: RecordLoad, Name: "läger ✓", Blob: []byte("h0abc.fscn")},
+		{Kind: RecordDrop, Name: "orders"},
+	}
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Appends != int64(len(want)) || st.Fsyncs < int64(len(want)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, got, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Name != want[i].Name || !bytes.Equal(got[i].Blob, want[i].Blob) {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Appending after replay keeps extending the same log.
+	if err := w2.Append(Record{Kind: RecordDrop, Name: "tail"}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, got, _, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)+1 || got[len(got)-1].Name != "tail" {
+		t.Fatalf("after re-append: %d records, last %+v", len(got), got[len(got)-1])
+	}
+}
+
+// TestWALTornTail cuts the log at every byte boundary inside the final
+// record and asserts replay recovers exactly the intact prefix, truncates
+// the tear, and the log accepts new appends afterwards.
+func TestWALTornTail(t *testing.T) {
+	path := walPath(t)
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: RecordRegister, Name: "keep", Blob: []byte("keep.fscn")}); err != nil {
+		t.Fatal(err)
+	}
+	intact := w.Size()
+	if err := w.Append(Record{Kind: RecordRegister, Name: "torn", Blob: []byte("torn.fscn")}); err != nil {
+		t.Fatal(err)
+	}
+	full := w.Size()
+	w.Close()
+	goodBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := intact + 1; cut < full; cut++ {
+		if err := os.WriteFile(path, goodBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, recs, truncated, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if !truncated {
+			t.Errorf("cut=%d: tear not reported", cut)
+		}
+		if len(recs) != 1 || recs[0].Name != "keep" {
+			t.Fatalf("cut=%d: replayed %+v, want only the intact record", cut, recs)
+		}
+		if w.Size() != intact {
+			t.Errorf("cut=%d: size %d after truncation, want %d", cut, w.Size(), intact)
+		}
+		// The log must be appendable after a tear was cut off.
+		if err := w.Append(Record{Kind: RecordDrop, Name: "after"}); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		w.Close()
+		_, recs, _, err = OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 2 || recs[1].Name != "after" {
+			t.Fatalf("cut=%d: after re-append replay got %+v", cut, recs)
+		}
+	}
+}
+
+// TestWALCorruptTailCRC flips a payload byte of the last record: the CRC
+// must reject it and replay must stop at the previous record.
+func TestWALCorruptTailCRC(t *testing.T) {
+	path := walPath(t)
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(Record{Kind: RecordRegister, Name: "keep", Blob: []byte("keep.fscn")})
+	intact := w.Size()
+	w.Append(Record{Kind: RecordRegister, Name: "bad", Blob: []byte("bad.fscn")})
+	w.Close()
+
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	w2, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !truncated || len(recs) != 1 || recs[0].Name != "keep" {
+		t.Fatalf("truncated=%v records=%+v, want tear cut at the corrupt record", truncated, recs)
+	}
+	if w2.Size() != intact {
+		t.Fatalf("size %d, want %d", w2.Size(), intact)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := walPath(t)
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w.Append(Record{Kind: RecordDrop, Name: "t"})
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != walHeaderSize {
+		t.Fatalf("size after reset = %d", w.Size())
+	}
+	if err := w.Append(Record{Kind: RecordRegister, Name: "fresh", Blob: []byte("f.fscn")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, recs, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "fresh" {
+		t.Fatalf("after reset replay = %+v", recs)
+	}
+}
+
+func TestWALAppendFaultInjected(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	path := walPath(t)
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	faultinject.Arm(faultinject.SiteWALAppend, 1, faultinject.ModeError)
+	err = w.Append(Record{Kind: RecordRegister, Name: "t", Blob: []byte("t.fscn")})
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) || fe.Site != faultinject.SiteWALAppend {
+		t.Fatalf("err = %v, want injected wal.append error", err)
+	}
+	if w.Stats().Appends != 0 {
+		t.Fatal("failed append counted as committed")
+	}
+	// Next append (fault consumed) succeeds and the log holds exactly it.
+	if err := w.Append(Record{Kind: RecordRegister, Name: "ok", Blob: []byte("ok.fscn")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, recs, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "ok" {
+		t.Fatalf("replay = %+v", recs)
+	}
+}
+
+func TestWALGarbageHeader(t *testing.T) {
+	path := walPath(t)
+	os.WriteFile(path, []byte("not a wal at all"), 0o644)
+	if _, _, _, err := OpenWAL(path); err == nil {
+		t.Fatal("garbage wal opened")
+	}
+}
+
+func TestManifestRoundTripAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ManifestFile)
+	m, err := ReadManifest(path)
+	if err != nil || m != nil {
+		t.Fatalf("missing manifest: m=%v err=%v, want nil/nil", m, err)
+	}
+	in := &Manifest{
+		Epoch:  42,
+		Config: []byte(`{"Simulate":true}`),
+		Tables: []ManifestTable{{Name: "a", File: "a.fscn"}, {Name: "weird name", File: SnapshotFileName("weird name")}},
+	}
+	if err := WriteManifest(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != 42 || len(out.Tables) != 2 || out.Tables[1].Name != "weird name" {
+		t.Fatalf("manifest round trip: %+v", out)
+	}
+	// No temp debris left behind.
+	if ms, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(ms) != 0 {
+		t.Fatalf("temp files left: %v", ms)
+	}
+}
+
+func TestSnapshotFileName(t *testing.T) {
+	if got := SnapshotFileName("orders_2024"); got != "orders_2024.fscn" {
+		t.Fatalf("clean name mangled: %q", got)
+	}
+	a, b := SnapshotFileName("sp ace"), SnapshotFileName("sp/ace")
+	if a == b {
+		t.Fatal("distinct unsafe names collided")
+	}
+	for _, n := range []string{"sp ace", "a/../b", string(make([]byte, 300))} {
+		f := SnapshotFileName(n)
+		if filepath.Base(f) != f || len(f) > 255 {
+			t.Fatalf("unsafe name %q produced unsafe file %q", n, f)
+		}
+	}
+}
