@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race soak fuzz fuzz-storage bench bench-smoke bench-native bench-native-check serve-check crash-check generate vuln clean
+.PHONY: check build vet test race soak fuzz fuzz-storage bench bench-smoke bench-native bench-native-check serve-check bench-serve bench-serve-check crash-check generate vuln clean
 
-check: build vet race soak bench-smoke bench-native-check serve-check crash-check vuln
+check: build vet race soak bench-smoke bench-native-check serve-check bench-serve-check crash-check vuln
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,21 @@ bench-native-check:
 # (a real 429 with Retry-After under load) and a streamed 1M-row result.
 serve-check:
 	$(GO) run ./cmd/fusedscan-server -selfcheck
+
+# Sustained-overload gate: an in-process server under ~2x its calibrated
+# capacity with a mixed ad-hoc/prepared/streamed workload, a stalled
+# streaming reader, an injected write stall and a fault-injected
+# recovery leg. Regenerate the checked-in baseline with
+# `go run ./cmd/fusedscan-load -out BENCH_SERVE.json`.
+bench-serve:
+	$(GO) run ./cmd/fusedscan-load -out BENCH_SERVE.json
+
+# Regression gate over BENCH_SERVE.json: hard invariants always (typed
+# errors only under overload, bounded stall disconnect, zero duplicated
+# results), plus p99 latency within 20% of baseline and shed rate within
+# +0.20 absolute.
+bench-serve-check:
+	$(GO) run ./cmd/fusedscan-load -check BENCH_SERVE.json -tol 0.20
 
 # Crash-recovery harness: spawns fault-injected child servers on a
 # durable data directory, SIGKILL-equivalently crashes them mid-DDL at

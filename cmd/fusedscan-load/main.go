@@ -1,0 +1,642 @@
+// Command fusedscan-load is the sustained-overload gate for the serving
+// stack. It starts an in-process fusedscan-server on a loopback port with
+// tight admission limits, then drives it through four phases:
+//
+//  1. calibrate: closed-loop probes measure the server's clean capacity.
+//  2. overload: a closed-loop worker fleet offers ~2x that capacity in a
+//     mixed ad-hoc / prepared / streamed workload, recording p50/p99
+//     latency, achieved qps, shed rate, and the full error taxonomy —
+//     every failure must be a typed, retryable error.
+//  3. stall: a raw TCP client reads a few bytes of a multi-megabyte
+//     ndjson stream and stops; the server must disconnect it within the
+//     write deadline and release its admission slot and memory budget.
+//     A second leg injects the same stall through the server.write.stall
+//     fault site.
+//  4. recovery: the resilient internal/client runs queries through
+//     injected connection resets (client.conn.reset) against the still
+//     tightly-governed server and must recover every one without
+//     duplicating results.
+//
+// The run writes a JSON report; -check compares a fresh run against the
+// checked-in BENCH_SERVE.json: p99 latency may not regress by more than
+// -tol, shed rate may not grow by more than -tol (absolute), and the
+// hard invariants (typed errors only, bounded stall disconnect, zero
+// duplicates) must hold regardless of the baseline.
+//
+//	fusedscan-load -out BENCH_SERVE.json      # write the baseline
+//	fusedscan-load -check BENCH_SERVE.json    # gate regressions
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fusedscan"
+	"fusedscan/internal/client"
+	"fusedscan/internal/faultinject"
+	"fusedscan/internal/server"
+)
+
+type recoveryReport struct {
+	Queries    int64 `json:"queries"`
+	Retries    int64 `json:"retries"`
+	ConnResets int64 `json:"conn_resets"`
+	Duplicates int64 `json:"duplicates"`
+}
+
+type serveReport struct {
+	Rows          int     `json:"rows"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	MaxQueue      int     `json:"max_queue"`
+	Workers       int     `json:"workers"`
+	CapacityQPS   float64 `json:"capacity_qps"`
+	TargetQPS     float64 `json:"target_qps"`
+	AchievedQPS   float64 `json:"achieved_qps"`
+	DurationMs    float64 `json:"duration_ms"`
+
+	OK       int64   `json:"ok"`
+	Shed     int64   `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// Errors is the taxonomy of non-shed failures during overload; any
+	// code outside {deadline_exhausted, timeout} fails the gate.
+	Errors map[string]int64 `json:"errors,omitempty"`
+
+	QueueAgeSheds   int64 `json:"queue_age_sheds"`
+	FairnessSheds   int64 `json:"fairness_sheds"`
+	DeadlineRejects int64 `json:"deadline_rejects"`
+	CheapAdmitted   int64 `json:"cheap_admitted"`
+
+	StallDisconnectMs float64 `json:"stall_disconnect_ms"`
+	InjectedStallMs   float64 `json:"injected_stall_ms"`
+	SlowClientDrops   int64   `json:"slow_client_drops"`
+
+	Recovery recoveryReport `json:"recovery"`
+}
+
+// harness owns the in-process server under test.
+type harness struct {
+	eng  *fusedscan.Engine
+	srv  *server.Server
+	addr string
+	base string
+
+	writeTimeout time.Duration
+	done         chan error
+}
+
+// buildTable registers one 4-column table serving double duty: COUNT/SUM
+// scans are the overload workload (rows is sized so one scan takes tens
+// of milliseconds — long enough that arrivals genuinely queue even on a
+// single-core box), and a full 4-column projection is the stall-leg
+// stream (multi-megabyte, so a reader that stops consuming overflows the
+// kernel socket buffers and stalls the server's writes).
+func buildTable(eng *fusedscan.Engine, rows int) error {
+	a := make([]int32, rows)
+	b := make([]int32, rows)
+	c := make([]int32, rows)
+	d := make([]int32, rows)
+	for i := 0; i < rows; i++ {
+		a[i] = int32(i % 10)
+		b[i] = int32(i % 100)
+		c[i] = int32((i / 7) % 50)
+		d[i] = int32(i % 1000)
+	}
+	tb := eng.CreateTable("t")
+	tb.Int32("a", a)
+	tb.Int32("b", b)
+	tb.Int32("c", c)
+	tb.Int32("d", d)
+	return tb.Finish()
+}
+
+func startHarness(scanRows, maxConcurrent, maxQueue int, writeTimeout time.Duration) (*harness, error) {
+	eng := fusedscan.NewEngine()
+	if err := buildTable(eng, scanRows); err != nil {
+		return nil, err
+	}
+	g := fusedscan.DefaultGovernance()
+	g.MaxConcurrent = maxConcurrent
+	g.MaxQueue = maxQueue
+	g.QueueWait = 250 * time.Millisecond
+	g.QueueAgeTarget = 20 * time.Millisecond
+	g.MemBudgetBytes = 256 << 20
+	// The engine's internal transient-load retry re-admits shed queries
+	// after a short backoff; under a closed-loop fleet it hides shedding
+	// entirely. This gate measures the raw admission taxonomy, so turn it
+	// off — clients bring their own retry policy (internal/client).
+	g.LoadRetries = 0
+	eng.SetGovernance(g)
+	srv := server.New(eng, server.Options{
+		DefaultTimeout:     10 * time.Second,
+		StreamWriteTimeout: writeTimeout,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{
+		eng:          eng,
+		srv:          srv,
+		addr:         ln.Addr().String(),
+		base:         "http://" + ln.Addr().String(),
+		writeTimeout: writeTimeout,
+		done:         make(chan error, 1),
+	}
+	go func() { h.done <- srv.Serve(ln) }()
+	return h, nil
+}
+
+func (h *harness) stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := h.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-h.done
+}
+
+// rawClient builds a measurement client: no retries, no breaker, so the
+// server's shed/error taxonomy arrives unfiltered.
+func (h *harness) rawClient() *client.Client {
+	return client.New(client.Options{
+		BaseURL:          h.base,
+		Retries:          -1,
+		BreakerThreshold: -1,
+		Timeout:          10 * time.Second,
+	})
+}
+
+// calibrate measures clean closed-loop capacity: maxConcurrent workers,
+// no pacing, no queue pressure beyond the slots themselves.
+func calibrate(h *harness, workers int, dur time.Duration) (float64, error) {
+	c := h.rawClient()
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(dur)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				_, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25"})
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, fmt.Errorf("calibration: %w", err)
+	}
+	qps := float64(ops.Load()) / dur.Seconds()
+	if qps <= 0 {
+		return 0, errors.New("calibration measured zero throughput")
+	}
+	return qps, nil
+}
+
+// overload offers ~targetQPS from a closed-loop worker fleet with a mixed
+// workload and collects the outcome taxonomy.
+func overload(h *harness, rep *serveReport, workers int, targetQPS float64, dur time.Duration) error {
+	c := h.rawClient()
+	// One session per worker: the fairness key the governor balances on.
+	sessions := make([]string, workers)
+	for w := range sessions {
+		sr, err := c.Session(context.Background(), server.SessionRequest{})
+		if err != nil {
+			return fmt.Errorf("creating session: %w", err)
+		}
+		sessions[w] = sr.Session
+	}
+	prep, err := c.Prepare(context.Background(), server.PrepareRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = $1 AND b = $2"})
+	if err != nil {
+		return fmt.Errorf("prepare: %w", err)
+	}
+
+	interval := time.Duration(0)
+	if targetQPS > 0 {
+		interval = time.Duration(float64(workers) / targetQPS * float64(time.Second))
+	}
+	if interval < 200*time.Microsecond {
+		interval = 0 // pacing finer than sleep granularity: run closed-loop flat out
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errTax    = map[string]int64{}
+		ok, shed  atomic.Int64
+		wg        sync.WaitGroup
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				opStart := time.Now()
+				err := oneOp(c, sessions[w], prep, (w+i)%4)
+				elapsed := time.Since(opStart)
+				switch {
+				case err == nil:
+					ok.Add(1)
+					mu.Lock()
+					latencies = append(latencies, elapsed)
+					mu.Unlock()
+				default:
+					var ae *client.APIError
+					if errors.As(err, &ae) && ae.Code == "overloaded" {
+						shed.Add(1)
+					} else {
+						mu.Lock()
+						errTax[classifyOpError(err)]++
+						mu.Unlock()
+					}
+				}
+				if interval > 0 {
+					if rest := interval - elapsed; rest > 0 {
+						time.Sleep(rest)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep.OK = ok.Load()
+	rep.Shed = shed.Load()
+	rep.DurationMs = float64(wall.Nanoseconds()) / 1e6
+	rep.AchievedQPS = float64(rep.OK) / wall.Seconds()
+	var other int64
+	for _, n := range errTax {
+		other += n
+	}
+	if total := rep.OK + rep.Shed + other; total > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(total)
+	}
+	rep.Errors = errTax
+	rep.P50Ms, rep.P99Ms = quantiles(latencies)
+	return nil
+}
+
+// oneOp runs one workload operation: 2x ad-hoc unary, 1x prepared
+// execute (cheap lane), 1x bounded stream. Each carries a 2s budget the
+// client forwards as the deadline header.
+func oneOp(c *client.Client, session string, prep server.PrepareResponse, mode int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	switch mode {
+	case 0:
+		_, err := c.Query(ctx, server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25", Session: session})
+		return err
+	case 1:
+		_, err := c.Query(ctx, server.QueryRequest{SQL: "SELECT SUM(b) FROM t WHERE a = 7", Session: session})
+		return err
+	case 2:
+		_, err := c.Execute(ctx, server.ExecuteRequest{Session: prep.Session, Stmt: prep.Stmt, Args: []string{"5", "25"}})
+		return err
+	default:
+		_, err := c.Stream(ctx, server.QueryRequest{SQL: "SELECT a, b FROM t WHERE a = 3 AND b < 40 LIMIT 64", Session: session}, nil)
+		return err
+	}
+}
+
+// classifyOpError maps a failed op to its taxonomy bucket. "client_hang"
+// means the 2s op budget expired without a typed server answer — exactly
+// the hang the gate exists to catch.
+func classifyOpError(err error) string {
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.Code != "" {
+		return ae.Code
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "client_hang"
+	}
+	return "transport"
+}
+
+func quantiles(lat []time.Duration) (p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i].Nanoseconds()) / 1e6
+	}
+	return at(0.50), at(0.99)
+}
+
+// slowClientDrops reads the server-side drop counter through /varz.
+func (h *harness) slowClientDrops() (int64, error) {
+	v, err := h.rawClient().Varz(context.Background())
+	if err != nil {
+		return 0, fmt.Errorf("varz: %w", err)
+	}
+	return v.Server.SlowClientDrops, nil
+}
+
+// stallLeg opens a raw TCP connection, requests the multi-megabyte
+// stream, reads only the response head and stops. It returns how long the
+// server took to drop the connection and release the admission slot.
+func stallLeg(h *harness) (float64, error) {
+	dropsBefore, err := h.slowClientDrops()
+	if err != nil {
+		return 0, err
+	}
+	conn, err := net.Dial("tcp", h.addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	body := `{"sql":"SELECT a, b, c, d FROM t WHERE d >= 0","stream":true}`
+	req := fmt.Sprintf("POST /query HTTP/1.1\r\nHost: load\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return 0, err
+	}
+	// Read just the response head, then stall: never read again.
+	head := make([]byte, 256)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(head); err != nil {
+		return 0, fmt.Errorf("reading response head: %w", err)
+	}
+	if !strings.Contains(string(head), "200") {
+		return 0, fmt.Errorf("stall stream refused: %q", strings.SplitN(string(head), "\r\n", 2)[0])
+	}
+	start := time.Now()
+	return waitForDrop(h, start, dropsBefore)
+}
+
+// injectedStallLeg arms the server.write.stall fault site and streams
+// normally; the server must drop the stream exactly as it would a real
+// stalled reader.
+func injectedStallLeg(h *harness) (float64, error) {
+	dropsBefore, err := h.slowClientDrops()
+	if err != nil {
+		return 0, err
+	}
+	faultinject.Arm(faultinject.SiteServerWriteStall, 2, faultinject.ModeError)
+	defer faultinject.Reset()
+	c := h.rawClient()
+	start := time.Now()
+	_, err = c.Stream(context.Background(), server.QueryRequest{SQL: "SELECT a, b FROM t WHERE d >= 0 LIMIT 100000"}, nil)
+	if err == nil {
+		return 0, errors.New("injected write stall did not fail the stream")
+	}
+	return waitForDrop(h, start, dropsBefore)
+}
+
+// waitForDrop polls until the slow-client drop is recorded and the
+// admission slot is back (Running drains to zero).
+func waitForDrop(h *harness, start time.Time, dropsBefore int64) (float64, error) {
+	bound := 3*h.writeTimeout + 5*time.Second
+	for time.Since(start) < bound {
+		drops, err := h.slowClientDrops()
+		if err != nil {
+			return 0, err
+		}
+		if drops > dropsBefore && h.eng.Stats().Running == 0 {
+			return float64(time.Since(start).Nanoseconds()) / 1e6, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	drops, _ := h.slowClientDrops()
+	return 0, fmt.Errorf("server did not drop the stalled stream within %v (running=%d drops=%d)",
+		bound, h.eng.Stats().Running, drops-dropsBefore)
+}
+
+// recoveryLeg drives the resilient client through injected connection
+// resets; every query must complete with the correct answer exactly once.
+func recoveryLeg(h *harness, rep *serveReport) error {
+	want, err := h.eng.Query("SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25")
+	if err != nil {
+		return err
+	}
+	rc := client.New(client.Options{
+		BaseURL: h.base,
+		Retries: 3,
+		Backoff: 5 * time.Millisecond,
+		Timeout: 10 * time.Second,
+	})
+	defer faultinject.Reset()
+	const unary = 6
+	for i := 0; i < unary; i++ {
+		if i%2 == 0 {
+			faultinject.Arm(faultinject.SiteClientConnReset, 1, faultinject.ModeError)
+			rep.Recovery.ConnResets++
+		}
+		qr, err := rc.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25"})
+		if err != nil {
+			return fmt.Errorf("recovery query %d: %w", i, err)
+		}
+		if qr.Count != want.Count {
+			return fmt.Errorf("recovery query %d: count %d, want %d", i, qr.Count, want.Count)
+		}
+		rep.Recovery.Queries++
+	}
+	// Streamed leg: a reset before the first byte must be retried without
+	// duplicating any delivered row.
+	faultinject.Arm(faultinject.SiteClientConnReset, 1, faultinject.ModeError)
+	rep.Recovery.ConnResets++
+	var rows int64
+	res, err := rc.Stream(context.Background(), server.QueryRequest{SQL: "SELECT a, b FROM t WHERE a = 3 AND b < 40 LIMIT 32"}, func(batch [][]string) error {
+		rows += int64(len(batch))
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("recovery stream: %w", err)
+	}
+	if rows != res.Count || rows != 32 {
+		rep.Recovery.Duplicates = rows - res.Count
+		return fmt.Errorf("recovery stream delivered %d rows, trailer count %d, want 32 exactly once", rows, res.Count)
+	}
+	rep.Recovery.Queries++
+	rep.Recovery.Retries = rc.Stats().Retries
+	if rep.Recovery.Retries < rep.Recovery.ConnResets {
+		return fmt.Errorf("recovery made %d retries for %d injected resets", rep.Recovery.Retries, rep.Recovery.ConnResets)
+	}
+	return nil
+}
+
+// run executes all phases and assembles the report.
+func run(scanRows, maxConcurrent, maxQueue, workers int, qps float64, dur, writeTimeout time.Duration) (*serveReport, error) {
+	faultinject.Reset()
+	h, err := startHarness(scanRows, maxConcurrent, maxQueue, writeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer h.stop()
+
+	rep := &serveReport{
+		Rows:          scanRows,
+		MaxConcurrent: maxConcurrent,
+		MaxQueue:      maxQueue,
+		Workers:       workers,
+	}
+	capacity, err := calibrate(h, maxConcurrent, 500*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	rep.CapacityQPS = capacity
+	rep.TargetQPS = 2 * capacity
+	if qps > 0 {
+		rep.TargetQPS = qps
+	}
+	if err := overload(h, rep, workers, rep.TargetQPS, dur); err != nil {
+		return nil, err
+	}
+
+	es := h.eng.Stats()
+	rep.QueueAgeSheds = es.QueueAgeSheds
+	rep.FairnessSheds = es.FairnessSheds
+	rep.DeadlineRejects = es.DeadlineRejects
+	rep.CheapAdmitted = es.CheapAdmitted
+
+	if rep.StallDisconnectMs, err = stallLeg(h); err != nil {
+		return nil, fmt.Errorf("stall leg: %w", err)
+	}
+	if rep.InjectedStallMs, err = injectedStallLeg(h); err != nil {
+		return nil, fmt.Errorf("injected stall leg: %w", err)
+	}
+	if rep.SlowClientDrops, err = h.slowClientDrops(); err != nil {
+		return nil, err
+	}
+
+	if err := recoveryLeg(h, rep); err != nil {
+		return nil, fmt.Errorf("recovery leg: %w", err)
+	}
+	return rep, nil
+}
+
+// verify enforces the hard invariants and, when a baseline is given, the
+// regression bounds.
+func verify(cur *serveReport, baselinePath string, tol float64) error {
+	if cur.OK == 0 {
+		return errors.New("no query succeeded under overload")
+	}
+	if cur.Shed == 0 {
+		return errors.New("2x overload produced zero sheds: admission control is not engaging")
+	}
+	for code, n := range cur.Errors {
+		switch code {
+		case "deadline_exhausted", "timeout":
+		default:
+			return fmt.Errorf("untyped or unexpected failure under overload: %q x%d", code, n)
+		}
+	}
+	stallBound := 3*float64(cur.writeTimeoutMs()) + 1000
+	if cur.StallDisconnectMs <= 0 || cur.StallDisconnectMs > stallBound {
+		return fmt.Errorf("stalled client disconnected in %.0fms, bound %.0fms", cur.StallDisconnectMs, stallBound)
+	}
+	if cur.SlowClientDrops < 2 {
+		return fmt.Errorf("slow_client_drops = %d, want >= 2 (real + injected stall)", cur.SlowClientDrops)
+	}
+	if cur.Recovery.Duplicates != 0 {
+		return fmt.Errorf("recovery duplicated %d rows", cur.Recovery.Duplicates)
+	}
+	if cur.Recovery.Queries == 0 || cur.Recovery.ConnResets == 0 {
+		return errors.New("recovery leg did not run")
+	}
+	// Structural p99 bound: a successful query waits at most QueueWait in
+	// the admission queue plus a few service times. Far past that means
+	// queueing is unbounded — the hang this gate exists to catch.
+	if cur.P99Ms <= 0 || cur.P99Ms > 1000 {
+		return fmt.Errorf("p99 = %.1fms, want within the 1000ms structural bound", cur.P99Ms)
+	}
+
+	if baselinePath == "" {
+		return nil
+	}
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base serveReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	// p99 under overload is dominated by the deterministic queue-wait
+	// bound; a 75ms absolute slack keeps single-core scheduler noise out
+	// of the gate (gross regressions are caught by the structural bound
+	// above regardless of the baseline).
+	if limit := base.P99Ms*(1+tol) + 75; cur.P99Ms > limit {
+		return fmt.Errorf("p99 regressed: %.1fms vs baseline %.1fms (limit %.1fms)", cur.P99Ms, base.P99Ms, limit)
+	}
+	if limit := base.ShedRate + tol; cur.ShedRate > limit {
+		return fmt.Errorf("shed rate regressed: %.3f vs baseline %.3f (limit %.3f)", cur.ShedRate, base.ShedRate, limit)
+	}
+	return nil
+}
+
+// writeTimeoutMs recovers the configured stream write deadline for the
+// stall bound; the harness always runs with the same value it reports.
+func (r *serveReport) writeTimeoutMs() int64 {
+	return int64(streamWriteTimeout / time.Millisecond)
+}
+
+// streamWriteTimeout is the write deadline the harness runs with — short
+// enough that the stall legs finish quickly, long enough that a healthy
+// local reader never trips it.
+const streamWriteTimeout = 300 * time.Millisecond
+
+func main() {
+	scanRows := flag.Int("rows", 400_000, "rows in the workload table")
+	maxConcurrent := flag.Int("max-concurrent", 2, "admission slots in the server under test")
+	maxQueue := flag.Int("max-queue", 4, "admission queue depth in the server under test")
+	workers := flag.Int("workers", 16, "closed-loop load workers")
+	qps := flag.Float64("qps", 0, "target offered qps (0 = 2x calibrated capacity)")
+	dur := flag.Duration("duration", 2*time.Second, "overload phase duration")
+	out := flag.String("out", "", "write the JSON report to this file instead of stdout")
+	check := flag.String("check", "", "compare against this baseline JSON and exit non-zero on regression")
+	tol := flag.Float64("tol", 0.20, "allowed p99 regression fraction and absolute shed-rate growth for -check")
+	flag.Parse()
+
+	rep, err := run(*scanRows, *maxConcurrent, *maxQueue, *workers, *qps, *dur, streamWriteTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fusedscan-load:", err)
+		os.Exit(1)
+	}
+	if err := verify(rep, *check, *tol); err != nil {
+		buf, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Fprintf(os.Stderr, "fusedscan-load: current run:\n%s\n", buf)
+		fmt.Fprintln(os.Stderr, "fusedscan-load: FAIL:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fusedscan-load:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fusedscan-load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fusedscan-load: wrote %s (capacity %.0f qps, shed rate %.2f, p99 %.1fms)\n",
+			*out, rep.CapacityQPS, rep.ShedRate, rep.P99Ms)
+		return
+	}
+	os.Stdout.Write(buf)
+	if *check != "" {
+		fmt.Fprintln(os.Stderr, "fusedscan-load: ok")
+	}
+}

@@ -87,6 +87,9 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle longer than this")
 	maxSessions := flag.Int("max-sessions", 1024, "concurrent session limit")
 	maxConns := flag.Int("max-conns", 0, "concurrent connection limit (0 = unlimited)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 0, "slowloris defense: close connections whose headers take longer than this (0 = 10s default, negative disables)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close keep-alive connections idle longer than this (0 = 2m default, negative disables)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-write deadline on ndjson streaming; a stalled reader is disconnected within this bound (0 = 30s default, negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before in-flight queries are cancelled")
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run the scripted smoke client, exit")
 	smokeURL := flag.String("smoke", "", "run the smoke client against a running server at this base URL and exit")
@@ -178,11 +181,14 @@ func main() {
 	}
 
 	srv := server.New(eng, server.Options{
-		DefaultTimeout: *timeout,
-		IdleSessionTTL: *sessionTTL,
-		MaxSessions:    *maxSessions,
-		MaxConns:       *maxConns,
-		DrainTimeout:   *drain,
+		DefaultTimeout:     *timeout,
+		IdleSessionTTL:     *sessionTTL,
+		MaxSessions:        *maxSessions,
+		MaxConns:           *maxConns,
+		DrainTimeout:       *drain,
+		ReadHeaderTimeout:  *readHeaderTimeout,
+		IdleTimeout:        *idleTimeout,
+		StreamWriteTimeout: *writeTimeout,
 	})
 
 	if *selfcheck {

@@ -1,8 +1,12 @@
 package main
 
 // -remote mode: statements go to a running fusedscan-server over HTTP/JSON
-// instead of a local engine. PREPARE/EXECUTE map onto the server's
-// prepared-statement endpoints through a REPL-managed session:
+// instead of a local engine, through the resilient internal/client —
+// transient failures (429 shed, 5xx, dropped connections) are retried
+// with jittered backoff honoring the server's Retry-After hint, and a
+// circuit breaker stops hammering a server that keeps failing.
+// PREPARE/EXECUTE map onto the server's prepared-statement endpoints
+// through a REPL-managed session:
 //
 //	fusedscan-sql -remote http://localhost:8080
 //	> SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5
@@ -12,53 +16,46 @@ package main
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"strings"
 	"time"
 
+	"fusedscan/internal/client"
 	"fusedscan/internal/server"
 )
 
-// remoteClient is the REPL's connection state: base URL plus the lazily
-// created server session that owns prepared statements.
+// remoteClient is the REPL's connection state: the resilient HTTP client
+// plus the lazily created server session that owns prepared statements.
 type remoteClient struct {
-	base    string
-	http    *http.Client
+	api     *client.Client
 	session string
 }
 
 func newRemoteClient(base string) *remoteClient {
 	return &remoteClient{
-		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 5 * time.Minute},
+		api: client.New(client.Options{
+			BaseURL: base,
+			Timeout: 5 * time.Minute,
+		}),
 	}
 }
 
 // check verifies the server answers /healthz before the REPL starts.
 func (c *remoteClient) check() error {
-	var health struct {
-		OK     bool `json:"ok"`
-		Tables int  `json:"tables"`
+	h, err := c.api.Health(context.Background())
+	if err != nil {
+		return fmt.Errorf("cannot reach %s: %w", c.api.BaseURL(), err)
 	}
-	if err := c.get("/healthz", &health); err != nil {
-		return fmt.Errorf("cannot reach %s: %w", c.base, err)
-	}
-	if !health.OK {
-		return fmt.Errorf("server at %s reports not ok", c.base)
+	if !h.OK {
+		return fmt.Errorf("server at %s reports not ok", c.api.BaseURL())
 	}
 	return nil
 }
 
 func (c *remoteClient) tables() ([]string, error) {
-	var resp struct {
-		Tables []string `json:"tables"`
-	}
-	err := c.get("/tables", &resp)
+	resp, err := c.api.Tables(context.Background())
 	return resp.Tables, err
 }
 
@@ -73,8 +70,8 @@ func (c *remoteClient) handle(line string) {
 		c.execute(strings.Fields(strings.TrimSpace(rest)))
 		return
 	}
-	var resp server.QueryResponse
-	if err := c.post("/query", server.QueryRequest{SQL: line, Session: c.session}, &resp); err != nil {
+	resp, err := c.api.Query(context.Background(), server.QueryRequest{SQL: line, Session: c.session})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
 	}
@@ -82,8 +79,8 @@ func (c *remoteClient) handle(line string) {
 }
 
 func (c *remoteClient) prepare(sql string) {
-	var resp server.PrepareResponse
-	if err := c.post("/prepare", server.PrepareRequest{SQL: sql, Session: c.session}, &resp); err != nil {
+	resp, err := c.api.Prepare(context.Background(), server.PrepareRequest{SQL: sql, Session: c.session})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
 	}
@@ -100,9 +97,9 @@ func (c *remoteClient) execute(words []string) {
 		fmt.Fprintln(os.Stderr, "error: no prepared statements in this session yet")
 		return
 	}
-	var resp server.QueryResponse
 	req := server.ExecuteRequest{Session: c.session, Stmt: words[0], Args: words[1:]}
-	if err := c.post("/execute", req, &resp); err != nil {
+	resp, err := c.api.Execute(context.Background(), req)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
 	}
@@ -146,7 +143,7 @@ func remoteRepl(c *remoteClient) {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 	}
 	fmt.Printf("fusedscan-sql (remote %s): tables %v. Enter SQL, \"prepare SELECT ...\", \"execute s1 args...\", \\tables, or \\q.\n",
-		c.base, tables)
+		c.api.BaseURL(), tables)
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -166,41 +163,4 @@ func remoteRepl(c *remoteClient) {
 		}
 		fmt.Print("> ")
 	}
-}
-
-func (c *remoteClient) get(path string, into any) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeRemote(resp, into)
-}
-
-func (c *remoteClient) post(path string, req, into any) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeRemote(resp, into)
-}
-
-func decodeRemote(resp *http.Response, into any) error {
-	if resp.StatusCode != http.StatusOK {
-		var er server.ErrorResponse
-		b, _ := io.ReadAll(resp.Body)
-		if json.Unmarshal(b, &er) == nil && er.Error != "" {
-			if er.RetryAfterMillis > 0 {
-				return fmt.Errorf("%s (%s; retry in ~%dms)", er.Error, er.Code, er.RetryAfterMillis)
-			}
-			return fmt.Errorf("%s (%s)", er.Error, er.Code)
-		}
-		return fmt.Errorf("server status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
-	}
-	return json.NewDecoder(resp.Body).Decode(into)
 }

@@ -237,6 +237,14 @@ var (
 	// budget at a materialization point. The concrete type is
 	// *MemoryBudgetError. Test with errors.Is(err, fusedscan.ErrMemoryBudget).
 	ErrMemoryBudget = govern.ErrMemoryBudget
+	// ErrDeadlineExhausted is returned when a query's deadline budget cannot
+	// cover execution: admission control either rejected it early (remaining
+	// budget below the predicted queue wait plus observed service time) or
+	// the budget expired while the query waited in the admission queue. The
+	// concrete type is *DeadlineExhaustedError, which also satisfies
+	// errors.Is(err, context.DeadlineExceeded) so existing deadline handling
+	// keeps working. Test with errors.Is(err, fusedscan.ErrDeadlineExhausted).
+	ErrDeadlineExhausted = govern.ErrDeadlineExhausted
 )
 
 // Governance holds the engine's resource-governance knobs: admission
@@ -253,6 +261,11 @@ type OverloadedError = govern.OverloadedError
 
 // MemoryBudgetError is the typed failure for a blown memory budget.
 type MemoryBudgetError = govern.MemoryBudgetError
+
+// DeadlineExhaustedError is the typed rejection for a deadline budget that
+// cannot cover the predicted queue wait plus service time (or that expired
+// while the query was queued).
+type DeadlineExhaustedError = govern.DeadlineExhaustedError
 
 // ChecksumError reports a corrupt column block detected while loading a
 // table file (see internal/storage).
@@ -272,6 +285,13 @@ type EngineStats struct {
 	QueueTimeouts int64 // rejections after waiting the full QueueWait
 	Running       int64 // admitted queries currently executing
 	Queued        int64 // queries currently waiting for admission
+	// Adaptive admission (see DESIGN.md §13).
+	QueueAgeSheds    int64   // waiters shed CoDel-style for over-target sojourn
+	FairnessSheds    int64   // waiters displaced for per-session fairness
+	DeadlineRejects  int64   // queries rejected with ErrDeadlineExhausted
+	CheapAdmitted    int64   // admissions through the cheap lane
+	QueueDrainPerSec float64 // observed admission throughput (basis for Retry-After)
+	EstServiceMs     float64 // observed per-query service time EWMA (deadline budgets)
 	// Memory budgets and storage.
 	MemBudgetDenials int64 // queries failed with ErrMemoryBudget
 	LoadRetries      int64 // transient table-load faults that were retried
@@ -422,6 +442,12 @@ func (e *Engine) Stats() EngineStats {
 		QueueTimeouts:              gs.QueueTimeouts,
 		Running:                    gs.Running,
 		Queued:                     gs.Queued,
+		QueueAgeSheds:              gs.QueueAgeSheds,
+		FairnessSheds:              gs.FairnessSheds,
+		DeadlineRejects:            gs.DeadlineRejects,
+		CheapAdmitted:              gs.CheapAdmitted,
+		QueueDrainPerSec:           gs.QueueDrainPerSec,
+		EstServiceMs:               gs.EstServiceMs,
 		MemBudgetDenials:           gs.MemBudgetDenials,
 		LoadRetries:                gs.LoadRetries,
 		BreakerState:               bs.State,

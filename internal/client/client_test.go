@@ -1,0 +1,416 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fusedscan"
+	"fusedscan/internal/faultinject"
+	"fusedscan/internal/govern"
+	"fusedscan/internal/server"
+)
+
+// fastOpts returns Options tuned for tests: tiny backoff, no surprises.
+func fastOpts(url string) Options {
+	return Options{
+		BaseURL: url,
+		Retries: 3,
+		Backoff: 2 * time.Millisecond,
+		Timeout: 10 * time.Second,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, server.ErrorResponse{
+				Error: "shed", Code: "overloaded", RetryAfterMillis: 5,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, server.QueryResponse{Count: 42})
+	}))
+	defer srv.Close()
+
+	c := New(fastOpts(srv.URL))
+	start := time.Now()
+	qr, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != 42 {
+		t.Fatalf("count %d, want 42", qr.Count)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+	// The 5ms body hint must override the 1s header-derived schedule and
+	// the configured 2ms backoff; jitter keeps the sleep within [hint/2, hint].
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("retry slept %v; the 5ms retry_after_ms hint was not honored", elapsed)
+	}
+	st := c.Stats()
+	if st.Retries != 1 || st.Requests != 2 {
+		t.Fatalf("stats %+v, want 1 retry / 2 requests", st)
+	}
+}
+
+func TestRetryOn5xxThenSuccess(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: "boom", Code: "internal"})
+			return
+		}
+		writeJSON(w, http.StatusOK, server.QueryResponse{Count: 7})
+	}))
+	defer srv.Close()
+
+	c := New(fastOpts(srv.URL))
+	qr, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != 7 || hits.Load() != 3 {
+		t.Fatalf("count=%d hits=%d, want 7 after 3 attempts", qr.Count, hits.Load())
+	}
+}
+
+func TestNonTransientErrorNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: "no such column q", Code: "invalid_query", Stage: "plan"})
+	}))
+	defer srv.Close()
+
+	c := New(fastOpts(srv.URL))
+	_, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT q FROM t"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Code != "invalid_query" || ae.Stage != "plan" {
+		t.Fatalf("APIError %+v", ae)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("bad request retried: %d hits", hits.Load())
+	}
+}
+
+func TestBreakerOpensOnConsecutive5xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: "down", Code: "internal"})
+	}))
+	defer srv.Close()
+
+	opts := fastOpts(srv.URL)
+	opts.Retries = -1 // isolate breaker behavior from retries
+	opts.BreakerThreshold = 2
+	opts.BreakerCooldown = time.Hour
+	c := New(opts)
+
+	for i := 0; i < 2; i++ {
+		var ae *APIError
+		if _, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"}); !errors.As(err, &ae) {
+			t.Fatalf("attempt %d: want *APIError, got %v", i, err)
+		}
+	}
+	// Third call: breaker is open, no request reaches the server.
+	_, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"})
+	var boe *govern.BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("want *BreakerOpenError, got %T: %v", err, err)
+	}
+	if boe.RetryAfterHint() <= 0 {
+		t.Fatal("open breaker should hint when to retry")
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests after trip, want 2", hits.Load())
+	}
+	st := c.Stats()
+	if st.BreakerRejects != 1 || st.Breaker.State != "open" {
+		t.Fatalf("stats %+v, want 1 breaker reject, state open", st)
+	}
+}
+
+func TestBreakerRecoversAfterCooldown(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: "down", Code: "internal"})
+			return
+		}
+		writeJSON(w, http.StatusOK, server.QueryResponse{Count: 1})
+	}))
+	defer srv.Close()
+
+	opts := fastOpts(srv.URL)
+	opts.Retries = -1
+	opts.BreakerThreshold = 1
+	opts.BreakerCooldown = 5 * time.Millisecond
+	c := New(opts)
+
+	if _, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"}); err == nil {
+		t.Fatal("want failure while server is down")
+	}
+	fail.Store(false)
+	time.Sleep(10 * time.Millisecond) // past the cooldown: half-open probe allowed
+	qr, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"})
+	if err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	if qr.Count != 1 {
+		t.Fatalf("count %d, want 1", qr.Count)
+	}
+	if st := c.Stats(); st.Breaker.State != "closed" {
+		t.Fatalf("breaker state %q after successful probe, want closed", st.Breaker.State)
+	}
+}
+
+func TestInjectedConnResetRetried(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeJSON(w, http.StatusOK, server.QueryResponse{Count: 9})
+	}))
+	defer srv.Close()
+
+	faultinject.Arm(faultinject.SiteClientConnReset, 1, faultinject.ModeError)
+	c := New(fastOpts(srv.URL))
+	qr, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != 9 {
+		t.Fatalf("count %d, want 9", qr.Count)
+	}
+	// The injected reset happens before the wire: exactly one request — no
+	// duplicated work — and exactly one retry.
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("stats %+v, want 1 retry", st)
+	}
+}
+
+func TestDeadlineForwardedAsHeader(t *testing.T) {
+	gotHeader := make(chan string, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader <- r.Header.Get(server.DeadlineHeader)
+		writeJSON(w, http.StatusOK, server.QueryResponse{})
+	}))
+	defer srv.Close()
+
+	c := New(fastOpts(srv.URL))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Query(ctx, server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"}); err != nil {
+		t.Fatal(err)
+	}
+	h := <-gotHeader
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		t.Fatalf("deadline header %q: %v", h, err)
+	}
+	if ms <= 0 || ms > 5000 {
+		t.Fatalf("forwarded budget %dms, want (0, 5000]", ms)
+	}
+}
+
+func streamHandler(rows [][][]string, count int64, failAfter int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		enc.Encode(server.StreamHeader{Columns: []string{"a"}})
+		for i, batch := range rows {
+			if failAfter >= 0 && i == failAfter {
+				enc.Encode(server.StreamTrailer{Error: "query timed out", Code: "timeout", Stage: "execute"})
+				return
+			}
+			enc.Encode(server.StreamBatch{Rows: batch})
+		}
+		enc.Encode(server.StreamTrailer{Done: true, Count: count})
+	}
+}
+
+func TestStreamRetriesBeforeFirstBatch(t *testing.T) {
+	var hits atomic.Int64
+	batches := [][][]string{{{"1"}, {"2"}}, {{"3"}}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			writeJSON(w, http.StatusTooManyRequests, server.ErrorResponse{
+				Error: "shed", Code: "overloaded", RetryAfterMillis: 2,
+			})
+			return
+		}
+		streamHandler(batches, 3, -1)(w, r)
+	}))
+	defer srv.Close()
+
+	c := New(fastOpts(srv.URL))
+	var got [][]string
+	res, err := c.Stream(context.Background(), server.QueryRequest{SQL: "SELECT a FROM t WHERE a > 0"}, func(rows [][]string) error {
+		got = append(got, rows...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 || len(got) != 3 {
+		t.Fatalf("count=%d rows=%v, want 3 rows exactly once", res.Count, got)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+func TestStreamDoesNotRetryAfterDelivery(t *testing.T) {
+	var hits atomic.Int64
+	batches := [][][]string{{{"1"}}, {{"2"}}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		streamHandler(batches, 2, 1)(w, r) // fail mid-stream, after batch 0
+	}))
+	defer srv.Close()
+
+	c := New(fastOpts(srv.URL))
+	var got [][]string
+	_, err := c.Stream(context.Background(), server.QueryRequest{SQL: "SELECT a FROM t WHERE a > 0"}, func(rows [][]string) error {
+		got = append(got, rows...)
+		return nil
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *APIError from trailer, got %T: %v", err, err)
+	}
+	if ae.Code != "timeout" || ae.Stage != "execute" {
+		t.Fatalf("trailer error %+v", ae)
+	}
+	// Rows were delivered before the failure: retrying would duplicate
+	// them, so exactly one request must have been made.
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry after delivery)", hits.Load())
+	}
+	if len(got) != 1 || got[0][0] != "1" {
+		t.Fatalf("delivered rows %v, want just the first batch", got)
+	}
+}
+
+func TestStreamTruncatedConnection(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		enc := json.NewEncoder(w)
+		enc.Encode(server.StreamHeader{Columns: []string{"a"}})
+		enc.Encode(server.StreamBatch{Rows: [][]string{{"1"}}})
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		// Drop the connection with no trailer — what a slow-client
+		// disconnect looks like from the other side.
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("recorder cannot hijack")
+			return
+		}
+		conn, _, _ := hj.Hijack()
+		conn.Close()
+	}))
+	defer srv.Close()
+
+	c := New(fastOpts(srv.URL))
+	_, err := c.Stream(context.Background(), server.QueryRequest{SQL: "SELECT a FROM t WHERE a > 0"}, nil)
+	if err == nil {
+		t.Fatal("truncated stream must surface an error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry after delivery)", hits.Load())
+	}
+}
+
+func TestEndToEndAgainstRealServer(t *testing.T) {
+	// The client against the real serving stack: governance shedding with
+	// drain-derived Retry-After on one side, retry + breaker on the other.
+	eng := newEngine(t)
+	s := server.New(eng, server.Options{})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	c := New(fastOpts(srv.URL))
+	h, err := c.Health(context.Background())
+	if err != nil || !h.OK {
+		t.Fatalf("health: %v %+v", err, h)
+	}
+	qr, err := c.Query(context.Background(), server.QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count == 0 {
+		t.Fatal("count 0, want rows")
+	}
+	p, err := c.Prepare(context.Background(), server.PrepareRequest{SQL: "SELECT COUNT(*) FROM t WHERE a = $1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := c.Execute(context.Background(), server.ExecuteRequest{Session: p.Session, Stmt: p.Stmt, Args: []string{"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Count != qr.Count {
+		t.Fatalf("execute count %d != query count %d", er.Count, qr.Count)
+	}
+	var streamed int64
+	res, err := c.Stream(context.Background(), server.QueryRequest{SQL: "SELECT a, b FROM t WHERE a = 1 LIMIT 10"}, func(rows [][]string) error {
+		streamed += int64(len(rows))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 10 || res.Count == 0 {
+		t.Fatalf("streamed %d rows (trailer count %d), want 10", streamed, res.Count)
+	}
+}
+
+func newEngine(t *testing.T) *fusedscan.Engine {
+	t.Helper()
+	eng := fusedscan.NewEngine()
+	const n = 5000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := 0; i < n; i++ {
+		a[i] = int32(i % 10)
+		b[i] = int32(i % 100)
+	}
+	tb := eng.CreateTable("t")
+	tb.Int32("a", a)
+	tb.Int32("b", b)
+	if err := tb.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}

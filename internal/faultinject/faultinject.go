@@ -93,7 +93,41 @@ const (
 	// table — after some columns are out but before the write completes —
 	// leaving a torn file for the atomic-save machinery to contain.
 	SiteWriteColumn = "storage.write.column"
+	// SiteGovernQueueAge forces the CoDel-style queue-aging path in
+	// admission control: with the site armed, an arrival at a full queue
+	// sheds the oldest waiter as if its sojourn time had exceeded the age
+	// target, without the test actually having to let waiters go stale.
+	SiteGovernQueueAge = "govern.queue.age"
+	// SiteServerWriteStall simulates a stalled ndjson reader: the armed
+	// hit makes a streaming batch write block until its write deadline
+	// expires (drives the slow-client disconnect path — slot and memory
+	// budget release — without a real dead TCP peer).
+	SiteServerWriteStall = "server.write.stall"
+	// SiteClientConnReset fails one remote-client HTTP attempt as if the
+	// connection had been reset mid-flight (drives the client's
+	// backoff-and-retry path deterministically).
+	SiteClientConnReset = "client.conn.reset"
 )
+
+// AllSites lists every Site* constant above. The load harness uses it to
+// validate -fault specs, and a go/ast-based test asserts the list stays
+// complete as sites are added.
+var AllSites = []string{
+	SiteJITCompile,
+	SiteKernelRun,
+	SiteStorageLoad,
+	SiteParallelMorsel,
+	SiteGovernAdmit,
+	SiteJITBreaker,
+	SiteStorageChecksum,
+	SiteWALAppend,
+	SiteSnapshotRename,
+	SiteScrub,
+	SiteWriteColumn,
+	SiteGovernQueueAge,
+	SiteServerWriteStall,
+	SiteClientConnReset,
+}
 
 // Error is the injected failure returned by Hit in ModeError.
 type Error struct {
@@ -224,6 +258,16 @@ func ArmSpec(spec string) error {
 		default:
 			return fmt.Errorf("faultinject: bad mode %q in spec %q (want error, panic or crash)", parts[2], spec)
 		}
+	}
+	known := false
+	for _, s := range AllSites {
+		if s == parts[0] {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("faultinject: unknown site %q (known: %s)", parts[0], strings.Join(AllSites, ", "))
 	}
 	Arm(parts[0], n, mode)
 	return nil

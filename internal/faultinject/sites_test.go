@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestArmSpecRejectsUnknownSite pins ArmSpec to the registry: a -fault
+// flag naming a typo'd site must fail loudly instead of arming nothing.
+func TestArmSpecRejectsUnknownSite(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpec("server.write.stal:1"); err == nil {
+		t.Fatal("misspelled site accepted")
+	}
+	if err := ArmSpec(SiteServerWriteStall + ":1"); err != nil {
+		t.Fatalf("registered site rejected: %v", err)
+	}
+}
+
+// TestAllSitesComplete parses faultinject.go and asserts that every
+// Site* string constant appears in AllSites (and nothing else does) —
+// adding a fault site without registering it would silently exempt it
+// from -fault spec validation and from the harnesses that iterate the
+// registry.
+func TestAllSitesComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "faultinject.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]string{} // const name -> site string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Site") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquoting %s: %v", name.Name, err)
+				}
+				declared[name.Name] = val
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("found no Site* constants in faultinject.go")
+	}
+
+	registered := map[string]bool{}
+	for _, s := range AllSites {
+		if registered[s] {
+			t.Errorf("AllSites lists %q twice", s)
+		}
+		registered[s] = true
+	}
+	for name, site := range declared {
+		if !registered[site] {
+			t.Errorf("%s (%q) is not in AllSites", name, site)
+		}
+	}
+	if len(AllSites) != len(declared) {
+		byVal := map[string]bool{}
+		for _, site := range declared {
+			byVal[site] = true
+		}
+		for _, s := range AllSites {
+			if !byVal[s] {
+				t.Errorf("AllSites lists %q, which is not a declared Site* constant", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fusedscan/internal/faultinject"
+)
+
+// enqueueWaiter parks one Admit call in the queue and returns its result
+// channel plus a cancel to clean up. ready tells when the call has taken
+// effect; nil waits for the queue to grow (wrong when the arrival
+// displaces another waiter, since the queue length is then unchanged —
+// pass a shed-counter condition in that case).
+func enqueueWaiter(t *testing.T, g *Governor, info AdmitInfo, ready func(Stats) bool) (<-chan error, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	if ready == nil {
+		before := g.Snapshot().Queued
+		ready = func(st Stats) bool { return st.Queued > before }
+	}
+	go func() {
+		rel, err := g.AdmitFor(ctx, info)
+		if rel != nil {
+			rel()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return ready(g.Snapshot()) })
+	return done, cancel
+}
+
+func TestQueueAgingShedsOldestWaiter(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 1, QueueWait: 5 * time.Second})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	oldest, cancel := enqueueWaiter(t, g, AdmitInfo{Session: "old"}, nil)
+	defer cancel()
+
+	// Force the aging decision deterministically: the armed site makes the
+	// next full-queue arrival treat the oldest waiter as over-sojourn.
+	faultinject.Arm(faultinject.SiteGovernQueueAge, 1, faultinject.ModeError)
+	done2, cancel2 := enqueueWaiter(t, g, AdmitInfo{Session: "new"},
+		func(st Stats) bool { return st.QueueAgeSheds == 1 })
+	defer cancel2()
+
+	// The old waiter must have been shed with a typed overload error...
+	select {
+	case err := <-oldest:
+		var ov *OverloadedError
+		if !errors.As(err, &ov) || ov.Cause == nil {
+			t.Fatalf("aged-out waiter got %v, want *OverloadedError with an aging cause", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("oldest waiter was not shed by queue aging")
+	}
+	if st := g.Snapshot(); st.QueueAgeSheds != 1 {
+		t.Fatalf("QueueAgeSheds = %d, want 1", st.QueueAgeSheds)
+	}
+
+	// ...and the newcomer took its queue slot: releasing the running query
+	// admits it.
+	rel()
+	if err := <-done2; err != nil {
+		t.Fatalf("newcomer after aging shed: %v", err)
+	}
+}
+
+func TestQueueAgingShedsBySojournTime(t *testing.T) {
+	// Real-clock variant: the age target is tiny, so by the time the
+	// second arrival finds the queue full the first waiter has overstayed.
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 1, QueueWait: 5 * time.Second, QueueAgeTarget: time.Millisecond})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	oldest, cancel := enqueueWaiter(t, g, AdmitInfo{}, nil)
+	defer cancel()
+	time.Sleep(5 * time.Millisecond) // let the waiter exceed the 1ms target
+
+	done2, cancel2 := enqueueWaiter(t, g, AdmitInfo{},
+		func(st Stats) bool { return st.QueueAgeSheds == 1 })
+	defer cancel2()
+	select {
+	case err := <-oldest:
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("over-sojourn waiter got %v, want ErrOverloaded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("over-sojourn waiter was not shed")
+	}
+	rel()
+	if err := <-done2; err != nil {
+		t.Fatalf("newcomer: %v", err)
+	}
+	if st := g.Snapshot(); st.QueueAgeSheds != 1 {
+		t.Fatalf("QueueAgeSheds = %d, want 1", st.QueueAgeSheds)
+	}
+}
+
+func TestFairnessDisplacesQueueHog(t *testing.T) {
+	// Queue of 4, all held by session "hog" with fresh sojourns (age target
+	// is generous so aging does not fire first). A newcomer from another
+	// session must displace the hog's newest waiter, not be shed itself.
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 5 * time.Second, QueueAgeTarget: time.Minute})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	var hogs []<-chan error
+	for i := 0; i < 4; i++ {
+		done, cancel := enqueueWaiter(t, g, AdmitInfo{Session: "hog"}, nil)
+		defer cancel()
+		hogs = append(hogs, done)
+	}
+	victim, cancelV := enqueueWaiter(t, g, AdmitInfo{Session: "other"},
+		func(st Stats) bool { return st.FairnessSheds == 1 })
+	defer cancelV()
+
+	// The hog's NEWEST waiter (the 4th) is the one displaced.
+	select {
+	case err := <-hogs[3]:
+		var ov *OverloadedError
+		if !errors.As(err, &ov) || ov.Cause == nil {
+			t.Fatalf("displaced hog waiter got %v, want *OverloadedError with a fairness cause", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no hog waiter was displaced for fairness")
+	}
+	st := g.Snapshot()
+	if st.FairnessSheds != 1 {
+		t.Fatalf("FairnessSheds = %d, want 1", st.FairnessSheds)
+	}
+	// Older hog waiters are untouched and the newcomer is queued.
+	select {
+	case err := <-hogs[0]:
+		t.Fatalf("oldest hog waiter unexpectedly resolved: %v", err)
+	case err := <-victim:
+		t.Fatalf("fair newcomer unexpectedly resolved: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	_ = victim
+}
+
+func TestFairnessHogDoesNotDisplaceItself(t *testing.T) {
+	// When the newcomer IS the hog, displacement is pointless: it sheds via
+	// the normal full-queue path instead.
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 2, QueueWait: 5 * time.Second, QueueAgeTarget: time.Minute})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	for i := 0; i < 2; i++ {
+		_, cancel := enqueueWaiter(t, g, AdmitInfo{Session: "hog"}, nil)
+		defer cancel()
+	}
+	_, err = g.AdmitFor(context.Background(), AdmitInfo{Session: "hog"})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("hog newcomer got %v, want plain shed", err)
+	}
+	if st := g.Snapshot(); st.FairnessSheds != 0 || st.Queued != 2 {
+		t.Fatalf("stats = %+v, want no fairness sheds and both hog waiters intact", st)
+	}
+}
+
+func TestCheapLaneBypassesSaturation(t *testing.T) {
+	// MaxConcurrent=1 saturated by a heavy query, queue full. A cheap query
+	// (prepared EXECUTE) still gets in through the reserved lane; a second
+	// cheap query finds the lane full and sheds like everyone else.
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 0})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	if _, err := g.Admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("heavy query got %v, want shed", err)
+	}
+	relCheap, err := g.AdmitFor(context.Background(), AdmitInfo{Cheap: true})
+	if err != nil {
+		t.Fatalf("cheap query was shed despite the cheap lane: %v", err)
+	}
+	if st := g.Snapshot(); st.CheapAdmitted != 1 || st.Running != 2 {
+		t.Fatalf("stats = %+v, want CheapAdmitted=1 Running=2", st)
+	}
+	// Lane is single-slot by default: the next cheap query sheds.
+	if _, err := g.AdmitFor(context.Background(), AdmitInfo{Cheap: true}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second cheap query got %v, want shed (lane full)", err)
+	}
+	relCheap()
+	// Lane slot freed: cheap admission works again.
+	rel2, err := g.AdmitFor(context.Background(), AdmitInfo{Cheap: true})
+	if err != nil {
+		t.Fatalf("cheap query after lane release: %v", err)
+	}
+	rel2()
+}
+
+func TestCheapLaneDisabled(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 0, CheapLaneSlots: -1})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := g.AdmitFor(context.Background(), AdmitInfo{Cheap: true}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("cheap query got %v, want shed with the lane disabled", err)
+	}
+}
+
+// prime runs n instant queries through g so the governor has a service-time
+// EWMA and drain samples, with the fake clock advancing svc per query.
+func prime(t *testing.T, g *Governor, n int, clock *time.Time, svc time.Duration) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rel, err := g.Admit(context.Background())
+		if err != nil {
+			t.Fatalf("prime admit: %v", err)
+		}
+		*clock = clock.Add(svc)
+		rel()
+	}
+}
+
+func TestDeadlineBudgetRejectsEarly(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+	g.now = func() time.Time { return clock }
+	prime(t, g, 8, &clock, 100*time.Millisecond) // estSvc ≈ 100ms, drain rate observed
+
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// 10ms of budget cannot cover ~100ms of observed service time: the
+	// query is rejected at arrival instead of burning a queue slot.
+	ctx, cancel := context.WithDeadline(context.Background(), clock.Add(10*time.Millisecond))
+	defer cancel()
+	_, err = g.Admit(ctx)
+	var de *DeadlineExhaustedError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineExhaustedError", err)
+	}
+	if !errors.Is(err, ErrDeadlineExhausted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want Is(ErrDeadlineExhausted) and Is(context.DeadlineExceeded)", err)
+	}
+	if de.Needed <= de.Remaining || de.RetryAfter <= 0 {
+		t.Errorf("DeadlineExhaustedError = %+v, want Needed > Remaining and a retry hint", de)
+	}
+	if st := g.Snapshot(); st.DeadlineRejects != 1 {
+		t.Errorf("DeadlineRejects = %d, want 1", st.DeadlineRejects)
+	}
+
+	// A generous budget passes the same gate (queued, not rejected). The
+	// deadline must be on the real clock (the context fires on real time)
+	// while being generous against the fake clock too.
+	ctxOK, cancelOK := context.WithTimeout(context.Background(), time.Hour)
+	defer cancelOK()
+	done := make(chan error, 1)
+	go func() {
+		rel2, err := g.Admit(ctxOK)
+		if rel2 != nil {
+			rel2()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.Snapshot().Queued == 1 })
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("generous-budget query: %v", err)
+	}
+}
+
+func TestDeadlineExhaustedWhileQueued(t *testing.T) {
+	// No service history (estSvc unknown): the early gate cannot fire, so
+	// the query queues and its budget expires in the queue. The wait is
+	// charged against the budget and reported as DeadlineExhausted.
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = g.Admit(ctx)
+	var de *DeadlineExhaustedError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineExhaustedError", err)
+	}
+	if de.Waited <= 0 {
+		t.Errorf("Waited = %v, want the queue sojourn charged to the budget", de.Waited)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want Is(context.DeadlineExceeded) for existing deadline handling", err)
+	}
+	if st := g.Snapshot(); st.DeadlineRejects != 1 {
+		t.Errorf("DeadlineRejects = %d, want 1", st.DeadlineRejects)
+	}
+}
+
+func TestRetryAfterDerivedFromDrainRate(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 0, QueueWait: time.Second})
+	g.now = func() time.Time { return clock }
+	// 10 completions 50ms apart: drain rate 20/s, so one queued newcomer
+	// should be told to retry in about (0+1)/20 = 50ms — far from the 1s
+	// static QueueWait fallback.
+	prime(t, g, 10, &clock, 50*time.Millisecond)
+
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = g.Admit(context.Background())
+	var ov *OverloadedError
+	if !errors.As(err, &ov) {
+		t.Fatalf("err = %v, want *OverloadedError", err)
+	}
+	if ov.RetryAfter < 25*time.Millisecond || ov.RetryAfter > 200*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want drain-derived ~50ms, not the static 1s hint", ov.RetryAfter)
+	}
+	if st := g.Snapshot(); st.QueueDrainPerSec < 10 || st.EstServiceMs <= 0 {
+		t.Errorf("snapshot = %+v, want observed drain rate and service estimate", st)
+	}
+}
+
+func TestRetryAfterCapped(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 0, QueueWait: time.Second, RetryAfterCap: 100 * time.Millisecond})
+	g.now = func() time.Time { return clock }
+	prime(t, g, 10, &clock, 10*time.Second) // glacial drain: uncapped hint would be minutes
+
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = g.Admit(context.Background())
+	var ov *OverloadedError
+	if !errors.As(err, &ov) {
+		t.Fatalf("err = %v, want *OverloadedError", err)
+	}
+	if ov.RetryAfter != 100*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want capped at 100ms", ov.RetryAfter)
+	}
+}
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	// An error carrying a hint overrides the (huge) configured backoff;
+	// the jittered sleep stays within [hint/2, hint].
+	hinted := &OverloadedError{RetryAfter: 10 * time.Millisecond}
+	calls := 0
+	start := time.Now()
+	attempts, err := Retry(context.Background(), 2, time.Hour,
+		func(err error) bool { return errors.Is(err, ErrOverloaded) },
+		func() error {
+			calls++
+			if calls < 3 {
+				return hinted
+			}
+			return nil
+		})
+	if err != nil || attempts != 3 {
+		t.Fatalf("attempts = %d err = %v, want 3 attempts and success", attempts, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Retry slept %v: the hour-long backoff was used instead of the 10ms hint", elapsed)
+	}
+}
+
+func TestAdmitConcurrentStress(t *testing.T) {
+	// Race-detector workout over every admission path at once: cheap and
+	// heavy queries from several sessions against a tiny limit with
+	// aging, fairness, timeouts and deadline budgets all in play. The only
+	// invariants: no deadlock, typed errors only, and the governor drains
+	// back to zero running/queued.
+	g := New(Config{MaxConcurrent: 2, MaxQueue: 4, QueueWait: 10 * time.Millisecond, QueueAgeTarget: 2 * time.Millisecond})
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	sessions := []string{"s1", "s2", "s3"}
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+				rel, err := g.AdmitFor(ctx, AdmitInfo{Session: sessions[i%len(sessions)], Cheap: i%4 == 0})
+				if err == nil {
+					admitted.Add(1)
+					time.Sleep(200 * time.Microsecond)
+					rel()
+				} else if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDeadlineExhausted) && !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("untyped admission error: %v", err)
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if admitted.Load() == 0 {
+		t.Fatal("no query was ever admitted")
+	}
+	waitFor(t, func() bool {
+		st := g.Snapshot()
+		return st.Running == 0 && st.Queued == 0
+	})
+}

@@ -83,6 +83,11 @@ func (e *BreakerOpenError) Error() string {
 		e.Failures, e.RetryAfter.Round(time.Millisecond))
 }
 
+// RetryAfterHint implements RetryAfterHinter: a retry loop that treats an
+// open breaker as transient sleeps until the next half-open probe window
+// instead of its own backoff schedule.
+func (e *BreakerOpenError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
 // BreakerStats is a snapshot of the breaker's counters.
 type BreakerStats struct {
 	// State renders the current state ("closed", "open", "half-open").

@@ -2,14 +2,56 @@ package govern
 
 import (
 	"context"
+	"errors"
+	"math/rand"
+	"sync"
 	"time"
 )
 
-// Retry runs fn up to 1+retries times, sleeping backoff (doubling each
-// attempt) between tries. Only errors the transient classifier accepts
-// are retried; the first non-transient error — and the last error when
-// attempts are exhausted — is returned as-is so callers keep its type.
-// A nil transient classifier never retries.
+// RetryAfterHinter is implemented by errors that carry their own advice
+// on when a retry could succeed — *OverloadedError (the governor's
+// drain-rate-derived hint), *DeadlineExhaustedError, and the remote
+// client's decoded 429 Retry-After. Retry sleeps the hint instead of its
+// own backoff when the hint is positive, so clients back off
+// proportionally to the server's actual load rather than to a schedule
+// picked in advance.
+type RetryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// jitterMu guards the package-level jitter source. Retry sleeps are rare
+// (retries only happen on failures), so one lock is cheaper than per-call
+// sources and keeps -race clean.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// jitter spreads a backoff sleep uniformly over [d/2, d], decorrelating
+// retries from clients that were all shed by the same overload event
+// (full-value jitter would let a retry land arbitrarily early; capping at
+// d keeps the configured backoff an upper bound).
+func jitter(d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return d
+	}
+	jitterMu.Lock()
+	n := jitterRng.Int63n(int64(d / 2))
+	jitterMu.Unlock()
+	return d/2 + time.Duration(n)
+}
+
+// Retry runs fn up to 1+retries times, sleeping between tries. Only
+// errors the transient classifier accepts are retried; the first
+// non-transient error — and the last error when attempts are exhausted —
+// is returned as-is so callers keep its type.  A nil transient classifier
+// never retries.
+//
+// The sleep before each retry is the error's own RetryAfterHint when it
+// carries a positive one (a 429's Retry-After, the governor's shed hint),
+// otherwise the configured backoff doubling per attempt; either way the
+// sleep is jittered over [d/2, d] so a fleet of shed clients does not
+// return in lockstep.
 //
 // Retry returns how many attempts ran (>= 1). If ctx expires during a
 // backoff sleep, the last operation error is returned immediately.
@@ -22,8 +64,15 @@ func Retry(ctx context.Context, retries int, backoff time.Duration, transient fu
 		if err == nil || attempt >= retries || transient == nil || !transient(err) {
 			return attempt + 1, err
 		}
+		sleep := backoff
+		var h RetryAfterHinter
+		if errors.As(err, &h) {
+			if hint := h.RetryAfterHint(); hint > 0 {
+				sleep = hint
+			}
+		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitter(sleep)):
 		case <-ctx.Done():
 			return attempt + 1, err
 		}

@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fusedscan"
+	"fusedscan/internal/faultinject"
 )
 
 // Options configures the query service.
@@ -35,6 +38,39 @@ type Options struct {
 	DrainTimeout time.Duration
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// ReadHeaderTimeout bounds how long a connection may take to deliver
+	// its request headers (slowloris defense: without it, a client that
+	// connects and never sends headers pins a connection-limit slot
+	// forever). 0 defaults to 10s; negative disables.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections idle longer than this.
+	// 0 defaults to 2m; negative disables.
+	IdleTimeout time.Duration
+	// StreamWriteTimeout is the per-write deadline on ndjson streaming: a
+	// client that stops reading mid-stream is disconnected within this
+	// bound, releasing the query's admission slot and memory budget instead
+	// of pinning them until the reader returns. 0 defaults to 30s; negative
+	// disables.
+	StreamWriteTimeout time.Duration
+}
+
+// Effective-timeout resolution: 0 picks the default, negative disables.
+func resolveTimeout(configured, def time.Duration) time.Duration {
+	switch {
+	case configured < 0:
+		return 0
+	case configured == 0:
+		return def
+	}
+	return configured
+}
+
+func (o Options) readHeaderTimeout() time.Duration {
+	return resolveTimeout(o.ReadHeaderTimeout, 10*time.Second)
+}
+func (o Options) idleTimeout() time.Duration { return resolveTimeout(o.IdleTimeout, 2*time.Minute) }
+func (o Options) streamWriteTimeout() time.Duration {
+	return resolveTimeout(o.StreamWriteTimeout, 30*time.Second)
 }
 
 // Server is the HTTP query service over one Engine. It implements
@@ -49,11 +85,13 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
-	requests     atomic.Int64
-	errorsN      atomic.Int64
-	overloaded   atomic.Int64
-	streamedRows atomic.Int64
-	active       atomic.Int64
+	requests        atomic.Int64
+	errorsN         atomic.Int64
+	overloaded      atomic.Int64
+	deadlineRejects atomic.Int64
+	slowClientDrops atomic.Int64
+	streamedRows    atomic.Int64
+	active          atomic.Int64
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -117,7 +155,8 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	srv := &http.Server{
 		Handler:           s,
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: s.opts.readHeaderTimeout(),
+		IdleTimeout:       s.opts.idleTimeout(),
 		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
 	}
 	s.mu.Lock()
@@ -305,6 +344,8 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			Requests:        s.requests.Load(),
 			Errors:          s.errorsN.Load(),
 			Overloaded:      s.overloaded.Load(),
+			DeadlineRejects: s.deadlineRejects.Load(),
+			SlowClientDrops: s.slowClientDrops.Load(),
 			StreamedRows:    s.streamedRows.Load(),
 			ActiveRequests:  s.active.Load(),
 			Sessions:        n,
@@ -391,12 +432,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	cfg, timeout, errResp := s.resolve(req.Config, req.TimeoutMillis, sess)
+	cfg, timeout, errResp := s.resolve(req.Config, req.TimeoutMillis, r, sess)
 	if errResp != nil {
 		s.writeError(w, http.StatusBadRequest, *errResp)
 		return
 	}
-	qo := fusedscan.QueryOptions{Config: cfg, Args: req.Args, UsePlanCache: req.UsePlanCache}
+	qo := fusedscan.QueryOptions{
+		Config: cfg, Args: req.Args, UsePlanCache: req.UsePlanCache,
+		Session: fairnessKey(r, sess),
+	}
 	s.runQuery(w, r, sess, timeout, req.Stream, func(ctx context.Context, stream func([]string, [][]string) error) (*fusedscan.Result, error) {
 		qo.Stream = stream
 		return s.eng.QueryWith(ctx, req.SQL, qo)
@@ -422,15 +466,42 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown statement %q", req.Stmt), Code: "unknown_stmt"})
 		return
 	}
-	cfg, timeout, _ := s.resolve("", req.TimeoutMillis, sess)
+	cfg, timeout, _ := s.resolve("", req.TimeoutMillis, r, sess)
 	s.runQuery(w, r, sess, timeout, req.Stream, func(ctx context.Context, stream func([]string, [][]string) error) (*fusedscan.Result, error) {
-		return prep.ExecuteWith(ctx, fusedscan.QueryOptions{Config: cfg, Args: req.Args, Stream: stream})
+		// Prepared executions ride the admission cheap lane (set inside
+		// ExecuteWith): their plan is cached, so they are the short work the
+		// lane keeps responsive under a queue full of heavy scans.
+		return prep.ExecuteWith(ctx, fusedscan.QueryOptions{Config: cfg, Args: req.Args, Stream: stream, Session: fairnessKey(r, sess)})
 	})
 }
 
-// resolve merges the request-level config/timeout with the session and
-// service defaults. Precedence: request, then session, then server.
-func (s *Server) resolve(cfgName string, timeoutMillis int64, sess *Session) (*fusedscan.Config, time.Duration, *ErrorResponse) {
+// fairnessKey is the admission-control session key: the server session id
+// when the request names one, else the client host — so per-session
+// fairness degrades gracefully to per-client fairness for sessionless
+// traffic.
+func fairnessKey(r *http.Request, sess *Session) string {
+	if sess != nil {
+		return sess.ID
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// DeadlineHeader carries a client's end-to-end deadline budget in
+// milliseconds. It fills the same slot as the request's timeout_ms field
+// (the body field wins when both are present) and exists so proxies and
+// the remote client can forward a shrinking budget without rewriting
+// bodies: queue wait on the server counts against it, and a budget that
+// cannot cover the predicted wait plus service time is rejected early
+// with code "deadline_exhausted".
+const DeadlineHeader = "X-Fusedscan-Deadline-Ms"
+
+// resolve merges the request-level config/timeout with the deadline
+// header, the session and the service defaults. Precedence: request body,
+// then the X-Fusedscan-Deadline-Ms header, then session, then server.
+func (s *Server) resolve(cfgName string, timeoutMillis int64, r *http.Request, sess *Session) (*fusedscan.Config, time.Duration, *ErrorResponse) {
 	var cfg *fusedscan.Config
 	var timeout time.Duration
 	if sess != nil {
@@ -442,6 +513,11 @@ func (s *Server) resolve(cfgName string, timeoutMillis int64, sess *Session) (*f
 			return nil, 0, &ErrorResponse{Error: err.Error(), Code: "bad_request"}
 		}
 		cfg = c
+	}
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			timeout = time.Duration(ms) * time.Millisecond
+		}
 	}
 	if timeoutMillis > 0 {
 		timeout = time.Duration(timeoutMillis) * time.Millisecond
@@ -488,27 +564,56 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, sess *Session,
 	// ndjson streaming: header once (lazily, when the first batch arrives),
 	// then row batches, then a trailer carrying the count — or the error,
 	// since the 200 status is already on the wire by then.
+	//
+	// Every wire write runs under a per-write deadline (slow-client
+	// defense): a client that stops reading stalls the TCP window, the
+	// write times out within StreamWriteTimeout, the sink error aborts the
+	// query through the engine, and its admission slot and memory budget
+	// come back — instead of being pinned for as long as the reader feels
+	// like sleeping. Batches are flushed as they are written, so per-
+	// connection buffering stays bounded at one batch.
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	swt := s.opts.streamWriteTimeout()
 	enc := json.NewEncoder(w)
 	headerOut := false
 	var sinkErr error
+	write := func(v any) error {
+		if swt > 0 {
+			dl := time.Now().Add(swt)
+			if faultinject.Hit(faultinject.SiteServerWriteStall) != nil {
+				// Injected stalled reader: the deadline is already spent, so
+				// the flush below fails exactly like a client that stopped
+				// reading for the whole write budget.
+				dl = time.Now()
+			}
+			// ErrNotSupported (a recording ResponseWriter in tests) just means
+			// no deadline enforcement — stream without it.
+			if derr := rc.SetWriteDeadline(dl); derr != nil && !errors.Is(derr, http.ErrNotSupported) {
+				return derr
+			}
+		}
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if ferr := rc.Flush(); ferr != nil && !errors.Is(ferr, http.ErrNotSupported) {
+			return ferr
+		}
+		return nil
+	}
 	sink := func(columns []string, rows [][]string) error {
 		if !headerOut {
-			if err := enc.Encode(StreamHeader{Columns: columns}); err != nil {
+			if err := write(StreamHeader{Columns: columns}); err != nil {
 				sinkErr = err
 				return err
 			}
 			headerOut = true
 		}
-		if err := enc.Encode(StreamBatch{Rows: rows}); err != nil {
+		if err := write(StreamBatch{Rows: rows}); err != nil {
 			sinkErr = err
 			return err
 		}
 		s.streamedRows.Add(int64(len(rows)))
-		if flusher != nil {
-			flusher.Flush()
-		}
 		return nil
 	}
 	res, err := run(ctx, sink)
@@ -518,12 +623,21 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, sess *Session,
 		s.replyError(w, err)
 		return
 	}
+	if sinkErr != nil && isTimeoutErr(sinkErr) {
+		// The query was killed because ITS CLIENT stopped reading. The
+		// connection is already poisoned (an expired write deadline fails
+		// all later writes), so no trailer can be delivered — the counter
+		// and the disconnect are the observable outcome.
+		s.slowClientDrops.Add(1)
+		s.errorsN.Add(1)
+		return
+	}
 	if !headerOut {
 		var cols []string
 		if res != nil {
 			cols = res.Columns
 		}
-		if eerr := enc.Encode(StreamHeader{Columns: cols}); eerr != nil {
+		if eerr := write(StreamHeader{Columns: cols}); eerr != nil {
 			return
 		}
 	}
@@ -534,15 +648,27 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, sess *Session,
 	if err != nil {
 		s.errorsN.Add(1)
 		trailer.Error = err.Error()
+		// The 200 is on the wire, so the structured taxonomy rides the
+		// trailer: the same stable code a non-streamed request would get as
+		// its ErrorResponse.Code, plus the failing stage when known.
+		_, resp := classify(err)
+		trailer.Code = resp.Code
 		var qe *fusedscan.QueryError
 		if errors.As(err, &qe) {
 			trailer.Stage = qe.Stage
 		}
 	}
-	enc.Encode(trailer)
-	if flusher != nil {
-		flusher.Flush()
+	write(trailer)
+}
+
+// isTimeoutErr reports whether err is a write-deadline expiry (net.Error
+// timeout or os.ErrDeadlineExceeded) — the slow-client signature.
+func isTimeoutErr(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
 	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // toResponse renders an engine Result on the wire.
@@ -593,6 +719,18 @@ func classify(err error) (int, ErrorResponse) {
 	if errors.Is(err, fusedscan.ErrMemoryBudget) {
 		return http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), Code: "memory_budget", Stage: "execute"}
 	}
+	// DeadlineExhausted before the generic DeadlineExceeded check: its
+	// cause chain ends in context.DeadlineExceeded (so deadline-aware
+	// callers keep working), but it deserves the sharper code — the budget
+	// was rejected or burned in the admission queue, and the error carries
+	// a retry hint a plain timeout does not.
+	var de *fusedscan.DeadlineExhaustedError
+	if errors.As(err, &de) {
+		return http.StatusGatewayTimeout, ErrorResponse{
+			Error: err.Error(), Code: "deadline_exhausted",
+			RetryAfterMillis: de.RetryAfter.Milliseconds(),
+		}
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout, ErrorResponse{Error: err.Error(), Code: "timeout", Stage: "execute"}
 	}
@@ -616,16 +754,22 @@ func classify(err error) (int, ErrorResponse) {
 }
 
 // replyError classifies err and writes the structured response (with a
-// Retry-After header for overload shedding).
+// Retry-After header for overload shedding and exhausted deadline
+// budgets — both carry a drain-rate-derived hint).
 func (s *Server) replyError(w http.ResponseWriter, err error) {
 	status, resp := classify(err)
-	if status == http.StatusTooManyRequests {
-		s.overloaded.Add(1)
+	if resp.Code == "deadline_exhausted" {
+		s.deadlineRejects.Add(1)
+	}
+	if resp.RetryAfterMillis > 0 {
 		secs := (resp.RetryAfterMillis + 999) / 1000
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	if status == http.StatusTooManyRequests {
+		s.overloaded.Add(1)
 	}
 	s.writeError(w, status, resp)
 }

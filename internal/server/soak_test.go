@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"fusedscan"
 )
@@ -31,6 +32,10 @@ func TestConcurrentClientSoak(t *testing.T) {
 	g := fusedscan.DefaultGovernance()
 	g.MaxConcurrent = 2
 	g.MaxQueue = 1
+	// Exercise the adaptive queue under load: a tiny sojourn target makes
+	// CoDel-style aging fire whenever the single queue slot goes stale,
+	// and per-session fairness keeps any one session from camping on it.
+	g.QueueAgeTarget = 2 * time.Millisecond
 	eng.SetGovernance(g)
 	s := New(eng, Options{})
 	defer s.Shutdown(context.Background())
@@ -72,16 +77,39 @@ func TestConcurrentClientSoak(t *testing.T) {
 	resp.Body.Close()
 	prepWant := want["SELECT COUNT(*) FROM t WHERE a = 5 AND b = 25"]
 
+	// One session per client: the session id is the admission fairness key,
+	// so under sustained overload the queue-aging + fairness policy must
+	// leave no session starved (asserted below).
 	const clients, iters = 8, 12
+	sessionIDs := make([]string, clients)
+	for c := 0; c < clients; c++ {
+		sb, _ := json.Marshal(SessionRequest{})
+		resp, err := http.Post(srv.URL+"/session", "application/json", bytes.NewReader(sb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr SessionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		sessionIDs[c] = sr.Session
+	}
+
 	var ok200, shed429 atomic.Int64
+	perClientOK := make([]atomic.Int64, clients)
 	var wg sync.WaitGroup
-	errc := make(chan error, clients*iters)
+	errc := make(chan error, clients*(iters+48))
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			client := srv.Client()
-			for i := 0; i < iters; i++ {
+			myOK := &perClientOK[c]
+			// Run the planned iterations, then keep trying (bounded) until
+			// this session has completed at least one query — the starvation
+			// probe. Fairness must make this converge fast.
+			for i := 0; i < iters || (myOK.Load() == 0 && i < iters+48); i++ {
 				mode := (c + i) % 4
 				var err error
 				switch mode {
@@ -91,12 +119,12 @@ func TestConcurrentClientSoak(t *testing.T) {
 					if mode == 1 {
 						cfg = "native"
 					}
-					err = soakQuery(client, srv.URL, q, cfg, want[q], &ok200, &shed429)
+					err = soakQuery(client, srv.URL, q, cfg, sessionIDs[c], want[q], myOK, &ok200, &shed429)
 				case 2: // prepared execute
-					err = soakExecute(client, srv.URL, prep, prepWant, &ok200, &shed429)
+					err = soakExecute(client, srv.URL, prep, prepWant, myOK, &ok200, &shed429)
 				case 3: // streamed
 					q := "SELECT a, b FROM t WHERE a = 3 AND b < 40 ORDER BY b LIMIT 8"
-					err = soakStream(client, srv.URL, q, want[q], &ok200, &shed429)
+					err = soakStream(client, srv.URL, q, sessionIDs[c], want[q], myOK, &ok200, &shed429)
 				}
 				if err != nil {
 					errc <- fmt.Errorf("client %d iter %d: %w", c, i, err)
@@ -112,6 +140,13 @@ func TestConcurrentClientSoak(t *testing.T) {
 	}
 	if ok200.Load() == 0 {
 		t.Fatal("no query succeeded under load")
+	}
+	// No starvation: every session completed at least one query while the
+	// server was under sustained overload.
+	for c := 0; c < clients; c++ {
+		if perClientOK[c].Load() == 0 {
+			t.Errorf("session %d (%s) starved: zero completed queries", c, sessionIDs[c])
+		}
 	}
 	t.Logf("soak: %d ok, %d shed with 429", ok200.Load(), shed429.Load())
 
@@ -148,12 +183,12 @@ func check429(resp *http.Response) error {
 	return nil
 }
 
-func soakQuery(client *http.Client, base, sql, cfg string, want struct {
+func soakQuery(client *http.Client, base, sql, cfg, session string, want struct {
 	count int64
 	rows  [][]string
 	cols  []string
-}, ok200, shed *atomic.Int64) error {
-	body, _ := json.Marshal(QueryRequest{SQL: sql, Config: cfg})
+}, myOK, ok200, shed *atomic.Int64) error {
+	body, _ := json.Marshal(QueryRequest{SQL: sql, Config: cfg, Session: session})
 	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -171,6 +206,7 @@ func soakQuery(client *http.Client, base, sql, cfg string, want struct {
 		if qr.Count != want.count || !reflect.DeepEqual(qr.Rows, want.rows) {
 			return fmt.Errorf("%q: got count=%d rows=%v, want count=%d rows=%v", sql, qr.Count, qr.Rows, want.count, want.rows)
 		}
+		myOK.Add(1)
 		ok200.Add(1)
 		return nil
 	default:
@@ -183,7 +219,7 @@ func soakExecute(client *http.Client, base string, prep PrepareResponse, want st
 	count int64
 	rows  [][]string
 	cols  []string
-}, ok200, shed *atomic.Int64) error {
+}, myOK, ok200, shed *atomic.Int64) error {
 	body, _ := json.Marshal(ExecuteRequest{Session: prep.Session, Stmt: prep.Stmt, Args: []string{"5", "25"}})
 	resp, err := client.Post(base+"/execute", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -202,6 +238,7 @@ func soakExecute(client *http.Client, base string, prep PrepareResponse, want st
 		if qr.Count != want.count {
 			return fmt.Errorf("execute: count %d, want %d", qr.Count, want.count)
 		}
+		myOK.Add(1)
 		ok200.Add(1)
 		return nil
 	default:
@@ -210,12 +247,12 @@ func soakExecute(client *http.Client, base string, prep PrepareResponse, want st
 	}
 }
 
-func soakStream(client *http.Client, base, sql string, want struct {
+func soakStream(client *http.Client, base, sql, session string, want struct {
 	count int64
 	rows  [][]string
 	cols  []string
-}, ok200, shed *atomic.Int64) error {
-	body, _ := json.Marshal(QueryRequest{SQL: sql, Stream: true})
+}, myOK, ok200, shed *atomic.Int64) error {
+	body, _ := json.Marshal(QueryRequest{SQL: sql, Stream: true, Session: session})
 	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -269,6 +306,7 @@ func soakStream(client *http.Client, base, sql string, want struct {
 	if !trailer.Done || trailer.Count != want.count || !reflect.DeepEqual(rows, want.rows) {
 		return fmt.Errorf("stream: trailer %+v rows %v, want count=%d rows=%v", trailer, rows, want.count, want.rows)
 	}
+	myOK.Add(1)
 	ok200.Add(1)
 	return nil
 }

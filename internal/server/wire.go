@@ -123,9 +123,14 @@ type StreamBatch struct {
 }
 
 type StreamTrailer struct {
-	Done          bool   `json:"done"`
-	Count         int64  `json:"count"`
-	Error         string `json:"error,omitempty"`
+	Done  bool   `json:"done"`
+	Count int64  `json:"count"`
+	Error string `json:"error,omitempty"`
+	// Code is the same stable machine-readable class an ErrorResponse
+	// would carry ("timeout", "memory_budget", "canceled", ...), so
+	// streaming clients get the typed taxonomy even though the HTTP status
+	// was already 200 when the failure happened.
+	Code          string `json:"code,omitempty"`
 	Stage         string `json:"stage,omitempty"`
 	ElapsedMicros int64  `json:"elapsed_us"`
 }
@@ -179,15 +184,17 @@ type ScrubResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable class: "overloaded",
-	// "memory_budget", "timeout", "invalid_query", "unknown_session",
-	// "unknown_stmt", "unknown_table", "bad_request", "conflict",
-	// "quarantined", "not_durable", "internal".
+	// "deadline_exhausted", "memory_budget", "timeout", "invalid_query",
+	// "unknown_session", "unknown_stmt", "unknown_table", "bad_request",
+	// "conflict", "quarantined", "not_durable", "internal".
 	Code string `json:"code"`
 	// Stage is where query processing failed ("parse", "plan", "translate",
 	// "execute") when known.
 	Stage string `json:"stage,omitempty"`
-	// RetryAfterMillis accompanies code "overloaded" (the Retry-After
-	// header carries the same hint in seconds).
+	// RetryAfterMillis accompanies codes "overloaded" and
+	// "deadline_exhausted" (the Retry-After header carries the same hint
+	// in seconds). It is derived from the admission queue's observed drain
+	// rate, so it shrinks as the backlog clears.
 	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
 }
 
@@ -201,7 +208,9 @@ type VarzResponse struct {
 type ServerStats struct {
 	Requests        int64 `json:"requests"`
 	Errors          int64 `json:"errors"`
-	Overloaded      int64 `json:"overloaded"` // 429s served
+	Overloaded      int64 `json:"overloaded"`       // 429s served
+	DeadlineRejects int64 `json:"deadline_rejects"` // 504 deadline_exhausted served
+	SlowClientDrops int64 `json:"slow_client_drops"` // streams killed by write-deadline expiry
 	StreamedRows    int64 `json:"streamed_rows"`
 	ActiveRequests  int64 `json:"active_requests"`
 	Sessions        int   `json:"sessions"`

@@ -56,13 +56,26 @@ type QueryOptions struct {
 	// always routed through the cache path, since binding requires a
 	// parameterized skeleton.
 	UsePlanCache bool
+	// Session is an opaque fairness key for admission control: when the
+	// queue is full, the session holding the most queued queries is
+	// displaced before anyone else is shed. Empty groups the query with all
+	// other anonymous traffic. The serving layer passes the HTTP session id
+	// (or the client address).
+	Session string
+	// Cheap marks the query for the admission cheap lane — a small reserve
+	// of extra concurrency slots for pre-planned short work, so a queue
+	// full of heavy ad-hoc scans cannot starve it. Prepared statements set
+	// this automatically.
+	Cheap bool
 }
 
 // execOpts is the internal slice of QueryOptions the shared execution path
 // consumes.
 type execOpts struct {
-	config *Config
-	stream func(columns []string, rows [][]string) error
+	config  *Config
+	stream  func(columns []string, rows [][]string) error
+	session string
+	cheap   bool
 }
 
 // QueryWith is QueryContext with QueryOptions. With neither Args nor
@@ -71,7 +84,7 @@ type execOpts struct {
 // override and streaming.
 func (e *Engine) QueryWith(ctx context.Context, sql string, qo QueryOptions) (*Result, error) {
 	if !qo.UsePlanCache && len(qo.Args) == 0 {
-		return e.execute(ctx, sql, nil, execOpts{config: qo.Config, stream: qo.Stream})
+		return e.execute(ctx, sql, nil, execOpts{config: qo.Config, stream: qo.Stream, session: qo.Session, cheap: qo.Cheap})
 	}
 	makePlan := func(stage *string) (*lqp.Plan, error) {
 		sel, err := sqlparse.Parse(sql)
@@ -97,7 +110,7 @@ func (e *Engine) QueryWith(ctx context.Context, sql string, qo QueryOptions) (*R
 		}
 		return plan, nil
 	}
-	return e.execute(ctx, sql, makePlan, execOpts{config: qo.Config, stream: qo.Stream})
+	return e.execute(ctx, sql, makePlan, execOpts{config: qo.Config, stream: qo.Stream, session: qo.Session, cheap: qo.Cheap})
 }
 
 // SetPlanCacheCapacity resizes the prepared-plan cache (entries beyond the
@@ -193,10 +206,14 @@ func (p *Prepared) ExecuteContext(ctx context.Context, args ...string) (*Result,
 // ExecuteWith is ExecuteContext with QueryOptions (UsePlanCache is implied
 // — prepared statements always execute through the cache).
 func (p *Prepared) ExecuteWith(ctx context.Context, qo QueryOptions) (*Result, error) {
-	return p.run(ctx, qo.Config, qo.Stream, qo.Args)
+	return p.runWith(ctx, qo.Config, qo.Stream, qo.Args, qo.Session)
 }
 
 func (p *Prepared) run(ctx context.Context, cfg *Config, stream func([]string, [][]string) error, args []string) (*Result, error) {
+	return p.runWith(ctx, cfg, stream, args, "")
+}
+
+func (p *Prepared) runWith(ctx context.Context, cfg *Config, stream func([]string, [][]string) error, args []string, session string) (*Result, error) {
 	if len(args) != p.numParams {
 		return nil, fmt.Errorf("fusedscan: prepared statement wants %d argument(s), got %d", p.numParams, len(args))
 	}
@@ -216,7 +233,10 @@ func (p *Prepared) run(ctx context.Context, cfg *Config, stream func([]string, [
 		}
 		return plan, nil
 	}
-	return p.eng.execute(ctx, p.sqlText, makePlan, execOpts{config: cfg, stream: stream})
+	// Prepared executions ride the admission cheap lane: their plan is
+	// already optimized and cached, so they are exactly the short
+	// pre-planned work the lane reserves headroom for.
+	return p.eng.execute(ctx, p.sqlText, makePlan, execOpts{config: cfg, stream: stream, session: session, cheap: true})
 }
 
 // renderRows converts pipeline value rows into their rendered string form,
@@ -260,7 +280,7 @@ func (e *Engine) execute(ctx context.Context, sql string, makePlan func(stage *s
 			defer cancel()
 		}
 	}
-	release, aerr := e.gov.Admit(ctx)
+	release, aerr := e.gov.AdmitFor(ctx, govern.AdmitInfo{Session: eo.session, Cheap: eo.cheap})
 	if aerr != nil {
 		return nil, aerr
 	}
