@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race soak fuzz fuzz-storage bench bench-smoke bench-native bench-native-check serve-check bench-serve bench-serve-check crash-check generate vuln clean
+.PHONY: check build vet test race soak fuzz fuzz-storage fuzz-join bench bench-smoke bench-native bench-native-check serve-check bench-serve bench-serve-check crash-check generate vuln clean
 
-check: build vet race soak bench-smoke bench-native-check serve-check bench-serve-check crash-check vuln
+check: build vet race soak fuzz-join bench-smoke bench-native-check serve-check bench-serve-check crash-check vuln
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,15 @@ soak:
 # Short coverage-guided fuzz of the SQL parser.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse
+
+# Differential fuzz of the multi-table pipeline: randomized join +
+# GROUP BY queries (int32/int64/float64 keys incl. NaN, NULL keys,
+# duplicate keys, residual col-vs-col predicates, row counts crossing
+# the 64Ki batch boundary) run on both the default and native configs
+# and checked against an independent scalar nested-loop oracle. A short
+# 8-round pass also runs inside the plain test suite.
+fuzz-join:
+	FUSEDSCAN_FUZZ_JOIN_ROUNDS=48 $(GO) test -race -run TestFuzzJoinGroupByDifferential -count=1 .
 
 # Coverage-guided fuzz of the binary table decoder and the streaming
 # checksum verifier (hostile-input hardening; see DESIGN.md §12).

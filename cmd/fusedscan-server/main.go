@@ -62,7 +62,26 @@ func buildDemo(eng *fusedscan.Engine, rows int, seed int64) error {
 	tb.Int32("b", b)
 	tb.Int32("c", c)
 	tb.Int32("d", d)
-	return tb.Finish()
+	if err := tb.Finish(); err != nil {
+		return err
+	}
+	// A small dimension table so remote join queries work out of the
+	// box: dim.d shares demo.d's 0..999 domain (duplicate keys fan out).
+	drng := rand.New(rand.NewSource(seed + 1))
+	const dimRows = 4096
+	dk := make([]int32, dimRows)
+	dv := make([]int32, dimRows)
+	dw := make([]int32, dimRows)
+	for i := 0; i < dimRows; i++ {
+		dk[i] = drng.Int31n(1000)
+		dv[i] = drng.Int31n(1000)
+		dw[i] = drng.Int31n(100)
+	}
+	db := eng.CreateTable("dim")
+	db.Int32("d", dk)
+	db.Int32("v", dv)
+	db.Int32("w", dw)
+	return db.Finish()
 }
 
 func pick(rng *rand.Rand, sel float64) int32 {

@@ -55,6 +55,10 @@ var queries = []smokeQuery{
 	{"count-3pred-sisd", "sisd", "SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5 AND c = 5"},
 	{"agg-sum-avg", "avx512-512", "SELECT SUM(d), AVG(d) FROM demo WHERE a = 5 AND b = 5"},
 	{"limit-short-circuit", "avx512-512", "SELECT a, d FROM demo WHERE a = 5 ORDER BY d LIMIT 10"},
+	// The multi-table pipeline: hash join with a residual col-vs-col
+	// predicate, a Bloom prefilter transferred from the filtered build
+	// side into the probe scan, and a grouped SUM sink.
+	{"join-groupby-bloom", "avx512-512", "SELECT demo.a, SUM(dim.w) FROM demo JOIN dim ON demo.d = dim.d AND demo.b < dim.v WHERE demo.b = 5 AND dim.v <= 500 GROUP BY demo.a"},
 }
 
 // smokeResult is the JSON record for one query: only simulated,
@@ -70,6 +74,13 @@ type smokeResult struct {
 	DRAMBytes       uint64  `json:"dram_bytes"`
 	PipelineBatches int64   `json:"pipeline_batches"`
 	ScanRowsOut     int64   `json:"scan_rows_out"`
+	// Join pipeline counters; omitted (zero) for single-table entries so
+	// their baseline records stay byte-identical.
+	BuildRows   int64 `json:"build_rows,omitempty"`
+	ProbeRows   int64 `json:"probe_rows,omitempty"`
+	BloomChecks int64 `json:"bloom_checks,omitempty"`
+	BloomPass   int64 `json:"bloom_pass,omitempty"`
+	Groups      int64 `json:"groups,omitempty"`
 }
 
 type smokeReport struct {
@@ -104,6 +115,27 @@ func buildDemo(eng *fusedscan.Engine) error {
 	return tb.Finish()
 }
 
+// buildDim adds the join dimension table. It draws from its own rand
+// source, after buildDemo has fully consumed its stream, so the demo
+// data — and every pre-join baseline entry — stays byte-identical.
+func buildDim(eng *fusedscan.Engine) error {
+	rng := rand.New(rand.NewSource(smokeSeed + 1))
+	const dimRows = 4096
+	d := make([]int32, dimRows)
+	v := make([]int32, dimRows)
+	w := make([]int32, dimRows)
+	for i := 0; i < dimRows; i++ {
+		d[i] = rng.Int31n(1000) // same domain as demo.d: duplicate keys fan out
+		v[i] = rng.Int31n(1000)
+		w[i] = rng.Int31n(100)
+	}
+	tb := eng.CreateTable("dim")
+	tb.Int32("d", d)
+	tb.Int32("v", v)
+	tb.Int32("w", w)
+	return tb.Finish()
+}
+
 func configFor(name string) (fusedscan.Config, error) {
 	switch name {
 	case "avx512-512":
@@ -117,6 +149,9 @@ func configFor(name string) (fusedscan.Config, error) {
 func run() (*smokeReport, error) {
 	eng := fusedscan.NewEngine()
 	if err := buildDemo(eng); err != nil {
+		return nil, err
+	}
+	if err := buildDim(eng); err != nil {
 		return nil, err
 	}
 	rep := &smokeReport{Rows: smokeRows, Seed: smokeSeed}
@@ -144,6 +179,11 @@ func run() (*smokeReport, error) {
 		}
 		for _, op := range res.Operators {
 			sr.PipelineBatches += op.Batches
+			sr.BuildRows += op.BuildRows
+			sr.ProbeRows += op.ProbeRows
+			sr.BloomChecks += op.BloomChecks
+			sr.BloomPass += op.BloomPass
+			sr.Groups += op.Groups
 		}
 		if n := len(res.Operators); n > 0 {
 			// The scan is the deepest operator in the pipeline walk.

@@ -44,7 +44,26 @@ func buildDemo(eng *fusedscan.Engine, rows int, seed int64) error {
 	tb.Int32("b", b)
 	tb.Int32("c", c)
 	tb.Int32("d", d)
-	return tb.Finish()
+	if err := tb.Finish(); err != nil {
+		return err
+	}
+	// A small dimension table so joins can be explored out of the box:
+	// dim.d shares demo.d's 0..999 domain (duplicate keys fan out).
+	drng := rand.New(rand.NewSource(seed + 1))
+	const dimRows = 4096
+	dk := make([]int32, dimRows)
+	dv := make([]int32, dimRows)
+	dw := make([]int32, dimRows)
+	for i := 0; i < dimRows; i++ {
+		dk[i] = drng.Int31n(1000)
+		dv[i] = drng.Int31n(1000)
+		dw[i] = drng.Int31n(100)
+	}
+	db := eng.CreateTable("dim")
+	db.Int32("d", dk)
+	db.Int32("v", dv)
+	db.Int32("w", dw)
+	return db.Finish()
 }
 
 func pick(rng *rand.Rand, sel float64) int32 {
@@ -271,13 +290,22 @@ func analyzeOne(eng *fusedscan.Engine, sql string) {
 		return
 	}
 	fmt.Println("batch pipeline:")
-	for depth, op := range res.Operators {
+	for _, op := range res.Operators {
 		extra := ""
 		if op.Path != "" {
 			extra = fmt.Sprintf(" path=%s pruned=%d", op.Path, op.ChunksPruned)
 		}
+		if op.BuildRows > 0 || op.ProbeRows > 0 {
+			extra += fmt.Sprintf(" build=%d probe=%d", op.BuildRows, op.ProbeRows)
+		}
+		if op.BloomChecks > 0 {
+			extra += fmt.Sprintf(" bloom=%d/%d", op.BloomPass, op.BloomChecks)
+		}
+		if op.Groups > 0 {
+			extra += fmt.Sprintf(" groups=%d", op.Groups)
+		}
 		fmt.Printf("%s%s  [in=%d out=%d batches=%d %s%s]\n",
-			strings.Repeat("  ", depth+1), op.Name, op.RowsIn, op.RowsOut, op.Batches,
+			strings.Repeat("  ", op.Depth+1), op.Name, op.RowsIn, op.RowsOut, op.Batches,
 			time.Duration(op.WallNs), extra)
 	}
 	printResult(res)

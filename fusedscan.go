@@ -170,6 +170,19 @@ type OperatorStats struct {
 	// Path names the execution path a scan leaf used: "native", "emulated",
 	// "scalar" or "scalar-fallback". Empty for non-scan operators.
 	Path string
+	// Depth is the operator's depth in the plan tree (root 0); a hash
+	// join's build subtree is indented below the join.
+	Depth int
+	// BuildRows / ProbeRows are hash-join counters: rows folded into the
+	// build-side hash table and probe-side rows that reached the join.
+	BuildRows int64
+	ProbeRows int64
+	// BloomChecks / BloomPass count predicate-transfer prefilter
+	// evaluations on the probe side: rows checked and rows let through.
+	BloomChecks int64
+	BloomPass   int64
+	// Groups counts distinct groups a grouped-aggregation sink produced.
+	Groups int64
 }
 
 // Result is the outcome of Engine.Query.
@@ -308,6 +321,12 @@ type EngineStats struct {
 	// Batch pipeline (cumulative across queries).
 	PipelineBatches int64 // batches that flowed between pipeline operators
 	PipelineRows    int64 // qualifying rows delivered by plan roots
+	// Multi-table pipeline (cumulative across queries).
+	JoinBuildRows   int64 // rows folded into hash-join build tables
+	JoinProbeRows   int64 // probe-side rows that reached a hash join
+	JoinBloomChecks int64 // predicate-transfer Bloom prefilter evaluations
+	JoinBloomPass   int64 // probe rows the transferred filter let through
+	GroupsProduced  int64 // distinct groups emitted by grouped aggregation
 	// Prepared-statement plan cache (see Engine.Prepare). A hit means parse
 	// and optimize were skipped for that execution; invalidations count
 	// entries dropped because Register/DropTable/SetConfig bumped the
@@ -377,6 +396,12 @@ type Engine struct {
 	// Batch-pipeline counters (cumulative, for Stats).
 	pipeBatches atomic.Int64
 	pipeRows    atomic.Int64
+	// Multi-table pipeline counters (cumulative, for Stats).
+	joinBuildRows   atomic.Int64
+	joinProbeRows   atomic.Int64
+	joinBloomChecks atomic.Int64
+	joinBloomPass   atomic.Int64
+	groupsProduced  atomic.Int64
 }
 
 // addCounters sums two counter sets field by field.
@@ -460,6 +485,11 @@ func (e *Engine) Stats() EngineStats {
 		JITCacheSize:               cached,
 		PipelineBatches:            e.pipeBatches.Load(),
 		PipelineRows:               e.pipeRows.Load(),
+		JoinBuildRows:              e.joinBuildRows.Load(),
+		JoinProbeRows:              e.joinProbeRows.Load(),
+		JoinBloomChecks:            e.joinBloomChecks.Load(),
+		JoinBloomPass:              e.joinBloomPass.Load(),
+		GroupsProduced:             e.groupsProduced.Load(),
 		PlanCacheHits:              ps.hits,
 		PlanCacheMisses:            ps.misses,
 		PlanCacheSize:              ps.size,

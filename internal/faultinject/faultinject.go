@@ -107,6 +107,15 @@ const (
 	// connection had been reset mid-flight (drives the client's
 	// backoff-and-retry path deterministically).
 	SiteClientConnReset = "client.conn.reset"
+	// SiteJoinBuildAlloc fails the hash join's build phase while it is
+	// charging and allocating hash-table memory (drives the typed
+	// mid-build error path: the query fails cleanly, the pipeline closes,
+	// no partial hash table leaks).
+	SiteJoinBuildAlloc = "join.build.alloc"
+	// SiteJoinProbeBatch fails one probe-side batch of a hash join (drives
+	// the mid-probe error path: a typed error after results have already
+	// started flowing, never a panic).
+	SiteJoinProbeBatch = "join.probe.batch"
 )
 
 // AllSites lists every Site* constant above. The load harness uses it to
@@ -127,6 +136,8 @@ var AllSites = []string{
 	SiteGovernQueueAge,
 	SiteServerWriteStall,
 	SiteClientConnReset,
+	SiteJoinBuildAlloc,
+	SiteJoinProbeBatch,
 }
 
 // Error is the injected failure returned by Hit in ModeError.

@@ -7,12 +7,13 @@ import (
 )
 
 // Clone deep-copies the plan tree so a cached skeleton can be bound and
-// executed without mutating the shared copy. Plans are linear operator
-// chains (every node has at most one child), so the copy walks top-down.
-// The *column.Table leaves are shared — registered tables are immutable.
+// executed without mutating the shared copy. The spine is linear; a Join
+// node adds a build subtree that is deep-copied as well. The
+// *column.Table leaves are shared — registered tables are immutable.
 func (p *Plan) Clone() *Plan {
 	out := &Plan{
 		Table:        p.Table,
+		BuildTable:   p.BuildTable,
 		AppliedRules: append([]string(nil), p.AppliedRules...),
 		NumParams:    p.NumParams,
 	}
@@ -57,6 +58,20 @@ func cloneNode(n Node) Node {
 		c := *t
 		c.Input = cloneNode(t.Input)
 		return &c
+	case *Join:
+		c := *t
+		c.Residuals = append([]JoinResidual(nil), t.Residuals...)
+		c.ProbeCols = append([]string(nil), t.ProbeCols...)
+		c.BuildCols = append([]string(nil), t.BuildCols...)
+		c.Input = cloneNode(t.Input)
+		c.Build = cloneNode(t.Build)
+		return &c
+	case *GroupBy:
+		c := *t
+		c.Keys = append([]ColRef(nil), t.Keys...)
+		c.Items = append([]GroupItem(nil), t.Items...)
+		c.Input = cloneNode(t.Input)
+		return &c
 	default:
 		panic(fmt.Sprintf("lqp: cannot clone %T", n))
 	}
@@ -71,14 +86,18 @@ func (p *Plan) Bind(args []string) error {
 	if len(args) != p.NumParams {
 		return fmt.Errorf("lqp: plan wants %d parameter(s), got %d", p.NumParams, len(args))
 	}
-	bind := func(pred *expr.Predicate) error {
+	bind := func(pred *expr.Predicate, onBuild bool) error {
 		if pred.Kind != expr.PredCompare || pred.Param == 0 {
 			return nil
 		}
 		if pred.Param > len(args) {
 			return fmt.Errorf("lqp: plan references $%d but only %d argument(s) were bound", pred.Param, len(args))
 		}
-		col, err := p.Table.Column(pred.Column)
+		tbl := p.Table
+		if onBuild {
+			tbl = p.BuildTable
+		}
+		col, err := tbl.Column(pred.Column)
 		if err != nil {
 			return err
 		}
@@ -90,19 +109,34 @@ func (p *Plan) Bind(args []string) error {
 		pred.Param = 0
 		return nil
 	}
-	for n := p.Root; n != nil; n = n.Child() {
-		switch t := n.(type) {
-		case *Predicate:
-			if err := bind(&t.Pred); err != nil {
-				return err
-			}
-		case *FusedChain:
-			for i := range t.Preds {
-				if err := bind(&t.Preds[i]); err != nil {
+	// The walk descends the spine and, at a Join, the build subtree too;
+	// inside the build subtree every predicate binds against BuildTable
+	// (a not-yet-pushed-down build-side predicate on the spine is marked
+	// OnBuild instead).
+	var walk func(n Node, onBuild bool) error
+	walk = func(n Node, onBuild bool) error {
+		for ; n != nil; n = n.Child() {
+			switch t := n.(type) {
+			case *Predicate:
+				if err := bind(&t.Pred, onBuild || t.OnBuild); err != nil {
+					return err
+				}
+			case *FusedChain:
+				for i := range t.Preds {
+					if err := bind(&t.Preds[i], onBuild); err != nil {
+						return err
+					}
+				}
+			case *Join:
+				if err := walk(t.Build, true); err != nil {
 					return err
 				}
 			}
 		}
+		return nil
+	}
+	if err := walk(p.Root, false); err != nil {
+		return err
 	}
 	p.NumParams = 0
 	return nil

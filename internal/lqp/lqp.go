@@ -40,13 +40,22 @@ type Predicate struct {
 	Input  Node
 	Pred   expr.Predicate
 	EstSel float64
+	// OnBuild marks a predicate over the join's build table that still
+	// sits on the main spine above the Join node; the
+	// PushPredicatesThroughJoin rule moves it into the build subtree and
+	// clears the flag. Always false in single-table plans.
+	OnBuild bool
 }
 
 // Child implements Node.
 func (n *Predicate) Child() Node { return n.Input }
 
 func (n *Predicate) String() string {
-	return fmt.Sprintf("Predicate[%s] (est. sel. %.4g)", n.Pred, n.EstSel)
+	s := fmt.Sprintf("Predicate[%s] (est. sel. %.4g)", n.Pred, n.EstSel)
+	if n.OnBuild {
+		s += " (build side)"
+	}
+	return s
 }
 
 // FusedChain is the optimizer's tag for a run of consecutive predicates
@@ -97,6 +106,10 @@ type Projection struct {
 	Input   Node
 	Star    bool
 	Columns []string
+	// Refs carries the side-resolved form of Columns (same order); nil
+	// when Star is set. Two-table plans need the side to locate each
+	// output column.
+	Refs []ColRef
 	// MaxRows, when > 0, is the LIMIT pushdown hint: at most this many
 	// rows will ever be delivered, so materialization may stop there.
 	MaxRows int
@@ -208,8 +221,11 @@ func (n *Limit) String() string { return fmt.Sprintf("Limit[%d]", n.N) }
 
 // Plan is a logical plan plus the optimizer trace.
 type Plan struct {
-	Root         Node
-	Table        *column.Table
+	Root  Node
+	Table *column.Table
+	// BuildTable is the join's build-side table; nil for single-table
+	// plans. Table is always the driving (probe) table.
+	BuildTable   *column.Table
 	AppliedRules []string
 	// NumParams is the number of $n parameters the plan awaits. A plan with
 	// NumParams > 0 is a skeleton: it must be Cloned and Bound with argument
@@ -218,17 +234,27 @@ type Plan struct {
 	NumParams int
 }
 
-// Format renders the plan tree top-down, one operator per line.
+// Format renders the plan tree top-down, one operator per line. A Join's
+// build subtree is rendered under a "Build:" heading before the probe
+// side continues the spine.
 func (p *Plan) Format() string {
 	var sb strings.Builder
-	depth := 0
-	for n := p.Root; n != nil; n = n.Child() {
+	writeTree(&sb, p.Root, 0)
+	return sb.String()
+}
+
+func writeTree(sb *strings.Builder, n Node, depth int) {
+	for ; n != nil; n = n.Child() {
 		sb.WriteString(strings.Repeat("  ", depth))
 		sb.WriteString(n.String())
 		sb.WriteByte('\n')
+		if j, ok := n.(*Join); ok {
+			sb.WriteString(strings.Repeat("  ", depth+1))
+			sb.WriteString("Build:\n")
+			writeTree(sb, j.Build, depth+2)
+		}
 		depth++
 	}
-	return sb.String()
 }
 
 // Catalog resolves table names.
@@ -236,88 +262,196 @@ type Catalog interface {
 	Table(name string) (*column.Table, error)
 }
 
+// buildPreds resolves one parsed comparison into its side-resolved
+// predicate list (BETWEEN desugars into two conjuncts). The returned
+// predicates carry bare column names; ref reports which table they
+// filter.
+func buildPreds(res *resolver, cmp sqlparse.Comparison) (ColRef, []expr.Predicate, error) {
+	ref, col, err := res.resolve(cmp.Column)
+	if err != nil {
+		return ColRef{}, nil, err
+	}
+	if cmp.NullTest != expr.PredCompare {
+		return ref, []expr.Predicate{{Column: ref.Col, Kind: cmp.NullTest}}, nil
+	}
+	pred := expr.Predicate{Column: ref.Col, Op: cmp.Op, Param: cmp.Param}
+	if cmp.Param == 0 {
+		pred.Value, err = expr.ParseValue(col.Type(), cmp.Literal)
+		if err != nil {
+			return ColRef{}, nil, fmt.Errorf("predicate on %q: %v", cmp.Column, err)
+		}
+	}
+	preds := []expr.Predicate{pred}
+	if cmp.IsBetween {
+		// Desugar BETWEEN: the >= predicate above plus the <= upper bound.
+		hiPred := expr.Predicate{Column: ref.Col, Op: expr.Le, Param: cmp.HiParam}
+		if cmp.HiParam == 0 {
+			hiPred.Value, err = expr.ParseValue(col.Type(), cmp.BetweenHi)
+			if err != nil {
+				return ColRef{}, nil, fmt.Errorf("BETWEEN upper bound on %q: %v", cmp.Column, err)
+			}
+		}
+		preds = append(preds, hiPred)
+	}
+	return ref, preds, nil
+}
+
 // Build translates a parsed SELECT into an unoptimized logical plan,
-// resolving column types and literal values against the catalog.
+// resolving column types and literal values against the catalog. For a
+// JOIN statement the ON clause is split at build time: the first
+// cross-table equality becomes the hash key, remaining cross-table
+// comparisons become residuals, and column-vs-literal conditions stack
+// directly on their owning side's scan. WHERE predicates initially sit
+// above the Join; the optimizer's pushdown rule moves them to their side.
 func Build(sel *sqlparse.Select, cat Catalog) (*Plan, error) {
 	tbl, err := cat.Table(sel.Table)
 	if err != nil {
 		return nil, err
 	}
+	plan := &Plan{Table: tbl, NumParams: sel.NumParams}
+	res := &resolver{probe: tbl, probeName: sel.Table}
 
-	var node Node = &StoredTable{Table: tbl}
-	for _, cmp := range sel.Where {
-		col, err := tbl.Column(cmp.Column)
+	var probeNode Node = &StoredTable{Table: tbl}
+	var node Node
+	var join *Join
+	if sel.Join != nil {
+		if sel.Join.Table == sel.Table {
+			return nil, fmt.Errorf("lqp: self-join of %q is not supported", sel.Table)
+		}
+		buildTbl, err := cat.Table(sel.Join.Table)
 		if err != nil {
 			return nil, err
 		}
-		if cmp.NullTest != expr.PredCompare {
-			node = &Predicate{
-				Input:  node,
-				Pred:   expr.Predicate{Column: cmp.Column, Kind: cmp.NullTest},
-				EstSel: 1,
-			}
-			continue
-		}
-		pred := expr.Predicate{Column: cmp.Column, Op: cmp.Op, Param: cmp.Param}
-		if cmp.Param == 0 {
-			pred.Value, err = expr.ParseValue(col.Type(), cmp.Literal)
-			if err != nil {
-				return nil, fmt.Errorf("predicate on %q: %v", cmp.Column, err)
-			}
-		}
-		node = &Predicate{
-			Input:  node,
-			Pred:   pred,
-			EstSel: 1, // estimated by the optimizer's statistics rule
-		}
-		if cmp.IsBetween {
-			// Desugar BETWEEN: the >= predicate was added above; stack the
-			// <= upper bound as a second conjunct.
-			hiPred := expr.Predicate{Column: cmp.Column, Op: expr.Le, Param: cmp.HiParam}
-			if cmp.HiParam == 0 {
-				hiPred.Value, err = expr.ParseValue(col.Type(), cmp.BetweenHi)
+		plan.BuildTable = buildTbl
+		res.build, res.buildName = buildTbl, sel.Join.Table
+		var buildNode Node = &StoredTable{Table: buildTbl}
+		join = &Join{BuildTable: buildTbl}
+		for _, cmp := range sel.Join.On {
+			if cmp.Column2 == "" {
+				// Column-vs-literal ON condition: for an inner join this is
+				// a plain filter on its owning side's scan.
+				ref, preds, err := buildPreds(res, cmp)
 				if err != nil {
-					return nil, fmt.Errorf("BETWEEN upper bound on %q: %v", cmp.Column, err)
+					return nil, err
 				}
+				for _, pr := range preds {
+					if ref.Build {
+						buildNode = &Predicate{Input: buildNode, Pred: pr, EstSel: 1}
+					} else {
+						probeNode = &Predicate{Input: probeNode, Pred: pr, EstSel: 1}
+					}
+				}
+				continue
 			}
-			node = &Predicate{
-				Input:  node,
-				Pred:   hiPred,
-				EstSel: 1,
+			lRef, lCol, err := res.resolve(cmp.Column)
+			if err != nil {
+				return nil, err
 			}
+			rRef, rCol, err := res.resolve(cmp.Column2)
+			if err != nil {
+				return nil, err
+			}
+			if lRef.Build == rRef.Build {
+				return nil, fmt.Errorf("lqp: ON comparison %q must reference both tables", cmp.String())
+			}
+			if lCol.Type() != rCol.Type() {
+				return nil, fmt.Errorf("lqp: ON comparison %q mixes %s and %s columns", cmp.String(), lCol.Type(), rCol.Type())
+			}
+			op, probeRef, buildRef := cmp.Op, lRef, rRef
+			if lRef.Build {
+				probeRef, buildRef, op = rRef, lRef, cmp.Op.Flip()
+			}
+			if op == expr.Eq && join.ProbeKey == "" {
+				join.ProbeKey, join.BuildKey, join.KeyType = probeRef.Col, buildRef.Col, lCol.Type()
+				join.KeyLabel = fmt.Sprintf("%s = %s", probeRef.Name, buildRef.Name)
+				continue
+			}
+			join.Residuals = append(join.Residuals, JoinResidual{
+				Probe: probeRef.Col, Build: buildRef.Col, Op: op,
+				Label: fmt.Sprintf("%s %s %s", probeRef.Name, op, buildRef.Name),
+			})
+		}
+		if join.ProbeKey == "" {
+			return nil, fmt.Errorf("lqp: JOIN ... ON needs an equality between the two tables' columns")
+		}
+		join.Input, join.Build = probeNode, buildNode
+		node = join
+	} else {
+		node = probeNode
+	}
+
+	for _, cmp := range sel.Where {
+		ref, preds, err := buildPreds(res, cmp)
+		if err != nil {
+			return nil, err
+		}
+		// EstSel 1 is the neutral default; the optimizer's statistics rule
+		// estimates the real value.
+		for _, pr := range preds {
+			node = &Predicate{Input: node, Pred: pr, EstSel: 1, OnBuild: ref.Build}
 		}
 	}
 
 	if sel.OrderBy != "" {
-		if _, err := tbl.Column(sel.OrderBy); err != nil {
+		if join != nil {
+			return nil, fmt.Errorf("lqp: ORDER BY over a join is not supported")
+		}
+		ref, _, err := res.resolve(sel.OrderBy)
+		if err != nil {
 			return nil, err
 		}
-		node = &Sort{Input: node, Col: sel.OrderBy, Desc: sel.Desc}
+		node = &Sort{Input: node, Col: ref.Col, Desc: sel.Desc}
 	}
 
 	switch {
+	case len(sel.GroupBy) > 0 || (len(sel.Aggs) > 0 && join != nil):
+		g := &GroupBy{Input: node}
+		// The parser guarantees the projected plain columns and the GROUP
+		// BY list are the same set, so the keys are taken in projection
+		// order (that is the output column order).
+		seen := make(map[ColRef]bool)
+		for _, k := range sel.Columns {
+			ref, _, err := res.resolve(k)
+			if err != nil {
+				return nil, err
+			}
+			key := ColRef{Build: ref.Build, Col: ref.Col}
+			if seen[key] {
+				return nil, fmt.Errorf("lqp: duplicate GROUP BY column %q", k)
+			}
+			seen[key] = true
+			g.Keys = append(g.Keys, ref)
+		}
+		for _, term := range sel.Aggs {
+			kind, err := aggKindOf(term.Func)
+			if err != nil {
+				return nil, err
+			}
+			item := GroupItem{Kind: kind}
+			if kind != AggCount {
+				ref, _, err := res.resolve(term.Col)
+				if err != nil {
+					return nil, err
+				}
+				item.Col = ref
+			}
+			g.Items = append(g.Items, item)
+		}
+		node = g
 	case len(sel.Aggs) > 0:
 		agg := &Aggregate{Input: node}
 		for _, term := range sel.Aggs {
-			item := AggItem{Col: term.Col}
-			switch term.Func {
-			case sqlparse.AggCount:
-				item.Kind = AggCount
-			case sqlparse.AggSum:
-				item.Kind = AggSum
-			case sqlparse.AggMin:
-				item.Kind = AggMin
-			case sqlparse.AggMax:
-				item.Kind = AggMax
-			case sqlparse.AggAvg:
-				item.Kind = AggAvg
-			default:
-				return nil, fmt.Errorf("unsupported aggregate %q", term.Func)
+			kind, err := aggKindOf(term.Func)
+			if err != nil {
+				return nil, err
 			}
-			if item.Kind != AggCount {
-				if _, err := tbl.Column(term.Col); err != nil {
+			item := AggItem{Kind: kind}
+			if kind != AggCount {
+				ref, _, err := res.resolve(term.Col)
+				if err != nil {
 					return nil, err
 				}
+				item.Col = ref.Col
 			}
 			agg.Items = append(agg.Items, item)
 		}
@@ -325,15 +459,19 @@ func Build(sel *sqlparse.Select, cat Catalog) (*Plan, error) {
 	case sel.Star:
 		node = &Projection{Input: node, Star: true}
 	default:
+		proj := &Projection{Input: node, Columns: sel.Columns}
 		for _, c := range sel.Columns {
-			if _, err := tbl.Column(c); err != nil {
+			ref, _, err := res.resolve(c)
+			if err != nil {
 				return nil, err
 			}
+			proj.Refs = append(proj.Refs, ref)
 		}
-		node = &Projection{Input: node, Columns: sel.Columns}
+		node = proj
 	}
 	if sel.Limit >= 0 {
 		node = &Limit{Input: node, N: sel.Limit}
 	}
-	return &Plan{Root: node, Table: tbl, NumParams: sel.NumParams}, nil
+	plan.Root = node
+	return plan, nil
 }

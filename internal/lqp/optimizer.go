@@ -27,16 +27,173 @@ func NewOptimizer() *Optimizer {
 	return &Optimizer{stats: make(map[statsKey]column.Stats)}
 }
 
-// Optimize rewrites the plan in place: selectivity estimation,
-// unsatisfiable-predicate pruning, selectivity-based predicate reordering,
-// and fused-chain detection. The applied rules are recorded on the plan.
+// Optimize rewrites the plan in place: join predicate pushdown, per-side
+// selectivity estimation, unsatisfiable-predicate pruning,
+// selectivity-based predicate reordering, fused-chain detection,
+// predicate transfer and join column pruning. The applied rules are
+// recorded on the plan.
 func (o *Optimizer) Optimize(p *Plan) {
+	o.pushJoinPredicates(p)
+	if join := findJoin(p); join != nil {
+		// The build side is its own predicate spine over BuildTable; run
+		// the single-table passes on it as a sub-plan.
+		sub := &Plan{Root: join.Build, Table: join.BuildTable}
+		o.optimizeSpine(sub)
+		join.Build = sub.Root
+		p.AppliedRules = append(p.AppliedRules, sub.AppliedRules...)
+		o.markPredicateTransfer(p, join)
+		o.pruneJoinColumns(p, join)
+	}
+	o.optimizeSpine(p)
+	if join := findJoin(p); join != nil {
+		o.collapseEmptyJoin(p, join)
+	}
+	o.pushLimitHints(p)
+}
+
+// optimizeSpine runs the single-spine rewrite passes: after join
+// predicate pushdown, both the main plan (whose spine continues through
+// the Join into the probe side) and the build subtree are linear
+// predicate chains over one stored table.
+func (o *Optimizer) optimizeSpine(p *Plan) {
 	o.estimateSelectivities(p)
 	o.pruneContradictions(p)
 	o.pruneUnsatisfiable(p)
 	o.reorderPredicates(p)
 	o.fuseChains(p)
-	o.pushLimitHints(p)
+}
+
+// findJoin returns the plan's Join node, or nil. Joins live on the spine
+// (their probe side continues it), so a linear walk finds them.
+func findJoin(p *Plan) *Join {
+	for n := p.Root; n != nil; n = n.Child() {
+		if j, ok := n.(*Join); ok {
+			return j
+		}
+	}
+	return nil
+}
+
+// pushJoinPredicates moves WHERE predicates sitting above the Join down
+// to the side whose table they filter — the classic pushdown through an
+// inner join. Build-side predicates land in the build subtree (shrinking
+// the hash table and the transferred Bloom filter), probe-side
+// predicates join the probe scan chain (where fuseChains will merge them
+// into one fused scan).
+func (o *Optimizer) pushJoinPredicates(p *Plan) {
+	join := findJoin(p)
+	if join == nil {
+		return
+	}
+	moved := false
+	var parent Node
+	n := p.Root
+	for n != nil && n != Node(join) {
+		pred, ok := n.(*Predicate)
+		if !ok {
+			parent = n
+			n = n.Child()
+			continue
+		}
+		next := pred.Input
+		setChild(p, parent, next)
+		if pred.OnBuild {
+			pred.OnBuild = false
+			pred.Input = join.Build
+			join.Build = pred
+		} else {
+			pred.Input = join.Input
+			join.Input = pred
+		}
+		moved = true
+		n = next
+	}
+	if moved {
+		p.AppliedRules = append(p.AppliedRules, "PushPredicatesThroughJoin")
+	}
+}
+
+// markPredicateTransfer tags the join for the Bloom-filter rewrite: the
+// executor hashes the filtered build side's join keys into a Bloom
+// filter and prepends it to the probe scan's fused chain, so probe rows
+// without a partner are rejected during the scan, before any join work.
+func (o *Optimizer) markPredicateTransfer(p *Plan, join *Join) {
+	join.Transfer = true
+	p.AppliedRules = append(p.AppliedRules, "PredicateTransferBloom")
+}
+
+// pruneJoinColumns annotates the join with the per-side column sets
+// consumed at or above it (keys, residuals, group keys, aggregate inputs,
+// projections), so the executor materializes only those. SELECT * defeats
+// pruning (all columns are needed).
+func (o *Optimizer) pruneJoinColumns(p *Plan, join *Join) {
+	probe := map[string]bool{join.ProbeKey: true}
+	build := map[string]bool{join.BuildKey: true}
+	for _, r := range join.Residuals {
+		probe[r.Probe] = true
+		build[r.Build] = true
+	}
+	add := func(ref ColRef) {
+		if ref.Build {
+			build[ref.Col] = true
+		} else {
+			probe[ref.Col] = true
+		}
+	}
+	for n := p.Root; n != nil && n != Node(join); n = n.Child() {
+		switch t := n.(type) {
+		case *Projection:
+			if t.Star {
+				return
+			}
+			for _, ref := range t.Refs {
+				add(ref)
+			}
+		case *GroupBy:
+			for _, k := range t.Keys {
+				add(k)
+			}
+			for _, it := range t.Items {
+				if it.Kind != AggCount {
+					add(it.Col)
+				}
+			}
+		case *Sort:
+			probe[t.Col] = true
+		case *Predicate:
+			if t.OnBuild {
+				build[t.Pred.Column] = true
+			} else {
+				probe[t.Pred.Column] = true
+			}
+		}
+	}
+	join.ProbeCols = sortedKeys(probe)
+	join.BuildCols = sortedKeys(build)
+	p.AppliedRules = append(p.AppliedRules, "PruneJoinInputColumns")
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collapseEmptyJoin replaces the join with EmptyResult when either side
+// was proven empty (an inner join over an empty input produces nothing).
+func (o *Optimizer) collapseEmptyJoin(p *Plan, join *Join) {
+	if e, ok := join.Input.(*EmptyResult); ok {
+		replaceChild(p, join, &EmptyResult{Reason: "join probe side is empty: " + e.Reason})
+		p.AppliedRules = append(p.AppliedRules, "CollapseEmptyJoin")
+		return
+	}
+	if e, ok := join.Build.(*EmptyResult); ok {
+		replaceChild(p, join, &EmptyResult{Reason: "join build side is empty: " + e.Reason})
+		p.AppliedRules = append(p.AppliedRules, "CollapseEmptyJoin")
+	}
 }
 
 // pushLimitHints annotates the plan below a Limit with how many rows can
@@ -345,6 +502,10 @@ func setChild(p *Plan, parent, child Node) {
 	case *Sort:
 		t.Input = child
 	case *FusedChain:
+		t.Input = child
+	case *Join:
+		t.Input = child
+	case *GroupBy:
 		t.Input = child
 	default:
 		panic(fmt.Sprintf("lqp: cannot set child of %T", parent))

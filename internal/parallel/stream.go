@@ -130,10 +130,7 @@ func NewStream(ctx context.Context, params mach.Params, ch scan.Chain, build fun
 		if err := faultinject.Hit(faultinject.SiteParallelMorsel); err != nil {
 			return scan.Result{}, fmt.Errorf("parallel: morsel %d: %w", m.idx, err)
 		}
-		sub := make(scan.Chain, len(ch))
-		for i, p := range ch {
-			sub[i] = scan.Pred{Col: p.Col.Slice(m.begin, m.end), Kind: p.Kind, Op: p.Op, Value: p.Value}
-		}
+		sub := ch.Slice(m.begin, m.end)
 		kern, err := build(sub)
 		if err != nil {
 			return scan.Result{}, fmt.Errorf("parallel: morsel %d: %w", m.idx, err)

@@ -34,7 +34,14 @@ type Batch struct {
 	// Sel is the selection vector: qualifying positions relative to Base,
 	// ascending. Nil when the producer runs in count-only mode (Count is
 	// still exact) and for batches that carry only rows or aggregates.
+	// Downstream of a hash join an entry may repeat (one probe row matching
+	// several build rows yields one pair per match).
 	Sel []uint32
+	// BuildSel, set only on batches a hash join emits, carries the matched
+	// build-side row for each Sel entry — absolute build-table positions,
+	// same length as Sel. Operators that consume join output read probe
+	// columns at Base+Sel[i] and build columns at BuildSel[i].
+	BuildSel []uint32
 	// Count is the number of qualifying rows this batch represents. It can
 	// exceed len(Rows) when the projection's materialization cap clips
 	// output.
@@ -70,6 +77,22 @@ type OperatorStats struct {
 	// PathEmulated, PathScalar or PathScalarFallback. Empty for non-scan
 	// operators.
 	Path string
+	// Depth is the operator's depth in the plan tree (root 0). Plans were
+	// once pure spines where the slice index doubled as the depth; a hash
+	// join's build subtree broke that, so the walk records it explicitly.
+	Depth int
+	// BuildRows / ProbeRows are hash-join counters: rows folded into the
+	// build-side hash table, and probe-side rows that reached the join.
+	BuildRows int64
+	ProbeRows int64
+	// BloomChecks / BloomPass count predicate-transfer prefilter
+	// evaluations on the probe side (regardless of whether the filter ran
+	// inside the fused scan chain or at the join): rows checked and rows
+	// the filter let through.
+	BloomChecks int64
+	BloomPass   int64
+	// Groups counts distinct groups a grouped-aggregation sink produced.
+	Groups int64
 }
 
 // Execution-path labels reported in scan OperatorStats.
@@ -88,15 +111,24 @@ func (s OperatorStats) String() string {
 	if s.Path != "" || s.ChunksPruned > 0 {
 		out += fmt.Sprintf(" pruned=%d", s.ChunksPruned)
 	}
+	if s.BuildRows > 0 || s.ProbeRows > 0 {
+		out += fmt.Sprintf(" build=%d probe=%d", s.BuildRows, s.ProbeRows)
+	}
+	if s.BloomChecks > 0 {
+		out += fmt.Sprintf(" bloom=%d/%d", s.BloomPass, s.BloomChecks)
+	}
+	if s.Groups > 0 {
+		out += fmt.Sprintf(" groups=%d", s.Groups)
+	}
 	return out + "]"
 }
 
 // FormatStats renders per-operator counters for the whole tree, root
-// first, indented like Format.
+// first, indented by each entry's recorded tree depth.
 func FormatStats(stats []OperatorStats) string {
 	var sb strings.Builder
-	for depth, s := range stats {
-		sb.WriteString(strings.Repeat("  ", depth))
+	for _, s := range stats {
+		sb.WriteString(strings.Repeat("  ", s.Depth))
 		sb.WriteString(s.String())
 		sb.WriteByte('\n')
 	}

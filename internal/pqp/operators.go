@@ -245,10 +245,7 @@ func (op *scanOp) Next() (Batch, error) {
 				continue
 			}
 			op.stats.noteScanned(end - begin)
-			sub := make(scan.Chain, len(op.chain))
-			for i, p := range op.chain {
-				sub[i] = scan.Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value}
-			}
+			sub := op.chain.Slice(begin, end)
 			kern, err := op.build(sub)
 			if err != nil {
 				return Batch{}, fmt.Errorf("pqp: scan chunk [%d, %d): %w", begin, end, err)
@@ -345,7 +342,7 @@ func (op *filterOp) Next() (Batch, error) {
 	size := col.Type().Size()
 	needle := op.pred.StoredBits()
 	out := Batch{Base: in.Base}
-	for _, rel := range in.Sel {
+	for i, rel := range in.Sel {
 		if err := pollCtx(op.ctx, op.rowIdx); err != nil {
 			return Batch{}, err
 		}
@@ -359,6 +356,10 @@ func (op *filterOp) Next() (Batch, error) {
 			out.Count++
 			if !op.countOnly {
 				out.Sel = append(out.Sel, rel)
+				if in.BuildSel != nil {
+					// Preserve join pair alignment through the filter.
+					out.BuildSel = append(out.BuildSel, in.BuildSel[i])
+				}
 			}
 			op.cpu.Scalar(1)
 		}
@@ -388,6 +389,65 @@ type aggState struct {
 	minMax expr.Value
 	seen   bool
 	valid  int64
+}
+
+// fold accumulates one non-NULL value of type t into the state. Shared by
+// the plain aggregate sink and the grouped-aggregation sink.
+func (st *aggState) fold(kind lqp.AggKind, t expr.Type, v expr.Value) {
+	st.valid++
+	switch kind {
+	case lqp.AggSum, lqp.AggAvg:
+		switch {
+		case t.Float():
+			st.sumF += v.Float()
+		case t.Signed():
+			st.sumI += v.Int()
+		default:
+			st.sumI += int64(v.Uint())
+		}
+	case lqp.AggMin:
+		if !st.seen || v.Compare(expr.Lt, st.minMax) {
+			st.minMax = v
+			st.seen = true
+		}
+	case lqp.AggMax:
+		if !st.seen || v.Compare(expr.Gt, st.minMax) {
+			st.minMax = v
+			st.seen = true
+		}
+	}
+}
+
+// finish renders the folded state into a result value. count is the
+// group's row count (the COUNT(*) value); t is the folded column's type
+// (ignored for COUNT(*)).
+func (st aggState) finish(kind lqp.AggKind, t expr.Type, count int64) expr.Value {
+	switch {
+	case kind == lqp.AggCount:
+		return expr.NewInt(expr.Int64, count)
+	case kind == lqp.AggSum:
+		if t.Float() {
+			return expr.NewFloat(expr.Float64, st.sumF)
+		}
+		return expr.NewInt(expr.Int64, st.sumI)
+	case kind == lqp.AggAvg:
+		total := st.sumF
+		if !t.Float() {
+			total = float64(st.sumI)
+		}
+		if st.valid > 0 {
+			total /= float64(st.valid)
+		}
+		return expr.NewFloat(expr.Float64, total)
+	default: // MIN / MAX
+		if !st.seen {
+			if t.Float() {
+				return expr.NewFloat(expr.Float64, 0) // empty input
+			}
+			return expr.NewInt(expr.Int64, 0)
+		}
+		return st.minMax
+	}
 }
 
 // aggOp is a consuming sink: it folds its input batch-at-a-time — non-count
@@ -502,31 +562,7 @@ func (op *aggOp) fold(in Batch) error {
 			if it.col.Null(pos) {
 				continue
 			}
-			v := it.col.Value(pos)
-			st := &op.states[i]
-			st.valid++
-			t := it.col.Type()
-			switch it.kind {
-			case lqp.AggSum, lqp.AggAvg:
-				switch {
-				case t.Float():
-					st.sumF += v.Float()
-				case t.Signed():
-					st.sumI += v.Int()
-				default:
-					st.sumI += int64(v.Uint())
-				}
-			case lqp.AggMin:
-				if !st.seen || v.Compare(expr.Lt, st.minMax) {
-					st.minMax = v
-					st.seen = true
-				}
-			case lqp.AggMax:
-				if !st.seen || v.Compare(expr.Gt, st.minMax) {
-					st.minMax = v
-					st.seen = true
-				}
-			}
+			op.states[i].fold(it.kind, it.col.Type(), it.col.Value(pos))
 		}
 	}
 	return nil
@@ -536,37 +572,15 @@ func (op *aggOp) fold(in Batch) error {
 func (op *aggOp) finish() []expr.Value {
 	out := make([]expr.Value, 0, len(op.items))
 	for i, it := range op.items {
-		st := op.states[i]
-		var val expr.Value
-		switch {
-		case it.col == nil:
-			val = expr.NewInt(expr.Int64, int64(op.total))
-		case it.kind == lqp.AggSum:
-			if it.col.Type().Float() {
-				val = expr.NewFloat(expr.Float64, st.sumF)
-			} else {
-				val = expr.NewInt(expr.Int64, st.sumI)
-			}
-		case it.kind == lqp.AggAvg:
-			total := st.sumF
-			if !it.col.Type().Float() {
-				total = float64(st.sumI)
-			}
-			if st.valid > 0 {
-				total /= float64(st.valid)
-			}
-			val = expr.NewFloat(expr.Float64, total)
-		default: // MIN / MAX
-			if !st.seen {
-				val = expr.NewInt(expr.Int64, 0) // empty input
-				if it.col.Type().Float() {
-					val = expr.NewFloat(expr.Float64, 0)
-				}
-			} else {
-				val = st.minMax
-			}
+		var t expr.Type
+		if it.col != nil {
+			t = it.col.Type()
 		}
-		out = append(out, val)
+		kind := it.kind
+		if it.col == nil {
+			kind = lqp.AggCount
+		}
+		out = append(out, op.states[i].finish(kind, t, int64(op.total)))
 	}
 	return out
 }

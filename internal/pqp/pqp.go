@@ -145,7 +145,16 @@ type Plan struct {
 	NativeScans int
 }
 
-// Format renders the physical operator tree.
+// buildChilder is implemented by operators with a second (build-side)
+// subtree — the hash join. Walks render it under a "Build:" heading before
+// the main spine continues through child().
+type buildChilder interface {
+	buildChild() Operator
+}
+
+// Format renders the physical operator tree. A join's build subtree is
+// rendered under an indented "Build:" heading before the probe side
+// continues the spine — matching the logical plan's rendering.
 func (p *Plan) Format() string {
 	var sb strings.Builder
 	var walk func(op Operator, depth int)
@@ -153,6 +162,11 @@ func (p *Plan) Format() string {
 		sb.WriteString(strings.Repeat("  ", depth))
 		sb.WriteString(op.Describe())
 		sb.WriteByte('\n')
+		if b, ok := op.(buildChilder); ok && b.buildChild() != nil {
+			sb.WriteString(strings.Repeat("  ", depth+1))
+			sb.WriteString("Build:\n")
+			walk(b.buildChild(), depth+2)
+		}
 		if c, ok := op.(interface{ child() Operator }); ok && c.child() != nil {
 			walk(c.child(), depth+1)
 		}
@@ -184,17 +198,25 @@ func (p *Plan) Shape() QueryResult {
 }
 
 // OperatorStats snapshots every operator's runtime counters, root first
-// (same order as Format, one entry per tree depth).
+// (same pre-order as Format — a join's build subtree precedes its probe
+// side). Each entry records its tree depth for indentation.
 func (p *Plan) OperatorStats() []OperatorStats {
 	var out []OperatorStats
-	op := p.Root
-	for op != nil {
-		out = append(out, op.Stats())
-		c, ok := op.(interface{ child() Operator })
-		if !ok || c.child() == nil {
-			break
+	var walk func(op Operator, depth int)
+	walk = func(op Operator, depth int) {
+		st := op.Stats()
+		st.Depth = depth
+		out = append(out, st)
+		if b, ok := op.(buildChilder); ok && b.buildChild() != nil {
+			// The build subtree sits under the rendered "Build:" heading.
+			walk(b.buildChild(), depth+2)
 		}
-		op = c.child()
+		if c, ok := op.(interface{ child() Operator }); ok && c.child() != nil {
+			walk(c.child(), depth+1)
+		}
+	}
+	if p.Root != nil {
+		walk(p.Root, 0)
 	}
 	return out
 }
@@ -347,10 +369,22 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		}
 		return mk(kern, fusedBuild, fmt.Sprintf("FusedTableScan[%s]", prog.Sig.Key()), PathEmulated), nil
 
+	case *lqp.Join:
+		return translateJoin(t, tbl, comp, opts, p)
+
+	case *lqp.GroupBy:
+		return translateGroupBy(t, tbl, comp, opts, p)
+
 	case *lqp.Predicate:
 		// An untagged predicate (optimizer not run): a filter over the
 		// position stream of whatever sits below — the regular query plan
 		// the fused operator replaces, now exchanging bounded batches.
+		if t.OnBuild {
+			// A build-side predicate still on the spine can only be
+			// evaluated after PushPredicatesThroughJoin moves it into the
+			// build subtree; the engine always optimizes before translating.
+			return nil, fmt.Errorf("pqp: build-side predicate %s above the join; optimize the plan before translating", t.Pred)
+		}
 		child, err := translateNode(t.Input, tbl, comp, opts, p)
 		if err != nil {
 			return nil, err
@@ -410,6 +444,12 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		if !ok {
 			return nil, fmt.Errorf("pqp: projection over non-positional input %T", child)
 		}
+		if jn := findJoin(t.Input); jn != nil {
+			// Two-table output: each column is side-resolved, and the
+			// operator reads probe columns at Base+Sel[i] and build columns
+			// at BuildSel[i] from the join's pair batches.
+			return translateJoinProjection(t, src, tbl, jn, opts)
+		}
 		cols := t.Columns
 		if t.Star {
 			cols = tbl.ColumnNames()
@@ -417,6 +457,11 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		return &projectOp{input: src, tbl: tbl, columns: cols, cap: t.MaxRows, unbounded: opts.UnboundedRows}, nil
 
 	case *lqp.Sort:
+		if findJoin(t.Input) != nil {
+			// The sort re-emits bare position batches and would drop the
+			// join's pair structure (BuildSel).
+			return nil, fmt.Errorf("pqp: ORDER BY over a join is not supported")
+		}
 		child, err := translateNode(t.Input, tbl, comp, opts, p)
 		if err != nil {
 			return nil, err
@@ -437,12 +482,22 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 			return nil, err
 		}
 		lim := &limitOp{input: child, n: t.N}
-		if proj, ok := child.(*projectOp); ok {
+		switch c := child.(type) {
+		case *projectOp:
 			lim.overRows = true
 			// Unoptimized plans carry no MaxRows hint; cap the projection
 			// here so it stops materializing at the limit either way.
-			if proj.cap == 0 || t.N < proj.cap {
-				proj.cap = t.N
+			if c.cap == 0 || t.N < c.cap {
+				c.cap = t.N
+			}
+		case *joinProjectOp:
+			lim.overRows = true
+			c.capAt(t.N)
+		case *groupOp:
+			// Grouped output streams materialized rows; the zero-key form
+			// emits a single aggregate batch and needs no row counting.
+			if len(c.keys) > 0 {
+				lim.overRows = true
 			}
 		}
 		return lim, nil
@@ -450,6 +505,236 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 	default:
 		return nil, fmt.Errorf("pqp: cannot translate %T", n)
 	}
+}
+
+// findJoin walks a logical spine (following Child) and returns the first
+// Join node, or nil. Operators above a join use it to locate the build
+// table for side-resolved column references. The walk stops at a GroupBy:
+// a grouped sink re-shapes the stream into plain rows, so nothing above it
+// sees pair batches.
+func findJoin(n lqp.Node) *lqp.Join {
+	for ; n != nil; n = n.Child() {
+		switch t := n.(type) {
+		case *lqp.Join:
+			return t
+		case *lqp.GroupBy:
+			return nil
+		}
+	}
+	return nil
+}
+
+// hasEmptyResult reports whether the spine below n was collapsed to an
+// EmptyResult (collapseEmptyJoin, contradiction pruning). It stops at the
+// same boundaries findJoin walks, so `findJoin(n) == nil &&
+// hasEmptyResult(n)` identifies a subtree whose join — and build table —
+// were optimized away.
+func hasEmptyResult(n lqp.Node) bool {
+	for ; n != nil; n = n.Child() {
+		if _, ok := n.(*lqp.EmptyResult); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// joinKernels picks the kernel family for probe scans and residual chains
+// under a join. The JIT compile cache is bypassed on purpose: the probe
+// chain is mutated at Open time (Bloom injection) and residual chains are
+// built per batch over transient pair columns, so a cached program could
+// never be reused — the direct constructors fuse the chain the same way
+// without the compile round-trip.
+func joinKernels(opts Options) (build func(scan.Chain) (scan.Kernel, error), name, path string) {
+	switch {
+	case opts.Native:
+		return func(sub scan.Chain) (scan.Kernel, error) { return scan.NewNative(sub) },
+			"NativeTableScan(SWAR)", PathNative
+	case opts.UseFused:
+		return func(sub scan.Chain) (scan.Kernel, error) { return scan.NewFused(sub, opts.Width, opts.ISA) },
+			"FusedTableScan(direct)", PathEmulated
+	default:
+		return func(sub scan.Chain) (scan.Kernel, error) { return scan.NewSISD(sub) },
+			"TableScan(SISD)", PathScalar
+	}
+}
+
+// translateJoinScan lowers a probe-side predicate chain under a join,
+// using the join kernel family so the chain stays mutable (Bloom
+// injection) while still fusing the comparisons.
+func translateJoinScan(fc *lqp.FusedChain, tbl *column.Table, opts Options, p *Plan) (*scanOp, error) {
+	if _, ok := fc.Input.(*lqp.StoredTable); !ok {
+		return nil, fmt.Errorf("pqp: fused chain must sit directly on a stored table, found %T", fc.Input)
+	}
+	ch, err := buildChain(tbl, fc.Preds)
+	if err != nil {
+		return nil, err
+	}
+	build, name, path := joinKernels(opts)
+	kern, err := build(ch)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Native {
+		p.NativeScans++
+	}
+	return &scanOp{
+		tbl: tbl, chain: ch, kernel: kern, build: build, name: name,
+		path: path, estSel: fc.EstSel,
+		batchRows: opts.batchRows(), stopAfter: fc.StopAfter,
+		cores: opts.Cores, morselRows: opts.MorselRows, params: opts.Params,
+	}, nil
+}
+
+// translateJoin lowers a Join node: the build side translates against the
+// build table (static chains keep the JIT path), the probe side uses the
+// join kernel family, and key/residual references resolve per side.
+func translateJoin(t *lqp.Join, tbl *column.Table, comp *jit.Compiler, opts Options, p *Plan) (Operator, error) {
+	buildOp, err := translateNode(t.Build, t.BuildTable, comp, opts, p)
+	if err != nil {
+		return nil, err
+	}
+	bsrc, ok := buildOp.(positionStream)
+	if !ok {
+		return nil, fmt.Errorf("pqp: join build side is non-positional (%T)", buildOp)
+	}
+	var probeOp Operator
+	var probeScan *scanOp
+	if fc, ok := t.Input.(*lqp.FusedChain); ok {
+		probeScan, err = translateJoinScan(fc, tbl, opts, p)
+		probeOp = probeScan
+	} else {
+		probeOp, err = translateNode(t.Input, tbl, comp, opts, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	psrc, ok := probeOp.(positionStream)
+	if !ok {
+		return nil, fmt.Errorf("pqp: join probe side is non-positional (%T)", probeOp)
+	}
+	probeKey, err := tbl.Column(t.ProbeKey)
+	if err != nil {
+		return nil, err
+	}
+	buildKey, err := t.BuildTable.Column(t.BuildKey)
+	if err != nil {
+		return nil, err
+	}
+	residuals := make([]joinResidual, 0, len(t.Residuals))
+	for _, r := range t.Residuals {
+		pc, err := tbl.Column(r.Probe)
+		if err != nil {
+			return nil, err
+		}
+		bc, err := t.BuildTable.Column(r.Build)
+		if err != nil {
+			return nil, err
+		}
+		residuals = append(residuals, joinResidual{probeCol: pc, buildCol: bc, op: r.Op})
+	}
+	kb, _, _ := joinKernels(opts)
+	label := t.KeyLabel
+	for _, r := range t.Residuals {
+		label += " AND " + r.Label
+	}
+	return &joinOp{
+		probe: psrc, build: bsrc, probeScan: probeScan,
+		probeKey: probeKey, buildKey: buildKey, keyType: t.KeyType,
+		residuals: residuals, transfer: t.Transfer,
+		kernBuild: kb, space: tbl.Space(), label: label,
+	}, nil
+}
+
+// translateGroupBy lowers a grouped-aggregation sink, resolving key and
+// aggregate columns per side (the build table comes from the Join below,
+// when there is one).
+func translateGroupBy(t *lqp.GroupBy, tbl *column.Table, comp *jit.Compiler, opts Options, p *Plan) (Operator, error) {
+	child, err := translateNode(t.Input, tbl, comp, opts, p)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := child.(positionStream)
+	if !ok {
+		return nil, fmt.Errorf("pqp: group by over non-positional input %T", child)
+	}
+	jn := findJoin(t.Input)
+	// When collapseEmptyJoin proved a side empty the Join node — and with
+	// it the build table — is gone from the plan. No rows will ever reach
+	// the sink, so unresolvable columns stay nil and are never read.
+	emptied := jn == nil && hasEmptyResult(t.Input)
+	side := func(ref lqp.ColRef) (*column.Column, error) {
+		if ref.Build {
+			if jn == nil {
+				if emptied {
+					return nil, nil
+				}
+				return nil, fmt.Errorf("pqp: build-side column %q with no join below", ref.Name)
+			}
+			return jn.BuildTable.Column(ref.Col)
+		}
+		return tbl.Column(ref.Col)
+	}
+	op := &groupOp{input: src, batchRows: opts.batchRows()}
+	for _, k := range t.Keys {
+		col, err := side(k)
+		if err != nil {
+			return nil, err
+		}
+		op.keys = append(op.keys, groupCol{col: col, build: k.Build})
+		op.keyNames = append(op.keyNames, k.Name)
+	}
+	for _, it := range t.Items {
+		op.labels = append(op.labels, it.Label())
+		ga := groupAgg{kind: it.Kind}
+		if it.Kind != lqp.AggCount {
+			col, err := side(it.Col)
+			if err != nil {
+				return nil, err
+			}
+			ga.col = col
+			ga.bld = it.Col.Build
+		}
+		op.items = append(op.items, ga)
+	}
+	return op, nil
+}
+
+// translateJoinProjection lowers a projection whose input carries join
+// pair batches: every output column is side-resolved.
+func translateJoinProjection(t *lqp.Projection, src positionStream, tbl *column.Table, jn *lqp.Join, opts Options) (Operator, error) {
+	op := &joinProjectOp{input: src, capRows: t.MaxRows, unbounded: opts.UnboundedRows}
+	add := func(c *column.Column, build bool, name string) {
+		op.cols = append(op.cols, projCol{col: c, build: build})
+		op.names = append(op.names, name)
+	}
+	if t.Star {
+		// SELECT * over a join: all probe columns then all build columns,
+		// qualified so same-named columns stay distinguishable.
+		for _, c := range tbl.Columns() {
+			add(c, false, tbl.Name()+"."+c.Name())
+		}
+		for _, c := range jn.BuildTable.Columns() {
+			add(c, true, jn.BuildTable.Name()+"."+c.Name())
+		}
+		return op, nil
+	}
+	if len(t.Refs) != len(t.Columns) {
+		return nil, fmt.Errorf("pqp: projection over a join lacks side-resolved column refs")
+	}
+	for i, ref := range t.Refs {
+		var c *column.Column
+		var err error
+		if ref.Build {
+			c, err = jn.BuildTable.Column(ref.Col)
+		} else {
+			c, err = tbl.Column(ref.Col)
+		}
+		if err != nil {
+			return nil, err
+		}
+		add(c, ref.Build, t.Columns[i])
+	}
+	return op, nil
 }
 
 // buildChain resolves logical predicates to a scan.Chain over the table's

@@ -28,6 +28,9 @@ func NewAutoVec(ch Chain) (*AutoVec, error) {
 	if err := ch.Validate(); err != nil {
 		return nil, err
 	}
+	if ch.HasJoinForms() {
+		return nil, errJoinForms
+	}
 	return &AutoVec{chain: ch, width: vec.W256}, nil
 }
 

@@ -35,10 +35,16 @@ func NewBlockMaterialized(ch Chain, w vec.Width) (*BlockMaterialized, error) {
 	if !w.Valid() {
 		return nil, errBadWidth
 	}
+	if ch.HasJoinForms() {
+		return nil, errJoinForms
+	}
 	return &BlockMaterialized{chain: ch, width: w}, nil
 }
 
-var errBadWidth = errors.New("scan: invalid register width")
+var (
+	errBadWidth  = errors.New("scan: invalid register width")
+	errJoinForms = errors.New("scan: kernel does not support column-vs-column or Bloom predicates")
+)
 
 // Name implements Kernel.
 func (s *BlockMaterialized) Name() string {

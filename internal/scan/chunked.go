@@ -48,10 +48,7 @@ func RunChunkedContext(ctx context.Context, build func(Chain) (Kernel, error), c
 		if end > n {
 			end = n
 		}
-		sub := make(Chain, len(ch))
-		for i, p := range ch {
-			sub[i] = Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value}
-		}
+		sub := ch.Slice(begin, end)
 		kern, err := build(sub)
 		if err != nil {
 			return Result{}, fmt.Errorf("scan: chunk [%d, %d): %w", begin, end, err)

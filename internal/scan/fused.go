@@ -97,6 +97,13 @@ type fusedRun struct {
 	nullStream  int
 	nullRegions []int
 
+	// Column-vs-column predicates stream/gather a second column: its value
+	// stream (stage 0), gather regions (stages >= 1) and null bitmaps.
+	col2Stream      int
+	col2NullStream  int
+	col2Regions     []int
+	col2NullRegions []int
+
 	// Per follow-up stage (index 1..k-1): the position-list accumulator.
 	acc  []vec.Reg
 	alen []int
@@ -125,6 +132,10 @@ func (r *fusedRun) reset(cpu *mach.CPU, f *Fused, wantPositions bool) {
 	r.regions = resizeInts(r.regions, k)
 	r.nullStream = 0
 	r.nullRegions = resizeInts(r.nullRegions, k)
+	r.col2Stream = 0
+	r.col2NullStream = 0
+	r.col2Regions = resizeInts(r.col2Regions, k)
+	r.col2NullRegions = resizeInts(r.col2NullRegions, k)
 	r.acc = resizeRegs(r.acc, k)
 	r.alen = resizeInts(r.alen, k)
 	r.res = Result{}
@@ -176,6 +187,20 @@ func (f *Fused) Run(cpu *mach.CPU, wantPositions bool) Result {
 				r.nullRegions[j] = cpu.NewRandomRegion()
 			}
 		}
+		if pr.Col2 != nil {
+			if j == 0 {
+				r.col2Stream = cpu.NewStream()
+			} else {
+				r.col2Regions[j] = cpu.NewRandomRegion()
+			}
+			if pr.Col2.HasNulls() {
+				if j == 0 {
+					r.col2NullStream = cpu.NewStream()
+				} else {
+					r.col2NullRegions[j] = cpu.NewRandomRegion()
+				}
+			}
+		}
 	}
 
 	r.scanFirstColumn()
@@ -205,14 +230,47 @@ func (r *fusedRun) scanFirstColumn() {
 			rows = n - b
 		}
 		var m vec.Mask
-		if pr.Kind == expr.PredCompare {
+		if pr.IsBloom() {
+			// Bloom prefilter: stream the key values and test the filter
+			// lane-wise (the filter probes are scalar bit tests; the key
+			// loads are the block's real traffic).
+			byteOff := b * size
+			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff), rows*size)
+			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff+rows*size-1), 1)
+			for l := 0; l < rows; l++ {
+				r.cpu.Scalar(4) // hash mix + two bit probes + combine
+				if pr.Bloom.Test(col.Raw(b + l)) {
+					m |= 1 << uint(l)
+				}
+			}
+			if col.HasNulls() {
+				r.cpu.StreamRead(r.nullStream, col.NullAddr(b), (rows+7)/8)
+				r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+				m &= vec.Mask(col.ValidMask(b, rows))
+			}
+			if pr.Stats != nil {
+				pr.Stats.Checks.Add(int64(rows))
+				pr.Stats.Pass.Add(int64(m.PopCount(rows)))
+			}
+		} else if pr.Kind == expr.PredCompare {
 			byteOff := b * size
 			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff), rows*size)
 			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff+rows*size-1), 1)
 			reg := vec.LoadPartial(r.w, size, data[byteOff:], rows)
 			r.cpu.Vec(r.isa, vec.OpLoad, r.w)
 
-			m = vec.CmpMask(r.w, t, pr.Op, reg, r.needles[0])
+			if pr.Col2 != nil {
+				// Column-vs-column: stream the second column's block too
+				// and compare register against register.
+				col2 := pr.Col2
+				r.cpu.StreamRead(r.col2Stream, col2.Base()+uint64(byteOff), rows*size)
+				r.cpu.StreamRead(r.col2Stream, col2.Base()+uint64(byteOff+rows*size-1), 1)
+				reg2 := vec.LoadPartial(r.w, size, col2.Data()[byteOff:], rows)
+				r.cpu.Vec(r.isa, vec.OpLoad, r.w)
+				m = vec.CmpMask(r.w, t, pr.Op, reg, reg2)
+			} else {
+				m = vec.CmpMask(r.w, t, pr.Op, reg, r.needles[0])
+			}
 			r.cpu.Vec(r.isa, vec.OpCmpMask, r.w)
 			m &= vec.FirstN(rows)
 			if col.HasNulls() {
@@ -221,6 +279,11 @@ func (r *fusedRun) scanFirstColumn() {
 				r.cpu.StreamRead(r.nullStream, col.NullAddr(b), (rows+7)/8)
 				r.cpu.Vec(r.isa, vec.OpKMov, r.w)
 				m &= vec.Mask(col.ValidMask(b, rows))
+			}
+			if pr.Col2 != nil && pr.Col2.HasNulls() {
+				r.cpu.StreamRead(r.col2NullStream, pr.Col2.NullAddr(b), (rows+7)/8)
+				r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+				m &= vec.Mask(pr.Col2.ValidMask(b, rows))
 			}
 		} else {
 			// NULL test: the mask comes straight from the validity bitmap
@@ -346,7 +409,30 @@ func (r *fusedRun) dispatch(stage int, pos vec.Reg, cnt int) {
 		gmask := vec.FirstN(gcnt)
 
 		var m vec.Mask
-		if pr.Kind == expr.PredCompare {
+		if pr.IsBloom() {
+			// Bloom prefilter: gather the key values of the active
+			// positions, then probe the filter lane-wise.
+			_, r.gatherOffs = vec.Gather(r.w, size, vec.Reg{}, gmask, group, data, size, r.gatherOffs[:0])
+			r.cpu.Gather(r.isa, r.w, gcnt)
+			for _, off := range r.gatherOffs {
+				r.cpu.RandomRead(r.regions[stage], base+uint64(off), size)
+			}
+			for l := 0; l < gcnt; l++ {
+				p := int(group.Lane(4, l))
+				r.cpu.Scalar(4) // hash mix + two bit probes + combine
+				if col.HasNulls() {
+					r.cpu.RandomRead(r.nullRegions[stage], col.NullAddr(p), 1)
+				}
+				if !col.Null(p) && pr.Bloom.Test(col.Raw(p)) {
+					m |= 1 << uint(l)
+				}
+			}
+			r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+			if pr.Stats != nil {
+				pr.Stats.Checks.Add(int64(gcnt))
+				pr.Stats.Pass.Add(int64(m.PopCount(gcnt)))
+			}
+		} else if pr.Kind == expr.PredCompare {
 			var gathered vec.Reg
 			gathered, r.gatherOffs = vec.Gather(r.w, size, vec.Reg{}, gmask, group, data, size, r.gatherOffs[:0])
 			r.cpu.Gather(r.isa, r.w, gcnt)
@@ -354,8 +440,35 @@ func (r *fusedRun) dispatch(stage int, pos vec.Reg, cnt int) {
 				r.cpu.RandomRead(r.regions[stage], base+uint64(off), size)
 			}
 
-			m = vec.MaskCmpMask(r.w, t, pr.Op, gmask, gathered, r.needles[stage])
-			r.cpu.Vec(r.isa, vec.OpMaskCmpMask, r.w)
+			if pr.Col2 != nil {
+				// Column-vs-column: gather the second column's values for
+				// the same positions and compare register against register.
+				col2 := pr.Col2
+				var gathered2 vec.Reg
+				gathered2, r.gatherOffs = vec.Gather(r.w, size, vec.Reg{}, gmask, group, col2.Data(), size, r.gatherOffs[:0])
+				r.cpu.Gather(r.isa, r.w, gcnt)
+				for _, off := range r.gatherOffs {
+					r.cpu.RandomRead(r.col2Regions[stage], col2.Base()+uint64(off), size)
+				}
+				m = vec.MaskCmpMask(r.w, t, pr.Op, gmask, gathered, gathered2)
+				r.cpu.Vec(r.isa, vec.OpMaskCmpMask, r.w)
+				if col2.HasNulls() {
+					r.cpu.Gather(r.isa, r.w, gcnt)
+					var vm vec.Mask
+					for l := 0; l < gcnt; l++ {
+						p := int(group.Lane(4, l))
+						r.cpu.RandomRead(r.col2NullRegions[stage], col2.NullAddr(p), 1)
+						if !col2.Null(p) {
+							vm |= 1 << uint(l)
+						}
+					}
+					r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+					m &= vm
+				}
+			} else {
+				m = vec.MaskCmpMask(r.w, t, pr.Op, gmask, gathered, r.needles[stage])
+				r.cpu.Vec(r.isa, vec.OpMaskCmpMask, r.w)
+			}
 			if col.HasNulls() {
 				// Gather the validity bytes of the active positions and
 				// mask NULL rows out.

@@ -28,28 +28,42 @@ import (
 // satisfy Kernel and ignored, so results carry no simulated PerfReport
 // (the Config.Simulate contract in the public API).
 type Native struct {
-	ch       Chain
-	needles  []uint64
-	masks    []nativeMaskFunc   // nil for NULL-test predicates
-	refines  []nativeRefineFunc // nil for NULL-test predicates
-	sizeHint int
+	ch         Chain
+	needles    []uint64
+	masks      []nativeMaskFunc      // nil for NULL-test, Bloom and col-vs-col predicates
+	refines    []nativeRefineFunc    // nil for NULL-test, Bloom and col-vs-col predicates
+	colMasks   []nativeMaskColFunc   // set only for column-vs-column predicates
+	colRefines []nativeRefineColFunc // set only for column-vs-column predicates
+	sizeHint   int
 }
 
 // NewNative builds the native kernel for a validated chain. All ten types
-// and six comparators have generated kernels, so this only fails on an
-// invalid chain.
+// and six comparators have generated kernels (in both the needle and the
+// column-vs-column family), so this only fails on an invalid chain.
 func NewNative(ch Chain) (*Native, error) {
 	if err := ch.Validate(); err != nil {
 		return nil, err
 	}
 	k := &Native{
-		ch:      ch,
-		needles: make([]uint64, len(ch)),
-		masks:   make([]nativeMaskFunc, len(ch)),
-		refines: make([]nativeRefineFunc, len(ch)),
+		ch:         ch,
+		needles:    make([]uint64, len(ch)),
+		masks:      make([]nativeMaskFunc, len(ch)),
+		refines:    make([]nativeRefineFunc, len(ch)),
+		colMasks:   make([]nativeMaskColFunc, len(ch)),
+		colRefines: make([]nativeRefineColFunc, len(ch)),
 	}
 	for i, p := range ch {
-		if p.Kind != expr.PredCompare {
+		if p.Kind != expr.PredCompare || p.IsBloom() {
+			continue
+		}
+		if p.IsColCol() {
+			cmf := nativeMaskColFuncs[p.Col.Type()][p.Op]
+			crf := nativeRefineColFuncs[p.Col.Type()][p.Op]
+			if cmf == nil || crf == nil {
+				return nil, fmt.Errorf("scan: no native col-vs-col kernel for %s %s", p.Col.Type(), p.Op)
+			}
+			k.colMasks[i] = cmf
+			k.colRefines[i] = crf
 			continue
 		}
 		mf := nativeMaskFuncs[p.Col.Type()][p.Op]
@@ -90,6 +104,49 @@ func (k *Native) Run(cpu *mach.CPU, wantPositions bool) Result {
 		for j := range k.ch {
 			p := &k.ch[j]
 			switch {
+			case p.IsBloom():
+				// Bloom prefilter: probe the filter for candidate rows
+				// (all rows of the block when it leads the chain), then
+				// mask out NULL keys.
+				var checks int64
+				if first {
+					for i := 0; i < cnt; i++ {
+						if p.Bloom.Test(p.Col.Raw(b + i)) {
+							m |= 1 << uint(i)
+						}
+					}
+					checks = int64(cnt)
+					first = false
+				} else {
+					checks = int64(bits.OnesCount64(m))
+					for r := m; r != 0; r &= r - 1 {
+						i := bits.TrailingZeros64(r)
+						if !p.Bloom.Test(p.Col.Raw(b + i)) {
+							m &^= 1 << uint(i)
+						}
+					}
+				}
+				if p.Col.HasNulls() {
+					m &= p.Col.ValidMask(b, cnt)
+				}
+				if p.Stats != nil {
+					p.Stats.Checks.Add(checks)
+					p.Stats.Pass.Add(int64(bits.OnesCount64(m)))
+				}
+			case k.colMasks[j] != nil:
+				// Column-vs-column compare over two row-aligned columns.
+				if first {
+					m = k.colMasks[j](p.Col.Data(), p.Col2.Data(), b, cnt)
+					first = false
+				} else {
+					m = k.colRefines[j](p.Col.Data(), p.Col2.Data(), b, m)
+				}
+				if p.Col.HasNulls() {
+					m &= p.Col.ValidMask(b, cnt)
+				}
+				if p.Col2.HasNulls() {
+					m &= p.Col2.ValidMask(b, cnt)
+				}
 			case k.masks[j] == nil:
 				// NULL test: the block mask is the validity polarity.
 				bm := p.BlockMask(b, cnt)

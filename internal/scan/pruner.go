@@ -34,7 +34,9 @@ type prunerPred struct {
 func NewPruner(ch Chain, rowsPerZone int) *Pruner {
 	pr := &Pruner{}
 	for _, p := range ch {
-		if p.Kind != expr.PredCompare {
+		// Zone maps prove value-vs-literal bounds only: column-vs-column
+		// compares and Bloom prefilters have no needle to test against.
+		if p.Kind != expr.PredCompare || p.IsColCol() || p.IsBloom() {
 			continue
 		}
 		pr.preds = append(pr.preds, prunerPred{
@@ -100,7 +102,12 @@ func RunChunkedPruned(ctx context.Context, build func(Chain) (Kernel, error), ch
 		}
 		sub := make(Chain, len(ch))
 		for i, p := range ch {
-			sub[i] = Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value}
+			sp := Pred{Col: p.Col.Slice(begin, end), Kind: p.Kind, Op: p.Op, Value: p.Value,
+				Bloom: p.Bloom, Stats: p.Stats}
+			if p.Col2 != nil {
+				sp.Col2 = p.Col2.Slice(begin, end)
+			}
+			sub[i] = sp
 		}
 		kern, err := build(sub)
 		if err != nil {

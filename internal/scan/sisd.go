@@ -79,39 +79,89 @@ func (s *SISD) Run(cpu *mach.CPU, wantPositions bool) Result {
 		}
 	}
 
+	// Column-vs-column predicates read a second value per row; charge it
+	// as gathered traffic in a region of its own.
+	col2Regions := make([]int, k)
+	for j, p := range ch {
+		if p.Col2 != nil {
+			col2Regions[j] = cpu.NewRandomRegion()
+		}
+	}
+
+	// readValue charges the load of predicate j's driving value at row i
+	// (streamed for the first column, gathered for later ones).
+	readValue := func(j, i int) {
+		p := ch[j]
+		if j == 0 {
+			cpu.StreamRead(stream0, p.Col.Addr(i), sizes[j])
+		} else {
+			cpu.Scalar(2) // address computation + load of the next column
+			cpu.RandomRead(regions[j], p.Col.Addr(i), sizes[j])
+		}
+	}
+	readNull := func(j, i int) {
+		p := ch[j]
+		if j == 0 {
+			cpu.StreamRead(nullStreams[j], p.Col.NullAddr(i), 1)
+		} else {
+			cpu.RandomRead(regions[j], p.Col.NullAddr(i), 1)
+		}
+	}
+
 	// eval evaluates predicate j at row i with the appropriate memory
 	// charges: NULL tests touch only the validity bitmap; comparisons read
 	// the value (streamed for the first column, gathered for later ones)
-	// plus the bitmap when the column is nullable.
+	// plus the bitmap when the column is nullable; column-vs-column
+	// comparisons read both sides; Bloom prefilters read the key and two
+	// filter bits.
 	eval := func(j, i int) bool {
 		p := ch[j]
-		switch p.Kind {
-		case expr.PredIsNull, expr.PredIsNotNull:
+		switch {
+		case p.Kind == expr.PredIsNull || p.Kind == expr.PredIsNotNull:
 			cpu.Scalar(1)
 			if p.Col.HasNulls() {
-				if j == 0 {
-					cpu.StreamRead(nullStreams[j], p.Col.NullAddr(i), 1)
-				} else {
-					cpu.RandomRead(regions[j], p.Col.NullAddr(i), 1)
-				}
+				readNull(j, i)
 			}
 			return p.Matches(i, 0)
-		default:
-			if j == 0 {
-				cpu.StreamRead(stream0, p.Col.Addr(i), sizes[j])
-			} else {
-				cpu.Scalar(2) // address computation + load of the next column
-				cpu.RandomRead(regions[j], p.Col.Addr(i), sizes[j])
+		case p.IsBloom():
+			readValue(j, i)
+			cpu.Scalar(4) // hash mix + two bit probes + combine
+			if p.Col.HasNulls() {
+				cpu.Scalar(1)
+				readNull(j, i)
 			}
+			match := p.Matches(i, 0)
+			if p.Stats != nil {
+				p.Stats.Checks.Add(1)
+				if match {
+					p.Stats.Pass.Add(1)
+				}
+			}
+			return match
+		case p.IsColCol():
+			readValue(j, i)
+			cpu.Scalar(2) // second address computation + load
+			cpu.RandomRead(col2Regions[j], p.Col2.Addr(i), sizes[j])
+			match := expr.CompareBits(types[j], ops[j], p.Col.Raw(i), p.Col2.Raw(i))
+			cpu.Scalar(1) // the compare itself
+			if p.Col.HasNulls() {
+				cpu.Scalar(1)
+				readNull(j, i)
+				match = match && !p.Col.Null(i)
+			}
+			if p.Col2.HasNulls() {
+				cpu.Scalar(1)
+				cpu.RandomRead(col2Regions[j], p.Col2.NullAddr(i), 1)
+				match = match && !p.Col2.Null(i)
+			}
+			return match
+		default:
+			readValue(j, i)
 			match := expr.CompareBits(types[j], ops[j], p.Col.Raw(i), needles[j])
 			cpu.Scalar(1) // the compare itself
 			if p.Col.HasNulls() {
 				cpu.Scalar(1)
-				if j == 0 {
-					cpu.StreamRead(nullStreams[j], p.Col.NullAddr(i), 1)
-				} else {
-					cpu.RandomRead(regions[j], p.Col.NullAddr(i), 1)
-				}
+				readNull(j, i)
 				match = match && !p.Col.Null(i)
 			}
 			return match
@@ -172,6 +222,9 @@ type Strided struct {
 func NewStrided(p Pred, stride int) (*Strided, error) {
 	if err := (Chain{p}).Validate(); err != nil {
 		return nil, err
+	}
+	if (Chain{p}).HasJoinForms() {
+		return nil, errJoinForms
 	}
 	if stride < 1 {
 		return nil, errStride

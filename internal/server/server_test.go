@@ -259,6 +259,71 @@ func TestErrorTaxonomy(t *testing.T) {
 	}
 }
 
+// TestQueryJoinBuildOverBudget422 provokes the typed memory-budget
+// failure through a real join: the hash-join build side is charged to
+// the govern Accountant, so an over-budget build surfaces as HTTP 422
+// with the stable "memory_budget" code — never an OOM or a 500.
+func TestQueryJoinBuildOverBudget422(t *testing.T) {
+	eng := fusedscan.NewEngine()
+	const factN, dimN = 200, 20000
+	fk := make([]int64, factN)
+	fx := make([]int32, factN)
+	for i := range fk {
+		fk[i] = int64(i % 50)
+	}
+	dk := make([]int64, dimN)
+	dy := make([]int64, dimN)
+	for i := range dk {
+		dk[i] = int64(i)
+		dy[i] = int64(i)
+	}
+	fb := eng.CreateTable("f")
+	fb.Int64("k", fk)
+	fb.Int32("x", fx)
+	if err := fb.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	db := eng.CreateTable("d")
+	db.Int64("k", dk)
+	db.Int64("y", dy)
+	if err := db.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	g := fusedscan.DefaultGovernance()
+	g.MemBudgetBytes = 256 << 10 // the 20000-entry build needs ~940KiB
+	eng.SetGovernance(g)
+
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+
+	const join = "SELECT f.x, SUM(d.y) FROM f JOIN d ON f.k = d.k GROUP BY f.x"
+	w := post(t, s, "/query", QueryRequest{SQL: join})
+	if w.Code != 422 {
+		t.Fatalf("over-budget join: status %d, want 422: %s", w.Code, w.Body.String())
+	}
+	if er := decode[ErrorResponse](t, w); er.Code != "memory_budget" {
+		t.Fatalf("over-budget join: code %q, want \"memory_budget\": %+v", er.Code, er)
+	}
+
+	g.MemBudgetBytes = 64 << 20
+	eng.SetGovernance(g)
+	w = post(t, s, "/query", QueryRequest{SQL: join})
+	if w.Code != 200 {
+		t.Fatalf("join under generous budget: %d %s", w.Code, w.Body.String())
+	}
+	var res struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	res = decode[struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}](t, w)
+	if len(res.Rows) != 1 || len(res.Columns) != 2 {
+		t.Fatalf("join result = %+v, want 1 group x 2 columns", res)
+	}
+}
+
 // TestClassify pins the full error -> (status, code) mapping, including
 // legs that are awkward to provoke through real execution.
 func TestClassify(t *testing.T) {

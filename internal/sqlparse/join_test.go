@@ -1,0 +1,150 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"fusedscan/internal/expr"
+)
+
+func TestParseJoinGroupBy(t *testing.T) {
+	sel, err := Parse("SELECT a.x, SUM(b.y) FROM a JOIN b ON a.k = b.k AND a.u < b.v WHERE a.x > 3 GROUP BY a.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Table != "a" || sel.Join == nil || sel.Join.Table != "b" {
+		t.Fatalf("tables wrong: %+v", sel)
+	}
+	if len(sel.Columns) != 1 || sel.Columns[0] != "a.x" {
+		t.Fatalf("columns = %v", sel.Columns)
+	}
+	if len(sel.Aggs) != 1 || sel.Aggs[0].Func != AggSum || sel.Aggs[0].Col != "b.y" {
+		t.Fatalf("aggs = %v", sel.Aggs)
+	}
+	if len(sel.Join.On) != 2 {
+		t.Fatalf("on = %v", sel.Join.On)
+	}
+	if on := sel.Join.On[0]; on.Column != "a.k" || on.Op != expr.Eq || on.Column2 != "b.k" {
+		t.Fatalf("key cond = %+v", on)
+	}
+	if on := sel.Join.On[1]; on.Column != "a.u" || on.Op != expr.Lt || on.Column2 != "b.v" {
+		t.Fatalf("residual cond = %+v", on)
+	}
+	if len(sel.Where) != 1 || sel.Where[0].Column != "a.x" {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0] != "a.x" {
+		t.Fatalf("group by = %v", sel.GroupBy)
+	}
+}
+
+func TestParseInnerJoinOptionalKeyword(t *testing.T) {
+	a, err := Parse("SELECT COUNT(*) FROM a INNER JOIN b ON a.k = b.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Join == nil || b.Join == nil || a.Join.Table != b.Join.Table {
+		t.Fatalf("INNER keyword changed the parse: %+v vs %+v", a.Join, b.Join)
+	}
+}
+
+func TestParseJoinOnLiteralAndParam(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k AND b.v > 10 AND a.u <= $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NumParams != 1 {
+		t.Fatalf("NumParams = %d", sel.NumParams)
+	}
+	if on := sel.Join.On[1]; on.Column != "b.v" || on.Literal != "10" || on.Column2 != "" {
+		t.Fatalf("literal cond = %+v", on)
+	}
+	if on := sel.Join.On[2]; on.Param != 1 {
+		t.Fatalf("param cond = %+v", on)
+	}
+}
+
+func TestParseJoinErrors(t *testing.T) {
+	cases := []struct {
+		src, wantErr string
+	}{
+		{"SELECT COUNT(*) FROM a JOIN b ON a.u < b.v", "column equality"},
+		{"SELECT COUNT(*) FROM a JOIN b ON a.k IS NULL", "comparison operator"},
+		{"SELECT a.x, SUM(b.y) FROM a JOIN b ON a.k = b.k", "requires GROUP BY"},
+		{"SELECT SUM(b.y), a.x FROM a JOIN b ON a.k = b.k GROUP BY a.x", "precede aggregates"},
+		{"SELECT a.x, SUM(b.y) FROM a JOIN b ON a.k = b.k GROUP BY a.z", "not in the GROUP BY list"},
+		{"SELECT a.x, SUM(b.y) FROM a JOIN b ON a.k = b.k GROUP BY a.x, a.z", "must appear in the SELECT list"},
+		{"SELECT * FROM a GROUP BY x", "cannot be combined with GROUP BY"},
+		{"SELECT x FROM a GROUP BY x", "at least one aggregate"},
+		{"SELECT COUNT(*) FROM a JOIN b ON a.k = b.k OR a.u = b.u", "OR is not supported"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.src, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseQualifiedWhere(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k WHERE b.v BETWEEN 1 AND 5 AND a.u IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Where[0].Column != "b.v" || !sel.Where[0].IsBetween {
+		t.Fatalf("between = %+v", sel.Where[0])
+	}
+	if sel.Where[1].Column != "a.u" || sel.Where[1].NullTest != expr.PredIsNotNull {
+		t.Fatalf("null test = %+v", sel.Where[1])
+	}
+}
+
+func TestNormalizeJoinShape(t *testing.T) {
+	sel, err := Parse("select a.x, sum(b.y) from a join b on a.k = b.k and a.u < b.v and b.w > 10 where a.x >= 3 group by a.x limit 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, slots := Normalize(sel)
+	want := "SELECT a.x, SUM(b.y) FROM a INNER JOIN b ON a.k = b.k AND a.u < b.v AND b.w > $1 WHERE a.x >= $2 GROUP BY a.x LIMIT 7"
+	if shape != want {
+		t.Fatalf("shape = %q\nwant   %q", shape, want)
+	}
+	if len(slots) != 2 || slots[0].Literal != "10" || slots[1].Literal != "3" {
+		t.Fatalf("slots = %+v", slots)
+	}
+
+	// The shape itself must re-parse into the fully parameterized skeleton.
+	re, err := Parse(shape)
+	if err != nil {
+		t.Fatalf("shape does not re-parse: %v", err)
+	}
+	if re.NumParams != len(slots) {
+		t.Fatalf("skeleton NumParams = %d, want %d", re.NumParams, len(slots))
+	}
+	shape2, _ := Normalize(re)
+	if shape2 != shape {
+		t.Fatalf("normalize not idempotent: %q vs %q", shape2, shape)
+	}
+}
+
+func TestNormalizeJoinSharesShape(t *testing.T) {
+	a, _ := Parse("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k AND b.w > 10")
+	b, _ := Parse("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k AND b.w > 99")
+	if a == nil || b == nil {
+		t.Fatal("parse failed")
+	}
+	sa, _ := Normalize(a)
+	sb, _ := Normalize(b)
+	if sa != sb {
+		t.Fatalf("join residual literals must parameterize into one shape: %q vs %q", sa, sb)
+	}
+	c, _ := Parse("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k AND b.w < 10")
+	sc, _ := Normalize(c)
+	if sc == sa {
+		t.Fatal("different operators must not share a shape")
+	}
+}

@@ -1,14 +1,20 @@
 // Package sqlparse is the SQL front end for the scan-oriented query subset
 // the paper's pipeline handles (Figure 9: SQL string -> parser -> AST):
 //
-//	SELECT COUNT(*) | * | col [, col ...]
+//	SELECT COUNT(*) | * | col [, col ...] [, FUNC(col) ...]
 //	FROM table
+//	[[INNER] JOIN table ON cond [AND cond ...]]
 //	[WHERE col OP literal [AND col OP literal ...]]
+//	[GROUP BY col [, col ...]]
 //	[LIMIT n]
 //
 // OP is one of =, <>, !=, <, <=, >, >=. Conjunctions only: the fused scan
 // is defined over predicate chains; a disjunction is a parse-time error
 // with a clear message rather than a silent fallback.
+//
+// With a JOIN, column references may be qualified ("a.x"); an ON condition
+// is either column-vs-column ("a.k = b.k", the equi-join key or a residual
+// comparison) or column-vs-literal (pushed down to one side's scan).
 //
 // Anywhere a literal may appear in WHERE, a $n parameter placeholder may
 // appear instead (prepared statements; see Normalize for the canonical
@@ -111,6 +117,15 @@ func (l *lexer) lexIdent() {
 	start := l.pos
 	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
 		l.pos++
+	}
+	// A qualified reference ("table.column") lexes as one identifier token;
+	// the binder splits it. Only ident '.' ident fuses — "a.1" stops at the
+	// dot and fails downstream like any other stray token.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isIdentStart(rune(l.src[l.pos+1])) {
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
 	}
 	l.emit(tokIdent, l.src[start:l.pos], start)
 }

@@ -17,7 +17,10 @@ type Slot struct {
 // Normalize renders a parsed statement as its canonical shape: every WHERE
 // literal and every $n placeholder is replaced by a fresh placeholder
 // numbered left to right, keywords are uppercased, and BETWEEN is desugared
-// into its two comparisons. Statements that differ only in WHERE constants
+// into its two comparisons. Column-vs-literal JOIN ... ON conditions are
+// parameterized the same way; column-vs-column conditions and GROUP BY
+// columns are structural and rendered verbatim. Statements that differ
+// only in WHERE constants
 // therefore share one shape — the plan-cache key — while the returned slots
 // record how to reassemble the full argument list for execution (captured
 // literals verbatim, caller parameters by index).
@@ -29,20 +32,47 @@ func Normalize(sel *Select) (shape string, slots []Slot) {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
 	switch {
-	case len(sel.Aggs) > 0:
-		for i, a := range sel.Aggs {
+	case sel.Star:
+		sb.WriteByte('*')
+	default:
+		// Plain columns (group keys, if any) first, then aggregates —
+		// mirroring the parse-time ordering rule.
+		for i, c := range sel.Columns {
 			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c)
+		}
+		for i, a := range sel.Aggs {
+			if i > 0 || len(sel.Columns) > 0 {
 				sb.WriteString(", ")
 			}
 			sb.WriteString(a.String())
 		}
-	case sel.Star:
-		sb.WriteByte('*')
-	default:
-		sb.WriteString(strings.Join(sel.Columns, ", "))
 	}
 	sb.WriteString(" FROM ")
 	sb.WriteString(sel.Table)
+
+	slot := func(param int, literal string) string {
+		slots = append(slots, Slot{Param: param, Literal: literal})
+		return fmt.Sprintf("$%d", len(slots))
+	}
+
+	if sel.Join != nil {
+		fmt.Fprintf(&sb, " INNER JOIN %s ON ", sel.Join.Table)
+		for i, cmp := range sel.Join.On {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			if cmp.Column2 != "" {
+				// Column-vs-column conditions are structural — part of the
+				// shape, never parameterized.
+				fmt.Fprintf(&sb, "%s %s %s", cmp.Column, cmp.Op, cmp.Column2)
+			} else {
+				fmt.Fprintf(&sb, "%s %s %s", cmp.Column, cmp.Op, slot(cmp.Param, cmp.Literal))
+			}
+		}
+	}
 
 	if len(sel.Where) > 0 {
 		sb.WriteString(" WHERE ")
@@ -52,10 +82,6 @@ func Normalize(sel *Select) (shape string, slots []Slot) {
 				sb.WriteString(" AND ")
 			}
 			first = false
-		}
-		slot := func(param int, literal string) string {
-			slots = append(slots, Slot{Param: param, Literal: literal})
-			return fmt.Sprintf("$%d", len(slots))
 		}
 		for _, cmp := range sel.Where {
 			switch {
@@ -76,6 +102,10 @@ func Normalize(sel *Select) (shape string, slots []Slot) {
 		}
 	}
 
+	if len(sel.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(sel.GroupBy, ", "))
+	}
 	if sel.OrderBy != "" {
 		sb.WriteString(" ORDER BY ")
 		sb.WriteString(sel.OrderBy)

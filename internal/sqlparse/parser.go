@@ -33,14 +33,27 @@ func (a AggTerm) String() string {
 	return fmt.Sprintf("%s(%s)", strings.ToUpper(string(a.Func)), a.Col)
 }
 
-// Select is the parsed AST of a supported statement. Exactly one of Aggs,
-// Star or Columns is populated.
+// JoinClause is the parsed "[INNER] JOIN table ON ..." clause: an inner
+// equi-join whose ON conjunction holds the key equality, any residual
+// column-vs-column comparisons (Comparison.Column2 set) and any
+// column-vs-literal conditions (pushed to one side's scan by the planner).
+type JoinClause struct {
+	Table string
+	On    []Comparison // implicit conjunction, in source order
+}
+
+// Select is the parsed AST of a supported statement. Exactly one of Star,
+// Columns or Aggs is populated — except under GROUP BY, where Columns
+// (the group keys) and Aggs (the grouped aggregates) appear together with
+// every plain column listed before the first aggregate.
 type Select struct {
 	Aggs    []AggTerm // aggregate list: COUNT(*), SUM(col), MIN/MAX/AVG(col)
 	Star    bool      // SELECT *
 	Columns []string  // explicit projection list
 	Table   string
+	Join    *JoinClause  // nil when the statement scans a single table
 	Where   []Comparison // implicit conjunction, in source order
+	GroupBy []string     // GROUP BY columns (empty when absent)
 	OrderBy string       // ORDER BY column ("" when absent)
 	Desc    bool         // ORDER BY ... DESC
 	Limit   int          // -1 when absent
@@ -58,8 +71,13 @@ type Select struct {
 // (col >= lo AND col <= hi), which the optimizer then fuses like any other
 // chain.
 type Comparison struct {
-	Column    string
-	Op        expr.CmpOp
+	Column string
+	Op     expr.CmpOp
+	// Column2, when non-empty, makes this a column-vs-column comparison
+	// (Column Op Column2) — permitted only inside JOIN ... ON, where it is
+	// the equi-join key or a residual comparator; Literal/Param are then
+	// unused.
+	Column2   string
 	Literal   string
 	IsBetween bool
 	BetweenHi string
@@ -91,6 +109,8 @@ func (c Comparison) hiText() string {
 
 func (c Comparison) String() string {
 	switch {
+	case c.Column2 != "":
+		return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Column2)
 	case c.IsBetween:
 		return fmt.Sprintf("%s BETWEEN %s AND %s", c.Column, c.loText(), c.hiText())
 	case c.NullTest == expr.PredIsNull:
@@ -139,6 +159,12 @@ func resolveParams(sel *Select) error {
 			if n > max {
 				max = n
 			}
+		}
+	}
+	if sel.Join != nil {
+		for _, cmp := range sel.Join.On {
+			note(cmp.Param)
+			note(cmp.HiParam)
 		}
 	}
 	for _, cmp := range sel.Where {
@@ -196,32 +222,29 @@ func (p *parser) parseSelect() (*Select, error) {
 	}
 	sel := &Select{Limit: -1}
 
-	switch {
-	case p.atAggFunc() != "":
-		for {
-			term, err := p.parseAggTerm()
-			if err != nil {
-				return nil, err
-			}
-			sel.Aggs = append(sel.Aggs, term)
-			if p.cur().kind == tokSymbol && p.cur().text == "," {
-				p.advance()
-				if p.atAggFunc() == "" {
-					return nil, p.errorf("cannot mix aggregates and plain columns in one SELECT")
-				}
-				continue
-			}
-			break
-		}
-	case p.cur().kind == tokSymbol && p.cur().text == "*":
+	if p.cur().kind == tokSymbol && p.cur().text == "*" {
 		p.advance()
 		sel.Star = true
-	default:
+	} else {
+		// Mixed projection list: plain columns (group keys) must all come
+		// before the first aggregate; mixing both requires GROUP BY,
+		// checked once the clause list is parsed.
 		for {
-			if !p.at(tokIdent) || isReserved(p.cur().text) {
-				return nil, p.errorf("expected column name, found %q", p.cur().text)
+			if p.atAggFunc() != "" {
+				term, err := p.parseAggTerm()
+				if err != nil {
+					return nil, err
+				}
+				sel.Aggs = append(sel.Aggs, term)
+			} else {
+				if !p.at(tokIdent) || isReserved(p.cur().text) {
+					return nil, p.errorf("expected column name, found %q", p.cur().text)
+				}
+				if len(sel.Aggs) > 0 {
+					return nil, p.errorf("plain columns must precede aggregates in the SELECT list")
+				}
+				sel.Columns = append(sel.Columns, p.advance().text)
 			}
-			sel.Columns = append(sel.Columns, p.advance().text)
 			if p.cur().kind == tokSymbol && p.cur().text == "," {
 				p.advance()
 				continue
@@ -237,6 +260,47 @@ func (p *parser) parseSelect() (*Select, error) {
 		return nil, p.errorf("expected table name, found %q", p.cur().text)
 	}
 	sel.Table = p.advance().text
+
+	if p.atKeyword("inner") || p.atKeyword("join") {
+		if p.atKeyword("inner") {
+			p.advance()
+		}
+		if err := p.expectKeyword("join"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokIdent) || isReserved(p.cur().text) {
+			return nil, p.errorf("expected JOIN table name, found %q", p.cur().text)
+		}
+		join := &JoinClause{Table: p.advance().text}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		for {
+			cmp, err := p.parseComparisonEx(true)
+			if err != nil {
+				return nil, err
+			}
+			join.On = append(join.On, cmp)
+			if p.atKeyword("and") {
+				p.advance()
+				continue
+			}
+			if p.atKeyword("or") {
+				return nil, p.errorf("OR is not supported: the fused table scan evaluates conjunctive predicate chains")
+			}
+			break
+		}
+		hasKey := false
+		for _, cmp := range join.On {
+			if cmp.Column2 != "" && cmp.Op == expr.Eq {
+				hasKey = true
+			}
+		}
+		if !hasKey {
+			return nil, p.errorf("JOIN ... ON must include a column equality (the equi-join key)")
+		}
+		sel.Join = join
+	}
 
 	if p.atKeyword("where") {
 		p.advance()
@@ -255,6 +319,27 @@ func (p *parser) parseSelect() (*Select, error) {
 			}
 			break
 		}
+	}
+
+	if p.atKeyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			if !p.at(tokIdent) || isReserved(p.cur().text) {
+				return nil, p.errorf("expected GROUP BY column, found %q", p.cur().text)
+			}
+			sel.GroupBy = append(sel.GroupBy, p.advance().text)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := checkGrouping(sel); err != nil {
+		return nil, p.errorf("%s", err)
 	}
 
 	if p.atKeyword("order") {
@@ -290,6 +375,44 @@ func (p *parser) parseSelect() (*Select, error) {
 		sel.Limit = n
 	}
 	return sel, nil
+}
+
+// checkGrouping enforces the projection/GROUP BY contract once all clauses
+// are parsed: mixing plain columns with aggregates requires GROUP BY, and
+// under GROUP BY the plain columns and the group keys must be the same set
+// (so the grouped sink's output shape is exactly keys + aggregates).
+func checkGrouping(sel *Select) error {
+	if len(sel.GroupBy) == 0 {
+		if len(sel.Columns) > 0 && len(sel.Aggs) > 0 {
+			return fmt.Errorf("mixing plain columns and aggregates requires GROUP BY")
+		}
+		return nil
+	}
+	if sel.Star {
+		return fmt.Errorf("SELECT * cannot be combined with GROUP BY")
+	}
+	if len(sel.Aggs) == 0 {
+		return fmt.Errorf("GROUP BY requires at least one aggregate in the SELECT list")
+	}
+	keys := make(map[string]bool, len(sel.GroupBy))
+	for _, k := range sel.GroupBy {
+		keys[k] = true
+	}
+	for _, c := range sel.Columns {
+		if !keys[c] {
+			return fmt.Errorf("column %s is not in the GROUP BY list", c)
+		}
+	}
+	proj := make(map[string]bool, len(sel.Columns))
+	for _, c := range sel.Columns {
+		proj[c] = true
+	}
+	for _, k := range sel.GroupBy {
+		if !proj[k] {
+			return fmt.Errorf("GROUP BY column %s must appear in the SELECT list", k)
+		}
+	}
+	return nil
 }
 
 // atAggFunc returns the aggregate function at the cursor, or "".
@@ -355,6 +478,14 @@ const maxParams = 1 << 10
 // Everywhere a literal may appear, a $n parameter placeholder may appear
 // instead (prepared statements).
 func (p *parser) parseComparison() (Comparison, error) {
+	return p.parseComparisonEx(false)
+}
+
+// parseComparisonEx is parseComparison with the ON-clause extension: when
+// allowColCol is set, "col OP col" is accepted as well (Column2 set) —
+// the equi-join key or a residual join comparator. BETWEEN and NULL tests
+// stay WHERE-only.
+func (p *parser) parseComparisonEx(allowColCol bool) (Comparison, error) {
 	var cmp Comparison
 	flipped := false
 
@@ -375,7 +506,7 @@ func (p *parser) parseComparison() (Comparison, error) {
 		return cmp, p.errorf("expected predicate, found %q", p.cur().text)
 	}
 
-	if !flipped && p.atKeyword("is") {
+	if !flipped && !allowColCol && p.atKeyword("is") {
 		p.advance()
 		cmp.NullTest = expr.PredIsNull
 		if p.atKeyword("not") {
@@ -388,7 +519,7 @@ func (p *parser) parseComparison() (Comparison, error) {
 		return cmp, nil
 	}
 
-	if !flipped && p.atKeyword("between") {
+	if !flipped && !allowColCol && p.atKeyword("between") {
 		p.advance()
 		cmp.Op = expr.Ge
 		switch {
@@ -447,6 +578,10 @@ func (p *parser) parseComparison() (Comparison, error) {
 				return cmp, err
 			}
 			cmp.Param = n
+		case allowColCol && p.at(tokIdent) && !isReserved(p.cur().text):
+			cmp.Column2 = p.advance().text
+		case allowColCol:
+			return cmp, p.errorf("expected column or literal, found %q", p.cur().text)
 		default:
 			return cmp, p.errorf("expected literal, found %q (only column-vs-literal predicates are supported)", p.cur().text)
 		}
@@ -455,7 +590,7 @@ func (p *parser) parseComparison() (Comparison, error) {
 }
 
 func isReserved(s string) bool {
-	for _, kw := range []string{"select", "from", "where", "and", "or", "count", "sum", "min", "max", "avg", "limit", "between", "is", "not", "null", "order", "by", "asc", "desc"} {
+	for _, kw := range []string{"select", "from", "where", "and", "or", "count", "sum", "min", "max", "avg", "limit", "between", "is", "not", "null", "order", "by", "asc", "desc", "join", "inner", "on", "group"} {
 		if foldEq(s, kw) {
 			return true
 		}

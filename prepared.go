@@ -386,8 +386,15 @@ func (e *Engine) execute(ctx context.Context, sql string, makePlan func(stage *s
 			Name: os.Name, RowsIn: os.RowsIn, RowsOut: os.RowsOut,
 			Batches: os.Batches, WallNs: os.WallNs,
 			ChunksPruned: os.ChunksPruned, Path: os.Path,
+			Depth: os.Depth, BuildRows: os.BuildRows, ProbeRows: os.ProbeRows,
+			BloomChecks: os.BloomChecks, BloomPass: os.BloomPass, Groups: os.Groups,
 		})
 		e.pipeBatches.Add(os.Batches)
+		e.joinBuildRows.Add(os.BuildRows)
+		e.joinProbeRows.Add(os.ProbeRows)
+		e.joinBloomChecks.Add(os.BloomChecks)
+		e.joinBloomPass.Add(os.BloomPass)
+		e.groupsProduced.Add(os.Groups)
 	}
 	if len(res.Operators) > 0 {
 		e.pipeRows.Add(res.Operators[0].RowsOut)
