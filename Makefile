@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race soak fuzz fuzz-storage fuzz-join bench bench-smoke bench-native bench-native-check serve-check bench-serve bench-serve-check crash-check generate vuln clean
+.PHONY: check build vet test race soak fuzz fuzz-storage fuzz-join fuzz-packed bench bench-smoke bench-native bench-native-check bench-packed-check serve-check bench-serve bench-serve-check crash-check generate vuln clean
 
-check: build vet race soak fuzz-join bench-smoke bench-native-check serve-check bench-serve-check crash-check vuln
+check: build vet race soak fuzz-join fuzz-packed bench-smoke bench-native-check bench-packed-check serve-check bench-serve-check crash-check vuln
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,16 @@ fuzz:
 fuzz-join:
 	FUSEDSCAN_FUZZ_JOIN_ROUNDS=48 $(GO) test -race -run TestFuzzJoinGroupByDifferential -count=1 .
 
+# Differential fuzz of scan-on-compressed storage (DESIGN.md §15): every
+# round runs the same randomized multi-predicate aggregate over a packed
+# table and its plain twin under the default and native configs, checked
+# against a scalar key-space oracle. Sweeps all eight integer types,
+# packed widths 1..64, NULL densities, 64Ki chunk-boundary row counts and
+# frame-of-reference frames anchored at the type extremes. A short
+# 10-round pass also runs inside the plain test suite.
+fuzz-packed:
+	FUSEDSCAN_FUZZ_PACKED_ROUNDS=64 $(GO) test -race -run TestFuzzPackedDifferential -count=1 .
+
 # Coverage-guided fuzz of the binary table decoder and the streaming
 # checksum verifier (hostile-input hardening; see DESIGN.md §12).
 fuzz-storage:
@@ -72,6 +82,14 @@ bench-native:
 # and the native-vs-emulated speedup must stay above the 10x floor.
 bench-native-check:
 	$(GO) run ./cmd/fusedscan-smoke -native -check BENCH_NATIVE.json -tol 0.20
+
+# Scan-on-compressed gate over the same BENCH_NATIVE.json baseline, with
+# the packed axis summarized: the bit-packed native scan must beat the
+# plain native scan by the 1.5x floor with identical counts and prune
+# statistics, must never touch more bytes than the plain scan, and its
+# wall-clock may not regress by more than 20%.
+bench-packed-check:
+	$(GO) run ./cmd/fusedscan-smoke -native -check BENCH_NATIVE.json -tol 0.20 -packed
 
 # End-to-end check of the HTTP query service: starts an ephemeral server
 # on a loopback port and drives a scripted smoke client through ad-hoc

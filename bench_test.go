@@ -13,7 +13,12 @@
 package fusedscan
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
+
+	"fusedscan/internal/column"
+	"fusedscan/internal/expr"
 
 	"fusedscan/internal/bench"
 	"fusedscan/internal/mach"
@@ -221,5 +226,72 @@ func BenchmarkAblationMaterialization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
 		bench.AblationMaterialization(cfg)
+	}
+}
+
+// BenchmarkIntersect compares the linear two-finger merge against the
+// galloping strategy across size ratios: the adaptive IntersectPositions
+// should track the better of the two at every ratio.
+func BenchmarkIntersect(b *testing.B) {
+	const domain = 1 << 22
+	rng := rand.New(rand.NewSource(1))
+	big := make([]uint32, 0, domain/4)
+	for i := 0; i < domain; i++ {
+		if rng.Intn(4) == 0 {
+			big = append(big, uint32(i))
+		}
+	}
+	for _, ratio := range []int{1, 16, 256, 4096} {
+		small := make([]uint32, 0, len(big)/ratio+1)
+		for i := 0; i < len(big); i += ratio {
+			small = append(small, big[i])
+		}
+		b.Run(fmt.Sprintf("ratio=%d", ratio), func(b *testing.B) {
+			var dst []uint32
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = scan.IntersectPositions(dst, small, big)
+			}
+			b.ReportMetric(float64(len(big)+len(small))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melem/s")
+		})
+	}
+}
+
+// BenchmarkPackedScan pits the packed delta-space SWAR scan against the
+// full-width native scan on identical logical data (1M rows, values
+// 0..999 so the packed lanes are 16-bit — 4 values per word vs the plain
+// path's 2). The wall-clock gate for this lives in
+// cmd/fusedscan-smoke (make bench-packed-check); this benchmark is for
+// interactive profiling.
+func BenchmarkPackedScan(b *testing.B) {
+	const rows = 1 << 20
+	space := mach.NewAddrSpace()
+	vals := make([]int32, rows)
+	rng := rand.New(rand.NewSource(2))
+	for i := range vals {
+		vals[i] = int32(rng.Intn(1000))
+	}
+	plain := column.FromInt32s(space, "a", vals)
+	packed, err := column.Pack(plain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	needle := expr.NewInt(expr.Int32, 500)
+	for _, tc := range []struct {
+		name string
+		col  *column.Column
+	}{{"plain", plain}, {"packed", packed}} {
+		ch := scan.Chain{{Col: tc.col, Op: expr.Lt, Value: needle}}
+		kern, err := scan.NewNative(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(tc.col.ScanBytes())
+			for i := 0; i < b.N; i++ {
+				kern.Run(nil, false)
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
 	}
 }

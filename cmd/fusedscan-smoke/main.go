@@ -199,10 +199,10 @@ func run() (*smokeReport, error) {
 const nativeRows = 1 << 20
 
 // nativeResult records one timed leg of the native benchmark. Wall-clock
-// values vary run to run; Count is exact and must stay stable. WallNsBest
-// is the fastest of -reps runs after a warm-up — the best case is far
-// less sensitive to machine load than a mean or median, which is what a
-// regression gate needs.
+// values vary run to run; Count, Encoding and BytesScanned are exact and
+// must stay stable. WallNsBest is the fastest of -reps runs after a
+// warm-up — the best case is far less sensitive to machine load than a
+// mean or median, which is what a regression gate needs.
 type nativeResult struct {
 	Name       string  `json:"name"`
 	Path       string  `json:"path"`
@@ -210,18 +210,32 @@ type nativeResult struct {
 	Count      int64   `json:"count"`
 	WallNsBest int64   `json:"wall_ns_best"`
 	WallMs     float64 `json:"wall_ms"`
+	// The bytes-touched axis (DESIGN.md §15): Encoding is the scan leaf's
+	// storage encoding, BytesScanned the stored bytes its predicate
+	// columns covered (packed columns count 64-bit word spans), and
+	// EffDecodeGBs the effective decode throughput — decoded-equivalent
+	// predicate bytes divided by the best wall time, so a packed scan
+	// that beats plain shows up as super-memory-bandwidth decode rate.
+	Encoding     string  `json:"encoding"`
+	BytesScanned int64   `json:"bytes_scanned"`
+	EffDecodeGBs float64 `json:"eff_decode_gbs"`
 }
 
 // nativeReport is the BENCH_NATIVE.json schema. SpeedupFloor documents
-// the gate -check enforces (the issue's 10x acceptance bound).
+// the gate -check enforces (the issue's 10x acceptance bound);
+// PackedFloor is the scan-on-compressed bound — the packed native scan
+// must beat the plain native scan by at least this factor.
 type nativeReport struct {
-	Rows         int            `json:"rows"`
-	Seed         int64          `json:"seed"`
-	Reps         int            `json:"reps"`
-	Results      []nativeResult `json:"results"`
-	Speedup      float64        `json:"speedup_native_vs_emulated"`
-	SpeedupFloor float64        `json:"speedup_floor"`
-	Pruning      pruningResult  `json:"pruning"`
+	Rows          int            `json:"rows"`
+	Seed          int64          `json:"seed"`
+	Reps          int            `json:"reps"`
+	Results       []nativeResult `json:"results"`
+	Speedup       float64        `json:"speedup_native_vs_emulated"`
+	SpeedupFloor  float64        `json:"speedup_floor"`
+	PackedSpeedup float64        `json:"speedup_packed_vs_plain_native"`
+	PackedFloor   float64        `json:"packed_speedup_floor"`
+	Pruning       pruningResult  `json:"pruning"`
+	PruningPacked pruningResult  `json:"pruning_packed"`
 }
 
 // pruningResult is fully deterministic: clustered data, fixed chunking.
@@ -230,9 +244,14 @@ type pruningResult struct {
 	Count        int64  `json:"count"`
 	Chunks       int64  `json:"chunks"`
 	ChunksPruned int64  `json:"chunks_pruned"`
+	BytesScanned int64  `json:"bytes_scanned"`
 }
 
-func buildNativeDemo(eng *fusedscan.Engine) error {
+// buildNativeTables registers the same generated data twice: "demo" in
+// the plain encoding and "pdemo" bit-packed (values stay below 1024, so
+// every column packs at width 16 — the scan reads a quarter of the
+// bytes). Identical data makes every count a differential check.
+func buildNativeTables(eng *fusedscan.Engine) error {
 	rng := rand.New(rand.NewSource(smokeSeed))
 	a := make([]int32, nativeRows)
 	b := make([]int32, nativeRows)
@@ -250,85 +269,130 @@ func buildNativeDemo(eng *fusedscan.Engine) error {
 		}
 		clustered[i] = int32(i / 1000) // sorted: zone maps prune point lookups
 	}
-	tb := eng.CreateTable("demo")
-	tb.Int32("a", a)
-	tb.Int32("b", b)
-	tb.Int32("k", clustered)
-	return tb.Finish()
+	for _, tbl := range []struct {
+		name string
+		pack bool
+	}{{"demo", false}, {"pdemo", true}} {
+		tb := eng.CreateTable(tbl.name)
+		tb.Int32("a", a)
+		tb.Int32("b", b)
+		tb.Int32("k", clustered)
+		if tbl.pack {
+			tb.Pack()
+		}
+		if err := tb.Finish(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // bestWallNs runs the query once to warm up (plan cache, page faults),
 // then reps more times, returning the fastest duration and the (stable)
 // count.
-func bestWallNs(eng *fusedscan.Engine, sql string, reps int) (int64, int64, error) {
+func bestWallNs(eng *fusedscan.Engine, sql string, reps int) (int64, *fusedscan.Result, error) {
 	var best int64 = 1<<63 - 1
-	var count int64
+	var last *fusedscan.Result
 	for i := 0; i <= reps; i++ {
 		start := time.Now()
 		res, err := eng.QueryContext(context.Background(), sql)
 		if err != nil {
-			return 0, 0, err
+			return 0, nil, err
 		}
 		d := time.Since(start).Nanoseconds()
 		if i > 0 && d < best {
 			best = d
 		}
-		count = res.Count
+		last = res
 	}
-	return best, count, nil
+	return best, last, nil
+}
+
+// scanLeaf returns the deepest operator in the pipeline walk — the scan.
+func scanLeaf(res *fusedscan.Result) fusedscan.OperatorStats {
+	if n := len(res.Operators); n > 0 {
+		return res.Operators[n-1]
+	}
+	return fusedscan.OperatorStats{}
 }
 
 func runNative(reps int) (*nativeReport, error) {
 	eng := fusedscan.NewEngine()
-	if err := buildNativeDemo(eng); err != nil {
+	if err := buildNativeTables(eng); err != nil {
 		return nil, err
 	}
-	rep := &nativeReport{Rows: nativeRows, Seed: smokeSeed, Reps: reps, SpeedupFloor: 10}
-	const q = "SELECT COUNT(*) FROM demo WHERE a = 5 AND b = 5"
+	rep := &nativeReport{
+		Rows: nativeRows, Seed: smokeSeed, Reps: reps,
+		SpeedupFloor: 10, PackedFloor: 1.5,
+	}
+	// Decoded-equivalent bytes of the two predicate columns; the basis of
+	// the effective-decode-throughput axis for every count leg.
+	const decodedBytes = nativeRows * 4 * 2
 
 	legs := []struct {
-		path string
-		cfg  fusedscan.Config
+		path  string
+		table string
+		cfg   fusedscan.Config
 	}{
-		{"native", fusedscan.NativeConfig()},
-		{"emulated", fusedscan.DefaultConfig()},
+		{"native", "demo", fusedscan.NativeConfig()},
+		{"emulated", "demo", fusedscan.DefaultConfig()},
+		{"packed-native", "pdemo", fusedscan.NativeConfig()},
 	}
 	for _, leg := range legs {
 		if err := eng.SetConfig(leg.cfg); err != nil {
 			return nil, err
 		}
-		ns, count, err := bestWallNs(eng, q, reps)
+		q := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE a = 5 AND b = 5", leg.table)
+		ns, res, err := bestWallNs(eng, q, reps)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", leg.path, err)
 		}
-		rep.Results = append(rep.Results, nativeResult{
+		leaf := scanLeaf(res)
+		nr := nativeResult{
 			Name: "count-2pred", Path: leg.path, SQL: q,
-			Count: count, WallNsBest: ns, WallMs: float64(ns) / 1e6,
-		})
+			Count: res.Count, WallNsBest: ns, WallMs: float64(ns) / 1e6,
+			Encoding: leaf.Encoding, BytesScanned: leaf.BytesScanned,
+		}
+		if ns > 0 {
+			nr.EffDecodeGBs = float64(decodedBytes) / float64(ns)
+		}
+		rep.Results = append(rep.Results, nr)
 	}
-	if rep.Results[0].Count != rep.Results[1].Count {
-		return nil, fmt.Errorf("count mismatch: native %d, emulated %d",
-			rep.Results[0].Count, rep.Results[1].Count)
+	for _, r := range rep.Results[1:] {
+		if r.Count != rep.Results[0].Count {
+			return nil, fmt.Errorf("count mismatch: %s %d, native %d",
+				r.Path, r.Count, rep.Results[0].Count)
+		}
 	}
 	if n := rep.Results[0].WallNsBest; n > 0 {
 		rep.Speedup = float64(rep.Results[1].WallNsBest) / float64(n)
 	}
+	if n := rep.Results[2].WallNsBest; n > 0 {
+		rep.PackedSpeedup = float64(rep.Results[0].WallNsBest) / float64(n)
+	}
 
-	// Clustered pruning leg, still on the native config: 16 chunks at the
-	// default 1<<16 chunking, matches confined to one.
+	// Clustered pruning legs, still on the native config: 16 chunks at the
+	// default 1<<16 chunking, matches confined to one. The packed twin must
+	// prune identically — its zone maps are assembled from chunk metadata —
+	// while scanning a quarter of the bytes.
 	if err := eng.SetConfig(fusedscan.NativeConfig()); err != nil {
 		return nil, err
 	}
-	const pq = "SELECT COUNT(*) FROM demo WHERE k = 1040"
-	res, err := eng.QueryContext(context.Background(), pq)
-	if err != nil {
-		return nil, err
+	for _, leg := range []struct {
+		table string
+		out   *pruningResult
+	}{{"demo", &rep.Pruning}, {"pdemo", &rep.PruningPacked}} {
+		pq := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE k = 1040", leg.table)
+		res, err := eng.QueryContext(context.Background(), pq)
+		if err != nil {
+			return nil, err
+		}
+		leaf := scanLeaf(res)
+		*leg.out = pruningResult{
+			SQL: pq, Count: res.Count, Chunks: nativeRows / (1 << 16),
+			ChunksPruned: leaf.ChunksPruned, BytesScanned: leaf.BytesScanned,
+		}
 	}
-	pr := pruningResult{SQL: pq, Count: res.Count, Chunks: nativeRows / (1 << 16)}
-	if n := len(res.Operators); n > 0 {
-		pr.ChunksPruned = res.Operators[n-1].ChunksPruned
-	}
-	rep.Pruning = pr
 	return rep, nil
 }
 
@@ -344,33 +408,56 @@ func checkNative(cur *nativeReport, baselinePath string, tol float64) error {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("%s: %w", baselinePath, err)
 	}
-	byPath := func(r *nativeReport, path string) *nativeResult {
-		for i := range r.Results {
-			if r.Results[i].Path == path {
-				return &r.Results[i]
-			}
-		}
-		return nil
-	}
-	for _, path := range []string{"native", "emulated"} {
-		b, c := byPath(&base, path), byPath(cur, path)
+	for _, path := range []string{"native", "emulated", "packed-native"} {
+		b, c := resultByPath(&base, path), resultByPath(cur, path)
 		if b == nil || c == nil {
 			return fmt.Errorf("missing %q leg in baseline or current run", path)
 		}
 		if b.Count != c.Count {
 			return fmt.Errorf("%s count = %d, baseline %d", path, c.Count, b.Count)
 		}
+		if b.BytesScanned != c.BytesScanned || b.Encoding != c.Encoding {
+			return fmt.Errorf("%s scanned %d bytes as %q, baseline %d as %q",
+				path, c.BytesScanned, c.Encoding, b.BytesScanned, b.Encoding)
+		}
 	}
-	b, c := byPath(&base, "native"), byPath(cur, "native")
-	if limit := float64(b.WallNsBest) * (1 + tol); float64(c.WallNsBest) > limit {
-		return fmt.Errorf("native wall-clock regressed: %.3f ms vs baseline %.3f ms (tolerance %.0f%%)",
-			c.WallMs, b.WallMs, 100*tol)
+	for _, path := range []string{"native", "packed-native"} {
+		b, c := resultByPath(&base, path), resultByPath(cur, path)
+		if limit := float64(b.WallNsBest) * (1 + tol); float64(c.WallNsBest) > limit {
+			return fmt.Errorf("%s wall-clock regressed: %.3f ms vs baseline %.3f ms (tolerance %.0f%%)",
+				path, c.WallMs, b.WallMs, 100*tol)
+		}
 	}
 	if cur.Speedup < base.SpeedupFloor {
 		return fmt.Errorf("native speedup %.1fx below the %.0fx floor", cur.Speedup, base.SpeedupFloor)
 	}
+	if cur.PackedSpeedup < base.PackedFloor {
+		return fmt.Errorf("packed native speedup %.2fx below the %.1fx floor", cur.PackedSpeedup, base.PackedFloor)
+	}
+	// Scan-on-compressed must never touch more bytes than the plain scan.
+	plain, packed := resultByPath(cur, "native"), resultByPath(cur, "packed-native")
+	if packed.BytesScanned > plain.BytesScanned {
+		return fmt.Errorf("packed scan touched %d bytes, plain only %d", packed.BytesScanned, plain.BytesScanned)
+	}
+	if cur.PruningPacked.BytesScanned > cur.Pruning.BytesScanned {
+		return fmt.Errorf("packed pruned scan touched %d bytes, plain only %d",
+			cur.PruningPacked.BytesScanned, cur.Pruning.BytesScanned)
+	}
 	if cur.Pruning != base.Pruning {
 		return fmt.Errorf("pruning result changed: %+v, baseline %+v", cur.Pruning, base.Pruning)
+	}
+	if cur.PruningPacked != base.PruningPacked {
+		return fmt.Errorf("packed pruning result changed: %+v, baseline %+v", cur.PruningPacked, base.PruningPacked)
+	}
+	return nil
+}
+
+// resultByPath finds the leg with the given path label, or nil.
+func resultByPath(r *nativeReport, path string) *nativeResult {
+	for i := range r.Results {
+		if r.Results[i].Path == path {
+			return &r.Results[i]
+		}
 	}
 	return nil
 }
@@ -381,6 +468,7 @@ func main() {
 	check := flag.String("check", "", "compare a -native run against this baseline JSON and exit non-zero on regression")
 	tol := flag.Float64("tol", 0.20, "allowed native wall-clock regression fraction for -check")
 	reps := flag.Int("reps", 5, "wall-clock repetitions per -native query (best is reported)")
+	packed := flag.Bool("packed", false, "with -check, summarize the scan-on-compressed axis on success")
 	flag.Parse()
 
 	var rep any
@@ -392,6 +480,13 @@ func main() {
 			if cerr := checkNative(nrep, *check, *tol); cerr != nil {
 				fmt.Fprintln(os.Stderr, "fusedscan-smoke: native benchmark gate failed:", cerr)
 				os.Exit(1)
+			}
+			if *packed {
+				pl, pk := resultByPath(nrep, "native"), resultByPath(nrep, "packed-native")
+				fmt.Printf("packed benchmark gate ok: %.3f ms packed vs %.3f ms plain native (%.2fx, floor %.1fx), %d vs %d bytes scanned, %.1f GB/s effective decode\n",
+					pk.WallMs, pl.WallMs, nrep.PackedSpeedup, nrep.PackedFloor,
+					pk.BytesScanned, pl.BytesScanned, pk.EffDecodeGBs)
+				return
 			}
 			fmt.Printf("native benchmark gate ok: %.3f ms native, %.1fx vs emulated, %d/%d chunks pruned\n",
 				nrep.Results[0].WallMs, nrep.Speedup, nrep.Pruning.ChunksPruned, nrep.Pruning.Chunks)

@@ -295,6 +295,9 @@ func analyzeOne(eng *fusedscan.Engine, sql string) {
 		if op.Path != "" {
 			extra = fmt.Sprintf(" path=%s pruned=%d", op.Path, op.ChunksPruned)
 		}
+		if op.Encoding != "" {
+			extra += fmt.Sprintf(" enc=%s bytes=%d", op.Encoding, op.BytesScanned)
+		}
 		if op.BuildRows > 0 || op.ProbeRows > 0 {
 			extra += fmt.Sprintf(" build=%d probe=%d", op.BuildRows, op.ProbeRows)
 		}

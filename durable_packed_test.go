@@ -1,0 +1,121 @@
+package fusedscan
+
+import (
+	"errors"
+	"testing"
+
+	"fusedscan/internal/faultinject"
+)
+
+// registerPacked registers a table whose only column is bit-packed, with
+// a few NULLs, via the TableBuilder.Pack API.
+func registerPacked(t *testing.T, eng *Engine, name string, vals []int32) {
+	t.Helper()
+	err := eng.CreateTable(name).
+		Int32("a", vals).
+		NullsAt("a", []int{1, 5, 9}).
+		Pack().
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackedTableSurvivesReopen: a bit-packed column registered on a
+// durable engine is snapshotted in storage format v3 and comes back
+// packed — same query results, same encoding — after a close and reopen.
+func TestPackedTableSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerPacked(t, eng, "pt", seq(2000))
+	if err := eng.SetConfig(NativeConfig()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("SELECT COUNT(*) FROM pt WHERE a < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	tbl, err := eng2.Table("pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tbl.Column("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsPacked() {
+		t.Fatal("column lost its packed encoding across reopen")
+	}
+	res2, err := eng2.Query("SELECT COUNT(*) FROM pt WHERE a < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != res.Count {
+		t.Fatalf("count after reopen = %d, want %d", res2.Count, res.Count)
+	}
+	last := res2.Operators[len(res2.Operators)-1]
+	if last.Encoding != "packed" || last.BytesScanned == 0 {
+		t.Fatalf("scan stats after reopen: enc=%q bytes=%d, want packed encoding", last.Encoding, last.BytesScanned)
+	}
+}
+
+// TestPackedSnapshotCrashKeepsPrevious: a crash at the snapshot-publish
+// instant (injected at the rename) while replacing a packed table leaves
+// the previous v3 snapshot fully intact — reopen serves the original
+// packed data.
+func TestPackedSnapshotCrashKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerPacked(t, eng, "pt", seq(1000))
+
+	faultinject.Arm(faultinject.SiteSnapshotRename, 1, faultinject.ModeError)
+	err := eng.CreateTable("pt").Int32("a", seq(10)).Pack().Finish()
+	faultinject.Disarm(faultinject.SiteSnapshotRename)
+	if err == nil {
+		t.Fatal("re-register with injected publish crash did not fail")
+	}
+	eng.Close()
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	got := intsOf(t, eng2, "pt")
+	if len(got) != 1000 {
+		t.Fatalf("recovered table has %d rows, want the previous 1000", len(got))
+	}
+	tbl, _ := eng2.Table("pt")
+	if c, _ := tbl.Column("a"); c == nil || !c.IsPacked() {
+		t.Fatal("recovered snapshot is not packed")
+	}
+}
+
+// TestPackedSnapshotBitFlipQuarantined: a flipped byte in a packed
+// snapshot's words is caught by the packed block checksum at recovery and
+// quarantines the table with the full taxonomy (column + block named).
+func TestPackedSnapshotBitFlipQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerPacked(t, eng, "pt", seq(4000))
+	eng.Close()
+	corruptSnapshot(t, dir, "pt") // mid-file: inside the packed words
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	_, err := eng2.Table("pt")
+	var qe *QuarantineError
+	if !errors.As(err, &qe) {
+		t.Fatalf("Table(pt) err = %v, want *QuarantineError", err)
+	}
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("quarantine cause %v does not wrap *ChecksumError", err)
+	}
+	if ce.Column != "a" || ce.Block != "packed" {
+		t.Fatalf("checksum error names %s/%s, want a/packed", ce.Column, ce.Block)
+	}
+}

@@ -183,6 +183,15 @@ type OperatorStats struct {
 	BloomPass   int64
 	// Groups counts distinct groups a grouped-aggregation sink produced.
 	Groups int64
+	// Encoding names the storage encoding of a scan leaf's predicate
+	// columns: "plain", "packed", or "mixed". Empty for non-scan
+	// operators.
+	Encoding string
+	// BytesScanned totals the stored value bytes the scan leaf's
+	// predicate columns covered across non-pruned windows — packed
+	// columns count their 64-bit word spans, so the compression win is
+	// directly visible next to RowsIn.
+	BytesScanned int64
 }
 
 // Result is the outcome of Engine.Query.
@@ -327,6 +336,9 @@ type EngineStats struct {
 	JoinBloomChecks int64 // predicate-transfer Bloom prefilter evaluations
 	JoinBloomPass   int64 // probe rows the transferred filter let through
 	GroupsProduced  int64 // distinct groups emitted by grouped aggregation
+	// Scan storage (cumulative across queries).
+	BytesScanned int64 // stored value bytes addressed by scan leaves (post-pruning)
+	PackedScans  int64 // scan leaves that read bit-packed (or mixed) columns
 	// Prepared-statement plan cache (see Engine.Prepare). A hit means parse
 	// and optimize were skipped for that execution; invalidations count
 	// entries dropped because Register/DropTable/SetConfig bumped the
@@ -402,6 +414,9 @@ type Engine struct {
 	joinBloomChecks atomic.Int64
 	joinBloomPass   atomic.Int64
 	groupsProduced  atomic.Int64
+	// Scan storage counters (cumulative, for Stats).
+	bytesScanned atomic.Int64
+	packedScans  atomic.Int64
 }
 
 // addCounters sums two counter sets field by field.
@@ -490,6 +505,8 @@ func (e *Engine) Stats() EngineStats {
 		JoinBloomChecks:            e.joinBloomChecks.Load(),
 		JoinBloomPass:              e.joinBloomPass.Load(),
 		GroupsProduced:             e.groupsProduced.Load(),
+		BytesScanned:               e.bytesScanned.Load(),
+		PackedScans:                e.packedScans.Load(),
 		PlanCacheHits:              ps.hits,
 		PlanCacheMisses:            ps.misses,
 		PlanCacheSize:              ps.size,
@@ -801,6 +818,32 @@ func (b *TableBuilder) NullsAt(column string, rows []int) *TableBuilder {
 	return b
 }
 
+// Pack re-encodes previously added integer columns bit-packed with
+// frame-of-reference chunks (DESIGN.md §15): scans filter directly over
+// the packed words without decoding, and predicates whose literal falls
+// outside a column's stored range collapse at plan time. NULLs added via
+// NullsAt before the Pack call are preserved; float columns cannot be
+// packed. Call with no names to pack every packable column.
+func (b *TableBuilder) Pack(columns ...string) *TableBuilder {
+	if b.err != nil {
+		return b
+	}
+	if len(columns) == 0 {
+		for _, c := range b.tbl.Columns() {
+			if c.Type().Integer() {
+				columns = append(columns, c.Name())
+			}
+		}
+	}
+	for _, name := range columns {
+		if err := b.tbl.PackColumn(name); err != nil {
+			b.err = err
+			return b
+		}
+	}
+	return b
+}
+
 // Finish registers the table with the engine.
 func (b *TableBuilder) Finish() error {
 	if b.err != nil {
@@ -933,6 +976,12 @@ type ScanResult struct {
 	// ChunksPruned counts chunks skipped by zone-map pruning (chunked and
 	// native executions; a whole-table simulated pass has no chunks).
 	ChunksPruned int
+	// Encoding names the storage encoding of the chain's predicate
+	// columns ("plain", "packed" or "mixed"); BytesScanned totals the
+	// stored value bytes addressed after pruning (packed word spans,
+	// plain lanes).
+	Encoding     string
+	BytesScanned int64
 	// Degraded is set when JIT compilation failed and the scan fell back
 	// to the scalar kernel; DegradedReason records why.
 	Degraded       bool
@@ -1197,8 +1246,19 @@ func (s *Scan) RunContext(ctx context.Context) (*ScanResult, error) {
 		Count:          res.Count,
 		Positions:      res.Positions,
 		ChunksPruned:   cstats.ChunksPruned,
+		Encoding:       s.chain.Encoding(),
+		BytesScanned:   cstats.BytesScanned,
 		Degraded:       degraded,
 		DegradedReason: reason,
+	}
+	if cstats.Chunks == 0 {
+		// Whole-table (unchunked) pass: nothing was pruned, the chain's
+		// full extent was addressed.
+		out.BytesScanned = s.chain.ScanBytes()
+	}
+	s.eng.bytesScanned.Add(out.BytesScanned)
+	if out.Encoding != "plain" {
+		s.eng.packedScans.Add(1)
 	}
 	if simulate {
 		hits, _, cached := s.eng.compiler.Stats()

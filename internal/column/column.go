@@ -31,6 +31,12 @@ type Column struct {
 	nullOff  int      // row offset into nulls (for views)
 	nullBase uint64   // simulated base address of the bitmap
 
+	// packed, when non-nil, replaces data with the bit-packed
+	// frame-of-reference representation (see packed.go); data is nil and
+	// packOff is this view's row offset into the packed space.
+	packed  *Packed
+	packOff int
+
 	// Lazily built zone maps keyed by rowsPerZone (see zonemap.go). Views
 	// created by Slice start with an empty cache of their own; pruning
 	// always consults the base column.
@@ -88,19 +94,35 @@ func (c *Column) Type() expr.Type { return c.typ }
 // Len returns the number of rows.
 func (c *Column) Len() int { return c.n }
 
-// Data returns the raw little-endian value bytes.
+// Data returns the raw little-endian value bytes (nil for a packed
+// column — see Packed).
 func (c *Column) Data() []byte { return c.data }
+
+// IsPacked reports whether the column stores bit-packed deltas instead of
+// full-width lanes.
+func (c *Column) IsPacked() bool { return c.packed != nil }
+
+// Packed returns the packed representation and this view's row offset
+// into it (nil, 0 for plain columns).
+func (c *Column) Packed() (*Packed, int) { return c.packed, c.packOff }
 
 // Base returns the simulated base address of the column.
 func (c *Column) Base() uint64 { return c.base }
 
-// Addr returns the simulated address of row i.
+// Addr returns the simulated address of row i. For a packed column it is
+// the address of the 64-bit word holding the row's lane.
 func (c *Column) Addr(i int) uint64 {
+	if p := c.packed; p != nil {
+		return c.base + p.WordAddr(c.packOff+i)
+	}
 	return c.base + uint64(i*c.typ.Size())
 }
 
 // SetRaw stores the low bytes of the raw bit pattern at row i.
 func (c *Column) SetRaw(i int, bits uint64) {
+	if c.packed != nil {
+		panic(fmt.Sprintf("column %s: packed columns are immutable", c.name))
+	}
 	s := c.typ.Size()
 	off := i * s
 	switch s {
@@ -115,8 +137,14 @@ func (c *Column) SetRaw(i int, bits uint64) {
 	}
 }
 
-// Raw returns the zero-extended raw bit pattern at row i.
+// Raw returns the zero-extended raw bit pattern at row i. For a packed
+// column the lane is decoded on the fly (reference + delta mapped back to
+// stored bits); a NULL row decodes to the chunk reference, not the
+// original pattern — NULL rows do not preserve their bits (packed.go).
 func (c *Column) Raw(i int) uint64 {
+	if p := c.packed; p != nil {
+		return KeyToRaw(c.typ, p.Key(c.packOff+i))
+	}
 	s := c.typ.Size()
 	off := i * s
 	switch s {
@@ -159,7 +187,11 @@ func StoredBits(v expr.Value) uint64 { return storeBits(v) }
 
 // Value returns the typed value at row i.
 func (c *Column) Value(i int) expr.Value {
-	raw := c.Raw(i)
+	return c.rawValue(c.Raw(i))
+}
+
+// rawValue converts stored bits into a typed value.
+func (c *Column) rawValue(raw uint64) expr.Value {
 	switch {
 	case c.typ == expr.Float32:
 		return expr.NewFloat(expr.Float32, float64(math.Float32frombits(uint32(raw))))
@@ -185,6 +217,20 @@ func (c *Column) Slice(begin, end int) *Column {
 	if begin < 0 || end > c.n || begin > end {
 		panic(fmt.Sprintf("column %s: slice [%d, %d) out of range [0, %d)", c.name, begin, end, c.n))
 	}
+	if c.packed != nil {
+		return &Column{
+			name:     c.name,
+			typ:      c.typ,
+			n:        end - begin,
+			base:     c.base,
+			space:    c.space,
+			nulls:    c.nulls,
+			nullOff:  c.nullOff + begin,
+			nullBase: c.nullBase,
+			packed:   c.packed,
+			packOff:  c.packOff + begin,
+		}
+	}
 	s := c.typ.Size()
 	return &Column{
 		name:     c.name,
@@ -197,6 +243,21 @@ func (c *Column) Slice(begin, end int) *Column {
 		nullOff:  c.nullOff + begin,
 		nullBase: c.nullBase,
 	}
+}
+
+// ScanBytes returns the stored value bytes a full scan of this view
+// touches: the packed words of the covered chunks for a packed column,
+// rows x lane size for a plain one. Validity-bitmap bytes are separate.
+func (c *Column) ScanBytes() int64 {
+	if c.n == 0 {
+		return 0
+	}
+	if p := c.packed; p != nil {
+		first := p.WordAddr(c.packOff)
+		last := p.WordAddr(c.packOff + c.n - 1)
+		return int64(last-first) + 8
+	}
+	return int64(c.n) * int64(c.typ.Size())
 }
 
 // FromInt32s builds an int32 column from a slice (convenience for tests,

@@ -1,0 +1,88 @@
+package column
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"fusedscan/internal/expr"
+	"fusedscan/internal/mach"
+)
+
+// packedStatsColumn builds a multi-chunk packed int32 column alongside its
+// plain twin: same values, same NULL pattern, so zone maps and statistics
+// can be compared field by field.
+func packedStatsColumn(t *testing.T, nChunks int) (packed, plain *Column) {
+	t.Helper()
+	space := mach.NewAddrSpace()
+	n := nChunks * PackChunkRows
+	plain = New(space, "plain", expr.Int32, n)
+	for i := 0; i < n; i++ {
+		// Per-chunk ranges differ so every chunk gets distinct bounds.
+		v := int64(1000*(i/PackChunkRows) + i%700)
+		plain.Set(i, expr.NewInt(expr.Int32, v))
+		if i%13 == 0 {
+			plain.SetNull(i)
+		}
+	}
+	packed, err := Pack(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return packed, plain
+}
+
+// TestPackedZoneMapNoDecodeAllocs: building a zone map over a packed column
+// assembles zones from chunk metadata in O(chunks) — the only allocations
+// are the ZoneMap struct and its zones slice. A decoded copy or per-lane
+// work would show up here immediately.
+func TestPackedZoneMapNoDecodeAllocs(t *testing.T) {
+	packed, plain := packedStatsColumn(t, 4)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		buildZoneMap(packed, PackChunkRows)
+	})
+	if allocs > 2 {
+		t.Errorf("packed zone map build allocates %.0f objects per run, want <= 2 (map struct + zones)", allocs)
+	}
+
+	// The fast path must agree with the lane-by-lane path over the twin.
+	pz := buildZoneMap(packed, PackChunkRows)
+	qz := buildZoneMap(plain, PackChunkRows)
+	if pz.Zones() != qz.Zones() {
+		t.Fatalf("zone counts differ: packed %d, plain %d", pz.Zones(), qz.Zones())
+	}
+	for z := range pz.zones {
+		p, q := pz.zones[z], qz.zones[z]
+		if p != q {
+			t.Errorf("zone %d: packed %+v, plain %+v", z, p, q)
+		}
+	}
+}
+
+// TestPackedComputeStatsNoDecodedCopy: the full-scan half of ComputeStats
+// over a packed column reads only chunk metadata; the sampled histogram
+// decodes at most sampleCap lanes one at a time. Total allocation must
+// therefore stay far below the size of a decoded copy of the column.
+func TestPackedComputeStatsNoDecodedCopy(t *testing.T) {
+	packed, plain := packedStatsColumn(t, 4)
+
+	// A decoded full-width copy of 4*65536 int32 lanes is >= 1 MiB (2 MiB
+	// at the canonical 8-byte width). The sample is <= sampleCap values.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	st := ComputeStats(packed)
+	runtime.ReadMemStats(&m1)
+	if grew := m1.TotalAlloc - m0.TotalAlloc; grew > 256<<10 {
+		t.Errorf("packed ComputeStats allocated %d bytes, want < 256 KiB (no decoded copy)", grew)
+	}
+
+	want := ComputeStats(plain)
+	if st.Rows != want.Rows || st.NullFraction != want.NullFraction {
+		t.Fatalf("rows/nulls: packed %d/%v, plain %d/%v", st.Rows, st.NullFraction, want.Rows, want.NullFraction)
+	}
+	if !st.Min.Compare(expr.Eq, want.Min) || !st.Max.Compare(expr.Eq, want.Max) {
+		t.Errorf("bounds: packed [%s, %s], plain [%s, %s]", st.Min, st.Max, want.Min, want.Max)
+	}
+}

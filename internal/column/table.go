@@ -59,6 +59,22 @@ func (t *Table) MustAddColumn(c *Column) {
 	}
 }
 
+// PackColumn re-encodes the named integer column bit-packed in place
+// (see Pack in packed.go). Call before the table is registered; packed
+// columns are immutable.
+func (t *Table) PackColumn(name string) error {
+	i, ok := t.byName[name]
+	if !ok {
+		return fmt.Errorf("table %s: no column %q", t.name, name)
+	}
+	pc, err := Pack(t.cols[i])
+	if err != nil {
+		return fmt.Errorf("table %s: %w", t.name, err)
+	}
+	t.cols[i] = pc
+	return nil
+}
+
 // Column returns the column with the given name, or an error.
 func (t *Table) Column(name string) (*Column, error) {
 	i, ok := t.byName[name]
@@ -138,6 +154,32 @@ func ComputeStats(c *Column) Stats {
 	step := n / sampleCap
 	if step == 0 {
 		step = 1
+	}
+	if p, off := c.Packed(); p != nil && off == 0 && c.Len() == p.Rows() {
+		// Packed fast path: the chunk metadata carries exact valid-row
+		// min/max keys and valid counts, so the full-scan half of the
+		// statistics is O(chunks) — no lane is decoded and no full-width
+		// copy is materialized. Only the selectivity sample reads lanes,
+		// and it decodes them one at a time.
+		valid := 0
+		if minRaw, maxRaw, ok := p.MinMaxRaw(); ok {
+			st.Min = c.rawValue(minRaw)
+			st.Max = c.rawValue(maxRaw)
+		}
+		for i := range p.Chunks() {
+			valid += p.Chunks()[i].ValidRows
+		}
+		st.NullFraction = float64(n-valid) / float64(n)
+		for i := 0; i < n && len(st.SampleSorted) < sampleCap; i += step {
+			if c.Null(i) {
+				continue
+			}
+			st.SampleSorted = append(st.SampleSorted, c.Value(i))
+		}
+		sort.Slice(st.SampleSorted, func(i, j int) bool {
+			return st.SampleSorted[i].Compare(expr.Lt, st.SampleSorted[j])
+		})
+		return st
 	}
 	nulls, seen := 0, false
 	for i := 0; i < n; i++ {

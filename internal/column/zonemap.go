@@ -61,6 +61,45 @@ func buildZoneMap(c *Column, rowsPerZone int) *ZoneMap {
 		typ:         c.typ,
 		zones:       make([]Zone, (n+rowsPerZone-1)/rowsPerZone),
 	}
+	if p := c.packed; p != nil && rowsPerZone%p.chunkRows == 0 && c.packOff%p.chunkRows == 0 {
+		// Packed fast path: each zone covers whole packed chunks, whose
+		// metadata already carries the exact valid-row min/max keys — the
+		// map is assembled in O(chunks) without touching a single lane
+		// (and without materializing a decoded copy).
+		chunksPerZone := rowsPerZone / p.chunkRows
+		firstChunk := c.packOff / p.chunkRows
+		for z := range zm.zones {
+			zone := &zm.zones[z]
+			begin := firstChunk + z*chunksPerZone
+			end := begin + chunksPerZone
+			if end > len(p.chunks) {
+				end = len(p.chunks)
+			}
+			var minKey, maxKey uint64
+			for ci := begin; ci < end; ci++ {
+				ch := &p.chunks[ci]
+				if ch.ValidRows == 0 {
+					continue
+				}
+				if !zone.HasCmp {
+					minKey, maxKey = ch.Ref, ch.MaxKey
+					zone.HasCmp, zone.HasValid = true, true
+					continue
+				}
+				if ch.Ref < minKey {
+					minKey = ch.Ref
+				}
+				if ch.MaxKey > maxKey {
+					maxKey = ch.MaxKey
+				}
+			}
+			if zone.HasCmp {
+				zone.Min = KeyToRaw(c.typ, minKey)
+				zone.Max = KeyToRaw(c.typ, maxKey)
+			}
+		}
+		return zm
+	}
 	for z := range zm.zones {
 		begin := z * rowsPerZone
 		end := begin + rowsPerZone

@@ -57,6 +57,7 @@ func (o *Optimizer) Optimize(p *Plan) {
 // predicate chains over one stored table.
 func (o *Optimizer) optimizeSpine(p *Plan) {
 	o.estimateSelectivities(p)
+	o.rewritePackedPredicates(p)
 	o.pruneContradictions(p)
 	o.pruneUnsatisfiable(p)
 	o.reorderPredicates(p)
@@ -360,6 +361,95 @@ func (o *Optimizer) estimateSelectivities(p *Plan) {
 	}
 }
 
+// rewritePackedPredicates rewrites compare predicates over bit-packed
+// columns into packed order space (the generalization of the dictionary
+// code-space rewrite): the literal is mapped through column.ValueKey and
+// tested against the packed representation's exact key bounds — chunk
+// metadata, no data touched. A literal provably outside every chunk's
+// range collapses the plan to EmptyResult; a predicate every valid row
+// satisfies is dropped entirely (or weakened to IS NOT NULL when the
+// column is nullable, because a comparison also filters NULLs). In-range
+// predicates stay as they are — the scan kernels complete the rewrite per
+// chunk in delta space (scan/packed.go), and the collapse outcome is
+// observable in the plan's applied-rules trace.
+func (o *Optimizer) rewritePackedPredicates(p *Plan) {
+	var parent Node
+	n := p.Root
+	for n != nil {
+		pred, ok := n.(*Predicate)
+		if !ok || pred.Pred.Kind != expr.PredCompare || pred.Pred.Param > 0 {
+			parent = n
+			n = n.Child()
+			continue
+		}
+		col, err := p.Table.Column(pred.Pred.Column)
+		if err != nil || !col.IsPacked() || pred.Pred.Value.Type != col.Type() {
+			parent = n
+			n = n.Child()
+			continue
+		}
+		packed, _ := col.Packed()
+		minKey, maxKey, any := packed.MinMaxKeys()
+		if !any {
+			// Every row is NULL (or the column is empty): no comparison
+			// can match.
+			replaceChild(p, n, &EmptyResult{
+				Reason: fmt.Sprintf("packed rewrite: %s has no non-NULL rows", pred.Pred.Column),
+			})
+			p.AppliedRules = append(p.AppliedRules, "PackedRewriteAlwaysFalse")
+			return
+		}
+		c := column.ValueKey(col.Type(), pred.Pred.Value)
+		alwaysFalse, alwaysTrue := packedCollapse(pred.Pred.Op, c, minKey, maxKey)
+		switch {
+		case alwaysFalse:
+			replaceChild(p, n, &EmptyResult{
+				Reason: fmt.Sprintf("packed rewrite: %s is outside the stored key range", pred.Pred),
+			})
+			p.AppliedRules = append(p.AppliedRules, "PackedRewriteAlwaysFalse")
+			return
+		case alwaysTrue && col.HasNulls():
+			// Keep only the comparison's implicit NULL filter.
+			pred.Pred = expr.Predicate{Column: pred.Pred.Column, Kind: expr.PredIsNotNull}
+			if st, ok := o.colStats(p.Table, pred.Pred.Column); ok {
+				pred.EstSel = 1 - st.NullFraction
+			}
+			p.AppliedRules = append(p.AppliedRules, "PackedRewriteAlwaysTrue")
+			parent = n
+			n = n.Child()
+		case alwaysTrue:
+			// Unlink the predicate: every row satisfies it.
+			setChild(p, parent, pred.Input)
+			p.AppliedRules = append(p.AppliedRules, "PackedRewriteAlwaysTrue")
+			n = pred.Input
+		default:
+			parent = n
+			n = n.Child()
+		}
+	}
+}
+
+// packedCollapse reports whether "key(x) op c" is provably false or
+// provably true for every valid row, given the exact key bounds
+// [minKey, maxKey] of the packed column (unsigned key-space comparison).
+func packedCollapse(op expr.CmpOp, c, minKey, maxKey uint64) (alwaysFalse, alwaysTrue bool) {
+	switch op {
+	case expr.Eq:
+		return c < minKey || c > maxKey, minKey == maxKey && c == minKey
+	case expr.Ne:
+		return minKey == maxKey && c == minKey, c < minKey || c > maxKey
+	case expr.Lt:
+		return c <= minKey, c > maxKey
+	case expr.Le:
+		return c < minKey, c >= maxKey
+	case expr.Gt:
+		return c >= maxKey, c < minKey
+	case expr.Ge:
+		return c > maxKey, c <= minKey
+	}
+	return false, false
+}
+
 // pruneUnsatisfiable replaces a predicate run with EmptyResult when a
 // predicate cannot match any row (literal outside the column's [min, max]).
 func (o *Optimizer) pruneUnsatisfiable(p *Plan) {
@@ -377,6 +467,16 @@ func (o *Optimizer) pruneUnsatisfiable(p *Plan) {
 		st, ok := o.colStats(p.Table, pred.Pred.Column)
 		if !ok || st.Rows == 0 {
 			continue
+		}
+		if st.NullFraction == 1 {
+			// Every row is NULL: Min/Max are undefined and no comparison
+			// can match (the packed rewrite's no-valid-rows collapse, for
+			// plain columns).
+			replaceChild(p, n, &EmptyResult{
+				Reason: fmt.Sprintf("every row of %s is NULL", pred.Pred.Column),
+			})
+			p.AppliedRules = append(p.AppliedRules, "PruneUnsatisfiablePredicate")
+			return
 		}
 		unsat := false
 		switch pred.Pred.Op {

@@ -93,6 +93,16 @@ type OperatorStats struct {
 	BloomPass   int64
 	// Groups counts distinct groups a grouped-aggregation sink produced.
 	Groups int64
+	// Encoding names the storage encoding of a scan leaf's predicate
+	// columns: EncodingPlain, EncodingPacked, or EncodingMixed when the
+	// chain touches both. Empty for non-scan operators.
+	Encoding string
+	// BytesScanned totals the stored value bytes the scan leaf's
+	// predicate columns covered across all non-pruned windows — packed
+	// columns count their 64-bit word spans, plain columns rows x lane
+	// size. Pruned chunks contribute nothing, so the packed-vs-plain
+	// compression win and the zone-map win are both visible here.
+	BytesScanned int64
 }
 
 // Execution-path labels reported in scan OperatorStats.
@@ -103,6 +113,13 @@ const (
 	PathScalarFallback = "scalar-fallback" // SISD after a JIT failure (degraded plan)
 )
 
+// Storage-encoding labels reported in scan OperatorStats.
+const (
+	EncodingPlain  = "plain"  // raw fixed-width lanes
+	EncodingPacked = "packed" // frame-of-reference bit-packed chunks
+	EncodingMixed  = "mixed"  // chain scans both plain and packed columns
+)
+
 func (s OperatorStats) String() string {
 	out := fmt.Sprintf("%s  [in=%d out=%d batches=%d %s", s.Name, s.RowsIn, s.RowsOut, s.Batches, time.Duration(s.WallNs))
 	if s.Path != "" {
@@ -110,6 +127,9 @@ func (s OperatorStats) String() string {
 	}
 	if s.Path != "" || s.ChunksPruned > 0 {
 		out += fmt.Sprintf(" pruned=%d", s.ChunksPruned)
+	}
+	if s.Encoding != "" {
+		out += fmt.Sprintf(" enc=%s bytes=%d", s.Encoding, s.BytesScanned)
 	}
 	if s.BuildRows > 0 || s.ProbeRows > 0 {
 		out += fmt.Sprintf(" build=%d probe=%d", s.BuildRows, s.ProbeRows)

@@ -167,7 +167,10 @@ type scanOp struct {
 	// the skipped chunks.
 	pruner *scan.Pruner
 	pruned int64
-	stats  opStats
+	// bytes totals the stored value bytes the chain's predicate columns
+	// covered across non-pruned windows (OperatorStats.BytesScanned).
+	bytes int64
+	stats opStats
 }
 
 func (op *scanOp) Describe() string { return fmt.Sprintf("%s on %s", op.name, op.tbl.Name()) }
@@ -176,15 +179,26 @@ func (op *scanOp) Stats() OperatorStats {
 	st := op.stats.snapshot(op.Describe())
 	st.ChunksPruned = op.pruned
 	st.Path = op.path
+	st.Encoding = chainEncoding(op.chain)
+	st.BytesScanned = op.bytes
 	return st
 }
+
+// chainEncoding labels the storage encoding of a chain's predicate
+// columns for operator stats (scan.Chain.Encoding matches the
+// EncodingPlain/EncodingPacked/EncodingMixed labels).
+func chainEncoding(ch scan.Chain) string { return ch.Encoding() }
+
+// chainScanBytes totals the stored value bytes a full pass over the
+// chain's predicate column views touches (packed word spans, plain lanes).
+func chainScanBytes(ch scan.Chain) int64 { return ch.ScanBytes() }
 
 func (op *scanOp) setCountOnly(v bool) { op.countOnly = v }
 
 func (op *scanOp) Open(ctx context.Context, cpu *mach.CPU) error {
 	op.ctx, op.cpu = ctx, cpu
 	op.cursor, op.emitted = 0, 0
-	op.pruned = 0
+	op.pruned, op.bytes = 0, 0
 	op.charger = batchCharger{acct: govern.AccountantFrom(ctx)}
 	if op.cores <= 1 {
 		// Zone maps are built lazily per column and cached, so the first
@@ -225,6 +239,7 @@ func (op *scanOp) Next() (Batch, error) {
 			return Batch{}, err
 		}
 		op.stats.noteScanned(m.Rows)
+		op.bytes += chainScanBytes(op.chain.Slice(m.Begin, m.Begin+m.Rows))
 		b = Batch{Base: uint32(m.Begin), Sel: m.Res.Positions, Count: m.Res.Count}
 	} else {
 		n := op.chain.Rows()
@@ -246,6 +261,7 @@ func (op *scanOp) Next() (Batch, error) {
 			}
 			op.stats.noteScanned(end - begin)
 			sub := op.chain.Slice(begin, end)
+			op.bytes += chainScanBytes(sub)
 			kern, err := op.build(sub)
 			if err != nil {
 				return Batch{}, fmt.Errorf("pqp: scan chunk [%d, %d): %w", begin, end, err)

@@ -31,6 +31,9 @@ func NewAutoVec(ch Chain) (*AutoVec, error) {
 	if ch.HasJoinForms() {
 		return nil, errJoinForms
 	}
+	if ch.HasPacked() {
+		return nil, errPacked
+	}
 	return &AutoVec{chain: ch, width: vec.W256}, nil
 }
 

@@ -38,12 +38,16 @@ func NewBlockMaterialized(ch Chain, w vec.Width) (*BlockMaterialized, error) {
 	if ch.HasJoinForms() {
 		return nil, errJoinForms
 	}
+	if ch.HasPacked() {
+		return nil, errPacked
+	}
 	return &BlockMaterialized{chain: ch, width: w}, nil
 }
 
 var (
 	errBadWidth  = errors.New("scan: invalid register width")
 	errJoinForms = errors.New("scan: kernel does not support column-vs-column or Bloom predicates")
+	errPacked    = errors.New("scan: kernel does not support bit-packed columns")
 )
 
 // Name implements Kernel.

@@ -4,11 +4,22 @@ import (
 	"fmt"
 	"sync"
 
+	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
 	"fusedscan/internal/faultinject"
 	"fusedscan/internal/mach"
 	"fusedscan/internal/vec"
 )
+
+// colSpan returns the stored bytes covering cnt rows starting at row b:
+// the covering packed-word span for a packed column, cnt full-width lanes
+// otherwise (machine-model charging for block loads).
+func colSpan(col *column.Column, b, cnt int) int {
+	if col.IsPacked() {
+		return int(col.Addr(b+cnt-1)-col.Addr(b)) + 8
+	}
+	return cnt * col.Type().Size()
+}
 
 // Fused is the paper's contribution (Section III): a consecutive table scan
 // that evaluates a whole conjunctive predicate chain without leaving SIMD
@@ -90,7 +101,8 @@ type fusedRun struct {
 	want bool
 
 	needles []vec.Reg
-	regions []int // random-read region per stage >= 1
+	regions []int         // random-read region per stage >= 1
+	packs   []*packedPred // per stage: delta-space evaluator for packed compares
 
 	// Null handling: bitmap stream for the driving column, bitmap gather
 	// regions for follow-up stages.
@@ -130,6 +142,7 @@ func (r *fusedRun) reset(cpu *mach.CPU, f *Fused, wantPositions bool) {
 	r.want = wantPositions
 	r.needles = resizeRegs(r.needles, k)
 	r.regions = resizeInts(r.regions, k)
+	r.packs = resizePacks(r.packs, k)
 	r.nullStream = 0
 	r.nullRegions = resizeInts(r.nullRegions, k)
 	r.col2Stream = 0
@@ -157,6 +170,17 @@ func resizeInts(s []int, n int) []int {
 	return s
 }
 
+func resizePacks(s []*packedPred, n int) []*packedPred {
+	if cap(s) < n {
+		return make([]*packedPred, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
 func resizeRegs(s []vec.Reg, n int) []vec.Reg {
 	if cap(s) < n {
 		return make([]vec.Reg, n)
@@ -176,6 +200,7 @@ func (f *Fused) Run(cpu *mach.CPU, wantPositions bool) Result {
 	r.reset(cpu, f, wantPositions)
 	for j, pr := range ch {
 		r.needles[j] = vec.Set1(f.width, pr.Col.Type().Size(), pr.StoredBits())
+		r.packs[j] = newPackedPred(pr)
 		cpu.Vec(f.isa, vec.OpSet1, f.width) // hoisted out of the loop
 		if j > 0 {
 			r.regions[j] = cpu.NewRandomRegion()
@@ -234,9 +259,13 @@ func (r *fusedRun) scanFirstColumn() {
 			// Bloom prefilter: stream the key values and test the filter
 			// lane-wise (the filter probes are scalar bit tests; the key
 			// loads are the block's real traffic).
-			byteOff := b * size
-			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff), rows*size)
-			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff+rows*size-1), 1)
+			if col.IsPacked() {
+				r.cpu.StreamRead(stream, col.Addr(b), colSpan(col, b, rows))
+			} else {
+				byteOff := b * size
+				r.cpu.StreamRead(stream, col.Base()+uint64(byteOff), rows*size)
+				r.cpu.StreamRead(stream, col.Base()+uint64(byteOff+rows*size-1), 1)
+			}
 			for l := 0; l < rows; l++ {
 				r.cpu.Scalar(4) // hash mix + two bit probes + combine
 				if pr.Bloom.Test(col.Raw(b + l)) {
@@ -253,25 +282,51 @@ func (r *fusedRun) scanFirstColumn() {
 				pr.Stats.Pass.Add(int64(m.PopCount(rows)))
 			}
 		} else if pr.Kind == expr.PredCompare {
-			byteOff := b * size
-			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff), rows*size)
-			r.cpu.StreamRead(stream, col.Base()+uint64(byteOff+rows*size-1), 1)
-			reg := vec.LoadPartial(r.w, size, data[byteOff:], rows)
-			r.cpu.Vec(r.isa, vec.OpLoad, r.w)
-
-			if pr.Col2 != nil {
-				// Column-vs-column: stream the second column's block too
-				// and compare register against register.
+			switch {
+			case r.packs[0] != nil:
+				// Packed column: stream the covering packed words (the
+				// compressed bytes are the block's real traffic) and
+				// evaluate the block in delta space — no decode.
+				r.cpu.StreamRead(stream, col.Addr(b), r.packs[0].wordSpan(b, rows))
+				r.cpu.Vec(r.isa, vec.OpLoad, r.w)
+				m = vec.Mask(r.packs[0].blockMask(b, rows))
+				r.cpu.Vec(r.isa, vec.OpCmpMask, r.w)
+			case pr.Col2 != nil && (col.IsPacked() || pr.Col2.IsPacked()):
+				// Column-vs-column with a packed side: decode on the fly
+				// lane-at-a-time, charging each column's stored bytes.
+				col2 := pr.Col2
+				r.cpu.StreamRead(stream, col.Addr(b), colSpan(col, b, rows))
+				r.cpu.StreamRead(r.col2Stream, col2.Addr(b), colSpan(col2, b, rows))
+				for l := 0; l < rows; l++ {
+					if expr.CompareBits(t, pr.Op, col.Raw(b+l), col2.Raw(b+l)) {
+						m |= 1 << uint(l)
+					}
+				}
+				r.cpu.Vec(r.isa, vec.OpCmpMask, r.w)
+			case pr.Col2 != nil:
+				// Column-vs-column: stream both blocks and compare
+				// register against register.
+				byteOff := b * size
+				r.cpu.StreamRead(stream, col.Base()+uint64(byteOff), rows*size)
+				r.cpu.StreamRead(stream, col.Base()+uint64(byteOff+rows*size-1), 1)
+				reg := vec.LoadPartial(r.w, size, data[byteOff:], rows)
+				r.cpu.Vec(r.isa, vec.OpLoad, r.w)
 				col2 := pr.Col2
 				r.cpu.StreamRead(r.col2Stream, col2.Base()+uint64(byteOff), rows*size)
 				r.cpu.StreamRead(r.col2Stream, col2.Base()+uint64(byteOff+rows*size-1), 1)
 				reg2 := vec.LoadPartial(r.w, size, col2.Data()[byteOff:], rows)
 				r.cpu.Vec(r.isa, vec.OpLoad, r.w)
 				m = vec.CmpMask(r.w, t, pr.Op, reg, reg2)
-			} else {
+				r.cpu.Vec(r.isa, vec.OpCmpMask, r.w)
+			default:
+				byteOff := b * size
+				r.cpu.StreamRead(stream, col.Base()+uint64(byteOff), rows*size)
+				r.cpu.StreamRead(stream, col.Base()+uint64(byteOff+rows*size-1), 1)
+				reg := vec.LoadPartial(r.w, size, data[byteOff:], rows)
+				r.cpu.Vec(r.isa, vec.OpLoad, r.w)
 				m = vec.CmpMask(r.w, t, pr.Op, reg, r.needles[0])
+				r.cpu.Vec(r.isa, vec.OpCmpMask, r.w)
 			}
-			r.cpu.Vec(r.isa, vec.OpCmpMask, r.w)
 			m &= vec.FirstN(rows)
 			if col.HasNulls() {
 				// Load the block's validity bits and AND them in (a kmov
@@ -412,10 +467,16 @@ func (r *fusedRun) dispatch(stage int, pos vec.Reg, cnt int) {
 		if pr.IsBloom() {
 			// Bloom prefilter: gather the key values of the active
 			// positions, then probe the filter lane-wise.
-			_, r.gatherOffs = vec.Gather(r.w, size, vec.Reg{}, gmask, group, data, size, r.gatherOffs[:0])
 			r.cpu.Gather(r.isa, r.w, gcnt)
-			for _, off := range r.gatherOffs {
-				r.cpu.RandomRead(r.regions[stage], base+uint64(off), size)
+			if col.IsPacked() {
+				for l := 0; l < gcnt; l++ {
+					r.cpu.RandomRead(r.regions[stage], col.Addr(int(group.Lane(4, l))), 8)
+				}
+			} else {
+				_, r.gatherOffs = vec.Gather(r.w, size, vec.Reg{}, gmask, group, data, size, r.gatherOffs[:0])
+				for _, off := range r.gatherOffs {
+					r.cpu.RandomRead(r.regions[stage], base+uint64(off), size)
+				}
 			}
 			for l := 0; l < gcnt; l++ {
 				p := int(group.Lane(4, l))
@@ -432,6 +493,47 @@ func (r *fusedRun) dispatch(stage int, pos vec.Reg, cnt int) {
 				pr.Stats.Checks.Add(int64(gcnt))
 				pr.Stats.Pass.Add(int64(m.PopCount(gcnt)))
 			}
+		} else if pr.Kind == expr.PredCompare && r.packs[stage] != nil {
+			// Packed column: random-read the packed word of each active
+			// position and evaluate the lane in delta space — no decode.
+			pp := r.packs[stage]
+			r.cpu.Gather(r.isa, r.w, gcnt)
+			for l := 0; l < gcnt; l++ {
+				p := int(group.Lane(4, l))
+				r.cpu.RandomRead(r.regions[stage], col.Addr(p), 8)
+				if pp.matchRow(p) {
+					m |= 1 << uint(l)
+				}
+			}
+			r.cpu.Vec(r.isa, vec.OpMaskCmpMask, r.w)
+			if col.HasNulls() {
+				r.cpu.Gather(r.isa, r.w, gcnt)
+				var vm vec.Mask
+				for l := 0; l < gcnt; l++ {
+					p := int(group.Lane(4, l))
+					r.cpu.RandomRead(r.nullRegions[stage], col.NullAddr(p), 1)
+					if !col.Null(p) {
+						vm |= 1 << uint(l)
+					}
+				}
+				r.cpu.Vec(r.isa, vec.OpKMov, r.w)
+				m &= vm
+			}
+		} else if pr.Kind == expr.PredCompare && pr.Col2 != nil && (col.IsPacked() || pr.Col2.IsPacked()) {
+			// Column-vs-column with a packed side: decode both lanes on
+			// the fly per active position (Matches covers validity).
+			col2 := pr.Col2
+			r.cpu.Gather(r.isa, r.w, gcnt)
+			r.cpu.Gather(r.isa, r.w, gcnt)
+			for l := 0; l < gcnt; l++ {
+				p := int(group.Lane(4, l))
+				r.cpu.RandomRead(r.regions[stage], col.Addr(p), size)
+				r.cpu.RandomRead(r.col2Regions[stage], col2.Addr(p), size)
+				if pr.Matches(p, 0) {
+					m |= 1 << uint(l)
+				}
+			}
+			r.cpu.Vec(r.isa, vec.OpMaskCmpMask, r.w)
 		} else if pr.Kind == expr.PredCompare {
 			var gathered vec.Reg
 			gathered, r.gatherOffs = vec.Gather(r.w, size, vec.Reg{}, gmask, group, data, size, r.gatherOffs[:0])

@@ -19,6 +19,31 @@
 //     bits.TrailingZeros64 — the fused-chain "work only on survivors"
 //     structure from the paper, in scalar form.
 //
+// A third family evaluates bit-packed/frame-of-reference columns (storage
+// format v3, internal/column/packed.go) WITHOUT decoding: one pair of
+// primitives per lane width w in {1, 2, 4, 8, 16, 32, 64} —
+//
+//   - packedEqW<w>(words, cnt, pat): per-lane delta == pat over the first
+//     cnt lanes of packed words (64/w lanes per word), returning the dense
+//     match bitmap (bit i = lane i). pat is the needle's delta broadcast
+//     into every lane (multiply by packedLaneMul).
+//
+//   - packedLtW<w>(words, cnt, pat): per-lane unsigned delta < pat, the
+//     frame-of-reference order comparison (keys are order-space mapped, so
+//     unsigned delta comparison decides the typed comparison exactly).
+//
+// Eq uses the exact per-lane zero detection that vec.EqByteMask uses for
+// bytes, generalized to width w: for y = x^pat per lane,
+// ((y&M)+M)|y|M has its high bit clear iff y == 0 (M = low w-1 bits per
+// lane; the adds cannot carry across lanes). Lt is the Hacker's Delight
+// unsigned compare: with d = ((x&M)|H) - (pat&M) (self-contained per lane
+// because the minuend's high bit is set and the subtrahend's is clear),
+// lane x < pat iff (¬x_h ∧ p_h) ∨ ((x_h ≡ p_h) ∧ ¬d_h). The high-bit-per-
+// lane result is then compressed to a dense bitmap by a per-width
+// movemask (multiply gather for w=8, masked log-folds for w=2/4, direct
+// bit picks for w=16/32/64). Ne/Le/Gt/Ge derive from Eq/Lt at the call
+// site (complement under FirstN, pat+1).
+//
 // Comparison semantics are bit-identical to expr.CompareBits: needles
 // arrive as stored bits (column.StoredBits), loads reinterpret the column
 // bytes as the static Go type, and Go's native comparison operators on
@@ -90,6 +115,61 @@ var ops = []opInfo{
 	{Enum: "expr.Le", Name: "Le", Sym: "<="},
 	{Enum: "expr.Gt", Name: "Gt", Sym: ">"},
 	{Enum: "expr.Ge", Name: "Ge", Sym: ">="},
+}
+
+// packedWidths are the allowed packed lane widths — divisors of 64, so
+// lanes never straddle words (column.ValidPackedWidth).
+var packedWidths = []int{1, 2, 4, 8, 16, 32, 64}
+
+// packedConsts derives the per-width SWAR constants: B has bit i*w set
+// for every lane i (the broadcast multiplier), H = B << (w-1) is the
+// per-lane high bit, M = B * (2^(w-1) - 1) is the per-lane low w-1 bits.
+func packedConsts(w int) (B, M, H uint64) {
+	for i := 0; i < 64; i += w {
+		B |= 1 << uint(i)
+	}
+	H = B << uint(w-1)
+	M = ^H & (B * ((1 << uint(w)) - 1))
+	if w == 1 {
+		M = 0
+	}
+	return
+}
+
+// packedExtract emits the lines compressing the high-bit-per-lane mask z
+// into a dense per-lane bitmap e for width w. Each fold halves the
+// stride, masking garbage copies between steps.
+func packedExtract(w int) []string {
+	switch w {
+	case 1:
+		return []string{"e := z"}
+	case 2:
+		return []string{
+			"e := z >> 1",
+			"e = (e | e>>1) & 0x3333333333333333",
+			"e = (e | e>>2) & 0x0f0f0f0f0f0f0f0f",
+			"e = (e | e>>4) & 0x00ff00ff00ff00ff",
+			"e = (e | e>>8) & 0x0000ffff0000ffff",
+			"e = (e | e>>16) & 0xffffffff",
+		}
+	case 4:
+		return []string{
+			"e := z >> 3",
+			"e = (e | e>>3) & 0x0303030303030303",
+			"e = (e | e>>6) & 0x000f000f000f000f",
+			"e = (e | e>>12) & 0x000000ff000000ff",
+			"e = (e | e>>24) & 0xffff",
+		}
+	case 8:
+		return []string{"e := ((z >> 7) * 0x0102040810204080) >> 56"}
+	case 16:
+		return []string{"e := ((z >> 15) & 1) | ((z >> 30) & 2) | ((z >> 45) & 4) | ((z >> 60) & 8)"}
+	case 32:
+		return []string{"e := ((z >> 31) & 1) | ((z >> 62) & 2)"}
+	case 64:
+		return []string{"e := z >> 63"}
+	}
+	panic("unreachable")
 }
 
 func main() {
@@ -269,6 +349,54 @@ func main() {
 			p("\treturn m\n")
 			p("}\n")
 		}
+	}
+
+	// Packed SWAR primitives: one Eq/Lt pair per lane width, operating on
+	// bit-packed delta words without decoding (see the package comment).
+	p("\n// packedMaskFunc evaluates one delta-space comparison over the first\n")
+	p("// cnt lanes (cnt <= 64) of packed words and returns the dense match\n")
+	p("// bitmap (bit i = lane i). pat is the comparison delta broadcast into\n")
+	p("// every lane (delta * packedLaneMul[log2 w]).\n")
+	p("type packedMaskFunc func(words []uint64, cnt int, pat uint64) uint64\n\n")
+	p("// Dispatch tables indexed by log2 of the lane width (0..6).\n")
+	p("var (\n")
+	p("\tpackedEqFuncs [7]packedMaskFunc\n")
+	p("\tpackedLtFuncs [7]packedMaskFunc\n")
+	p(")\n\n")
+	p("// packedLaneMul broadcasts a delta into every lane of a word, indexed\n")
+	p("// by log2 of the lane width.\n")
+	p("var packedLaneMul = [7]uint64{\n")
+	for lg, w := 0, 1; w <= 64; lg, w = lg+1, w*2 {
+		B, _, _ := packedConsts(w)
+		p("\t%d: 0x%016x, // w=%d\n", lg, B, w)
+	}
+	p("}\n\n")
+	p("func init() {\n")
+	for lg, w := 0, 1; w <= 64; lg, w = lg+1, w*2 {
+		p("\tpackedEqFuncs[%d] = packedEqW%d\n", lg, w)
+		p("\tpackedLtFuncs[%d] = packedLtW%d\n", lg, w)
+	}
+	p("}\n")
+	for _, w := range packedWidths {
+		_, M, H := packedConsts(w)
+		L := 64 / w
+		emit := func(name, body string) {
+			p("\nfunc packed%sW%d(words []uint64, cnt int, pat uint64) uint64 {\n", name, w)
+			p("\tvar m uint64\n")
+			p("\tfor k := 0; cnt > 0; k, cnt = k+1, cnt-%d {\n", L)
+			p("%s", body)
+			for _, line := range packedExtract(w) {
+				p("\t\t%s\n", line)
+			}
+			p("\t\tm |= e << uint(k*%d)\n", L)
+			p("\t}\n")
+			p("\treturn m\n")
+			p("}\n")
+		}
+		eq := fmt.Sprintf("\t\ty := words[k] ^ pat\n\t\tz := ^(((y&0x%016x)+0x%016x)|y|0x%016x) & 0x%016x\n", M, M, M, H)
+		lt := fmt.Sprintf("\t\tx := words[k]\n\t\td := ((x & 0x%016x) | 0x%016x) - (pat & 0x%016x)\n\t\tz := ((^x & pat) | (^(x ^ pat) & ^d)) & 0x%016x\n", M, H, M, H)
+		emit("Eq", eq)
+		emit("Lt", lt)
 	}
 
 	src, err := format.Source(b.Bytes())

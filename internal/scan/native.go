@@ -34,6 +34,8 @@ type Native struct {
 	refines    []nativeRefineFunc    // nil for NULL-test, Bloom and col-vs-col predicates
 	colMasks   []nativeMaskColFunc   // set only for column-vs-column predicates
 	colRefines []nativeRefineColFunc // set only for column-vs-column predicates
+	packs      []*packedPred         // set only for compares over packed columns
+	scalars    []bool                // scalar fallback (col-vs-col touching a packed column)
 	sizeHint   int
 }
 
@@ -51,12 +53,20 @@ func NewNative(ch Chain) (*Native, error) {
 		refines:    make([]nativeRefineFunc, len(ch)),
 		colMasks:   make([]nativeMaskColFunc, len(ch)),
 		colRefines: make([]nativeRefineColFunc, len(ch)),
+		packs:      make([]*packedPred, len(ch)),
+		scalars:    make([]bool, len(ch)),
 	}
 	for i, p := range ch {
 		if p.Kind != expr.PredCompare || p.IsBloom() {
 			continue
 		}
 		if p.IsColCol() {
+			if p.Col.IsPacked() || p.Col2.IsPacked() {
+				// Col-vs-col over packed storage: the SWAR col-col kernels
+				// read full-width lanes; decode-on-the-fly row-at-a-time.
+				k.scalars[i] = true
+				continue
+			}
 			cmf := nativeMaskColFuncs[p.Col.Type()][p.Op]
 			crf := nativeRefineColFuncs[p.Col.Type()][p.Op]
 			if cmf == nil || crf == nil {
@@ -64,6 +74,12 @@ func NewNative(ch Chain) (*Native, error) {
 			}
 			k.colMasks[i] = cmf
 			k.colRefines[i] = crf
+			continue
+		}
+		if p.Col.IsPacked() {
+			// Compare over a packed column: delta-space SWAR over the
+			// packed words, no decode (packed.go).
+			k.packs[i] = newPackedPred(p)
 			continue
 		}
 		mf := nativeMaskFuncs[p.Col.Type()][p.Op]
@@ -132,6 +148,37 @@ func (k *Native) Run(cpu *mach.CPU, wantPositions bool) Result {
 				if p.Stats != nil {
 					p.Stats.Checks.Add(checks)
 					p.Stats.Pass.Add(int64(bits.OnesCount64(m)))
+				}
+			case k.packs[j] != nil:
+				// Compare over a packed column, evaluated in delta space
+				// directly over the packed words.
+				bm := k.packs[j].blockMask(b, cnt)
+				if first {
+					m = bm
+					first = false
+				} else {
+					m &= bm
+				}
+				if p.Col.HasNulls() {
+					m &= p.Col.ValidMask(b, cnt)
+				}
+			case k.scalars[j]:
+				// Scalar fallback (col-vs-col with a packed side): Matches
+				// covers validity, so no separate NULL masking.
+				if first {
+					for i := 0; i < cnt; i++ {
+						if p.Matches(b+i, k.needles[j]) {
+							m |= 1 << uint(i)
+						}
+					}
+					first = false
+				} else {
+					for r := m; r != 0; r &= r - 1 {
+						i := bits.TrailingZeros64(r)
+						if !p.Matches(b+i, k.needles[j]) {
+							m &^= 1 << uint(i)
+						}
+					}
 				}
 			case k.colMasks[j] != nil:
 				// Column-vs-column compare over two row-aligned columns.

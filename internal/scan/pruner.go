@@ -67,6 +67,10 @@ func (pr *Pruner) Prune(begin, end int) bool {
 type ChunkedStats struct {
 	Chunks       int
 	ChunksPruned int
+	// BytesScanned totals the stored value bytes of the non-pruned
+	// chunks' predicate columns (packed word spans, plain lanes) — what
+	// the scan actually addressed after zone-map skipping.
+	BytesScanned int64
 }
 
 // RunChunkedPruned is RunChunkedContext plus zone-map data skipping: a
@@ -109,6 +113,7 @@ func RunChunkedPruned(ctx context.Context, build func(Chain) (Kernel, error), ch
 			}
 			sub[i] = sp
 		}
+		stats.BytesScanned += sub.ScanBytes()
 		kern, err := build(sub)
 		if err != nil {
 			return Result{}, stats, fmt.Errorf("scan: chunk [%d, %d): %w", begin, end, err)

@@ -226,6 +226,9 @@ func NewStrided(p Pred, stride int) (*Strided, error) {
 	if (Chain{p}).HasJoinForms() {
 		return nil, errJoinForms
 	}
+	if (Chain{p}).HasPacked() {
+		return nil, errPacked
+	}
 	if stride < 1 {
 		return nil, errStride
 	}

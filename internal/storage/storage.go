@@ -10,7 +10,7 @@
 // Layout (all integers little-endian):
 //
 //	magic   "FSCN"            4 bytes
-//	version u32               currently 2 (1 accepted for legacy files)
+//	version u32               currently 3 (1 and 2 accepted for legacy files)
 //	name    u32 len + bytes   table name
 //	rows    u64
 //	cols    u32
@@ -18,12 +18,26 @@
 //	  name     u32 len + bytes
 //	  type     u8              expr.Type
 //	  hasNulls u8              0 or 1
-//	  data     rows*size bytes
-//	  dataCRC  u32             CRC32-C of data        (version >= 2)
+//	  encoding u8              0 plain, 1 bit-packed  (version >= 3)
+//	  plain encoding:
+//	    data     rows*size bytes
+//	    dataCRC  u32           CRC32-C of data        (version >= 2)
+//	  packed encoding (version >= 3; see column.Packed, DESIGN.md §15):
+//	    chunkRows u32
+//	    nchunks   u32
+//	    per chunk:
+//	      rows    u32
+//	      valid   u32          rows with a set validity bit
+//	      ref     u64          min order-space key over valid rows
+//	      maxKey  u64          max order-space key over valid rows
+//	      bits    u8           lane width (1, 2, 4, 8, 16, 32, 64)
+//	    words     u64 x ceil(rows/(64/bits)) per chunk, concatenated
+//	    packedCRC u32          CRC32-C of everything from chunkRows on
 //	  nulls    ceil(rows/64)*8 bytes (present iff hasNulls)
 //	  nullsCRC u32             CRC32-C of nulls       (version >= 2, iff hasNulls)
 //
 // Version 1 files (no CRC fields) still load; they just load unverified.
+// Version 2 files (no encoding byte, always plain) load verified.
 // A checksum mismatch is returned as a *ChecksumError naming the table,
 // the column and the block ("data" or "nulls") that failed. Every other
 // decode failure — truncation, garbage headers, implausible sizes — is a
@@ -56,10 +70,17 @@ import (
 
 const (
 	magic = "FSCN"
-	// version is the write version: 2 adds per-block CRC32-C checksums.
-	version = 2
+	// version is the write version: 3 adds the per-column encoding byte
+	// and the bit-packed frame-of-reference encoding.
+	version = 3
+	// versionChecksum added per-block CRC32-C checksums (plain columns
+	// only), still readable.
+	versionChecksum = 2
 	// versionLegacy is the checksum-less seed format, still readable.
 	versionLegacy = 1
+	// Column encoding bytes (version >= 3).
+	encodingPlain  = 0
+	encodingPacked = 1
 	// maxNameLen bounds name fields so corrupt files cannot trigger huge
 	// allocations.
 	maxNameLen = 4096
@@ -73,6 +94,9 @@ const (
 	// truncation error after at most one chunk beyond the bytes actually
 	// in the stream, instead of attempting the giant allocation upfront.
 	blobChunk = 4 << 20
+	// maxPackChunkRows bounds the packed chunk size a stream may claim
+	// (the engine writes 1<<16; anything near this limit is hostile).
+	maxPackChunkRows = 1 << 24
 )
 
 // castagnoli is the CRC32-C polynomial table (hardware-accelerated on
@@ -176,11 +200,25 @@ func WriteTable(w io.Writer, t *column.Table) error {
 		if err := bw.WriteByte(hasNulls); err != nil {
 			return err
 		}
-		if _, err := bw.Write(c.Data()); err != nil {
+		encoding := byte(encodingPlain)
+		if c.IsPacked() {
+			encoding = encodingPacked
+		}
+		if err := bw.WriteByte(encoding); err != nil {
 			return err
 		}
-		if err := writeU32(bw, crc32.Checksum(c.Data(), castagnoli)); err != nil {
-			return err
+		if encoding == encodingPacked {
+			p, _ := c.Packed()
+			if err := writePacked(bw, p); err != nil {
+				return err
+			}
+		} else {
+			if _, err := bw.Write(c.Data()); err != nil {
+				return err
+			}
+			if err := writeU32(bw, crc32.Checksum(c.Data(), castagnoli)); err != nil {
+				return err
+			}
 		}
 		if c.HasNulls() {
 			nulls := validityWords(c)
@@ -193,6 +231,51 @@ func WriteTable(w io.Writer, t *column.Table) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// writePacked serializes a column's bit-packed representation: the chunk
+// geometry, per-chunk metadata, the concatenated packed words, and one
+// CRC32-C covering all of it (the packed block is metadata-dependent, so
+// a single checksum over meta+words catches a corrupt width or reference
+// as surely as a flipped payload bit).
+func writePacked(bw *bufio.Writer, p *column.Packed) error {
+	crc := crc32.New(castagnoli)
+	mw := io.MultiWriter(bw, crc)
+	chunks := p.Chunks()
+	if err := writeU32(mw, uint32(p.ChunkRows())); err != nil {
+		return err
+	}
+	if err := writeU32(mw, uint32(len(chunks))); err != nil {
+		return err
+	}
+	for i := range chunks {
+		ch := &chunks[i]
+		if err := writeU32(mw, uint32(ch.Rows)); err != nil {
+			return err
+		}
+		if err := writeU32(mw, uint32(ch.ValidRows)); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, ch.Ref); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, ch.MaxKey); err != nil {
+			return err
+		}
+		if _, err := mw.Write([]byte{ch.Bits}); err != nil {
+			return err
+		}
+	}
+	var word [8]byte
+	for i := range chunks {
+		for _, w := range chunks[i].Words {
+			binary.LittleEndian.PutUint64(word[:], w)
+			if _, err := mw.Write(word[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return writeU32(bw, crc.Sum32())
 }
 
 // validityWords serializes the column's validity bitmap: one little-endian
@@ -220,6 +303,9 @@ type tableHeader struct {
 	rows        uint64
 	cols        uint32
 	checksummed bool
+	// packedAware is set for version >= 3 streams, which carry a
+	// per-column encoding byte.
+	packedAware bool
 }
 
 // readHeader parses and validates the magic/version/name/rows/cols
@@ -237,10 +323,11 @@ func readHeader(br *bufio.Reader) (tableHeader, error) {
 	if err != nil {
 		return h, err
 	}
-	if ver != version && ver != versionLegacy {
-		return h, formatErrf("version", "unsupported version %d (want %d or legacy %d)", ver, version, versionLegacy)
+	if ver != version && ver != versionChecksum && ver != versionLegacy {
+		return h, formatErrf("version", "unsupported version %d (want %d or legacy %d/%d)", ver, version, versionChecksum, versionLegacy)
 	}
-	h.checksummed = ver >= 2
+	h.checksummed = ver >= versionChecksum
+	h.packedAware = ver >= version
 	if h.name, err = readString(br, "table name"); err != nil {
 		return h, err
 	}
@@ -259,27 +346,38 @@ func readHeader(br *bufio.Reader) (tableHeader, error) {
 	return h, nil
 }
 
-// columnHeader parses one column's name/type/nulls prelude.
-func readColumnHeader(br *bufio.Reader) (cname string, typ expr.Type, hasNulls bool, err error) {
+// columnHeader parses one column's name/type/nulls/encoding prelude.
+// Streams older than version 3 carry no encoding byte and are plain.
+func readColumnHeader(br *bufio.Reader, packedAware bool) (cname string, typ expr.Type, hasNulls bool, encoding byte, err error) {
 	if cname, err = readString(br, "column name"); err != nil {
 		return
 	}
 	tb, err := br.ReadByte()
 	if err != nil {
-		return cname, 0, false, &FormatError{Field: fmt.Sprintf("column %q type", cname), Err: noEOF(err)}
+		return cname, 0, false, 0, &FormatError{Field: fmt.Sprintf("column %q type", cname), Err: noEOF(err)}
 	}
 	typ = expr.Type(tb)
 	if !typ.Valid() {
-		return cname, 0, false, formatErrf(fmt.Sprintf("column %q type", cname), "invalid type %d", tb)
+		return cname, 0, false, 0, formatErrf(fmt.Sprintf("column %q type", cname), "invalid type %d", tb)
 	}
 	nb, err := br.ReadByte()
 	if err != nil {
-		return cname, 0, false, &FormatError{Field: fmt.Sprintf("column %q null flag", cname), Err: noEOF(err)}
+		return cname, 0, false, 0, &FormatError{Field: fmt.Sprintf("column %q null flag", cname), Err: noEOF(err)}
 	}
 	if nb > 1 {
-		return cname, 0, false, formatErrf(fmt.Sprintf("column %q null flag", cname), "invalid null flag %d", nb)
+		return cname, 0, false, 0, formatErrf(fmt.Sprintf("column %q null flag", cname), "invalid null flag %d", nb)
 	}
-	return cname, typ, nb == 1, nil
+	if packedAware {
+		eb, err := br.ReadByte()
+		if err != nil {
+			return cname, 0, false, 0, &FormatError{Field: fmt.Sprintf("column %q encoding", cname), Err: noEOF(err)}
+		}
+		if eb > encodingPacked {
+			return cname, 0, false, 0, formatErrf(fmt.Sprintf("column %q encoding", cname), "invalid encoding %d", eb)
+		}
+		encoding = eb
+	}
+	return cname, typ, nb == 1, encoding, nil
 }
 
 // ReadTable deserializes a table, allocating its columns in space. The
@@ -294,18 +392,25 @@ func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
 	}
 	tbl := column.NewTable(space, h.name)
 	for ci := uint32(0); ci < h.cols; ci++ {
-		cname, typ, hasNulls, err := readColumnHeader(br)
+		cname, typ, hasNulls, encoding, err := readColumnHeader(br, h.packedAware)
 		if err != nil {
 			return nil, err
 		}
-		data, err := readBlob(br, int64(h.rows)*int64(typ.Size()), fmt.Sprintf("column %q data", cname))
-		if err != nil {
-			return nil, err
-		}
-		c := column.NewFromBytes(space, cname, typ, data)
-		if h.checksummed {
-			if err := verifyBlock(br, h.name, cname, "data", c.Data()); err != nil {
+		var c *column.Column
+		if encoding == encodingPacked {
+			if c, err = readPacked(br, space, h, cname, typ); err != nil {
 				return nil, err
+			}
+		} else {
+			data, err := readBlob(br, int64(h.rows)*int64(typ.Size()), fmt.Sprintf("column %q data", cname))
+			if err != nil {
+				return nil, err
+			}
+			c = column.NewFromBytes(space, cname, typ, data)
+			if h.checksummed {
+				if err := verifyBlock(br, h.name, cname, "data", c.Data()); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if hasNulls {
@@ -340,6 +445,94 @@ func ReadTable(r io.Reader, space *mach.AddrSpace) (*column.Table, error) {
 	return tbl, nil
 }
 
+// readPacked decodes one bit-packed column block, verifies its CRC32-C,
+// and wraps it as a column. All geometry claims are validated (here for
+// allocation bounds, then exhaustively by column.NewPackedFromChunks), so
+// a hostile stream fails with a typed error instead of an implausible
+// allocation or a panic.
+func readPacked(br *bufio.Reader, space *mach.AddrSpace, h tableHeader, cname string, typ expr.Type) (*column.Column, error) {
+	field := func(part string) string { return fmt.Sprintf("column %q packed %s", cname, part) }
+	crc := crc32.New(castagnoli)
+	tee := io.TeeReader(br, crc)
+	chunkRows, err := readU32(tee, field("chunkRows"))
+	if err != nil {
+		return nil, err
+	}
+	if chunkRows == 0 || chunkRows%64 != 0 || chunkRows > maxPackChunkRows {
+		return nil, formatErrf(field("chunkRows"), "implausible chunk size %d", chunkRows)
+	}
+	nchunks, err := readU32(tee, field("chunk count"))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nchunks) > (maxRows+uint64(chunkRows)-1)/uint64(chunkRows) {
+		return nil, formatErrf(field("chunk count"), "implausible chunk count %d", nchunks)
+	}
+	capHint := nchunks
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	chunks := make([]column.PackedChunk, 0, capHint)
+	for i := uint32(0); i < nchunks; i++ {
+		var ch column.PackedChunk
+		rows, err := readU32(tee, field("chunk rows"))
+		if err != nil {
+			return nil, err
+		}
+		valid, err := readU32(tee, field("chunk valid rows"))
+		if err != nil {
+			return nil, err
+		}
+		if err := binary.Read(tee, binary.LittleEndian, &ch.Ref); err != nil {
+			return nil, &FormatError{Field: field("chunk ref"), Err: noEOF(err)}
+		}
+		if err := binary.Read(tee, binary.LittleEndian, &ch.MaxKey); err != nil {
+			return nil, &FormatError{Field: field("chunk maxKey"), Err: noEOF(err)}
+		}
+		var bits [1]byte
+		if _, err := io.ReadFull(tee, bits[:]); err != nil {
+			return nil, &FormatError{Field: field("chunk width"), Err: noEOF(err)}
+		}
+		ch.Bits = bits[0]
+		if !column.ValidPackedWidth(ch.Bits) {
+			return nil, formatErrf(field("chunk width"), "invalid lane width %d", ch.Bits)
+		}
+		if rows == 0 || rows > chunkRows {
+			return nil, formatErrf(field("chunk rows"), "chunk %d claims %d rows of %d", i, rows, chunkRows)
+		}
+		ch.Rows, ch.ValidRows = int(rows), int(valid)
+		chunks = append(chunks, ch)
+	}
+	for i := range chunks {
+		ch := &chunks[i]
+		lpw := 64 / int(ch.Bits)
+		words := (ch.Rows + lpw - 1) / lpw
+		raw, err := readBlob(tee, int64(words)*8, field("words"))
+		if err != nil {
+			return nil, err
+		}
+		ch.Words = make([]uint64, words)
+		for w := range ch.Words {
+			ch.Words[w] = binary.LittleEndian.Uint64(raw[w*8:])
+		}
+	}
+	want, err := readU32(br, field("checksum"))
+	if err != nil {
+		return nil, err
+	}
+	if ierr := faultinject.Hit(faultinject.SiteStorageChecksum); ierr != nil {
+		return nil, &ChecksumError{Table: h.name, Column: cname, Block: "packed", Err: ierr}
+	}
+	if got := crc.Sum32(); got != want {
+		return nil, &ChecksumError{Table: h.name, Column: cname, Block: "packed", Want: want, Got: got}
+	}
+	p, err := column.NewPackedFromChunks(typ, int(chunkRows), int(h.rows), chunks)
+	if err != nil {
+		return nil, &FormatError{Field: field("geometry"), Err: err}
+	}
+	return column.NewPackedColumn(space, cname, p), nil
+}
+
 // VerifyTable reads a serialized table from r, checking structure and
 // every block checksum without materializing columns — the streaming
 // verification pass behind the background scrubber. It returns the number
@@ -354,11 +547,16 @@ func VerifyTable(r io.Reader) (blocks int, err error) {
 		return 0, err
 	}
 	for ci := uint32(0); ci < h.cols; ci++ {
-		cname, typ, hasNulls, err := readColumnHeader(br)
+		cname, typ, hasNulls, encoding, err := readColumnHeader(br, h.packedAware)
 		if err != nil {
 			return blocks, err
 		}
-		n, err := verifyStreamBlock(br, h, cname, "data", int64(h.rows)*int64(typ.Size()))
+		var n int
+		if encoding == encodingPacked {
+			n, err = verifyPackedStream(br, h, cname)
+		} else {
+			n, err = verifyStreamBlock(br, h, cname, "data", int64(h.rows)*int64(typ.Size()))
+		}
 		if err != nil {
 			return blocks, err
 		}
@@ -397,6 +595,70 @@ func verifyStreamBlock(br *bufio.Reader, h tableHeader, cname, block string, siz
 	}
 	if got := crc.Sum32(); got != want {
 		return 0, &ChecksumError{Table: h.name, Column: cname, Block: block, Want: want, Got: got}
+	}
+	return 1, nil
+}
+
+// verifyPackedStream checks a bit-packed column block's CRC32-C without
+// materializing the words: the chunk headers are parsed (to learn the
+// payload size) while feeding the checksum, and the words are streamed
+// straight through it.
+func verifyPackedStream(br *bufio.Reader, h tableHeader, cname string) (int, error) {
+	field := func(part string) string { return fmt.Sprintf("column %q packed %s", cname, part) }
+	crc := crc32.New(castagnoli)
+	tee := io.TeeReader(br, crc)
+	chunkRows, err := readU32(tee, field("chunkRows"))
+	if err != nil {
+		return 0, err
+	}
+	if chunkRows == 0 || chunkRows%64 != 0 || chunkRows > maxPackChunkRows {
+		return 0, formatErrf(field("chunkRows"), "implausible chunk size %d", chunkRows)
+	}
+	nchunks, err := readU32(tee, field("chunk count"))
+	if err != nil {
+		return 0, err
+	}
+	if uint64(nchunks) > (maxRows+uint64(chunkRows)-1)/uint64(chunkRows) {
+		return 0, formatErrf(field("chunk count"), "implausible chunk count %d", nchunks)
+	}
+	var wordBytes int64
+	for i := uint32(0); i < nchunks; i++ {
+		rows, err := readU32(tee, field("chunk rows"))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := readU32(tee, field("chunk valid rows")); err != nil {
+			return 0, err
+		}
+		var refMax [16]byte
+		if _, err := io.ReadFull(tee, refMax[:]); err != nil {
+			return 0, &FormatError{Field: field("chunk ref"), Err: noEOF(err)}
+		}
+		var bits [1]byte
+		if _, err := io.ReadFull(tee, bits[:]); err != nil {
+			return 0, &FormatError{Field: field("chunk width"), Err: noEOF(err)}
+		}
+		if !column.ValidPackedWidth(bits[0]) {
+			return 0, formatErrf(field("chunk width"), "invalid lane width %d", bits[0])
+		}
+		if rows == 0 || rows > chunkRows {
+			return 0, formatErrf(field("chunk rows"), "chunk %d claims %d rows of %d", i, rows, chunkRows)
+		}
+		lpw := int64(64 / int(bits[0]))
+		wordBytes += (int64(rows) + lpw - 1) / lpw * 8
+	}
+	if _, err := io.CopyN(crc, br, wordBytes); err != nil {
+		return 0, &FormatError{Field: field("words"), Err: noEOF(err)}
+	}
+	want, err := readU32(br, field("checksum"))
+	if err != nil {
+		return 0, err
+	}
+	if ierr := faultinject.Hit(faultinject.SiteScrub); ierr != nil {
+		return 0, &ChecksumError{Table: h.name, Column: cname, Block: "packed", Err: ierr}
+	}
+	if got := crc.Sum32(); got != want {
+		return 0, &ChecksumError{Table: h.name, Column: cname, Block: "packed", Want: want, Got: got}
 	}
 	return 1, nil
 }

@@ -388,7 +388,12 @@ func (e *Engine) execute(ctx context.Context, sql string, makePlan func(stage *s
 			ChunksPruned: os.ChunksPruned, Path: os.Path,
 			Depth: os.Depth, BuildRows: os.BuildRows, ProbeRows: os.ProbeRows,
 			BloomChecks: os.BloomChecks, BloomPass: os.BloomPass, Groups: os.Groups,
+			Encoding: os.Encoding, BytesScanned: os.BytesScanned,
 		})
+		e.bytesScanned.Add(os.BytesScanned)
+		if os.Encoding == pqp.EncodingPacked || os.Encoding == pqp.EncodingMixed {
+			e.packedScans.Add(1)
+		}
 		e.pipeBatches.Add(os.Batches)
 		e.joinBuildRows.Add(os.BuildRows)
 		e.joinProbeRows.Add(os.ProbeRows)
