@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race soak fuzz fuzz-storage fuzz-join fuzz-packed bench bench-smoke bench-native bench-native-check bench-packed-check serve-check bench-serve bench-serve-check crash-check generate vuln clean
+.PHONY: check build vet test race soak fuzz fuzz-storage fuzz-join fuzz-packed fuzz-index bench bench-smoke bench-native bench-native-check bench-packed-check bench-index-check serve-check bench-serve bench-serve-check crash-check generate vuln clean
 
-check: build vet race soak fuzz-join fuzz-packed bench-smoke bench-native-check bench-packed-check serve-check bench-serve-check crash-check vuln
+check: build vet race soak fuzz-join fuzz-packed fuzz-index bench-smoke bench-native-check bench-packed-check bench-index-check serve-check bench-serve-check crash-check vuln
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,16 @@ fuzz-join:
 fuzz-packed:
 	FUSEDSCAN_FUZZ_PACKED_ROUNDS=64 $(GO) test -race -run TestFuzzPackedDifferential -count=1 .
 
+# Differential fuzz of the secondary-index access path (DESIGN.md §16):
+# random comparison predicates over indexed and unindexed int columns —
+# NULLs, negative keys, heavy duplication — run as forced-index,
+# hint-suppressed scan and unhinted cost-based plans under both the
+# default and native configs, with every variant's row positions checked
+# bit-identical against a scalar oracle. A short 12-round pass also runs
+# inside the plain test suite.
+fuzz-index:
+	FUSEDSCAN_FUZZ_INDEX_ROUNDS=64 $(GO) test -race -run TestFuzzIndexDifferential -count=1 .
+
 # Coverage-guided fuzz of the binary table decoder and the streaming
 # checksum verifier (hostile-input hardening; see DESIGN.md §12).
 fuzz-storage:
@@ -90,6 +100,14 @@ bench-native-check:
 # wall-clock may not regress by more than 20%.
 bench-packed-check:
 	$(GO) run ./cmd/fusedscan-smoke -native -check BENCH_NATIVE.json -tol 0.20 -packed
+
+# Secondary-index gate over the same BENCH_NATIVE.json baseline: the
+# cost-chosen point lookup on a 10M-row shuffled unique-key column must
+# beat the full native scan by the 5x floor with identical counts, and a
+# forced index hint at 40% selectivity must stay measurably slower than
+# the scan it overrides — the dolt lesson, checked on every run.
+bench-index-check:
+	$(GO) run ./cmd/fusedscan-smoke -native -check BENCH_NATIVE.json -tol 0.20 -index
 
 # End-to-end check of the HTTP query service: starts an ephemeral server
 # on a loopback port and drives a scripted smoke client through ad-hoc

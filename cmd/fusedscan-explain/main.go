@@ -65,6 +65,12 @@ func main() {
 	for _, r := range ex.AppliedRules {
 		fmt.Println("  -", r)
 	}
+	if ex.AccessPath != "" {
+		fmt.Printf("\nAccess path: path=%s\n", ex.AccessPath)
+	}
+	if ex.Hint != "" {
+		fmt.Printf("Hint: %s\n", ex.Hint)
+	}
 	fmt.Println("\n=== Physical query plan (after LQP translator) ===")
 	fmt.Print(ex.PhysicalPlan)
 	if *showJIT {

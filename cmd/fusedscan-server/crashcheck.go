@@ -13,6 +13,12 @@
 // quarantine story: the server starts, /healthz stays 200, the corrupt
 // table answers 503 "quarantined" naming the failing column, every other
 // table serves, and DELETE discards the casualty.
+//
+// An index leg then covers the secondary-index contract (DESIGN.md §16):
+// an acknowledged CREATE INDEX survives a SIGKILL with no shutdown path
+// run at all, a bit-flipped index snapshot quarantines the index only —
+// the table keeps answering exactly on the scan path — and re-creating
+// the index replaces the rotten snapshot and lifts the quarantine.
 package main
 
 import (
@@ -110,7 +116,10 @@ func crashCheckSite(exe, site string, cycles int, seed int64) error {
 			return fmt.Errorf("cycle %d: %w", cycle, verr)
 		}
 	}
-	return corruptionLeg(exe, dir, site, seed, oracle)
+	if err := corruptionLeg(exe, dir, site, seed, oracle); err != nil {
+		return err
+	}
+	return indexLeg(exe, dir, site, seed)
 }
 
 // verifyOracle asserts the recovered server serves exactly the
@@ -243,6 +252,153 @@ func corruptionLeg(exe, dir, site string, seed int64, oracle map[string][]string
 		return fmt.Errorf("dropping quarantined table: %d", resp.StatusCode)
 	}
 	return nil
+}
+
+// indexLeg asserts the secondary-index durability contract on the
+// surviving directory: an acknowledged CREATE INDEX recovers after a
+// SIGKILL (no graceful shutdown), a bit-flipped index snapshot
+// quarantines the index only — queries fall back to the scan path with
+// exact results — and re-creating the index lifts the quarantine.
+func indexLeg(exe, dir, site string, seed int64) error {
+	// A dedicated table big enough that the cost model genuinely prefers
+	// the index for a point lookup (the corruption leg's witness is a few
+	// hundred rows — small enough that scanning it is the right plan).
+	witness := "itable_" + sanitizeSite(site)
+	const itableRows = 1 << 16
+	vals := make([]string, itableRows)
+	var want int64
+	const needle = "42"
+	for i := range vals {
+		vals[i] = strconv.Itoa(i % 4099)
+		if vals[i] == needle {
+			want++
+		}
+	}
+	point := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE a = %s", witness, needle)
+
+	checkPoint := func(url, when string, wantIndex bool) error {
+		status, body, err := httpQueryRaw(url, point)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("%s: point query answered %d (%s)", when, status, body)
+		}
+		var qr server.QueryResponse
+		if err := json.Unmarshal([]byte(body), &qr); err != nil {
+			return err
+		}
+		if qr.Count != want {
+			return fmt.Errorf("%s: point query count = %d, want %d", when, qr.Count, want)
+		}
+		var vz server.VarzResponse
+		if err := httpGetJSON(url+"/varz", &vz); err != nil {
+			return err
+		}
+		if wantIndex && vz.Engine.IndexScans == 0 {
+			return fmt.Errorf("%s: query did not use the recovered index", when)
+		}
+		if !wantIndex && vz.Engine.IndexScans != 0 {
+			return fmt.Errorf("%s: a quarantined index served a query", when)
+		}
+		return nil
+	}
+
+	// Register the table, acknowledge the CREATE INDEX, then die with no
+	// cleanup at all.
+	srv, err := spawnServer(exe, dir, "")
+	if err != nil {
+		return err
+	}
+	if err := httpCreateTable(srv.url, witness, vals); err != nil {
+		srv.stop()
+		return fmt.Errorf("creating index-leg table: %w", err)
+	}
+	status, body, err := httpQueryRaw(srv.url, fmt.Sprintf("CREATE INDEX ON %s (a)", witness))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		srv.stop()
+		return fmt.Errorf("CREATE INDEX answered %d (%s)", status, body)
+	}
+	srv.cmd.Process.Kill()
+	srv.cmd.Wait()
+
+	// The acknowledged index recovers and serves.
+	srv, err = spawnServer(exe, dir, "")
+	if err != nil {
+		return fmt.Errorf("restart after index kill: %w", err)
+	}
+	var vz server.VarzResponse
+	if err := httpGetJSON(srv.url+"/varz", &vz); err != nil {
+		srv.stop()
+		return err
+	}
+	if vz.Engine.Indexes < 1 || vz.Engine.IndexesQuarantined != 0 {
+		srv.stop()
+		return fmt.Errorf("after kill: indexes=%d quarantined=%d, want the acknowledged index live",
+			vz.Engine.Indexes, vz.Engine.IndexesQuarantined)
+	}
+	if err := checkPoint(srv.url, "after kill", true); err != nil {
+		srv.stop()
+		return err
+	}
+	srv.stop()
+
+	// Rot the index snapshot: only the index quarantines; the table —
+	// and its exact answers — survive on the scan path.
+	idx := filepath.Join(dir, storage.TablesDir, storage.IndexFileName(witness, "a"))
+	data, err := os.ReadFile(idx)
+	if err != nil {
+		return err
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(idx, data, 0o644); err != nil {
+		return err
+	}
+	srv, err = spawnServer(exe, dir, "")
+	if err != nil {
+		return fmt.Errorf("restart with corrupt index: %w", err)
+	}
+	defer srv.stop()
+	var hz map[string]any
+	if err := httpGetJSON(srv.url+"/healthz", &hz); err != nil {
+		return fmt.Errorf("healthz with corrupt index: %w", err)
+	}
+	var tl server.TablesResponse
+	if err := httpGetJSON(srv.url+"/tables", &tl); err != nil {
+		return err
+	}
+	if len(tl.Quarantined) != 0 {
+		return fmt.Errorf("index corruption quarantined tables: %v", tl.Quarantined)
+	}
+	if err := httpGetJSON(srv.url+"/varz", &vz); err != nil {
+		return err
+	}
+	if vz.Engine.IndexesQuarantined < 1 {
+		return fmt.Errorf("corrupt index not quarantined: %+v", vz.Engine)
+	}
+	if err := checkPoint(srv.url, "with corrupt index", false); err != nil {
+		return err
+	}
+
+	// Re-creating the index replaces the rotten snapshot and lifts the
+	// quarantine.
+	status, body, err = httpQueryRaw(srv.url, fmt.Sprintf("CREATE INDEX ON %s (a)", witness))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("re-CREATE INDEX answered %d (%s)", status, body)
+	}
+	if err := httpGetJSON(srv.url+"/varz", &vz); err != nil {
+		return err
+	}
+	if vz.Engine.IndexesQuarantined != 0 || vz.Engine.Indexes < 1 {
+		return fmt.Errorf("quarantine not lifted by re-create: %+v", vz.Engine)
+	}
+	return checkPoint(srv.url, "after re-create", true)
 }
 
 // ---------------------------------------------------------------------------

@@ -236,6 +236,14 @@ type nativeReport struct {
 	PackedFloor   float64        `json:"packed_speedup_floor"`
 	Pruning       pruningResult  `json:"pruning"`
 	PruningPacked pruningResult  `json:"pruning_packed"`
+	// The secondary-index axis (DESIGN.md §16): a cost-chosen point lookup
+	// must beat the native scan by IndexFloor, and a forced index hint at
+	// 40% selectivity must stay at least IndexLowSelFloor slower than the
+	// scan it overrides — the dolt lesson, kept visible in the baseline.
+	IndexSpeedup        float64 `json:"speedup_index_vs_native_scan"`
+	IndexFloor          float64 `json:"index_speedup_floor"`
+	IndexLowSelSlowdown float64 `json:"slowdown_forced_index_lowsel"`
+	IndexLowSelFloor    float64 `json:"forced_index_lowsel_floor"`
 }
 
 // pruningResult is fully deterministic: clustered data, fixed chunking.
@@ -285,6 +293,28 @@ func buildNativeTables(eng *fusedscan.Engine) error {
 		}
 	}
 	return nil
+}
+
+// indexRows sizes the secondary-index benchmark table. Large enough that
+// a full native scan takes real wall-clock, so the O(log n) point lookup
+// has something to beat.
+const indexRows = 10_000_000
+
+// buildIndexTable registers "idemo": indexRows rows whose key column is a
+// random permutation of 0..indexRows-1. Unique keys make a point lookup
+// maximally selective; the shuffle defeats zone-map pruning, so the scan
+// leg pays for the whole table and the comparison is honest.
+func buildIndexTable(eng *fusedscan.Engine) error {
+	rng := rand.New(rand.NewSource(smokeSeed + 2))
+	perm := rng.Perm(indexRows)
+	k := make([]int32, indexRows)
+	for i, p := range perm {
+		k[i] = int32(p)
+	}
+	tb := eng.CreateTable("idemo")
+	tb.Int32("k", k)
+	tb.Index("k")
+	return tb.Finish()
 }
 
 // bestWallNs runs the query once to warm up (plan cache, page faults),
@@ -393,6 +423,69 @@ func runNative(reps int) (*nativeReport, error) {
 			ChunksPruned: leaf.ChunksPruned, BytesScanned: leaf.BytesScanned,
 		}
 	}
+
+	// Secondary-index legs, native config throughout. The point lookup is
+	// left unhinted — the cost model must choose the index on its own (the
+	// IndexProbes assertion below fails the run if it does not) — while
+	// the low-selectivity pair pins both paths with hints to measure the
+	// cost of overriding the planner.
+	if err := buildIndexTable(eng); err != nil {
+		return nil, err
+	}
+	rep.IndexFloor = 5
+	rep.IndexLowSelFloor = 1.2
+	pointLit := indexRows / 3
+	lowSelLit := 2 * indexRows / 5
+	idxLegs := []struct {
+		name, path, sql string
+	}{
+		{"point-lookup", "index-point",
+			fmt.Sprintf("SELECT COUNT(*) FROM idemo WHERE k = %d", pointLit)},
+		{"point-lookup", "scan-point",
+			fmt.Sprintf("SELECT /*+ NO_INDEX */ COUNT(*) FROM idemo WHERE k = %d", pointLit)},
+		{"lowsel-40pct", "index-forced-lowsel",
+			fmt.Sprintf("SELECT /*+ INDEX(idemo k) */ COUNT(*) FROM idemo WHERE k < %d", lowSelLit)},
+		{"lowsel-40pct", "scan-lowsel",
+			fmt.Sprintf("SELECT /*+ NO_INDEX */ COUNT(*) FROM idemo WHERE k < %d", lowSelLit)},
+	}
+	for _, leg := range idxLegs {
+		ns, res, err := bestWallNs(eng, leg.sql, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", leg.path, err)
+		}
+		var probes int64
+		for _, op := range res.Operators {
+			probes += op.IndexProbes
+		}
+		wantIndex := leg.path == "index-point" || leg.path == "index-forced-lowsel"
+		if wantIndex && probes == 0 {
+			return nil, fmt.Errorf("%s: planner did not take the index path", leg.path)
+		}
+		if !wantIndex && probes != 0 {
+			return nil, fmt.Errorf("%s: NO_INDEX leg probed the index", leg.path)
+		}
+		leaf := scanLeaf(res)
+		rep.Results = append(rep.Results, nativeResult{
+			Name: leg.name, Path: leg.path, SQL: leg.sql,
+			Count: res.Count, WallNsBest: ns, WallMs: float64(ns) / 1e6,
+			Encoding: leaf.Encoding, BytesScanned: leaf.BytesScanned,
+		})
+	}
+	for _, pair := range [][2]string{
+		{"index-point", "scan-point"},
+		{"index-forced-lowsel", "scan-lowsel"},
+	} {
+		a, b := resultByPath(rep, pair[0]), resultByPath(rep, pair[1])
+		if a.Count != b.Count {
+			return nil, fmt.Errorf("count mismatch: %s %d, %s %d", pair[0], a.Count, pair[1], b.Count)
+		}
+	}
+	if n := resultByPath(rep, "index-point").WallNsBest; n > 0 {
+		rep.IndexSpeedup = float64(resultByPath(rep, "scan-point").WallNsBest) / float64(n)
+	}
+	if n := resultByPath(rep, "scan-lowsel").WallNsBest; n > 0 {
+		rep.IndexLowSelSlowdown = float64(resultByPath(rep, "index-forced-lowsel").WallNsBest) / float64(n)
+	}
 	return rep, nil
 }
 
@@ -434,6 +527,26 @@ func checkNative(cur *nativeReport, baselinePath string, tol float64) error {
 	if cur.PackedSpeedup < base.PackedFloor {
 		return fmt.Errorf("packed native speedup %.2fx below the %.1fx floor", cur.PackedSpeedup, base.PackedFloor)
 	}
+	// The index axis: counts are exact; the gates are the two ratios, which
+	// cancel machine speed (the point lookup's absolute wall-clock is
+	// microseconds and too noisy for a tolerance check).
+	for _, path := range []string{"index-point", "scan-point", "index-forced-lowsel", "scan-lowsel"} {
+		b, c := resultByPath(&base, path), resultByPath(cur, path)
+		if b == nil || c == nil {
+			return fmt.Errorf("missing %q leg in baseline or current run", path)
+		}
+		if b.Count != c.Count {
+			return fmt.Errorf("%s count = %d, baseline %d", path, c.Count, b.Count)
+		}
+	}
+	if cur.IndexSpeedup < base.IndexFloor {
+		return fmt.Errorf("index point-lookup speedup %.1fx below the %.0fx floor",
+			cur.IndexSpeedup, base.IndexFloor)
+	}
+	if cur.IndexLowSelSlowdown < base.IndexLowSelFloor {
+		return fmt.Errorf("forced low-selectivity index hint was not slower than the scan it overrode: %.2fx vs the %.1fx floor",
+			cur.IndexLowSelSlowdown, base.IndexLowSelFloor)
+	}
 	// Scan-on-compressed must never touch more bytes than the plain scan.
 	plain, packed := resultByPath(cur, "native"), resultByPath(cur, "packed-native")
 	if packed.BytesScanned > plain.BytesScanned {
@@ -469,6 +582,7 @@ func main() {
 	tol := flag.Float64("tol", 0.20, "allowed native wall-clock regression fraction for -check")
 	reps := flag.Int("reps", 5, "wall-clock repetitions per -native query (best is reported)")
 	packed := flag.Bool("packed", false, "with -check, summarize the scan-on-compressed axis on success")
+	index := flag.Bool("index", false, "with -check, summarize the secondary-index axis on success")
 	flag.Parse()
 
 	var rep any
@@ -480,6 +594,13 @@ func main() {
 			if cerr := checkNative(nrep, *check, *tol); cerr != nil {
 				fmt.Fprintln(os.Stderr, "fusedscan-smoke: native benchmark gate failed:", cerr)
 				os.Exit(1)
+			}
+			if *index {
+				ip, sp := resultByPath(nrep, "index-point"), resultByPath(nrep, "scan-point")
+				fmt.Printf("index benchmark gate ok: %.4f ms point lookup vs %.3f ms native scan (%.0fx, floor %.0fx); forced low-sel index %.2fx slower than scan (floor %.1fx)\n",
+					ip.WallMs, sp.WallMs, nrep.IndexSpeedup, nrep.IndexFloor,
+					nrep.IndexLowSelSlowdown, nrep.IndexLowSelFloor)
+				return
 			}
 			if *packed {
 				pl, pk := resultByPath(nrep, "native"), resultByPath(nrep, "packed-native")

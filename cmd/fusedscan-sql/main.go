@@ -236,6 +236,12 @@ func explainOne(eng *fusedscan.Engine, sql string) {
 	fmt.Println("optimized plan:")
 	fmt.Print(indent(ex.OptimizedPlan))
 	fmt.Printf("rules: %s\n", strings.Join(ex.AppliedRules, ", "))
+	if ex.AccessPath != "" {
+		fmt.Printf("access path: path=%s\n", ex.AccessPath)
+	}
+	if ex.Hint != "" {
+		fmt.Printf("hint: %s\n", ex.Hint)
+	}
 	fmt.Println("physical plan:")
 	fmt.Print(indent(ex.PhysicalPlan))
 	for i, key := range ex.JITKeys {
@@ -306,6 +312,9 @@ func analyzeOne(eng *fusedscan.Engine, sql string) {
 		}
 		if op.Groups > 0 {
 			extra += fmt.Sprintf(" groups=%d", op.Groups)
+		}
+		if op.IndexProbes > 0 {
+			extra += fmt.Sprintf(" probes=%d idxrows=%d", op.IndexProbes, op.IndexRows)
 		}
 		fmt.Printf("%s%s  [in=%d out=%d batches=%d %s%s]\n",
 			strings.Repeat("  ", op.Depth+1), op.Name, op.RowsIn, op.RowsOut, op.Batches,

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"fusedscan/internal/column"
+	"fusedscan/internal/index"
 	"fusedscan/internal/storage"
 )
 
@@ -88,9 +89,10 @@ type durability struct {
 	dir string
 	// mu serializes persisted DDL and compaction. Lock order: dur.mu
 	// before Engine.mu, never the reverse.
-	mu    sync.Mutex
-	wal   *storage.WAL
-	files map[string]string // table name → snapshot filename under tables/
+	mu       sync.Mutex
+	wal      *storage.WAL
+	files    map[string]string            // table name → snapshot filename under tables/
+	idxFiles map[string]map[string]string // table → column → index snapshot filename
 
 	compactBytes  int64
 	scrubInterval time.Duration
@@ -143,6 +145,7 @@ func OpenWithOptions(dir string, opts OpenOptions) (*Engine, error) {
 	d := &durability{
 		dir:           dir,
 		files:         make(map[string]string),
+		idxFiles:      make(map[string]map[string]string),
 		compactBytes:  opts.CompactWALBytes,
 		scrubInterval: opts.ScrubInterval,
 		scrubRate:     opts.ScrubBytesPerSec,
@@ -165,6 +168,12 @@ func OpenWithOptions(dir string, opts OpenOptions) (*Engine, error) {
 		for _, mt := range m.Tables {
 			d.files[mt.Name] = mt.File
 			d.loadOrQuarantine(e, mt.Name, mt.File)
+		}
+		// Indexes load after every table: decoding validates an index
+		// snapshot against its table's current row count.
+		for _, mi := range m.Indexes {
+			d.setIndexFile(mi.Table, mi.Column, mi.File)
+			d.loadOrQuarantineIndex(e, mi.Table, mi.Column, mi.File)
 		}
 		if m.Epoch > e.epoch.Load() {
 			e.epoch.Store(m.Epoch)
@@ -290,6 +299,20 @@ func (d *durability) register(e *Engine, t *column.Table, kind storage.RecordKin
 	if err := e.registerMem(t); err != nil {
 		return err
 	}
+	// registerMem rebuilt any remembered indexes against the new table;
+	// persist the rebuilds so they survive restart. Best-effort: a persist
+	// failure leaves that index live but ephemeral, never fails the
+	// registration the caller already needs acknowledged.
+	e.mu.RLock()
+	rebuilt := make([]*index.Index, 0, len(e.indexes[name]))
+	for _, ix := range e.indexes[name] {
+		rebuilt = append(rebuilt, ix)
+	}
+	e.mu.RUnlock()
+	sort.Slice(rebuilt, func(i, j int) bool { return rebuilt[i].Column() < rebuilt[j].Column() })
+	for _, ix := range rebuilt {
+		d.persistIndexLocked(e, ix)
+	}
 	d.maybeCompactLocked(e)
 	return nil
 }
@@ -311,15 +334,24 @@ func (d *durability) drop(e *Engine, name string) (bool, error) {
 	}
 	file := d.files[name]
 	delete(d.files, name)
+	idxGone := d.idxFiles[name]
+	delete(d.idxFiles, name)
 	e.mu.Lock()
 	delete(e.tables, name)
 	delete(e.quarantined, name)
+	// Index instances die with the table; definitions stay so a
+	// re-register rebuilds (and re-persists) them.
+	delete(e.indexes, name)
+	delete(e.idxQuarantined, name)
 	e.mu.Unlock()
 	e.bumpEpoch()
 	if file != "" {
 		// Best-effort: a crash before this remove leaves an orphan the
 		// next compaction sweeps.
 		os.Remove(filepath.Join(d.dir, storage.TablesDir, file))
+	}
+	for _, f := range idxGone {
+		os.Remove(filepath.Join(d.dir, storage.TablesDir, f))
 	}
 	d.maybeCompactLocked(e)
 	return true, nil
@@ -345,6 +377,98 @@ func (d *durability) setConfig(e *Engine, c Config) error {
 	return nil
 }
 
+// idxBlob is the JSON payload of RecordCreateIndex / RecordDropIndex
+// WAL records (the record's Name field carries the table).
+type idxBlob struct {
+	Column string `json:"column"`
+	File   string `json:"file,omitempty"`
+}
+
+// setIndexFile records (or, with file == "", forgets) an index snapshot
+// filename. Caller holds d.mu — or, during Open, no lock is needed yet.
+func (d *durability) setIndexFile(table, col, file string) {
+	if file == "" {
+		if cols := d.idxFiles[table]; cols != nil {
+			delete(cols, col)
+			if len(cols) == 0 {
+				delete(d.idxFiles, table)
+			}
+		}
+		return
+	}
+	if d.idxFiles[table] == nil {
+		d.idxFiles[table] = make(map[string]string)
+	}
+	d.idxFiles[table][col] = file
+}
+
+// createIndex persists and applies a CreateIndex: snapshot first, WAL
+// append + fsync second, planner-visible install last. A nil error means
+// the index survives any crash.
+func (d *durability) createIndex(e *Engine, ix *index.Index) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.persistIndexLocked(e, ix); err != nil {
+		return err
+	}
+	e.installIndex(ix)
+	d.maybeCompactLocked(e)
+	return nil
+}
+
+// persistIndexLocked writes ix's snapshot and fsyncs its WAL record.
+// Caller holds d.mu. The in-memory install is the caller's business: the
+// CreateIndex path installs after persisting; the register path persists
+// indexes registerMem already rebuilt and installed.
+func (d *durability) persistIndexLocked(e *Engine, ix *index.Index) error {
+	table, col := ix.Table(), ix.Column()
+	file := storage.IndexFileName(table, col)
+	t, err := ix.EncodeTable(e.space, "idx:"+table+":"+col)
+	if err != nil {
+		return fmt.Errorf("fusedscan: encoding index on %s(%s): %w", table, col, err)
+	}
+	if err := storage.SaveFile(filepath.Join(d.dir, storage.TablesDir, file), t); err != nil {
+		return fmt.Errorf("fusedscan: persisting index on %s(%s): %w", table, col, err)
+	}
+	d.snapshots.Add(1)
+	blob, err := json.Marshal(idxBlob{Column: col, File: file})
+	if err != nil {
+		return err
+	}
+	if err := d.wal.Append(storage.Record{Kind: storage.RecordCreateIndex, Name: table, Blob: blob}); err != nil {
+		// The snapshot file is an orphan; compaction sweeps it.
+		return fmt.Errorf("fusedscan: logging index on %s(%s): %w", table, col, err)
+	}
+	d.setIndexFile(table, col, file)
+	return nil
+}
+
+// dropIndex persists and applies a DropIndex. Dropping a quarantined
+// index is allowed — it discards an unrepairable snapshot.
+func (d *durability) dropIndex(e *Engine, table, col string) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	blob, err := json.Marshal(idxBlob{Column: col})
+	if err != nil {
+		return false, err
+	}
+	if err := d.wal.Append(storage.Record{Kind: storage.RecordDropIndex, Name: table, Blob: blob}); err != nil {
+		return false, fmt.Errorf("fusedscan: logging index drop on %s(%s): %w", table, col, err)
+	}
+	file := ""
+	if cols := d.idxFiles[table]; cols != nil {
+		file = cols[col]
+	}
+	d.setIndexFile(table, col, "")
+	e.removeIndex(table, col)
+	if file != "" {
+		// Best-effort; compaction sweeps a leftover.
+		os.Remove(filepath.Join(d.dir, storage.TablesDir, file))
+	}
+	d.maybeCompactLocked(e)
+	return true, nil
+}
+
 // ---------------------------------------------------------------------------
 // Recovery.
 
@@ -368,9 +492,16 @@ func (d *durability) applyRecovered(e *Engine, rec storage.Record) {
 		d.loadOrQuarantine(e, rec.Name, file)
 	case storage.RecordDrop:
 		delete(d.files, rec.Name)
+		delete(d.idxFiles, rec.Name)
 		e.mu.Lock()
 		delete(e.tables, rec.Name)
 		delete(e.quarantined, rec.Name)
+		// During replay there is no in-memory history to preserve: the
+		// table's indexes (and their definitions) die with it. A later
+		// re-register in the log carries its own createindex records.
+		delete(e.indexes, rec.Name)
+		delete(e.idxQuarantined, rec.Name)
+		delete(e.indexDefs, rec.Name)
 		e.mu.Unlock()
 	case storage.RecordSetConfig:
 		var c Config
@@ -379,6 +510,24 @@ func (d *durability) applyRecovered(e *Engine, rec storage.Record) {
 		if err := json.Unmarshal(rec.Blob, &c); err == nil {
 			e.SetConfig(c)
 		}
+	case storage.RecordCreateIndex:
+		var b idxBlob
+		if err := json.Unmarshal(rec.Blob, &b); err != nil || b.Column == "" {
+			return // malformed record: skip rather than fail recovery
+		}
+		file := b.File
+		if file == "" {
+			file = storage.IndexFileName(rec.Name, b.Column)
+		}
+		d.setIndexFile(rec.Name, b.Column, file)
+		d.loadOrQuarantineIndex(e, rec.Name, b.Column, file)
+	case storage.RecordDropIndex:
+		var b idxBlob
+		if err := json.Unmarshal(rec.Blob, &b); err != nil || b.Column == "" {
+			return
+		}
+		d.setIndexFile(rec.Name, b.Column, "")
+		e.removeIndex(rec.Name, b.Column)
 	}
 }
 
@@ -399,6 +548,35 @@ func (d *durability) loadOrQuarantine(e *Engine, name, file string) {
 	e.tables[name] = t
 	delete(e.quarantined, name)
 	e.mu.Unlock()
+}
+
+// loadOrQuarantineIndex loads the index snapshot for table.col into the
+// catalog; any failure — missing table, missing file, checksum mismatch,
+// structural corruption, a stale snapshot that disagrees with the table's
+// row count — quarantines the index only. The table keeps serving and the
+// planner falls back to the scan path.
+func (d *durability) loadOrQuarantineIndex(e *Engine, table, col, file string) {
+	t, err := e.Table(table)
+	if err != nil {
+		e.quarantineIndex(table, col, err)
+		return
+	}
+	path := filepath.Join(d.dir, storage.TablesDir, file)
+	raw, err := storage.LoadFile(path, e.space)
+	if err != nil {
+		var ce *storage.ChecksumError
+		if errors.As(err, &ce) {
+			d.blocksQuarantined.Add(1)
+		}
+		e.quarantineIndex(table, col, err)
+		return
+	}
+	ix, err := index.DecodeTable(raw, table, col, t.Rows())
+	if err != nil {
+		e.quarantineIndex(table, col, err)
+		return
+	}
+	e.installIndex(ix)
 }
 
 // quarantine takes name out of service with a typed error. The catalog
@@ -449,6 +627,12 @@ func (d *durability) compactLocked(e *Engine) error {
 	for _, n := range names {
 		m.Tables = append(m.Tables, storage.ManifestTable{Name: n, File: d.files[n]})
 	}
+	for _, t := range sortedKeys(d.idxFiles) {
+		cols := d.idxFiles[t]
+		for _, c := range sortedKeys(cols) {
+			m.Indexes = append(m.Indexes, storage.ManifestIndex{Table: t, Column: c, File: cols[c]})
+		}
+	}
 	if err := storage.WriteManifest(filepath.Join(d.dir, storage.ManifestFile), m); err != nil {
 		return err
 	}
@@ -463,10 +647,24 @@ func (d *durability) compactLocked(e *Engine) error {
 // sweepOrphansLocked removes snapshot files no manifest entry references:
 // debris from drops or registrations that crashed before their WAL
 // record, now provably unreachable.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (d *durability) sweepOrphansLocked() {
 	referenced := make(map[string]bool, len(d.files))
 	for _, f := range d.files {
 		referenced[f] = true
+	}
+	for _, cols := range d.idxFiles {
+		for _, f := range cols {
+			referenced[f] = true
+		}
 	}
 	matches, _ := filepath.Glob(filepath.Join(d.dir, storage.TablesDir, "*.fscn"))
 	for _, m := range matches {
@@ -526,6 +724,60 @@ func (e *Engine) ScrubAll() (ScrubReport, error) {
 			}
 		}
 		// A table dropped mid-pass (untyped error) is skipped silently.
+	}
+
+	// Index snapshots scrub like table snapshots (they share the storage
+	// format), but a failure quarantines only the index — queries on the
+	// table silently fall back to the scan path.
+	type idxEntry struct{ table, col, file string }
+	d.mu.Lock()
+	var idxs []idxEntry
+	for _, t := range sortedKeys(d.idxFiles) {
+		for _, c := range sortedKeys(d.idxFiles[t]) {
+			idxs = append(idxs, idxEntry{t, c, d.idxFiles[t][c]})
+		}
+	}
+	d.mu.Unlock()
+	for _, ie := range idxs {
+		label := fmt.Sprintf("index %s(%s)", ie.table, ie.col)
+		e.mu.RLock()
+		_, wasQuarantined := e.idxQuarantined[ie.table][ie.col]
+		e.mu.RUnlock()
+		blocks, err := d.verifySnapshot(ie.file)
+		d.scrubBlocks.Add(int64(blocks))
+		rep.Blocks += blocks
+
+		// The index may have been dropped or re-persisted while we read.
+		d.mu.Lock()
+		cur := ""
+		if cols := d.idxFiles[ie.table]; cols != nil {
+			cur = cols[ie.col]
+		}
+		d.mu.Unlock()
+		if cur != ie.file {
+			continue
+		}
+		if err != nil {
+			var ce *storage.ChecksumError
+			if errors.As(err, &ce) {
+				d.blocksQuarantined.Add(1)
+			}
+			e.quarantineIndex(ie.table, ie.col, err)
+			if !wasQuarantined {
+				rep.Quarantined = append(rep.Quarantined, label)
+			}
+			continue
+		}
+		if wasQuarantined {
+			// Clean again (operator repaired or replaced the file): reload.
+			d.loadOrQuarantineIndex(e, ie.table, ie.col, ie.file)
+			e.mu.RLock()
+			_, still := e.idxQuarantined[ie.table][ie.col]
+			e.mu.RUnlock()
+			if !still {
+				rep.Restored = append(rep.Restored, label)
+			}
+		}
 	}
 	d.scrubPasses.Add(1)
 	return rep, nil

@@ -1,0 +1,279 @@
+package fusedscan
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fusedscan/internal/storage"
+)
+
+// corruptIndexFile flips one byte in an index snapshot, returning the
+// original bytes for repair.
+func corruptIndexFile(t *testing.T, dir, table, col string) []byte {
+	t.Helper()
+	path := filepath.Join(dir, storage.TablesDir, storage.IndexFileName(table, col))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), orig...)
+	bad[len(bad)/2] ^= 0x20
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return orig
+}
+
+// TestIndexSurvivesReopen: an acknowledged CREATE INDEX is durable across
+// a clean close and reopen, and the planner sees it immediately.
+func TestIndexSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "tbl", seq(100000))
+	if _, err := eng.Query("CREATE INDEX ON tbl (a)"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Query("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	metas := eng2.Indexes("tbl")
+	if len(metas) != 1 || metas[0].Column != "a" || metas[0].Rows != 100000 {
+		t.Fatalf("recovered indexes = %+v", metas)
+	}
+	ex, err := eng2.ExplainQuery("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ex.AccessPath, "index(a)") {
+		t.Fatalf("AccessPath after reopen = %q", ex.AccessPath)
+	}
+	got, err := eng2.Query("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count {
+		t.Fatalf("count after reopen = %d, want %d", got.Count, want.Count)
+	}
+	if _, usedIndex := indexScanStats(got); !usedIndex {
+		t.Fatal("recovered index not used")
+	}
+
+	// The compacted manifest names the index.
+	eng2.Close()
+	raw, err := os.ReadFile(filepath.Join(dir, storage.ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m storage.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Indexes) != 1 || m.Indexes[0].Table != "tbl" || m.Indexes[0].Column != "a" {
+		t.Fatalf("manifest indexes = %+v", m.Indexes)
+	}
+}
+
+// TestIndexCrashRecovery abandons the engine without Close — the crash
+// shape — and asserts the WAL tail alone recovers the index.
+func TestIndexCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "tbl", seq(4096))
+	if err := eng.CreateIndex("tbl", "a"); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the createindex WAL record is already fsynced.
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	if metas := eng2.Indexes("tbl"); len(metas) != 1 {
+		t.Fatalf("index did not survive the crash: %+v", metas)
+	}
+	res, err := eng2.Query("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, usedIndex := indexScanStats(res); !usedIndex {
+		t.Fatal("recovered index not used")
+	}
+}
+
+// TestDropIndexSurvivesCrash: an acknowledged DROP INDEX stays dropped.
+func TestDropIndexSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "tbl", seq(4096))
+	if err := eng.CreateIndex("tbl", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := eng.DropIndex("tbl", "a"); !ok || err != nil {
+		t.Fatalf("DropIndex = (%v, %v)", ok, err)
+	}
+	// No Close.
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	if metas := eng2.Indexes("tbl"); len(metas) != 0 {
+		t.Fatalf("dropped index resurrected: %+v", metas)
+	}
+}
+
+// TestCorruptIndexQuarantinesIndexOnly is the degradation contract: a
+// bit-flipped index snapshot takes out the index, not the table — queries
+// silently fall back to the scan path with exact results.
+func TestCorruptIndexQuarantinesIndexOnly(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	registerInts(t, eng, "tbl", seq(100000))
+	if _, err := eng.Query("CREATE INDEX ON tbl (a)"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Query("SELECT /*+ NO_INDEX */ COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptIndexFile(t, dir, "tbl", "a")
+
+	eng2 := noScrub(t, dir)
+	defer eng2.Close()
+	// The table is untouched and live.
+	if _, err := eng2.Table("tbl"); err != nil {
+		t.Fatalf("table quarantined by index corruption: %v", err)
+	}
+	q := eng2.QuarantinedIndexes()
+	if len(q) != 1 || q["tbl.a"] == nil {
+		t.Fatalf("QuarantinedIndexes = %+v", q)
+	}
+	if st := eng2.Stats(); st.Indexes != 0 || st.IndexesQuarantined != 1 {
+		t.Fatalf("stats = indexes=%d quarantined=%d", st.Indexes, st.IndexesQuarantined)
+	}
+	// Queries silently fall back to the scan path, exact.
+	got, err := eng2.Query("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count {
+		t.Fatalf("fallback count = %d, want %d", got.Count, want.Count)
+	}
+	if _, usedIndex := indexScanStats(got); usedIndex {
+		t.Fatal("quarantined index was probed")
+	}
+	ex, err := eng2.ExplainQuery("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(ex.AccessPath, "index") {
+		t.Fatalf("AccessPath with quarantined index = %q", ex.AccessPath)
+	}
+
+	// Re-creating the index replaces the corrupt snapshot and lifts the
+	// quarantine.
+	if _, err := eng2.Query("CREATE INDEX ON tbl (a)"); err != nil {
+		t.Fatal(err)
+	}
+	if q := eng2.QuarantinedIndexes(); len(q) != 0 {
+		t.Fatalf("quarantine not lifted: %+v", q)
+	}
+	res, err := eng2.Query("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, usedIndex := indexScanStats(res); !usedIndex {
+		t.Fatal("re-created index not used")
+	}
+}
+
+// TestScrubIndexRotAndRepair corrupts an index snapshot under a running
+// engine: the scrub pass quarantines the index only, and a later clean
+// pass over the repaired file restores it.
+func TestScrubIndexRotAndRepair(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	defer eng.Close()
+	registerInts(t, eng, "tbl", seq(100000))
+	if _, err := eng.Query("CREATE INDEX ON tbl (a)"); err != nil {
+		t.Fatal(err)
+	}
+	orig := corruptIndexFile(t, dir, "tbl", "a")
+
+	rep, err := eng.ScrubAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || !strings.Contains(rep.Quarantined[0], "index tbl(a)") {
+		t.Fatalf("scrub quarantined %v, want the index", rep.Quarantined)
+	}
+	if _, err := eng.Table("tbl"); err != nil {
+		t.Fatalf("scrub quarantined the table too: %v", err)
+	}
+	res, err := eng.Query("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, usedIndex := indexScanStats(res); usedIndex {
+		t.Fatal("quarantined index still used")
+	}
+
+	// Repair the file: the next pass restores the index.
+	path := filepath.Join(dir, storage.TablesDir, storage.IndexFileName("tbl", "a"))
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = eng.ScrubAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Restored) != 1 || !strings.Contains(rep.Restored[0], "index tbl(a)") {
+		t.Fatalf("scrub restored %v, want the index", rep.Restored)
+	}
+	res, err = eng.Query("SELECT COUNT(*) FROM tbl WHERE a = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, usedIndex := indexScanStats(res); !usedIndex {
+		t.Fatal("restored index not used")
+	}
+}
+
+// TestDropTableSweepsIndexFiles: dropping a table removes its index
+// snapshots from disk; re-registering rebuilds and re-persists them.
+func TestDropTableSweepsIndexFiles(t *testing.T) {
+	dir := t.TempDir()
+	eng := noScrub(t, dir)
+	defer eng.Close()
+	registerInts(t, eng, "tbl", seq(4096))
+	if err := eng.CreateIndex("tbl", "a"); err != nil {
+		t.Fatal(err)
+	}
+	idxPath := filepath.Join(dir, storage.TablesDir, storage.IndexFileName("tbl", "a"))
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatalf("index snapshot missing after create: %v", err)
+	}
+	if !eng.DropTable("tbl") {
+		t.Fatal("DropTable failed")
+	}
+	if _, err := os.Stat(idxPath); !os.IsNotExist(err) {
+		t.Fatalf("index snapshot survived the table drop: %v", err)
+	}
+	// Re-register: the remembered definition rebuilds and re-persists.
+	registerInts(t, eng, "tbl", seq(8192))
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatalf("rebuilt index not re-persisted: %v", err)
+	}
+	metas := eng.Indexes("tbl")
+	if len(metas) != 1 || metas[0].Rows != 8192 {
+		t.Fatalf("rebuilt metas = %+v", metas)
+	}
+}

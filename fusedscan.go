@@ -35,6 +35,7 @@ import (
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
 	"fusedscan/internal/govern"
+	"fusedscan/internal/index"
 	"fusedscan/internal/jit"
 	"fusedscan/internal/lqp"
 	"fusedscan/internal/mach"
@@ -192,6 +193,11 @@ type OperatorStats struct {
 	// columns count their 64-bit word spans, so the compression win is
 	// directly visible next to RowsIn.
 	BytesScanned int64
+	// IndexProbes / IndexRows are index-scan counters: secondary-index
+	// probes executed and positions they materialized before the sorted
+	// intersection narrowed them.
+	IndexProbes int64
+	IndexRows   int64
 }
 
 // Result is the outcome of Engine.Query.
@@ -339,6 +345,12 @@ type EngineStats struct {
 	// Scan storage (cumulative across queries).
 	BytesScanned int64 // stored value bytes addressed by scan leaves (post-pruning)
 	PackedScans  int64 // scan leaves that read bit-packed (or mixed) columns
+	// Secondary indexes (see index.go and DESIGN.md §16).
+	Indexes            int64 // live secondary indexes
+	IndexesQuarantined int64 // indexes currently out of service
+	IndexScans         int64 // queries answered on the index access path
+	IndexProbes        int64 // index probes executed (cumulative)
+	IndexRows          int64 // positions probes materialized pre-intersection
 	// Prepared-statement plan cache (see Engine.Prepare). A hit means parse
 	// and optimize were skipped for that execution; invalidations count
 	// entries dropped because Register/DropTable/SetConfig bumped the
@@ -385,13 +397,20 @@ type Engine struct {
 	gov       *govern.Governor
 	breaker   *govern.Breaker
 
-	mu     sync.RWMutex // guards tables, quarantined and config
+	mu     sync.RWMutex // guards tables, quarantined, the index catalog and config
 	tables map[string]*column.Table
 	// quarantined holds tables taken out of service because their durable
 	// snapshot failed verification (see durable.go). Always empty on
 	// ephemeral engines.
 	quarantined map[string]*QuarantineError
-	config      Config
+	// indexes maps table → column → live secondary index (see index.go).
+	// idxQuarantined holds indexes out of service after a corrupt
+	// snapshot; indexDefs remembers index columns across drop/re-register
+	// so a replaced table keeps its indexes.
+	indexes        map[string]map[string]*index.Index
+	idxQuarantined map[string]map[string]*IndexQuarantineError
+	indexDefs      map[string]map[string]bool
+	config         Config
 
 	// dur is the durability sidecar: non-nil only for engines opened on a
 	// data directory with Open/OpenWithOptions. Nil costs nothing — the
@@ -417,6 +436,10 @@ type Engine struct {
 	// Scan storage counters (cumulative, for Stats).
 	bytesScanned atomic.Int64
 	packedScans  atomic.Int64
+	// Index-subsystem counters (cumulative, for Stats).
+	idxProbes atomic.Int64
+	idxRows   atomic.Int64
+	idxScans  atomic.Int64
 }
 
 // addCounters sums two counter sets field by field.
@@ -443,18 +466,22 @@ func addCounters(a, b mach.Counters) mach.Counters {
 func NewEngine() *Engine {
 	gcfg := govern.Defaults()
 	e := &Engine{
-		params:      mach.Default(),
-		space:       mach.NewAddrSpace(),
-		tables:      make(map[string]*column.Table),
-		quarantined: make(map[string]*QuarantineError),
-		compiler:    jit.NewCompiler(),
-		optimizer:   lqp.NewOptimizer(),
-		gov:         govern.New(gcfg),
-		breaker:     govern.NewBreaker(gcfg.Breaker),
-		config:      DefaultConfig(),
-		plans:       newPlanCache(0),
+		params:         mach.Default(),
+		space:          mach.NewAddrSpace(),
+		tables:         make(map[string]*column.Table),
+		quarantined:    make(map[string]*QuarantineError),
+		indexes:        make(map[string]map[string]*index.Index),
+		idxQuarantined: make(map[string]map[string]*IndexQuarantineError),
+		indexDefs:      make(map[string]map[string]bool),
+		compiler:       jit.NewCompiler(),
+		optimizer:      lqp.NewOptimizer(),
+		gov:            govern.New(gcfg),
+		breaker:        govern.NewBreaker(gcfg.Breaker),
+		config:         DefaultConfig(),
+		plans:          newPlanCache(0),
 	}
 	e.compiler.SetBreaker(e.breaker)
+	e.optimizer.SetIndexCatalog(e)
 	return e
 }
 
@@ -514,8 +541,17 @@ func (e *Engine) Stats() EngineStats {
 		PlanCacheInvalidations:     ps.invalidations,
 		CatalogEpoch:               e.epoch.Load(),
 	}
+	st.IndexScans = e.idxScans.Load()
+	st.IndexProbes = e.idxProbes.Load()
+	st.IndexRows = e.idxRows.Load()
 	e.mu.RLock()
 	st.TablesQuarantined = int64(len(e.quarantined))
+	for _, cols := range e.indexes {
+		st.Indexes += int64(len(cols))
+	}
+	for _, cols := range e.idxQuarantined {
+		st.IndexesQuarantined += int64(len(cols))
+	}
 	e.mu.RUnlock()
 	if d := e.dur; d != nil {
 		ws := d.wal.Stats()
@@ -632,6 +668,9 @@ func (e *Engine) registerMem(t *column.Table) error {
 	delete(e.quarantined, t.Name())
 	e.mu.Unlock()
 	e.bumpEpoch()
+	// Re-registering a name that carried indexes rebuilds them against the
+	// new table (the durable caller persists what this returns).
+	e.rebuildIndexes(t)
 	return nil
 }
 
@@ -661,6 +700,10 @@ func (e *Engine) Drop(name string) (bool, error) {
 	e.mu.Lock()
 	_, ok := e.tables[name]
 	delete(e.tables, name)
+	// Live indexes die with the table; their definitions (indexDefs) stay
+	// so a re-register rebuilds them.
+	delete(e.indexes, name)
+	delete(e.idxQuarantined, name)
 	e.mu.Unlock()
 	if ok {
 		e.bumpEpoch()
@@ -741,6 +784,9 @@ type TableBuilder struct {
 	eng *Engine
 	tbl *column.Table
 	err error
+	// indexCols are columns to build secondary indexes on after Finish
+	// registers the table (see Index).
+	indexCols []string
 }
 
 // CreateTable starts building a new table.
@@ -844,12 +890,48 @@ func (b *TableBuilder) Pack(columns ...string) *TableBuilder {
 	return b
 }
 
-// Finish registers the table with the engine.
+// Index schedules secondary indexes on the named columns: Finish builds
+// them right after registration (equivalent to CREATE INDEX ON t(col) per
+// column). The columns must exist when Finish runs.
+func (b *TableBuilder) Index(cols ...string) *TableBuilder {
+	b.indexCols = append(b.indexCols, cols...)
+	return b
+}
+
+// ClusterBy physically sorts the table on one column — the CLUSTER BY
+// table option. Rows are reordered by the column's value (NULLs last,
+// ties keep insertion order), so chunk zone maps over that column become
+// tight ranges and scans with cluster-key predicates prune most chunks.
+// Call after the data columns are added and before Pack (packed chunks
+// are immutable).
+func (b *TableBuilder) ClusterBy(col string) *TableBuilder {
+	if b.err != nil {
+		return b
+	}
+	sorted, err := clusterTable(b.tbl, col)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.tbl = sorted
+	return b
+}
+
+// Finish registers the table with the engine and builds any indexes
+// scheduled with Index.
 func (b *TableBuilder) Finish() error {
 	if b.err != nil {
 		return b.err
 	}
-	return b.eng.Register(b.tbl)
+	if err := b.eng.Register(b.tbl); err != nil {
+		return err
+	}
+	for _, col := range b.indexCols {
+		if err := b.eng.CreateIndex(b.tbl.Name(), col); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Query parses, plans, optimizes, JIT-compiles and executes a SQL
@@ -917,6 +999,14 @@ type Explain struct {
 	PhysicalPlan  string
 	JITSources    []string
 	JITKeys       []string
+	// AccessPath is the cost-based access-path decision: "index(col)
+	// est=… cost=… vs scan=…" when an IndexScan was chosen, or a
+	// "scan …" string recording why not. Empty for plans the rule does
+	// not apply to (joins, parameterized skeletons).
+	AccessPath string
+	// Hint echoes the statement's plan hint ("NO_INDEX", "INDEX(t col)"),
+	// empty when the statement carries none.
+	Hint string
 }
 
 // ExplainQuery plans a statement without executing it. Like QueryContext,
@@ -948,6 +1038,10 @@ func (e *Engine) ExplainQuery(sql string) (ex *Explain, err error) {
 	e.optimizer.Optimize(plan)
 	ex.OptimizedPlan = plan.Format()
 	ex.AppliedRules = plan.AppliedRules
+	ex.AccessPath = plan.AccessPath
+	if sel.Hint != nil {
+		ex.Hint = sel.Hint.String()
+	}
 
 	stage = stageTranslate
 	opts, err := e.Config().options()

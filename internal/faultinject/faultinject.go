@@ -116,6 +116,15 @@ const (
 	// the mid-probe error path: a typed error after results have already
 	// started flowing, never a panic).
 	SiteJoinProbeBatch = "join.probe.batch"
+	// SiteIndexBuildAlloc fails a secondary-index build while it is
+	// charging and allocating the sorted (key, position) entry arrays
+	// (drives the typed over-budget path: CREATE INDEX fails cleanly, no
+	// partial index is installed or persisted).
+	SiteIndexBuildAlloc = "index.build.alloc"
+	// SiteIndexProbe fails one index probe during an IndexScan (drives the
+	// mid-query error path: a typed error out of the access path, never a
+	// panic, and the operator closes cleanly).
+	SiteIndexProbe = "index.probe"
 )
 
 // AllSites lists every Site* constant above. The load harness uses it to
@@ -138,6 +147,8 @@ var AllSites = []string{
 	SiteClientConnReset,
 	SiteJoinBuildAlloc,
 	SiteJoinProbeBatch,
+	SiteIndexBuildAlloc,
+	SiteIndexProbe,
 }
 
 // Error is the injected failure returned by Hit in ModeError.

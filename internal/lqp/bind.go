@@ -15,6 +15,8 @@ func (p *Plan) Clone() *Plan {
 		Table:        p.Table,
 		BuildTable:   p.BuildTable,
 		AppliedRules: append([]string(nil), p.AppliedRules...),
+		Hint:         p.Hint,
+		AccessPath:   p.AccessPath,
 		NumParams:    p.NumParams,
 	}
 	out.Root = cloneNode(p.Root)
@@ -39,6 +41,11 @@ func cloneNode(n Node) Node {
 		c := *t
 		c.Preds = append([]expr.Predicate(nil), t.Preds...)
 		c.Input = cloneNode(t.Input)
+		return &c
+	case *IndexScan:
+		c := *t
+		c.Probes = append([]IndexProbe(nil), t.Probes...)
+		c.Residual = append([]expr.Predicate(nil), t.Residual...)
 		return &c
 	case *Projection:
 		c := *t
@@ -124,6 +131,15 @@ func (p *Plan) Bind(args []string) error {
 			case *FusedChain:
 				for i := range t.Preds {
 					if err := bind(&t.Preds[i], onBuild); err != nil {
+						return err
+					}
+				}
+			case *IndexScan:
+				// Probe predicates are bound by construction; only the
+				// residual may carry parameter slots (it never does today —
+				// skeletons hold no IndexScan — but keep Bind total).
+				for i := range t.Residual {
+					if err := bind(&t.Residual[i], onBuild); err != nil {
 						return err
 					}
 				}

@@ -13,6 +13,7 @@ import (
 
 	"fusedscan/internal/column"
 	"fusedscan/internal/expr"
+	"fusedscan/internal/index"
 	"fusedscan/internal/sqlparse"
 )
 
@@ -84,6 +85,69 @@ func (n *FusedChain) String() string {
 		parts[i] = p.String()
 	}
 	s := fmt.Sprintf("FusedTableScan[%s]", strings.Join(parts, " AND "))
+	if n.StopAfter > 0 {
+		s += fmt.Sprintf(" (stop after %d)", n.StopAfter)
+	}
+	return s
+}
+
+// IndexProbe is one index lookup inside an IndexScan: the bound comparison
+// it serves, the index that serves it, and the exact selectivity the cost
+// model measured via Index.CountRange.
+type IndexProbe struct {
+	Index *index.Index
+	Pred  expr.Predicate // bound PredCompare the probe answers
+	// EstSel is exact, not estimated: CountRange(op, value) / rows.
+	EstSel float64
+}
+
+// IndexScan is the secondary-index access path: a leaf node replacing
+// FusedChain-over-StoredTable when the cost model (or an INDEX hint)
+// chooses index probes over the fused scan. The executor probes each
+// index, intersects the sorted position lists with the galloping kernels,
+// and refines the surviving positions against the Residual predicates
+// with the fused/native chain, window by window.
+//
+// The node carries live *index.Index pointers; that is safe because plans
+// holding an IndexScan are either executed immediately (ad-hoc) or rebuilt
+// per execution from a parameterized skeleton — skeletons themselves never
+// contain an IndexScan, and every index DDL bumps the catalog epoch, which
+// invalidates the plan cache.
+type IndexScan struct {
+	Table  *column.Table
+	Probes []IndexProbe // intersected, most selective first
+	// Residual is the predicate remainder in evaluation order (innermost
+	// first, like FusedChain.Preds).
+	Residual []expr.Predicate
+	// StopAfter is the LIMIT pushdown hint (see FusedChain.StopAfter).
+	StopAfter int
+	// EstSel is the estimated fraction of rows surviving probes + residual.
+	EstSel float64
+	// CostIndex and CostScan are the cost model's two estimates, in
+	// scanned-byte units; CostIndex < CostScan unless Forced.
+	CostIndex, CostScan float64
+	// Forced marks an /*+ INDEX(t col) */ hint overriding the cost choice.
+	Forced bool
+}
+
+// Child implements Node.
+func (*IndexScan) Child() Node { return nil }
+
+func (n *IndexScan) String() string {
+	cols := make([]string, len(n.Probes))
+	parts := make([]string, 0, len(n.Probes)+len(n.Residual))
+	for i, pr := range n.Probes {
+		cols[i] = pr.Pred.Column
+		parts = append(parts, pr.Pred.String())
+	}
+	for _, pr := range n.Residual {
+		parts = append(parts, pr.String()+" (residual)")
+	}
+	s := fmt.Sprintf("IndexScan(%s)[%s] est=%.4g cost=%.4g vs scan=%.4g",
+		strings.Join(cols, ","), strings.Join(parts, " AND "), n.EstSel, n.CostIndex, n.CostScan)
+	if n.Forced {
+		s += " (hint forced)"
+	}
 	if n.StopAfter > 0 {
 		s += fmt.Sprintf(" (stop after %d)", n.StopAfter)
 	}
@@ -227,6 +291,13 @@ type Plan struct {
 	// plans. Table is always the driving (probe) table.
 	BuildTable   *column.Table
 	AppliedRules []string
+	// Hint is the statement's access-path hint, nil when absent. It is part
+	// of the plan-cache key (Normalize renders it into the shape).
+	Hint *sqlparse.Hint
+	// AccessPath is the ChooseAccessPath rule's human-readable decision —
+	// "index(col) est=… cost=… vs scan=…" or "scan …" — surfaced by
+	// EXPLAIN as "path=". Empty when the rule did not run (joins, no scan).
+	AccessPath string
 	// NumParams is the number of $n parameters the plan awaits. A plan with
 	// NumParams > 0 is a skeleton: it must be Cloned and Bound with argument
 	// values before translation (the prepared-statement plan cache stores
@@ -308,7 +379,7 @@ func Build(sel *sqlparse.Select, cat Catalog) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := &Plan{Table: tbl, NumParams: sel.NumParams}
+	plan := &Plan{Table: tbl, NumParams: sel.NumParams, Hint: sel.Hint}
 	res := &resolver{probe: tbl, probeName: sel.Table}
 
 	var probeNode Node = &StoredTable{Table: tbl}

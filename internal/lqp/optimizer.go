@@ -16,6 +16,10 @@ import (
 type Optimizer struct {
 	mu    sync.Mutex
 	stats map[statsKey]column.Stats
+	// indexes is the engine's index catalog for the access-path rule; nil
+	// keeps every plan on the scan path. Set once via SetIndexCatalog
+	// before the optimizer sees any plan.
+	indexes IndexCatalog
 }
 
 type statsKey struct {
@@ -47,6 +51,8 @@ func (o *Optimizer) Optimize(p *Plan) {
 	o.optimizeSpine(p)
 	if join := findJoin(p); join != nil {
 		o.collapseEmptyJoin(p, join)
+	} else {
+		o.ChooseAccessPath(p)
 	}
 	o.pushLimitHints(p)
 }
@@ -216,8 +222,11 @@ func (o *Optimizer) pushLimitHints(p *Plan) {
 	}
 	proj.MaxRows = lim.N
 	applied := "PushDownLimitHint"
-	if fc, ok := proj.Input.(*FusedChain); ok {
-		fc.StopAfter = lim.N
+	switch t := proj.Input.(type) {
+	case *FusedChain:
+		t.StopAfter = lim.N
+	case *IndexScan:
+		t.StopAfter = lim.N
 	}
 	p.AppliedRules = append(p.AppliedRules, applied)
 }

@@ -103,6 +103,11 @@ type OperatorStats struct {
 	// size. Pruned chunks contribute nothing, so the packed-vs-plain
 	// compression win and the zone-map win are both visible here.
 	BytesScanned int64
+	// IndexProbes / IndexRows are index-scan counters: secondary-index
+	// probes executed, and positions those probes materialized before the
+	// sorted-list intersection narrowed them down.
+	IndexProbes int64
+	IndexRows   int64
 }
 
 // Execution-path labels reported in scan OperatorStats.
@@ -139,6 +144,9 @@ func (s OperatorStats) String() string {
 	}
 	if s.Groups > 0 {
 		out += fmt.Sprintf(" groups=%d", s.Groups)
+	}
+	if s.IndexProbes > 0 {
+		out += fmt.Sprintf(" probes=%d idxrows=%d", s.IndexProbes, s.IndexRows)
 	}
 	return out + "]"
 }

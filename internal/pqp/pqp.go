@@ -369,6 +369,9 @@ func translateNode(n lqp.Node, tbl *column.Table, comp *jit.Compiler, opts Optio
 		}
 		return mk(kern, fusedBuild, fmt.Sprintf("FusedTableScan[%s]", prog.Sig.Key()), PathEmulated), nil
 
+	case *lqp.IndexScan:
+		return translateIndexScan(t, tbl, comp, opts, p)
+
 	case *lqp.Join:
 		return translateJoin(t, tbl, comp, opts, p)
 

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fusedscan"
+)
+
+// TestIndexDDLOverHTTP drives the index lifecycle through the query
+// endpoint: CREATE INDEX is acknowledged with a status row, a selective
+// lookup is answered on the index path, and /varz exposes the index
+// counters.
+func TestIndexDDLOverHTTP(t *testing.T) {
+	eng := newTestEngine(t)
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+
+	w := post(t, s, "/query", QueryRequest{SQL: "CREATE INDEX ON t (b)"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("CREATE INDEX status %d: %s", w.Code, w.Body.String())
+	}
+	qr := decode[QueryResponse](t, w)
+	if len(qr.Rows) != 1 || !strings.Contains(qr.Rows[0][0], "created index") {
+		t.Fatalf("CREATE INDEX response = %+v", qr)
+	}
+
+	// b = 7 matches 1% of rows — well under the crossover, so the cost
+	// model takes the index.
+	w = post(t, s, "/query", QueryRequest{SQL: "SELECT COUNT(*) FROM t WHERE b = 7"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("lookup status %d: %s", w.Code, w.Body.String())
+	}
+	if qr = decode[QueryResponse](t, w); qr.Count != 50 {
+		t.Fatalf("lookup count = %d, want 50", qr.Count)
+	}
+
+	vz := decode[VarzResponse](t, get(t, s, "/varz"))
+	e := vz.Engine
+	if e.Indexes != 1 || e.IndexesQuarantined != 0 {
+		t.Fatalf("varz indexes = %d quarantined = %d", e.Indexes, e.IndexesQuarantined)
+	}
+	if e.IndexScans < 1 || e.IndexProbes < 1 || e.IndexRows < 50 {
+		t.Fatalf("varz index counters = scans %d probes %d rows %d", e.IndexScans, e.IndexProbes, e.IndexRows)
+	}
+
+	// DROP INDEX through the same endpoint.
+	w = post(t, s, "/query", QueryRequest{SQL: "DROP INDEX ON t (b)"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("DROP INDEX status %d: %s", w.Code, w.Body.String())
+	}
+	if vz = decode[VarzResponse](t, get(t, s, "/varz")); vz.Engine.Indexes != 0 {
+		t.Fatalf("varz indexes after drop = %d", vz.Engine.Indexes)
+	}
+}
+
+// TestIndexBuildOverBudgetHTTP: an index build that would blow the memory
+// budget is a typed 422 "memory_budget", never a 500, and leaves no
+// partially built index behind.
+func TestIndexBuildOverBudgetHTTP(t *testing.T) {
+	eng := newTestEngine(t)
+	g := fusedscan.DefaultGovernance()
+	g.MemBudgetBytes = 1 << 10 // 5000 entries need ~60 KB
+	eng.SetGovernance(g)
+	s := New(eng, Options{})
+	defer s.Shutdown(context.Background())
+
+	w := post(t, s, "/query", QueryRequest{SQL: "CREATE INDEX ON t (b)"})
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("over-budget CREATE INDEX status %d: %s", w.Code, w.Body.String())
+	}
+	if er := decode[ErrorResponse](t, w); er.Code != "memory_budget" {
+		t.Fatalf("over-budget CREATE INDEX code %q, want \"memory_budget\": %+v", er.Code, er)
+	}
+	if vz := decode[VarzResponse](t, get(t, s, "/varz")); vz.Engine.Indexes != 0 {
+		t.Fatalf("failed build left %d indexes", vz.Engine.Indexes)
+	}
+}

@@ -1,0 +1,122 @@
+package sqlparse
+
+// DDL front end: the index subsystem's two statements. Indexes are
+// addressed by (table, column) — the optional index name in CREATE INDEX
+// is accepted for SQL familiarity but carries no meaning here, since at
+// most one index exists per column.
+//
+//	CREATE INDEX [name] ON table (column)
+//	DROP INDEX ON table (column)
+
+// CreateIndex is the parsed "CREATE INDEX [name] ON table (column)" DDL.
+type CreateIndex struct {
+	Name   string // optional, informational only
+	Table  string
+	Column string
+}
+
+// DropIndex is the parsed "DROP INDEX ON table (column)" DDL.
+type DropIndex struct {
+	Table  string
+	Column string
+}
+
+// Statement is the union of everything the engine's SQL entry point
+// accepts: exactly one field is non-nil.
+type Statement struct {
+	Select      *Select
+	CreateIndex *CreateIndex
+	DropIndex   *DropIndex
+}
+
+// ParseStatement parses one statement, dispatching on the leading keyword:
+// CREATE/DROP parse as index DDL, everything else as a SELECT.
+func ParseStatement(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	switch {
+	case p.atKeyword("create"):
+		ci, err := p.parseCreateIndex()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{CreateIndex: ci}, nil
+	case p.atKeyword("drop"):
+		di, err := p.parseDropIndex()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{DropIndex: di}, nil
+	default:
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokEOF) {
+			return nil, p.errorf("unexpected %q after end of statement", p.cur().text)
+		}
+		if err := resolveParams(sel); err != nil {
+			return nil, err
+		}
+		return &Statement{Select: sel}, nil
+	}
+}
+
+// parseIndexTarget parses the shared "ON table (column)" tail.
+func (p *parser) parseIndexTarget() (table, column string, err error) {
+	if err := p.expectKeyword("on"); err != nil {
+		return "", "", err
+	}
+	if !p.at(tokIdent) || isReserved(p.cur().text) {
+		return "", "", p.errorf("expected table name, found %q", p.cur().text)
+	}
+	table = p.advance().text
+	if err := p.expectSymbol("("); err != nil {
+		return "", "", err
+	}
+	if !p.at(tokIdent) || isReserved(p.cur().text) {
+		return "", "", p.errorf("expected column name, found %q", p.cur().text)
+	}
+	column = p.advance().text
+	if err := p.expectSymbol(")"); err != nil {
+		return "", "", err
+	}
+	if !p.at(tokEOF) {
+		return "", "", p.errorf("unexpected %q after end of statement", p.cur().text)
+	}
+	return table, column, nil
+}
+
+func (p *parser) parseCreateIndex() (*CreateIndex, error) {
+	p.advance() // CREATE
+	if err := p.expectKeyword("index"); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{}
+	if p.at(tokIdent) && !foldEq(p.cur().text, "on") && !isReserved(p.cur().text) {
+		ci.Name = p.advance().text
+	}
+	var err error
+	ci.Table, ci.Column, err = p.parseIndexTarget()
+	if err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *parser) parseDropIndex() (*DropIndex, error) {
+	p.advance() // DROP
+	if err := p.expectKeyword("index"); err != nil {
+		return nil, err
+	}
+	di := &DropIndex{}
+	var err error
+	di.Table, di.Column, err = p.parseIndexTarget()
+	if err != nil {
+		return nil, err
+	}
+	return di, nil
+}

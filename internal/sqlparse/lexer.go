@@ -37,6 +37,7 @@ const (
 	tokSymbol  // ( ) , *
 	tokCompare // = <> != < <= > >=
 	tokParam   // $1 $2 ... (prepared-statement parameter placeholders)
+	tokHint    // /*+ ... */ optimizer hint block (text is the interior)
 )
 
 type token struct {
@@ -85,6 +86,10 @@ func lex(src string) ([]token, error) {
 			}
 		case c == '$':
 			if err := l.lexParam(); err != nil {
+				return nil, err
+			}
+		case c == '/':
+			if err := l.lexComment(); err != nil {
 				return nil, err
 			}
 		case c == ';':
@@ -179,6 +184,26 @@ func (l *lexer) lexParam() error {
 		return fmt.Errorf("sql: '$' must be followed by a parameter number at position %d", start)
 	}
 	l.emit(tokParam, text, start)
+	return nil
+}
+
+// lexComment scans a /* ... */ bracketed comment. An optimizer-hint
+// comment — /*+ ... */ — is emitted as a hint token carrying its interior
+// text (the parser interprets it); an ordinary comment is discarded.
+func (l *lexer) lexComment() error {
+	start := l.pos
+	if l.pos+1 >= len(l.src) || l.src[l.pos+1] != '*' {
+		return fmt.Errorf("sql: unexpected character %q at position %d", l.src[l.pos], l.pos)
+	}
+	end := strings.Index(l.src[l.pos+2:], "*/")
+	if end < 0 {
+		return fmt.Errorf("sql: unterminated comment at position %d", start)
+	}
+	body := l.src[l.pos+2 : l.pos+2+end]
+	l.pos += 2 + end + 2
+	if strings.HasPrefix(body, "+") {
+		l.emit(tokHint, strings.TrimSpace(body[1:]), start)
+	}
 	return nil
 }
 

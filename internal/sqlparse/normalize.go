@@ -31,6 +31,11 @@ type Slot struct {
 func Normalize(sel *Select) (shape string, slots []Slot) {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
+	if sel.Hint != nil {
+		// The hint is part of the shape: a hinted statement must never share
+		// a cached plan with its unhinted spelling.
+		fmt.Fprintf(&sb, "/*+ %s */ ", sel.Hint)
+	}
 	switch {
 	case sel.Star:
 		sb.WriteByte('*')

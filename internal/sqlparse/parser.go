@@ -3,6 +3,7 @@ package sqlparse
 import (
 	"fmt"
 	"strings"
+	"unicode"
 
 	"fusedscan/internal/expr"
 )
@@ -47,6 +48,7 @@ type JoinClause struct {
 // (the group keys) and Aggs (the grouped aggregates) appear together with
 // every plain column listed before the first aggregate.
 type Select struct {
+	Hint    *Hint     // access-path hint (/*+ INDEX(t col) */ or /*+ NO_INDEX */), nil when absent
 	Aggs    []AggTerm // aggregate list: COUNT(*), SUM(col), MIN/MAX/AVG(col)
 	Star    bool      // SELECT *
 	Columns []string  // explicit projection list
@@ -61,6 +63,32 @@ type Select struct {
 	// statement references. Parameters must be numbered contiguously from
 	// $1; a statement with no placeholders has NumParams 0.
 	NumParams int
+}
+
+// Hint is the parsed access-path directive of a /*+ ... */ hint comment.
+// Exactly one directive per statement: either INDEX(table column), which
+// forces the named secondary index regardless of the cost model, or
+// NO_INDEX, which forces the fused-scan path.
+type Hint struct {
+	NoIndex bool   // /*+ NO_INDEX */
+	Table   string // /*+ INDEX(table column) */
+	Column  string
+}
+
+func (h *Hint) String() string {
+	if h.NoIndex {
+		return "NO_INDEX"
+	}
+	return fmt.Sprintf("INDEX(%s %s)", h.Table, h.Column)
+}
+
+// HintError is the typed rejection for hint names that are recognized and
+// reserved for future plumbing (JOIN_ORDER and friends) but not yet
+// supported — reserved hints fail loudly instead of being silently ignored.
+type HintError struct{ Name string }
+
+func (e *HintError) Error() string {
+	return fmt.Sprintf("sql: hint %s is reserved but not supported", e.Name)
 }
 
 // Comparison is one WHERE term: Column Op Literal. The literal is kept
@@ -222,6 +250,12 @@ func (p *parser) parseSelect() (*Select, error) {
 	}
 	sel := &Select{Limit: -1}
 
+	for p.at(tokHint) {
+		if err := p.parseHint(sel); err != nil {
+			return nil, err
+		}
+	}
+
 	if p.cur().kind == tokSymbol && p.cur().text == "*" {
 		p.advance()
 		sel.Star = true
@@ -375,6 +409,61 @@ func (p *parser) parseSelect() (*Select, error) {
 		sel.Limit = n
 	}
 	return sel, nil
+}
+
+// parseHint interprets one /*+ ... */ hint block: whitespace-separated
+// directives, each NAME or NAME(arg arg). Reserved-but-unsupported names
+// (JOIN_ORDER, LEADING) fail with the typed *HintError.
+func (p *parser) parseHint(sel *Select) error {
+	body := p.advance().text
+	for {
+		body = strings.TrimSpace(body)
+		if body == "" {
+			return nil
+		}
+		i := 0
+		for i < len(body) && isIdentPart(rune(body[i])) {
+			i++
+		}
+		if i == 0 {
+			return fmt.Errorf("sql: malformed hint %q", body)
+		}
+		name := strings.ToUpper(body[:i])
+		body = strings.TrimSpace(body[i:])
+		var args []string
+		if strings.HasPrefix(body, "(") {
+			j := strings.Index(body, ")")
+			if j < 0 {
+				return fmt.Errorf("sql: hint %s is missing its closing ')'", name)
+			}
+			args = strings.FieldsFunc(body[1:j], func(r rune) bool {
+				return r == ',' || unicode.IsSpace(r)
+			})
+			body = body[j+1:]
+		}
+		switch name {
+		case "INDEX":
+			if len(args) != 2 {
+				return fmt.Errorf("sql: hint INDEX wants (table column), got %d argument(s)", len(args))
+			}
+			if sel.Hint != nil {
+				return fmt.Errorf("sql: conflicting access-path hints (%s and INDEX)", sel.Hint)
+			}
+			sel.Hint = &Hint{Table: args[0], Column: args[1]}
+		case "NO_INDEX":
+			if len(args) != 0 {
+				return fmt.Errorf("sql: hint NO_INDEX takes no arguments")
+			}
+			if sel.Hint != nil {
+				return fmt.Errorf("sql: conflicting access-path hints (%s and NO_INDEX)", sel.Hint)
+			}
+			sel.Hint = &Hint{NoIndex: true}
+		case "JOIN_ORDER", "LEADING":
+			return &HintError{Name: name}
+		default:
+			return fmt.Errorf("sql: unknown hint %s", name)
+		}
+	}
 }
 
 // checkGrouping enforces the projection/GROUP BY contract once all clauses

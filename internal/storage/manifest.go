@@ -43,6 +43,10 @@ type Manifest struct {
 	Config json.RawMessage `json:"config,omitempty"`
 	// Tables names every snapshot in the directory.
 	Tables []ManifestTable `json:"tables"`
+	// Indexes names every secondary-index snapshot in the directory.
+	// The field is additive: manifests written before indexes existed
+	// decode with a nil slice.
+	Indexes []ManifestIndex `json:"indexes,omitempty"`
 }
 
 // ManifestTable is one table entry: the catalog name and its snapshot
@@ -50,6 +54,14 @@ type Manifest struct {
 type ManifestTable struct {
 	Name string `json:"name"`
 	File string `json:"file"`
+}
+
+// ManifestIndex is one secondary-index entry: the indexed table and
+// column plus the index snapshot filename relative to tables/.
+type ManifestIndex struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	File   string `json:"file"`
 }
 
 // ReadManifest loads the manifest at path. A missing file returns
@@ -119,6 +131,18 @@ func SnapshotFileName(table string) string {
 	}
 	sum := sha256.Sum256([]byte(table))
 	return fmt.Sprintf("h%x.fscn", sum[:16])
+}
+
+// IndexFileName maps a (table, column) pair onto a filesystem-safe index
+// snapshot filename. The table-name length prefix disambiguates pairs
+// whose concatenations collide ("a-b"+"c" vs "a"+"b-c"); unportable names
+// fall back to a truncated content hash of the pair.
+func IndexFileName(table, col string) string {
+	if len(table)+len(col) <= 100 && safeFileChars(table) && safeFileChars(col) {
+		return fmt.Sprintf("idx-%d-%s-%s.fscn", len(table), table, col)
+	}
+	sum := sha256.Sum256([]byte("idx\x00" + table + "\x00" + col))
+	return fmt.Sprintf("hidx%x.fscn", sum[:16])
 }
 
 func safeFileChars(s string) bool {

@@ -59,6 +59,13 @@ const (
 	// RecordSetConfig: the engine configuration changed; Blob is the
 	// JSON-encoded configuration (opaque to this package).
 	RecordSetConfig RecordKind = 4
+	// RecordCreateIndex: a secondary index was created; Name is the
+	// indexed table, Blob a JSON object naming the column and the index
+	// snapshot filename (opaque to this package).
+	RecordCreateIndex RecordKind = 5
+	// RecordDropIndex: a secondary index was dropped; Name is the table,
+	// Blob a JSON object naming the column.
+	RecordDropIndex RecordKind = 6
 )
 
 func (k RecordKind) String() string {
@@ -71,6 +78,10 @@ func (k RecordKind) String() string {
 		return "drop"
 	case RecordSetConfig:
 		return "setconfig"
+	case RecordCreateIndex:
+		return "createindex"
+	case RecordDropIndex:
+		return "dropindex"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -108,6 +108,10 @@ func (e *Engine) QueryWith(ctx context.Context, sql string, qo QueryOptions) (*R
 		if err := plan.Bind(bound); err != nil {
 			return nil, err
 		}
+		// Skeletons are costed without literal values and always stay on
+		// the scan path; with the literals bound, the index-vs-scan choice
+		// can now be made exactly.
+		e.chooseBoundAccessPath(plan)
 		return plan, nil
 	}
 	return e.execute(ctx, sql, makePlan, execOpts{config: qo.Config, stream: qo.Stream, session: qo.Session, cheap: qo.Cheap})
@@ -231,6 +235,9 @@ func (p *Prepared) runWith(ctx context.Context, cfg *Config, stream func([]strin
 		if err := plan.Bind(bound); err != nil {
 			return nil, err
 		}
+		// Same as QueryWith: the access-path choice needs the bound
+		// literals the skeleton never sees.
+		p.eng.chooseBoundAccessPath(plan)
 		return plan, nil
 	}
 	// Prepared executions ride the admission cheap lane: their plan is
@@ -293,10 +300,18 @@ func (e *Engine) execute(ctx context.Context, sql string, makePlan func(stage *s
 
 	var plan *lqp.Plan
 	if makePlan == nil {
-		sel, perr := sqlparse.Parse(sql)
+		stmt, perr := sqlparse.ParseStatement(sql)
 		if perr != nil {
 			return nil, perr
 		}
+		if stmt.Select == nil {
+			// Index DDL rides the same governed entry point: admission
+			// control above already ran, and CreateIndex charges its build
+			// against the memory budget.
+			stage = stageExecute
+			return e.execDDL(stmt)
+		}
+		sel := stmt.Select
 		if sel.NumParams > 0 {
 			return nil, fmt.Errorf("fusedscan: statement has %d unbound parameter(s); use Prepare/Execute or QueryWith with Args", sel.NumParams)
 		}
@@ -389,8 +404,14 @@ func (e *Engine) execute(ctx context.Context, sql string, makePlan func(stage *s
 			Depth: os.Depth, BuildRows: os.BuildRows, ProbeRows: os.ProbeRows,
 			BloomChecks: os.BloomChecks, BloomPass: os.BloomPass, Groups: os.Groups,
 			Encoding: os.Encoding, BytesScanned: os.BytesScanned,
+			IndexProbes: os.IndexProbes, IndexRows: os.IndexRows,
 		})
 		e.bytesScanned.Add(os.BytesScanned)
+		e.idxProbes.Add(os.IndexProbes)
+		e.idxRows.Add(os.IndexRows)
+		if os.IndexProbes > 0 {
+			e.idxScans.Add(1)
+		}
 		if os.Encoding == pqp.EncodingPacked || os.Encoding == pqp.EncodingMixed {
 			e.packedScans.Add(1)
 		}
